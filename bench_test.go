@@ -1,0 +1,165 @@
+package streamcount_test
+
+// One benchmark per experiment in DESIGN.md §4 (the harness that
+// regenerates every table/figure of EXPERIMENTS.md), plus micro-benchmarks
+// for the substrates. Experiment benches do one full regeneration per
+// iteration; run them with -benchtime=1x for a single regeneration.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"streamcount/internal/exact"
+	"streamcount/internal/experiments"
+	"streamcount/internal/fgp"
+	"streamcount/internal/gen"
+	"streamcount/internal/graph"
+	"streamcount/internal/pattern"
+	"streamcount/internal/sketch"
+	"streamcount/internal/stream"
+	"streamcount/internal/transform"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, 2022, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExp01SpaceComparison(b *testing.B)      { benchExperiment(b, "E01") }
+func BenchmarkExp02SamplerUniformity(b *testing.B)    { benchExperiment(b, "E02") }
+func BenchmarkExp03ErrorVsInstances(b *testing.B)     { benchExperiment(b, "E03") }
+func BenchmarkExp04Turnstile(b *testing.B)            { benchExperiment(b, "E04") }
+func BenchmarkExp05PatternSweep(b *testing.B)         { benchExperiment(b, "E05") }
+func BenchmarkExp06DegeneracyScaling(b *testing.B)    { benchExperiment(b, "E06") }
+func BenchmarkExp07ERSAccuracy(b *testing.B)          { benchExperiment(b, "E07") }
+func BenchmarkExp08PassCounts(b *testing.B)           { benchExperiment(b, "E08") }
+func BenchmarkExp09L0Sampler(b *testing.B)            { benchExperiment(b, "E09") }
+func BenchmarkExp10Baselines(b *testing.B)            { benchExperiment(b, "E10") }
+func BenchmarkExp11MultiplicityAblation(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkExp12L0ConfigAblation(b *testing.B)     { benchExperiment(b, "E12") }
+
+// --- micro-benchmarks ---
+
+func BenchmarkL0Update(b *testing.B) {
+	s := sketch.NewL0Sampler(1, sketch.L0Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Update(uint64(i)*2654435761, 1)
+	}
+}
+
+func BenchmarkL0Sample(b *testing.B) {
+	s := sketch.NewL0Sampler(1, sketch.L0Config{})
+	for i := 0; i < 1000; i++ {
+		s.Update(uint64(i)*2654435761, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Sample(); !ok {
+			b.Fatal("sample failed")
+		}
+	}
+}
+
+func BenchmarkReservoirOffer(b *testing.B) {
+	r := sketch.NewReservoir(rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Offer(uint64(i))
+	}
+}
+
+func BenchmarkExactTriangles(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.ErdosRenyiGNM(rng, 1000, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.Triangles(g)
+	}
+}
+
+func BenchmarkExactK4Cliques(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.BarabasiAlbert(rng, 1000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact.Cliques(g, 4)
+	}
+}
+
+func BenchmarkDegeneracy(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.ErdosRenyiGNM(rng, 5000, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Degeneracy(g)
+	}
+}
+
+func BenchmarkDecomposePattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range []*pattern.Pattern{
+			pattern.Triangle(), pattern.CycleGraph(7), pattern.Clique(6), pattern.Paw(),
+		} {
+			if _, err := pattern.Decompose(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFGPInsertionPass(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.ErdosRenyiGNM(rng, 500, 5000)
+	pl, err := fgp.NewPlan(pattern.Triangle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := stream.FromGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := transform.NewInsertionRunner(st, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fgp.Count(r, pl, 5000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFGPTurnstilePass(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.ErdosRenyiGNM(rng, 200, 1500)
+	pl, err := fgp.NewPlan(pattern.Triangle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := stream.WithDeletions(g, 0.3, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := transform.NewTurnstileRunner(st, rng)
+		if _, err := fgp.Count(r, pl, 2000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamPassThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.ErdosRenyiGNM(rng, 2000, 50000)
+	st := stream.FromGraph(g)
+	b.SetBytes(int64(st.Len()) * 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cnt int64
+		if err := st.ForEach(func(stream.Update) error { cnt++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command genstream generates the synthetic workloads the experiments use
+// and writes them in the edge-list format cmd/streamcount reads.
+//
+// Examples:
+//
+//	genstream -type er -n 1000 -m 10000 > er.txt
+//	genstream -type ba -n 1000 -k 3 -plant-k4 5 > ba.txt
+//	genstream -type grid -rows 30 -cols 30 > grid.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"streamcount/internal/gen"
+	"streamcount/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genstream: ")
+	var (
+		typ     = flag.String("type", "er", "er | ba | chunglu | grid | cycle | complete")
+		n       = flag.Int64("n", 1000, "vertices (er, ba, chunglu, cycle, complete)")
+		m       = flag.Int64("m", 5000, "edges (er)")
+		k       = flag.Int64("k", 3, "attachment parameter (ba)")
+		gamma   = flag.Float64("gamma", 2.5, "power-law exponent (chunglu)")
+		avgDeg  = flag.Float64("avgdeg", 8, "average degree (chunglu)")
+		rows    = flag.Int64("rows", 30, "grid rows")
+		cols    = flag.Int64("cols", 30, "grid cols")
+		plantK  = flag.Int64("plant-k4", 0, "plant this many disjoint K4s")
+		plantC5 = flag.Int64("plant-c5", 0, "plant this many disjoint 5-cycles")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var g *graph.Graph
+	switch *typ {
+	case "er":
+		g = gen.ErdosRenyiGNM(rng, *n, *m)
+	case "ba":
+		g = gen.BarabasiAlbert(rng, *n, *k)
+	case "chunglu":
+		g = gen.ChungLu(rng, *n, *gamma, *avgDeg)
+	case "grid":
+		g = gen.Grid(*rows, *cols)
+	case "cycle":
+		g = gen.Cycle(*n)
+	case "complete":
+		g = gen.Complete(*n)
+	default:
+		log.Fatalf("unknown -type %q", *typ)
+	}
+	if *plantK > 0 {
+		gen.PlantCliques(rng, g, 4, *plantK)
+	}
+	if *plantC5 > 0 {
+		gen.PlantCycles(rng, g, 5, *plantC5)
+	}
+	if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
+		log.Fatal(err)
+	}
+	lambda, _ := graph.Degeneracy(g)
+	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d degeneracy=%d\n", *typ, g.N(), g.M(), lambda)
+}

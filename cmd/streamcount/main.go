@@ -1,0 +1,145 @@
+// Command streamcount estimates the number of copies of a pattern H in a
+// graph stream read from a file, using the paper's 3-pass algorithm
+// (Theorem 17 insertion-only / Theorem 1 turnstile) or the 5r-pass
+// low-degeneracy clique counter (Theorem 2).
+//
+// Input formats:
+//
+//	graph:   header "n m", then one "u v" line per edge (insertion-only)
+//	updates: header "n", then "+ u v" / "- u v" lines (turnstile)
+//
+// Examples:
+//
+//	streamcount -input graph.txt -pattern triangle -trials 100000
+//	streamcount -input updates.txt -updates -pattern C5 -trials 500000
+//	streamcount -input graph.txt -cliques 4 -eps 0.3 -lower 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"streamcount"
+	"streamcount/internal/graph"
+	"streamcount/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streamcount: ")
+	var (
+		input   = flag.String("input", "", "input file (required)")
+		updates = flag.Bool("updates", false, "input is a turnstile update list, not an edge list")
+		pat     = flag.String("pattern", "triangle", "pattern name: triangle, C<k>, K<r>, S<k>, P<k>, paw, diamond")
+		trials  = flag.Int("trials", 0, "parallel sampler instances (0: derive from -eps/-lower)")
+		eps     = flag.Float64("eps", 0.1, "target relative error (used when -trials is 0)")
+		lower   = flag.Float64("lower", 0, "lower bound on #H (used when -trials is 0)")
+		cliques = flag.Int("cliques", 0, "if r >= 3: use the Theorem 2 low-degeneracy K_r counter")
+		lambda  = flag.Int64("lambda", 0, "degeneracy bound for -cliques (0: compute exactly)")
+		exactF  = flag.Bool("exact", false, "also print the exact count (loads the graph into memory)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	st, err := readStream(*input, *updates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *cliques >= 3 {
+		runCliques(st, *cliques, *lambda, *eps, *lower, *seed, *exactF)
+		return
+	}
+
+	p, err := streamcount.PatternByName(*pat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := streamcount.Config{
+		Pattern:    p,
+		Trials:     *trials,
+		Epsilon:    *eps,
+		LowerBound: *lower,
+		EdgeBound:  st.Len(),
+		Seed:       *seed,
+	}
+	est, err := streamcount.Estimate(st, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pattern    %s (rho=%.1f)\n", p.Name(), p.Rho())
+	fmt.Printf("stream     n=%d, %d updates, m=%d\n", st.N(), st.Len(), est.M)
+	fmt.Printf("estimate   %.1f\n", est.Value)
+	fmt.Printf("passes     %d\n", est.Passes)
+	fmt.Printf("trials     %d\n", est.Trials)
+	fmt.Printf("space      %d words\n", est.SpaceWords)
+	if *exactF {
+		g, err := stream.Materialize(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exact      %d\n", streamcount.ExactCount(g, p))
+	}
+}
+
+func runCliques(st streamcount.Stream, r int, lambda int64, eps, lower float64, seed int64, exactF bool) {
+	var g *graph.Graph
+	if lambda == 0 || exactF || lower == 0 {
+		var err error
+		g, err = stream.Materialize(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if lambda == 0 {
+		lambda, _ = streamcount.Degeneracy(g)
+	}
+	if lower == 0 {
+		p, _ := streamcount.PatternByName(fmt.Sprintf("K%d", r))
+		exact := streamcount.ExactCount(g, p)
+		if exact == 0 {
+			fmt.Println("graph contains no such cliques")
+			return
+		}
+		lower = float64(exact) / 2
+		fmt.Printf("(no -lower given: using exact/2 = %.1f)\n", lower)
+	}
+	est, err := streamcount.EstimateCliques(st, streamcount.CliqueConfig{
+		R: r, Lambda: lambda, Epsilon: eps, LowerBound: lower, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pattern    K%d (degeneracy λ=%d)\n", r, lambda)
+	fmt.Printf("estimate   %.1f\n", est.Value)
+	fmt.Printf("passes     %d (bound 5r = %d)\n", est.Passes, 5*r)
+	fmt.Printf("space      %d words\n", est.SpaceWords)
+	if exactF {
+		p, _ := streamcount.PatternByName(fmt.Sprintf("K%d", r))
+		fmt.Printf("exact      %d\n", streamcount.ExactCount(g, p))
+	}
+}
+
+func readStream(path string, updateFormat bool) (streamcount.Stream, error) {
+	if updateFormat {
+		// File-backed streams are replayed from disk on every pass, so
+		// update streams larger than memory still work.
+		return stream.OpenFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := streamcount.ReadGraph(f)
+	if err != nil {
+		return nil, err
+	}
+	return streamcount.StreamFromGraph(g), nil
+}

@@ -1,0 +1,26 @@
+// Package streamcount approximately counts subgraphs in graph streams.
+//
+// It implements the algorithms of "Approximately Counting Subgraphs in Data
+// Streams" (Fichtenberger & Peng, PODS 2022, arXiv:2203.14225):
+//
+//   - a 3-pass turnstile streaming algorithm that (1±ε)-approximates the
+//     number of copies of an arbitrary constant-size subgraph H using
+//     Õ(m^ρ(H)/(ε²·#H)) space, where ρ(H) is H's fractional edge-cover
+//     number (Theorem 1);
+//   - a 5r-pass insertion-only streaming algorithm that (1±ε)-approximates
+//     the number of r-cliques in graphs of degeneracy λ using
+//     (mλ^{r-2}/#K_r)·poly(log n, 1/ε) space (Theorem 2);
+//   - the generic transformation behind both: any k-round adaptive
+//     sublinear-time algorithm in the (augmented) general graph query model
+//     becomes a k-pass streaming algorithm (Theorems 9 and 11).
+//
+// The quickstart:
+//
+//	p, _ := streamcount.PatternByName("triangle")
+//	st, _ := streamcount.NewStream(n, updates)
+//	est, _ := streamcount.Estimate(st, streamcount.Config{Pattern: p, Trials: 100000})
+//	fmt.Println(est.Value, est.Passes) // ≈ #triangles, 3
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// architecture and the paper-faithfulness notes.
+package streamcount

@@ -1,0 +1,57 @@
+// Motif detection: count several small motifs (triangle, 4-clique, paw,
+// 5-cycle) in a synthetic interaction network and report their abundance
+// versus a degree-matched expectation — the network-science use case the
+// paper's introduction motivates (motif detection in biological networks).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"streamcount"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// A power-law-ish "interaction network" assembled from a preferential
+	// attachment backbone plus planted dense spots (complexes).
+	g := streamcount.BarabasiAlbert(rng, 400, 3)
+	plantClique(g, []int64{10, 40, 80, 120})
+	plantClique(g, []int64{5, 25, 65, 305})
+	st := streamcount.StreamFromGraph(g)
+
+	motifs := []struct {
+		name   string
+		trials int
+	}{
+		{"triangle", 200000},
+		{"K4", 200000},
+		{"paw", 150000},
+		{"C5", 1200000}, // ρ(C5) = 5/2: the budget grows fastest (Theorem 1)
+	}
+	fmt.Printf("network: n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("%-10s %12s %12s %8s\n", "motif", "estimate", "exact", "passes")
+	for _, m := range motifs {
+		p, err := streamcount.PatternByName(m.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := streamcount.Estimate(st, streamcount.Config{
+			Pattern: p, Trials: m.trials, Seed: int64(len(m.name)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.1f %12d %8d\n", m.name, est.Value, streamcount.ExactCount(g, p), est.Passes)
+	}
+}
+
+func plantClique(g *streamcount.Graph, verts []int64) {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			g.AddEdge(verts[i], verts[j])
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamcount/internal/exact"
+	"streamcount/internal/gen"
+	"streamcount/internal/pattern"
+	"streamcount/internal/stream"
+)
+
+func TestDoulionKeepAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.ErdosRenyiGNM(rng, 30, 120)
+	want := exact.Triangles(g)
+	res, err := Doulion(stream.FromGraph(g), pattern.Triangle(), 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != float64(want) {
+		t.Errorf("keep=1 estimate %.1f, want exact %d", res.Estimate, want)
+	}
+	if res.Passes != 1 {
+		t.Errorf("passes=%d", res.Passes)
+	}
+}
+
+func TestDoulionApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.ErdosRenyiGNM(rng, 60, 700)
+	want := float64(exact.Triangles(g))
+	if want < 100 {
+		t.Skipf("too few triangles: %f", want)
+	}
+	// Average over seeds to test unbiasedness-ish behaviour.
+	var sum float64
+	const reps = 30
+	for s := uint64(0); s < reps; s++ {
+		res, err := Doulion(stream.FromGraph(g), pattern.Triangle(), 0.5, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Estimate
+	}
+	avg := sum / reps
+	if math.Abs(avg-want)/want > 0.3 {
+		t.Errorf("doulion avg %.1f vs exact %.1f", avg, want)
+	}
+}
+
+func TestDoulionTurnstile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.ErdosRenyiGNM(rng, 30, 120)
+	want := exact.Triangles(g)
+	ts := stream.WithDeletions(g, 1.0, rng)
+	res, err := Doulion(ts, pattern.Triangle(), 1.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != float64(want) {
+		t.Errorf("turnstile keep=1 estimate %.1f, want %d", res.Estimate, want)
+	}
+}
+
+func TestDoulionValidation(t *testing.T) {
+	g := gen.Complete(4)
+	if _, err := Doulion(stream.FromGraph(g), pattern.Triangle(), 0, 1); err == nil {
+		t.Error("keep=0 should be rejected")
+	}
+	if _, err := Doulion(stream.FromGraph(g), pattern.Triangle(), 1.5, 1); err == nil {
+		t.Error("keep>1 should be rejected")
+	}
+}
+
+func TestTriestExactWhenReservoirHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.ErdosRenyiGNM(rng, 25, 100)
+	want := exact.Triangles(g)
+	// Reservoir larger than the stream: every triangle counted exactly once.
+	res, err := Triest(stream.Shuffled(stream.FromGraph(g), rng), 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != float64(want) {
+		t.Errorf("estimate %.1f, want exact %d", res.Estimate, want)
+	}
+}
+
+func TestTriestApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.ErdosRenyiGNM(rng, 60, 700)
+	want := float64(exact.Triangles(g))
+	var sum float64
+	const reps = 20
+	for i := 0; i < reps; i++ {
+		res, err := Triest(stream.Shuffled(stream.FromGraph(g), rng), 300, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Estimate
+	}
+	avg := sum / reps
+	if math.Abs(avg-want)/want > 0.3 {
+		t.Errorf("triest avg %.1f vs exact %.1f", avg, want)
+	}
+}
+
+func TestTriestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.Complete(4)
+	if _, err := Triest(stream.FromGraph(g), 2, rng); err == nil {
+		t.Error("tiny reservoir should be rejected")
+	}
+	// K4 is complete (no decoys possible), so use a sparse graph to build a
+	// genuine turnstile stream.
+	ts := stream.WithDeletions(gen.Cycle(8), 0.5, rng)
+	if ts.InsertOnly() {
+		t.Fatal("precondition: expected deletions in the stream")
+	}
+	if _, err := Triest(ts, 10, rng); err == nil {
+		t.Error("turnstile stream should be rejected")
+	}
+}
+
+func TestExactStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.ErdosRenyiGNM(rng, 30, 150)
+	for _, p := range []*pattern.Pattern{pattern.Triangle(), pattern.Clique(4), pattern.Star(2)} {
+		want := exact.Count(g, p)
+		res, err := ExactStream(stream.FromGraph(g), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Estimate != float64(want) {
+			t.Errorf("%s: %.1f, want %d", p.Name(), res.Estimate, want)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package core is the library's high-level entry point: it wires a pattern,
+// a stream, and an accuracy budget to the paper's algorithms.
+//
+//   - EstimateSubgraphs runs the 3-pass FGP counting algorithm — Theorem 17
+//     on insertion-only streams, Theorem 1 on turnstile streams (the runner
+//     is selected from the stream's contents).
+//   - EstimateCliques runs the 5r-pass ERS clique counter for low-degeneracy
+//     graphs (Theorem 2) on insertion-only streams.
+//   - SampleSubgraph draws a uniformly random copy of H (Lemma 16/18).
+//
+// All functions report passes, queries and emulation space so experiments
+// can verify the paper's complexity claims.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamcount/internal/ers"
+	"streamcount/internal/fgp"
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+	"streamcount/internal/pattern"
+	"streamcount/internal/stream"
+	"streamcount/internal/transform"
+)
+
+// Config configures EstimateSubgraphs and SampleSubgraph.
+type Config struct {
+	// Pattern is the target subgraph H.
+	Pattern *pattern.Pattern
+	// Trials is the number of parallel sampler instances. If zero it is
+	// derived from Epsilon, LowerBound and EdgeBound via TrialsFor.
+	Trials int
+	// Epsilon is the target relative error (default 0.1); used only when
+	// Trials is zero.
+	Epsilon float64
+	// LowerBound is a lower bound L on #H (the paper's parameterization);
+	// used only when Trials is zero.
+	LowerBound float64
+	// EdgeBound is an upper bound on m used to derive Trials when Trials is
+	// zero (the paper assumes m-dependent instance counts are spawned up
+	// front; callers usually know the stream length).
+	EdgeBound int64
+	// MaxTrials caps derived trial counts (default 1_000_000).
+	MaxTrials int
+	// Seed seeds the run's randomness.
+	Seed int64
+}
+
+// Estimate is the outcome of a counting run.
+type Estimate struct {
+	// Value is the estimate of #H (or #K_r).
+	Value float64
+	// M is the number of edges seen in the first pass.
+	M int64
+	// Passes is the number of passes over the stream.
+	Passes int64
+	// Queries is the number of emulated oracle queries.
+	Queries int64
+	// SpaceWords is the emulation state in 64-bit words.
+	SpaceWords int64
+	// Trials is the number of parallel instances used (FGP only).
+	Trials int
+}
+
+// TrialsFor returns the Theorem 17/1 instance count c·(2m)^ρ/(ε²·L),
+// with the paper's ln n amplification replaced by a constant (experiments
+// report the constant they use; c = 3 here).
+func TrialsFor(m int64, rho float64, eps, lowerBound float64) int {
+	if m <= 0 || lowerBound <= 0 {
+		return 1
+	}
+	k := 3 * math.Pow(float64(2*m), rho) / (eps * eps * lowerBound)
+	if k < 1 {
+		return 1
+	}
+	if k > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(k)
+}
+
+func (c Config) trials() (int, error) {
+	if c.Trials > 0 {
+		return c.Trials, nil
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.1
+	}
+	if c.LowerBound <= 0 || c.EdgeBound <= 0 {
+		return 0, fmt.Errorf("core: either Trials or (Epsilon, LowerBound, EdgeBound) must be set")
+	}
+	t := TrialsFor(c.EdgeBound, c.Pattern.Rho(), c.Epsilon, c.LowerBound)
+	max := c.MaxTrials
+	if max <= 0 {
+		max = 1_000_000
+	}
+	if t > max {
+		t = max
+	}
+	return t, nil
+}
+
+// runnerFor builds the pass-counting runner matching the stream's model.
+func runnerFor(st stream.Stream, rng *rand.Rand) (oracle.Runner, *stream.Counter, error) {
+	cnt := stream.NewCounter(st)
+	if st.InsertOnly() {
+		r, err := transform.NewInsertionRunner(cnt, rng)
+		return r, cnt, err
+	}
+	return transform.NewTurnstileRunner(cnt, rng), cnt, nil
+}
+
+// EstimateSubgraphs estimates #H in the stream with the 3-pass FGP counting
+// algorithm. Insertion-only streams use the augmented-model emulation
+// (Theorem 9 + Theorem 17); turnstile streams use the relaxed-model
+// emulation with ℓ0-samplers (Theorem 11 + Theorem 1).
+func EstimateSubgraphs(st stream.Stream, cfg Config) (*Estimate, error) {
+	if cfg.Pattern == nil {
+		return nil, fmt.Errorf("core: Pattern must be set")
+	}
+	trials, err := cfg.trials()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pl, err := fgp.NewPlan(cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	r, cnt, err := runnerFor(st, rng)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fgp.Count(r, pl, trials, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		Value:      res.Estimate,
+		M:          res.M,
+		Passes:     cnt.Passes(),
+		Queries:    r.Queries(),
+		SpaceWords: r.SpaceWords(),
+		Trials:     trials,
+	}, nil
+}
+
+// SampledCopy is a uniformly sampled copy of H.
+type SampledCopy struct {
+	Edges    []graph.Edge
+	Vertices []int64
+}
+
+// SampleSubgraph draws one uniformly random copy of H from the stream in 3
+// passes (Lemma 16 insertion-only / Lemma 18 turnstile). ok is false when no
+// trial witnessed a copy; callers wanting success probability ~1 should set
+// Trials ≈ 10·(2m)^ρ(H)/#H (Algorithm 10).
+func SampleSubgraph(st stream.Stream, cfg Config) (SampledCopy, bool, error) {
+	if cfg.Pattern == nil {
+		return SampledCopy{}, false, fmt.Errorf("core: Pattern must be set")
+	}
+	trials, err := cfg.trials()
+	if err != nil {
+		return SampledCopy{}, false, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pl, err := fgp.NewPlan(cfg.Pattern)
+	if err != nil {
+		return SampledCopy{}, false, err
+	}
+	r, _, err := runnerFor(st, rng)
+	if err != nil {
+		return SampledCopy{}, false, err
+	}
+	sr, ok, err := fgp.Sample(r, pl, trials, rng)
+	if err != nil || !ok {
+		return SampledCopy{}, false, err
+	}
+	return SampledCopy{Edges: sr.Edges, Vertices: sr.Vertices}, true, nil
+}
+
+// EstimateSubgraphsAuto is EstimateSubgraphs without a known lower bound on
+// #H: it performs a geometric search over guesses L (the paper's standard
+// remedy, cf. Lemma 21), running the 3-pass counter with the trial budget
+// for each guess until the estimate validates the guess. Each guess costs 3
+// passes, so the total pass count is 3·(number of guesses).
+func EstimateSubgraphsAuto(st stream.Stream, cfg Config) (*Estimate, error) {
+	if cfg.Pattern == nil {
+		return nil, fmt.Errorf("core: Pattern must be set")
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.2
+	}
+	if cfg.EdgeBound <= 0 {
+		return nil, fmt.Errorf("core: EdgeBound must be set for the geometric search")
+	}
+	rho := cfg.Pattern.Rho()
+	// Start from the AGM upper bound #H <= m^ρ and halve.
+	start := math.Pow(float64(cfg.EdgeBound), rho)
+	var last *Estimate
+	for l := start; l >= 0.5; l /= 2 {
+		sub := cfg
+		sub.LowerBound = l
+		sub.Trials = 0
+		est, err := EstimateSubgraphs(st, sub)
+		if err != nil {
+			return nil, err
+		}
+		if last != nil {
+			est.Passes += last.Passes
+			est.Queries += last.Queries
+			est.SpaceWords += last.SpaceWords
+		}
+		last = est
+		if est.Value >= l {
+			return est, nil
+		}
+	}
+	return last, nil
+}
+
+// Distinguish solves the paper's decision phrasing of the problem (§1.1):
+// report whether #H is at least (1+eps)·l (true) or at most l (false), with
+// the estimate as evidence. The 3-pass counter is run at the trial budget
+// for lower bound l, and the midpoint (1+eps/2)·l is the decision
+// threshold, so both cases are separated by eps/2-accuracy estimates.
+func Distinguish(st stream.Stream, cfg Config, l float64) (bool, *Estimate, error) {
+	if l <= 0 {
+		return false, nil, fmt.Errorf("core: threshold l must be positive")
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.1
+	}
+	cfg.LowerBound = l
+	if cfg.Trials == 0 && cfg.EdgeBound <= 0 {
+		return false, nil, fmt.Errorf("core: either Trials or EdgeBound must be set")
+	}
+	est, err := EstimateSubgraphs(st, cfg)
+	if err != nil {
+		return false, nil, err
+	}
+	return est.Value >= (1+cfg.Epsilon/2)*l, est, nil
+}
+
+// CliqueConfig configures EstimateCliques.
+type CliqueConfig struct {
+	// R is the clique size r >= 3.
+	R int
+	// Lambda is the degeneracy bound of the input graph.
+	Lambda int64
+	// Epsilon is the target relative error.
+	Epsilon float64
+	// LowerBound is a lower bound on #K_r.
+	LowerBound float64
+	// Params exposes the remaining ERS knobs; zero values take defaults.
+	Params ers.Params
+	// Seed seeds the run's randomness.
+	Seed int64
+}
+
+// EstimateCliques estimates #K_r on a low-degeneracy insertion-only stream
+// with the 5r-pass ERS algorithm (Theorem 2).
+func EstimateCliques(st stream.Stream, cfg CliqueConfig) (*Estimate, error) {
+	if !st.InsertOnly() {
+		return nil, fmt.Errorf("core: EstimateCliques requires an insertion-only stream (Theorem 2)")
+	}
+	p := cfg.Params
+	p.R = cfg.R
+	p.Lambda = cfg.Lambda
+	p.Eps = cfg.Epsilon
+	p.L = cfg.LowerBound
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cnt := stream.NewCounter(st)
+	r, err := transform.NewInsertionRunner(cnt, rng)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ers.Count(r, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	if cnt.Passes() > int64(5*cfg.R) {
+		return nil, fmt.Errorf("core: internal error: %d passes exceeds Theorem 2's 5r = %d", cnt.Passes(), 5*cfg.R)
+	}
+	return &Estimate{
+		Value:      res.Estimate,
+		M:          res.M,
+		Passes:     cnt.Passes(),
+		Queries:    r.Queries(),
+		SpaceWords: r.SpaceWords(),
+	}, nil
+}

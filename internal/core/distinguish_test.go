@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamcount/internal/exact"
+	"streamcount/internal/gen"
+	"streamcount/internal/pattern"
+	"streamcount/internal/stream"
+)
+
+func TestDistinguishSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := gen.ErdosRenyiGNM(rng, 40, 250)
+	want := float64(exact.Triangles(g))
+	if want < 20 {
+		t.Skipf("few triangles: %.0f", want)
+	}
+	st := stream.FromGraph(g)
+	cfg := Config{Pattern: pattern.Triangle(), Trials: 40000, Epsilon: 0.4, Seed: 42}
+
+	// Threshold far below the truth: must answer "at least (1+eps)l".
+	above, est, err := Distinguish(st, cfg, want/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !above {
+		t.Errorf("l=%0.f (truth %.0f): want above=true, estimate %.1f", want/4, want, est.Value)
+	}
+	// Threshold far above the truth: must answer "at most l".
+	above, est, err = Distinguish(st, cfg, want*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if above {
+		t.Errorf("l=%0.f (truth %.0f): want above=false, estimate %.1f", want*4, want, est.Value)
+	}
+}
+
+func TestDistinguishValidation(t *testing.T) {
+	st, _ := stream.NewSlice(3, nil)
+	cfg := Config{Pattern: pattern.Triangle(), Trials: 10}
+	if _, _, err := Distinguish(st, cfg, 0); err == nil {
+		t.Error("l=0 should be rejected")
+	}
+	if _, _, err := Distinguish(st, Config{Pattern: pattern.Triangle()}, 5); err == nil {
+		t.Error("missing trials/edge bound should be rejected")
+	}
+}
+
+func TestEstimateSubgraphsAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	g := gen.ErdosRenyiGNM(rng, 40, 260)
+	want := float64(exact.Triangles(g))
+	if want < 30 {
+		t.Skipf("few triangles: %.0f", want)
+	}
+	st := stream.FromGraph(g)
+	est, err := EstimateSubgraphsAuto(st, Config{
+		Pattern:   pattern.Triangle(),
+		Epsilon:   0.4,
+		EdgeBound: g.M(),
+		MaxTrials: 200000,
+		Seed:      44,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value < want/3 || est.Value > want*3 {
+		t.Errorf("auto estimate %.1f vs truth %.0f", est.Value, want)
+	}
+	if est.Passes%3 != 0 || est.Passes < 3 {
+		t.Errorf("passes=%d: should be a multiple of 3 (one guess per 3 passes)", est.Passes)
+	}
+}
+
+func TestEstimateSubgraphsAutoNeedsEdgeBound(t *testing.T) {
+	st, _ := stream.NewSlice(3, nil)
+	if _, err := EstimateSubgraphsAuto(st, Config{Pattern: pattern.Triangle()}); err == nil {
+		t.Error("missing EdgeBound should be rejected")
+	}
+}

@@ -1,0 +1,261 @@
+package ers
+
+import (
+	"math/rand"
+
+	"streamcount/internal/oracle"
+)
+
+// tupleState is an ordered t-clique ⃗T in some R_t together with the degree
+// bookkeeping d[R_t]: dg(⃗T) is the degree of ⃗T's minimum-degree vertex.
+type tupleState struct {
+	verts  []int64
+	degs   []int64
+	minPos int // index of the minimum-degree vertex
+}
+
+func newTuple(verts []int64, degs []int64) tupleState {
+	t := tupleState{verts: verts, degs: degs}
+	for i := range degs {
+		if degs[i] < degs[t.minPos] {
+			t.minPos = i
+		}
+	}
+	return t
+}
+
+// dg returns dg(⃗T) = min_v∈⃗T deg(v).
+func (t tupleState) dg() int64 { return t.degs[t.minPos] }
+
+// extend returns the (t+1)-tuple (⃗T, w).
+func (t tupleState) extend(w, wdeg int64) tupleState {
+	verts := make([]int64, len(t.verts)+1)
+	copy(verts, t.verts)
+	verts[len(t.verts)] = w
+	degs := make([]int64, len(t.degs)+1)
+	copy(degs, t.degs)
+	degs[len(t.degs)] = wdeg
+	return newTuple(verts, degs)
+}
+
+func (t tupleState) contains(v int64) bool {
+	for _, u := range t.verts {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// levelChain iteratively builds R_{t+1} from R_t via the two-pass StreamSet
+// procedure (Algorithm 4): one round of random-neighbor queries, one round
+// of clique checks. It is shared by the main invocation chains (Algorithm 3)
+// and the activeness chains (Algorithm 18), which differ only in their
+// initial set, ω̃ seed, and abort rule.
+type levelChain struct {
+	params Params
+	rng    *rand.Rand
+	m      int64
+
+	tuples []tupleState // current R_t
+	t      int          // current level: tuples are ordered t-cliques
+	omega  float64      // ω̃_t
+	gamma  float64      // the (1-γ) decay of the ω̃ recurrence
+
+	// Products for the estimator: Π dg(R_t) and Π s_{t+1} over processed
+	// levels.
+	dgProd float64
+	sProd  float64
+
+	aborted bool
+	// maxState tracks the largest Σ|R_t| the chain ever held, for space
+	// accounting.
+	maxState int64
+
+	// per-round scratch
+	pendingTuple []int   // index into tuples for each sample
+	pendingW     []int64 // neighbor answers
+	pendingOK    []bool
+	nextTuples   []tupleState
+}
+
+// newLevelChain starts a chain at level t with the given R_t and ω̃_t seed.
+func newLevelChain(p Params, rng *rand.Rand, m int64, t int, init []tupleState, omega, gamma float64) *levelChain {
+	return &levelChain{
+		params: p, rng: rng, m: m,
+		tuples: init, t: t, omega: omega, gamma: gamma,
+		dgProd: 1, sProd: 1,
+	}
+}
+
+// done reports whether the chain has reached R_r (or aborted / died out).
+func (c *levelChain) done() bool {
+	return c.aborted || c.t >= c.params.R || len(c.tuples) == 0
+}
+
+// dgRt returns dg(R_t) = Σ_⃗T dg(⃗T).
+func (c *levelChain) dgRt() int64 {
+	var sum int64
+	for _, t := range c.tuples {
+		sum += t.dg()
+	}
+	return sum
+}
+
+// nextSampleCount computes s_{t+1} = ⌈dg(R_t)·τ_{t+1}/ω̃_t · SampleC⌉.
+func (c *levelChain) nextSampleCount(dgRt int64) int64 {
+	s := float64(dgRt) * c.params.tau(c.t+1) / c.omega * c.params.SampleC
+	n := int64(s)
+	if float64(n) < s {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// neighborQueries starts the next level: it samples s_{t+1} tuples
+// proportionally to dg(⃗T) and returns one Neighbor query per sample (a
+// uniformly random neighbor of the tuple's minimum-degree vertex). It
+// returns nil when the chain is done or the level aborts.
+func (c *levelChain) neighborQueries() []oracle.Query {
+	if c.done() {
+		return nil
+	}
+	dgRt := c.dgRt()
+	if dgRt == 0 {
+		c.tuples = nil
+		return nil
+	}
+	s := c.nextSampleCount(dgRt)
+	if s > c.params.MaxLevelSamples {
+		c.aborted = true
+		return nil
+	}
+	// ω̃_{t+1} = (1-γ)·ω̃_t·s_{t+1}/dg(R_t); estimator products likewise.
+	c.dgProd *= float64(dgRt)
+	c.sProd *= float64(s)
+	c.omega = (1 - c.gamma) * c.omega * float64(s) / float64(dgRt)
+
+	// Sample tuples proportionally to dg(⃗T) via prefix sums.
+	prefix := make([]int64, len(c.tuples)+1)
+	for i, t := range c.tuples {
+		prefix[i+1] = prefix[i] + t.dg()
+	}
+	queries := make([]oracle.Query, s)
+	c.pendingTuple = make([]int, s)
+	for ell := int64(0); ell < s; ell++ {
+		x := c.rng.Int63n(dgRt)
+		// Binary search for the owning tuple.
+		lo, hi := 0, len(c.tuples)
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if prefix[mid] <= x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		tu := c.tuples[lo]
+		c.pendingTuple[ell] = lo
+		u := tu.verts[tu.minPos]
+		// Uniform j ∈ [deg(u)]: exactly uniform random neighbor under the
+		// insertion-only emulation (and the direct oracle).
+		queries[ell] = oracle.Query{Type: oracle.Neighbor, U: u, I: c.rng.Int63n(tu.dg()) + 1}
+	}
+	return queries
+}
+
+// checkQueries consumes the neighbor answers and returns the clique-check
+// round: Adjacent(w, x) for every x ∈ ⃗T plus Degree(w).
+func (c *levelChain) checkQueries(nbrs []oracle.Answer) []oracle.Query {
+	var queries []oracle.Query
+	c.pendingW = make([]int64, len(nbrs))
+	c.pendingOK = make([]bool, len(nbrs))
+	for ell, a := range nbrs {
+		tu := c.tuples[c.pendingTuple[ell]]
+		if !a.OK || tu.contains(a.Count) {
+			continue
+		}
+		w := a.Count
+		c.pendingW[ell] = w
+		c.pendingOK[ell] = true
+		for _, x := range tu.verts {
+			queries = append(queries, oracle.Query{Type: oracle.Adjacent, U: w, V: x})
+		}
+		queries = append(queries, oracle.Query{Type: oracle.Degree, U: w})
+	}
+	return queries
+}
+
+// finishLevel consumes the check answers and installs R_{t+1}.
+func (c *levelChain) finishLevel(checks []oracle.Answer) {
+	c.nextTuples = c.nextTuples[:0]
+	pos := 0
+	for ell := range c.pendingW {
+		if !c.pendingOK[ell] {
+			continue
+		}
+		tu := c.tuples[c.pendingTuple[ell]]
+		allAdj := true
+		for range tu.verts {
+			if !checks[pos].Yes {
+				allAdj = false
+			}
+			pos++
+		}
+		wdeg := checks[pos].Count
+		pos++
+		if allAdj {
+			c.nextTuples = append(c.nextTuples, tu.extend(c.pendingW[ell], wdeg))
+		}
+	}
+	c.tuples = append([]tupleState(nil), c.nextTuples...)
+	c.t++
+	var state int64
+	for _, t := range c.tuples {
+		state += int64(2 * len(t.verts))
+	}
+	if state > c.maxState {
+		c.maxState = state
+	}
+	c.pendingTuple, c.pendingW, c.pendingOK = nil, nil, nil
+}
+
+// chainTask runs a levelChain to completion as a transform.Task, alternating
+// neighbor rounds (Algorithm 4 pass 1) and check rounds (pass 2).
+type chainTask struct {
+	chain *levelChain
+	state int // 0: at a level boundary; 1: awaiting neighbor answers; 2: awaiting check answers
+}
+
+func (ct *chainTask) Step(prev []oracle.Answer) ([]oracle.Query, bool) {
+	for {
+		switch ct.state {
+		case 0:
+			qs := ct.chain.neighborQueries()
+			if qs == nil {
+				return nil, true
+			}
+			ct.state = 1
+			return qs, false
+		case 1:
+			qs := ct.chain.checkQueries(prev)
+			if len(qs) == 0 {
+				// No surviving samples this level; finish it immediately.
+				ct.chain.finishLevel(nil)
+				ct.state = 0
+				prev = nil
+				continue
+			}
+			ct.state = 2
+			return qs, false
+		default: // 2
+			ct.chain.finishLevel(prev)
+			ct.state = 0
+			prev = nil
+			continue
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package ers
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"streamcount/internal/oracle"
+	"streamcount/internal/transform"
+)
+
+// Result carries the estimate and diagnostics of a Count run.
+type Result struct {
+	// Estimate is the median-of-invocations estimate of #K_r.
+	Estimate float64
+	// PerInvocation holds each invocation's estimate.
+	PerInvocation []float64
+	// Aborted is the number of invocations that hit the sample-size cutoff
+	// (Algorithm 3 line 13).
+	Aborted int
+	// M is the edge count observed in the first pass.
+	M int64
+	// Rounds is the total adaptivity rounds (= passes on a streaming
+	// runner) consumed, at most 5r (Theorem 2).
+	Rounds int64
+	// RrSizes is |R_r| per invocation.
+	RrSizes []int
+	// S2Sizes is s_2 per invocation — the dominant sample size, which
+	// Theorem 2 predicts to scale as mλ^{r-2}/#K_r at fixed accuracy.
+	S2Sizes []int64
+	// MaxChainState is the largest algorithm-side state (in words) any
+	// chain held, a proxy for the mλ^{r-2}/#K_r space term.
+	MaxChainState int64
+}
+
+// invocationTask is one outer invocation of StreamApproxClique
+// (Algorithm 3): sample R_2, learn its degrees, then run the level chain up
+// to R_r.
+type invocationTask struct {
+	p     Params
+	rng   *rand.Rand
+	m     int64
+	gamma float64
+
+	state   int
+	s2      int64
+	omega1  float64
+	pairs   [][2]int64 // oriented sampled edges
+	verts   []int64    // unique vertices of pairs
+	chain   *chainTask
+	aborted bool
+}
+
+func newInvocation(p Params, rng *rand.Rand, m int64) *invocationTask {
+	return &invocationTask{
+		p: p, rng: rng, m: m,
+		gamma:  p.Eps / (2 * float64(p.R)),
+		omega1: (1 - p.Eps/2) * p.L,
+	}
+}
+
+func (iv *invocationTask) Step(prev []oracle.Answer) ([]oracle.Query, bool) {
+	switch iv.state {
+	case 0:
+		// s_2 = ⌈dg(R_1)·τ_2/ω̃_1 · SampleC⌉ with R_1 = E (dg(R_1) = 2m
+		// counting both orientations).
+		s2f := float64(2*iv.m) * iv.p.tau(2) / iv.omega1 * iv.p.SampleC
+		iv.s2 = int64(s2f)
+		if float64(iv.s2) < s2f {
+			iv.s2++
+		}
+		if iv.s2 < 1 {
+			iv.s2 = 1
+		}
+		if iv.s2 > iv.p.MaxLevelSamples {
+			iv.aborted = true
+			return nil, true
+		}
+		qs := make([]oracle.Query, iv.s2)
+		for i := range qs {
+			qs[i] = oracle.Query{Type: oracle.RandomEdge}
+		}
+		iv.state = 1
+		return qs, false
+	case 1:
+		seen := make(map[int64]bool)
+		for _, a := range prev {
+			if !a.OK {
+				continue
+			}
+			u, v := a.Edge.U, a.Edge.V
+			if iv.rng.Intn(2) == 0 {
+				u, v = v, u
+			}
+			iv.pairs = append(iv.pairs, [2]int64{u, v})
+			for _, x := range []int64{u, v} {
+				if !seen[x] {
+					seen[x] = true
+					iv.verts = append(iv.verts, x)
+				}
+			}
+		}
+		if len(iv.pairs) == 0 {
+			return nil, true
+		}
+		qs := make([]oracle.Query, len(iv.verts))
+		for i, v := range iv.verts {
+			qs[i] = oracle.Query{Type: oracle.Degree, U: v}
+		}
+		iv.state = 2
+		return qs, false
+	case 2:
+		deg := make(map[int64]int64, len(iv.verts))
+		for i, v := range iv.verts {
+			deg[v] = prev[i].Count
+		}
+		tuples := make([]tupleState, len(iv.pairs))
+		for i, pr := range iv.pairs {
+			tuples[i] = newTuple([]int64{pr[0], pr[1]}, []int64{deg[pr[0]], deg[pr[1]]})
+		}
+		// ω̃_2 = (1-γ)·ω̃_1·s_2/dg(R_1).
+		omega2 := (1 - iv.gamma) * iv.omega1 * float64(iv.s2) / float64(2*iv.m)
+		lc := newLevelChain(iv.p, iv.rng, iv.m, 2, tuples, omega2, iv.gamma)
+		iv.chain = &chainTask{chain: lc}
+		iv.state = 3
+		return iv.chain.Step(nil)
+	default:
+		qs, done := iv.chain.Step(prev)
+		if done {
+			iv.aborted = iv.chain.chain.aborted
+			return nil, true
+		}
+		return qs, false
+	}
+}
+
+// actTask is one repetition ℓ of an activeness check StrAct(i, ⃗I, …)
+// (Algorithm 18): a level chain seeded with R_i = {⃗I}.
+type actTask struct {
+	chain *chainTask
+	level int
+	tauI  float64
+	p     Params
+}
+
+func newActTask(p Params, rng *rand.Rand, m int64, prefix tupleState) *actTask {
+	r := float64(p.R)
+	gammaAct := p.Eps / (8 * r * factorial(p.R))
+	level := len(prefix.verts)
+	omega := (1 - p.Eps/2) * p.tau(level)
+	lc := newLevelChain(p, rng, m, level, []tupleState{prefix}, omega, gammaAct)
+	return &actTask{chain: &chainTask{chain: lc}, level: level, tauI: p.tau(level), p: p}
+}
+
+func (at *actTask) Step(prev []oracle.Answer) ([]oracle.Query, bool) {
+	return at.chain.Step(prev)
+}
+
+// vote returns χ_ℓ: 1 when ĉ_r(⃗I) = (Π dg)/(Π s)·|R_r| is at most τ_i/4
+// and the chain did not hit the cutoff.
+func (at *actTask) vote() bool {
+	lc := at.chain.chain
+	if lc.aborted {
+		return false
+	}
+	cHat := lc.dgProd / lc.sProd * float64(len(lc.tuples))
+	return cHat <= at.tauI/4
+}
+
+// Count runs the full streaming ERS algorithm (Theorem 2): q parallel
+// invocations of StreamApproxClique, a parallel activeness/assignment phase
+// (StrIsAssigned/StrAct), and the median combine (Algorithm 2).
+func Count(r oracle.Runner, p Params, rng *rand.Rand) (*Result, error) {
+	return countImpl(r, p, rng, nil)
+}
+
+// CountWithActiveness is Count with the StrAct activeness estimation
+// replaced by the supplied predicate (used by tests to validate the sampling
+// chain and the assignment rule independently; the predicate receives the
+// ordered prefix ⃗I).
+func CountWithActiveness(r oracle.Runner, p Params, rng *rand.Rand, active func(prefix []int64) bool) (*Result, error) {
+	if active == nil {
+		return nil, fmt.Errorf("ers: nil activeness predicate")
+	}
+	return countImpl(r, p, rng, active)
+}
+
+func countImpl(r oracle.Runner, p Params, rng *rand.Rand, activeOverride func([]int64) bool) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// Pass 1: count edges (Algorithm 3 pass 1).
+	a, err := r.Round([]oracle.Query{{Type: oracle.CountEdges}})
+	if err != nil {
+		return nil, err
+	}
+	m := a[0].Count
+	res.M = m
+	if m == 0 {
+		res.Estimate = 0
+		res.Rounds = r.Rounds()
+		return res, nil
+	}
+
+	// Phase 1: q parallel invocations build their R_r chains.
+	invs := make([]*invocationTask, p.Q)
+	tasks := make([]transform.Task, p.Q)
+	for j := range invs {
+		invs[j] = newInvocation(p, rng, m)
+		tasks[j] = invs[j]
+	}
+	if _, err := transform.Run(r, tasks...); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: build the assignment jobs for every invocation and run all
+	// their activeness chains in parallel rounds (StrIsAssigned/StrAct run
+	// under a single "parallel for" in the paper).
+	jobs := make([]*assignJob, p.Q)
+	var actTasks []transform.Task
+	for j, iv := range invs {
+		var rr []tupleState
+		if !iv.aborted && iv.chain != nil {
+			rr = iv.chain.chain.tuples
+			if iv.chain.chain.maxState > res.MaxChainState {
+				res.MaxChainState = iv.chain.chain.maxState
+			}
+		}
+		jobs[j] = newAssignJob(p, rng, m, rr, activeOverride)
+		actTasks = append(actTasks, jobs[j].tasks()...)
+	}
+	if len(actTasks) > 0 {
+		if _, err := transform.Run(r, actTasks...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3 (offline): per-invocation estimates and the median combine.
+	for j, iv := range invs {
+		res.S2Sizes = append(res.S2Sizes, iv.s2)
+		if iv.aborted {
+			res.Aborted++
+			res.PerInvocation = append(res.PerInvocation, 0)
+			res.RrSizes = append(res.RrSizes, 0)
+			continue
+		}
+		assignedCount := jobs[j].assignedCount()
+		rrLen := len(jobs[j].rr)
+		res.RrSizes = append(res.RrSizes, rrLen)
+		est := 0.0
+		if rrLen > 0 && iv.chain != nil {
+			lc := iv.chain.chain
+			est = float64(2*m) / float64(iv.s2) * lc.dgProd / lc.sProd * float64(assignedCount)
+		}
+		res.PerInvocation = append(res.PerInvocation, est)
+	}
+
+	res.Estimate = median(res.PerInvocation)
+	res.Rounds = r.Rounds()
+	return res, nil
+}
+
+// assignJob holds one invocation's assignment work: the activeness groups
+// for every prefix of every ordering of every distinct clique in its R_r
+// (StrIsAssigned, Algorithm 17).
+type assignJob struct {
+	p        Params
+	rr       []tupleState
+	cliques  map[string][]int64 // clique key -> sorted vertices
+	groups   map[string][]*actTask
+	override func([]int64) bool
+	active   map[string]bool
+}
+
+func newAssignJob(p Params, rng *rand.Rand, m int64, rr []tupleState, override func([]int64) bool) *assignJob {
+	j := &assignJob{
+		p: p, rr: rr,
+		cliques:  make(map[string][]int64),
+		groups:   make(map[string][]*actTask),
+		override: override,
+		active:   make(map[string]bool),
+	}
+	deg := make(map[int64]int64)
+	for _, t := range rr {
+		for i, v := range t.verts {
+			deg[v] = t.degs[i]
+		}
+	}
+	for _, t := range rr {
+		k := cliqueKey(t.verts)
+		if _, ok := j.cliques[k]; ok {
+			continue
+		}
+		s := append([]int64(nil), t.verts...)
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		j.cliques[k] = s
+	}
+	for _, sorted := range j.cliques {
+		forEachPermutation(sorted, func(perm []int64) {
+			for i := 2; i < p.R; i++ {
+				pk := prefixKey(perm[:i])
+				if override != nil {
+					if _, ok := j.active[pk]; !ok {
+						j.active[pk] = override(perm[:i])
+					}
+					continue
+				}
+				if _, ok := j.groups[pk]; ok {
+					continue
+				}
+				gdegs := make([]int64, i)
+				for x := 0; x < i; x++ {
+					gdegs[x] = deg[perm[x]]
+				}
+				prefix := newTuple(append([]int64(nil), perm[:i]...), gdegs)
+				reps := make([]*actTask, p.QAct)
+				for rep := 0; rep < p.QAct; rep++ {
+					reps[rep] = newActTask(p, rng, m, prefix)
+				}
+				j.groups[pk] = reps
+			}
+		})
+	}
+	return j
+}
+
+// tasks returns the activeness chains to run (empty when overridden).
+func (j *assignJob) tasks() []transform.Task {
+	var ts []transform.Task
+	for _, reps := range j.groups {
+		for _, at := range reps {
+			ts = append(ts, at)
+		}
+	}
+	return ts
+}
+
+// assignedCount finalizes activeness votes and counts the assigned tuples
+// of R_r: a tuple is assigned iff it is the lexicographically first ordering
+// of its clique whose every prefix (lengths 2..r-1) is active (Algorithm
+// 15's semantics; see DESIGN.md on the Algorithm 17 discrepancy).
+func (j *assignJob) assignedCount() int64 {
+	for pk, reps := range j.groups {
+		votes := 0
+		for _, at := range reps {
+			if at.vote() {
+				votes++
+			}
+		}
+		j.active[pk] = votes*2 >= len(reps)
+	}
+	assignedOrder := make(map[string][]int64)
+	for k, sorted := range j.cliques {
+		var winner []int64
+		forEachPermutationUntil(sorted, func(perm []int64) bool {
+			for i := 2; i < j.p.R; i++ {
+				if !j.active[prefixKey(perm[:i])] {
+					return false
+				}
+			}
+			winner = append([]int64(nil), perm...)
+			return true // permutations arrive in lex order
+		})
+		assignedOrder[k] = winner
+	}
+	var count int64
+	for _, t := range j.rr {
+		if w := assignedOrder[cliqueKey(t.verts)]; w != nil && equalInt64(w, t.verts) {
+			count++
+		}
+	}
+	return count
+}
+
+func cliqueKey(vs []int64) string {
+	s := append([]int64(nil), vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return fmt.Sprint(s)
+}
+
+func prefixKey(pfx []int64) string { return fmt.Sprint(pfx) }
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachPermutation visits all permutations of sorted in lexicographic
+// order.
+func forEachPermutation(sorted []int64, fn func(perm []int64)) {
+	forEachPermutationUntil(sorted, func(p []int64) bool { fn(p); return false })
+}
+
+// forEachPermutationUntil visits permutations of the (ascending) input in
+// lexicographic order until fn returns true. fn must not retain perm.
+func forEachPermutationUntil(sorted []int64, fn func(perm []int64) bool) {
+	n := len(sorted)
+	perm := make([]int64, n)
+	used := make([]bool, n)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return fn(perm)
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm[k] = sorted[i]
+			stop := rec(k + 1)
+			used[i] = false
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,83 @@
+package ers
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamcount/internal/oracle"
+)
+
+// SearchResult is the outcome of a geometric search over the lower bound L
+// (Lemma 21): the paper's algorithms are parameterized by a lower bound on
+// #K_r; when none is known, one runs the counter with geometrically
+// decreasing guesses until the estimate validates the guess.
+type SearchResult struct {
+	// Estimate is the accepted estimate of #K_r.
+	Estimate float64
+	// L is the accepted guess.
+	L float64
+	// Steps is the number of guesses tried.
+	Steps int
+	// Results holds the per-guess counter results.
+	Results []*Result
+}
+
+// Search runs the ERS counter with L = start, start/2, start/4, … until the
+// returned estimate is at least the current guess (Lemma 21's acceptance
+// condition: when L ≤ #K_r the counter concentrates, and when L > #K_r its
+// output falls below L w.h.p.), or until the guess drops below minL.
+//
+// start defaults to the trivial upper bound m^{r/2}/r! when zero (any #K_r
+// satisfies #K_r ≤ m^{r/2}; the search only needs a valid starting point).
+func Search(r oracle.Runner, p Params, rng *rand.Rand, start, minL float64) (*SearchResult, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if minL <= 0 {
+		minL = 1
+	}
+	if start <= 0 {
+		// One extra pass to learn m for the trivial upper bound.
+		a, err := r.Round([]oracle.Query{{Type: oracle.CountEdges}})
+		if err != nil {
+			return nil, err
+		}
+		m := float64(a[0].Count)
+		if m == 0 {
+			return &SearchResult{Estimate: 0, L: minL, Steps: 0}, nil
+		}
+		start = math.Pow(m, float64(p.R)/2) / factorial(p.R)
+		if start < minL {
+			start = minL
+		}
+	}
+	sr := &SearchResult{}
+	for l := start; l >= minL/2; l /= 2 {
+		if l < minL {
+			l = minL
+		}
+		guess := p
+		guess.L = l
+		res, err := Count(r, guess, rng)
+		if err != nil {
+			return nil, err
+		}
+		sr.Steps++
+		sr.Results = append(sr.Results, res)
+		if res.Estimate >= l {
+			sr.Estimate = res.Estimate
+			sr.L = l
+			return sr, nil
+		}
+		if l == minL {
+			break
+		}
+	}
+	// No guess validated: report the final (most sensitive) estimate.
+	last := sr.Results[len(sr.Results)-1]
+	sr.Estimate = last.Estimate
+	sr.L = minL
+	return sr, fmt.Errorf("ers: geometric search exhausted at L=%g (estimate %.1f); the graph may contain too few cliques", minL, sr.Estimate)
+}

@@ -1,0 +1,59 @@
+package ers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamcount/internal/exact"
+	"streamcount/internal/gen"
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+)
+
+func TestSearchFindsTriangleCount(t *testing.T) {
+	g := baWithCliques(21, 250, 3, 3, 5)
+	want := exact.Cliques(g, 3)
+	lambda, _ := graph.Degeneracy(g)
+	rng := rand.New(rand.NewSource(22))
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	p := Params{R: 3, Lambda: lambda, Eps: 0.4, Q: 3, QAct: 5, SampleC: 20, L: 1 /* overwritten by search */}
+	sr, err := Search(r, p, rng, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Steps < 1 {
+		t.Errorf("steps=%d", sr.Steps)
+	}
+	if sr.L > float64(want) {
+		t.Errorf("accepted guess L=%.1f exceeds true count %d", sr.L, want)
+	}
+	if e := math.Abs(sr.Estimate-float64(want)) / float64(want); e > 0.6 {
+		t.Errorf("search estimate %.1f vs %d: rel err %.3f", sr.Estimate, want, e)
+	}
+}
+
+func TestSearchEmptyGraph(t *testing.T) {
+	g := graph.New(10)
+	rng := rand.New(rand.NewSource(23))
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	p := Params{R: 3, Lambda: 1, Eps: 0.4, L: 1}
+	sr, err := Search(r, p, rng, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Estimate != 0 {
+		t.Errorf("estimate=%.1f on empty graph", sr.Estimate)
+	}
+}
+
+func TestSearchExhaustsOnCliqueFreeGraph(t *testing.T) {
+	g := gen.Grid(6, 6) // no triangles
+	rng := rand.New(rand.NewSource(24))
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	p := Params{R: 3, Lambda: 2, Eps: 0.4, Q: 2, QAct: 3, SampleC: 3, L: 1}
+	sr, err := Search(r, p, rng, 16, 1)
+	if err == nil {
+		t.Errorf("expected exhaustion error, got estimate %.1f at L=%.1f", sr.Estimate, sr.L)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(ids))
+	}
+	for i, id := range ids {
+		want := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09", "E10", "E11", "E12"}[i]
+		if id != want {
+			t.Errorf("ids[%d]=%s, want %s", i, id, want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("E99", 1, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"wide-cell", "1"}, {"x", "22"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T: demo ==", "long-column", "wide-cell", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE09RunsQuickly(t *testing.T) {
+	// Smoke-test one fast experiment end to end.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := Run("E09", 7, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ℓ0-sampler") {
+		t.Error("missing table title")
+	}
+}
+
+func TestE08PassClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := E08PassCounts(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("expected >= 4 rows, got %d", len(tab.Rows))
+	}
+	// FGP rows must show exactly 3 passes.
+	for _, row := range tab.Rows[:2] {
+		if row[1] != "3" {
+			t.Errorf("%s: %s passes, want 3", row[0], row[1])
+		}
+	}
+}

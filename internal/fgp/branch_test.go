@@ -1,0 +1,122 @@
+package fgp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamcount/internal/exact"
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+	"streamcount/internal/pattern"
+	"streamcount/internal/stream"
+	"streamcount/internal/transform"
+)
+
+// hubTriangle builds a triangle {0,1,2} whose vertices carry p pendant
+// neighbors each, so that deg = p+2 exceeds S = ⌈√(2m)⌉ and the sampler
+// must take the high-degree branch (degree-proportional endpoint + the
+// 2m/(S·deg) acceptance coin) for every canonical triangle.
+func hubTriangle(p int64) *graph.Graph {
+	g := graph.New(3 + 3*p)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	next := int64(3)
+	for hub := int64(0); hub < 3; hub++ {
+		for i := int64(0); i < p; i++ {
+			g.AddEdge(hub, next)
+			next++
+		}
+	}
+	return g
+}
+
+func TestHighDegreeBranchPrecondition(t *testing.T) {
+	g := hubTriangle(12)
+	m := g.M() // 3 + 36 = 39
+	s := int64(math.Ceil(math.Sqrt(float64(2 * m))))
+	if g.Degree(0) <= s {
+		t.Fatalf("precondition failed: deg(0)=%d <= S=%d", g.Degree(0), s)
+	}
+	if exact.Triangles(g) != 1 {
+		t.Fatalf("precondition: want exactly 1 triangle")
+	}
+}
+
+func TestCountHighDegreeBranchDirect(t *testing.T) {
+	g := hubTriangle(12)
+	rng := rand.New(rand.NewSource(31))
+	pl := mustPlan(t, pattern.Triangle())
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 300000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One triangle; per-trial hit probability = W = (2m)^{-1}/S ≈ 1/700,
+	// so 300k trials give ~430 hits and ~5% statistical error.
+	if e := relErr(res.Estimate, 1); e > 0.25 {
+		t.Errorf("estimate %.3f vs 1 triangle: rel err %.3f (high-degree branch biased?)", res.Estimate, e)
+	}
+}
+
+func TestCountHighDegreeBranchTurnstile(t *testing.T) {
+	g := hubTriangle(12)
+	rng := rand.New(rand.NewSource(32))
+	pl := mustPlan(t, pattern.Triangle())
+	st := stream.WithDeletions(g, 0.5, rng)
+	r := transform.NewTurnstileRunner(st, rng)
+	res, err := Count(r, pl, 120000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, 1); e > 0.4 {
+		t.Errorf("turnstile estimate %.3f vs 1: rel err %.3f", res.Estimate, e)
+	}
+}
+
+func TestMixedBranches(t *testing.T) {
+	// A graph with both low-degree triangles (in a sparse region) and a
+	// high-degree-hub triangle: unbiasedness must hold jointly.
+	g := hubTriangle(12)
+	base := g.N()
+	grown := graph.New(base + 3)
+	for _, e := range g.Edges() {
+		grown.AddEdge(e.U, e.V)
+	}
+	grown.AddEdge(base, base+1)
+	grown.AddEdge(base+1, base+2)
+	grown.AddEdge(base, base+2)
+	want := exact.Triangles(grown)
+	if want != 2 {
+		t.Fatalf("precondition: %d triangles", want)
+	}
+	rng := rand.New(rand.NewSource(33))
+	pl := mustPlan(t, pattern.Triangle())
+	r := oracle.NewDirect(grown, oracle.Augmented, rng)
+	res, err := Count(r, pl, 300000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, want); e > 0.25 {
+		t.Errorf("estimate %.3f vs %d: rel err %.3f", res.Estimate, want, e)
+	}
+}
+
+func TestQueryComplexityPerTrial(t *testing.T) {
+	// Lemma 15: the sampler uses O(1) queries per trial in expectation.
+	// With the early structural pre-checks most trials stop after round 1,
+	// so the average must stay a small constant (well under |V(H)|^2+...).
+	rng := rand.New(rand.NewSource(34))
+	g := hubTriangle(10)
+	pl := mustPlan(t, pattern.Triangle())
+	const trials = 20000
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	if _, err := Count(r, pl, trials, rng); err != nil {
+		t.Fatal(err)
+	}
+	perTrial := float64(r.Queries()) / trials
+	if perTrial > 40 {
+		t.Errorf("%.1f queries per trial; want a small constant", perTrial)
+	}
+}

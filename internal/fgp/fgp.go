@@ -1,0 +1,630 @@
+// Package fgp implements the FGP subgraph sampler of Fichtenberger, Gao and
+// Peng [FGP20] (Algorithms 6–11 of the paper) and its streaming incarnations:
+// the 3-pass insertion-only algorithm of Lemma 16 / Theorem 17 and the 3-pass
+// turnstile algorithm of Lemma 18 / Theorem 1.
+//
+// The sampler is written once against the oracle.Runner interface as a
+// 3-round adaptive algorithm (Section 4 of the paper); running it on
+// oracle.Direct gives the sublinear-time query algorithm, on
+// transform.InsertionRunner the 3-pass insertion-only streaming algorithm
+// (Theorem 9), and on transform.TurnstileRunner the 3-pass turnstile
+// streaming algorithm (Theorem 11).
+//
+// # Exact per-copy probability
+//
+// Let the decomposition of H (Lemma 4) have cycles of lengths 2k_i+1,
+// i ∈ [α], and stars with s_j petals, j ∈ [β]. With m the number of edges
+// and S = ⌈√(2m)⌉, one trial witnesses any fixed decomposition tuple of a
+// fixed copy of H with probability exactly
+//
+//	W = Π_i (2m)^{-k_i}·S^{-1} · Π_j (2m)^{-s_j},
+//
+// matching the paper's 1/(2m)^ρ(H) up to the integral-√ rounding (see
+// DESIGN.md). Each copy has exactly f_T(H) such tuples, and one sampled
+// tuple may witness |D(t)| ≥ 1 copies, so the counting estimator adds
+// |D(t)|/f_T(H) per successful trial, which makes it exactly unbiased:
+// E[estimate] = #H.
+package fgp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+	"streamcount/internal/pattern"
+)
+
+// Plan precomputes the pattern-dependent constants used by every trial.
+type Plan struct {
+	p     *pattern.Pattern
+	dec   pattern.Decomposition
+	fT    int64
+	cMax  int64 // computed lazily; 0 until needed
+	ks    []int // k_i per cycle: cycle length = 2k+1
+	stars []int // s_j petals per star
+}
+
+// NewPlan analyzes the pattern once: its optimal odd-cycle/star
+// decomposition (Lemma 4) and the tuple-count f_T(H).
+func NewPlan(p *pattern.Pattern) (*Plan, error) {
+	dec, err := pattern.Decompose(p)
+	if err != nil {
+		return nil, err
+	}
+	pl := &Plan{p: p, dec: dec, fT: pattern.DecompositionCount(p, dec)}
+	for _, c := range dec.CycleLengths() {
+		pl.ks = append(pl.ks, (c-1)/2)
+	}
+	pl.stars = dec.StarPetals()
+	if pl.fT < 1 {
+		return nil, fmt.Errorf("fgp: pattern %s has no decomposition tuples", p.Name())
+	}
+	return pl, nil
+}
+
+// Pattern returns the plan's pattern.
+func (pl *Plan) Pattern() *pattern.Pattern { return pl.p }
+
+// Decomposition returns the plan's decomposition.
+func (pl *Plan) Decomposition() pattern.Decomposition { return pl.dec }
+
+// TupleCount returns f_T(H).
+func (pl *Plan) TupleCount() int64 { return pl.fT }
+
+// trialWeight returns W, the probability that one trial witnesses a fixed
+// decomposition tuple, given m edges and S = ⌈√(2m)⌉.
+func (pl *Plan) trialWeight(m, s int64) float64 {
+	w := 1.0
+	for _, k := range pl.ks {
+		w *= math.Pow(float64(2*m), -float64(k)) / float64(s)
+	}
+	for _, sp := range pl.stars {
+		w *= math.Pow(float64(2*m), -float64(sp))
+	}
+	return w
+}
+
+// directedEdge is a sampled edge with an orientation chosen by a fair coin,
+// so each of the 2m directed edges has probability 1/(2m).
+type directedEdge struct {
+	tail, head int64
+	ok         bool
+}
+
+// trial is the per-instance state of one parallel run of Algorithm 1/5.
+type trial struct {
+	cyclePath  [][]directedEdge // per cycle: k path edges
+	cycleSpare []directedEdge   // per cycle: the extra edge for the high-degree branch
+	starEdges  [][]directedEdge // per star: s directed edges
+	neighbor   []oracle.Answer  // per cycle: round-2 neighbor answer
+	dead       bool
+	relaxed    bool    // running in the relaxed (turnstile) model
+	verts      []int64 // all distinct vertices needing degrees/adjacency
+}
+
+// Result carries the counting estimate and diagnostics.
+type Result struct {
+	// Estimate is the unbiased estimate of #H.
+	Estimate float64
+	// M is the number of edges observed in pass 1.
+	M int64
+	// Trials is the number of parallel sampler instances.
+	Trials int
+	// Hits is the number of trials that witnessed at least one copy.
+	Hits int64
+	// WeightSum is Σ |D(t)|/f_T over successful trials (the estimator's
+	// numerator before dividing by Trials·W).
+	WeightSum float64
+	// StdErr is the estimator's standard error (sample standard deviation
+	// of the per-trial contributions scaled like Estimate).
+	StdErr float64
+	// PerTupleProb is W, the per-tuple witness probability of one trial.
+	PerTupleProb float64
+	// Rounds is the adaptivity/pass count consumed (always 3, plus 0 extra
+	// when the graph turns out to be empty after round 1).
+	Rounds int64
+}
+
+// Count runs the 3-round FGP counting algorithm (Theorem 17 / Theorem 1)
+// with the given number of parallel trials and returns the unbiased
+// estimate of #H.
+func Count(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand) (*Result, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("fgp: trials must be positive, got %d", trials)
+	}
+	res := &Result{Trials: trials}
+	ts, err := runTrials(r, pl, trials, rng, res)
+	if err != nil {
+		return nil, err
+	}
+	if res.M == 0 {
+		res.Estimate = 0
+		return res, nil
+	}
+	var sumSq float64
+	for _, t := range ts {
+		if t.copies > 0 {
+			res.Hits++
+			z := float64(t.copies) / float64(pl.fT)
+			res.WeightSum += z
+			sumSq += z * z
+		}
+	}
+	n := float64(trials)
+	res.Estimate = res.WeightSum / (n * res.PerTupleProb)
+	if trials > 1 {
+		mean := res.WeightSum / n
+		variance := (sumSq - n*mean*mean) / (n - 1)
+		if variance > 0 {
+			res.StdErr = math.Sqrt(variance/n) / res.PerTupleProb
+		}
+	}
+	return res, nil
+}
+
+// trialOutcome is the postprocessed result of one trial.
+type trialOutcome struct {
+	copies int64        // |D(t)|; 0 for failed trials
+	found  [][][2]int64 // the witnessed copies as global edge lists
+	verts  []int64      // V'' in local-index order (only when copies > 0)
+}
+
+// runTrials executes the three query rounds shared by Count and Sample and
+// post-processes every trial.
+func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Result) ([]trialOutcome, error) {
+	// ---- Round 1: count edges and sample all raw edges (f1). ----
+	edgesPerTrial := 0
+	for _, k := range pl.ks {
+		edgesPerTrial += k + 1 // k path edges + 1 spare
+	}
+	for _, s := range pl.stars {
+		edgesPerTrial += s
+	}
+	round1 := make([]oracle.Query, 0, 1+trials*edgesPerTrial)
+	round1 = append(round1, oracle.Query{Type: oracle.CountEdges})
+	for t := 0; t < trials; t++ {
+		for i := 0; i < edgesPerTrial; i++ {
+			round1 = append(round1, oracle.Query{Type: oracle.RandomEdge})
+		}
+	}
+	a1, err := r.Round(round1)
+	if err != nil {
+		return nil, err
+	}
+	res.Rounds = 1
+	m := a1[0].Count
+	res.M = m
+	if m <= 0 {
+		return nil, nil
+	}
+	s := int64(math.Ceil(math.Sqrt(float64(2 * m))))
+	res.PerTupleProb = pl.trialWeight(m, s)
+
+	orient := func(a oracle.Answer) directedEdge {
+		if !a.OK {
+			return directedEdge{}
+		}
+		e := a.Edge
+		if rng.Intn(2) == 0 {
+			return directedEdge{tail: e.U, head: e.V, ok: true}
+		}
+		return directedEdge{tail: e.V, head: e.U, ok: true}
+	}
+
+	ts := make([]*trial, trials)
+	pos := 1
+	for t := 0; t < trials; t++ {
+		tr := &trial{relaxed: r.Model() == oracle.Relaxed}
+		for _, k := range pl.ks {
+			spare := orient(a1[pos])
+			pos++
+			path := make([]directedEdge, k)
+			for j := 0; j < k; j++ {
+				path[j] = orient(a1[pos])
+				pos++
+			}
+			tr.cycleSpare = append(tr.cycleSpare, spare)
+			tr.cyclePath = append(tr.cyclePath, path)
+			if !spare.ok {
+				tr.dead = true
+			}
+			for _, e := range path {
+				if !e.ok {
+					tr.dead = true
+				}
+			}
+		}
+		for _, sp := range pl.stars {
+			se := make([]directedEdge, sp)
+			for j := 0; j < sp; j++ {
+				se[j] = orient(a1[pos])
+				pos++
+				if !se[j].ok {
+					tr.dead = true
+				}
+			}
+			tr.starEdges = append(tr.starEdges, se)
+		}
+		// Cheap structural pre-checks that need no further queries: star
+		// edges must share a tail, and all part vertices must be distinct.
+		if !tr.dead {
+			precheck(tr, pl)
+		}
+		ts[t] = tr
+	}
+
+	// ---- Round 2: one neighbor sample per cycle per live trial (f3). ----
+	var round2 []oracle.Query
+	type nref struct{ t, c int }
+	var nrefs []nref
+	for ti, tr := range ts {
+		if tr.dead {
+			continue
+		}
+		for ci := range pl.ks {
+			u1 := tr.cyclePath[ci][0].tail
+			var q oracle.Query
+			if r.Model() == oracle.Augmented {
+				// Insertion-only (Algorithm 1): the j-th neighbor for a
+				// uniform j ∈ [S]; fails when j exceeds the degree, which
+				// realizes probability exactly 1/S per neighbor.
+				q = oracle.Query{Type: oracle.Neighbor, U: u1, I: rng.Int63n(s) + 1}
+			} else {
+				// Turnstile (Algorithm 5): an ℓ0-sampled neighbor; the
+				// degree-dependent acceptance coin is flipped in
+				// postprocessing once the degree is known.
+				q = oracle.Query{Type: oracle.RandomNeighbor, U: u1}
+			}
+			round2 = append(round2, q)
+			nrefs = append(nrefs, nref{ti, ci})
+		}
+	}
+	if len(round2) > 0 {
+		a2, err := r.Round(round2)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = 2
+		for i, a := range a2 {
+			tr := ts[nrefs[i].t]
+			for len(tr.neighbor) <= nrefs[i].c {
+				tr.neighbor = append(tr.neighbor, oracle.Answer{})
+			}
+			tr.neighbor[nrefs[i].c] = a
+		}
+	}
+
+	// ---- Round 3: degrees and all pairwise adjacencies per live trial
+	// (f2, f4). ----
+	var round3 []oracle.Query
+	type qspan struct{ start, end int }
+	spans := make([]qspan, trials)
+	for ti, tr := range ts {
+		if tr.dead {
+			continue
+		}
+		tr.verts = collectVertices(tr, pl)
+		start := len(round3)
+		for _, v := range tr.verts {
+			round3 = append(round3, oracle.Query{Type: oracle.Degree, U: v})
+		}
+		for i := 0; i < len(tr.verts); i++ {
+			for j := i + 1; j < len(tr.verts); j++ {
+				round3 = append(round3, oracle.Query{Type: oracle.Adjacent, U: tr.verts[i], V: tr.verts[j]})
+			}
+		}
+		spans[ti] = qspan{start, len(round3)}
+	}
+	var a3 []oracle.Answer
+	if len(round3) > 0 {
+		a3, err = r.Round(round3)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = 3
+	}
+
+	// ---- Postprocessing (offline). ----
+	out := make([]trialOutcome, trials)
+	for ti, tr := range ts {
+		if tr.dead {
+			continue
+		}
+		sp := spans[ti]
+		out[ti] = postprocess(tr, pl, a3[sp.start:sp.end], m, s, rng)
+	}
+	return out, nil
+}
+
+// precheck marks a trial dead if its star edges have mismatched centers or
+// its parts share vertices — failures detectable before rounds 2 and 3.
+func precheck(tr *trial, pl *Plan) {
+	for _, se := range tr.starEdges {
+		for _, e := range se[1:] {
+			if e.tail != se[0].tail {
+				tr.dead = true
+				return
+			}
+		}
+	}
+	seen := make(map[int64]bool)
+	add := func(v int64) {
+		if seen[v] {
+			tr.dead = true
+		}
+		seen[v] = true
+	}
+	for _, path := range tr.cyclePath {
+		for _, e := range path {
+			add(e.tail)
+			add(e.head)
+		}
+	}
+	for _, se := range tr.starEdges {
+		add(se[0].tail)
+		for _, e := range se {
+			add(e.head)
+		}
+	}
+}
+
+// collectVertices gathers every vertex the trial must know degrees and
+// adjacencies for: path endpoints, spare-edge endpoints, star vertices and
+// the round-2 neighbor.
+func collectVertices(tr *trial, pl *Plan) []int64 {
+	seen := make(map[int64]bool)
+	var verts []int64
+	add := func(v int64) {
+		if !seen[v] {
+			seen[v] = true
+			verts = append(verts, v)
+		}
+	}
+	for ci, path := range tr.cyclePath {
+		for _, e := range path {
+			add(e.tail)
+			add(e.head)
+		}
+		add(tr.cycleSpare[ci].tail)
+		add(tr.cycleSpare[ci].head)
+		if ci < len(tr.neighbor) && tr.neighbor[ci].OK {
+			add(tr.neighbor[ci].Count)
+		}
+	}
+	for _, se := range tr.starEdges {
+		add(se[0].tail)
+		for _, e := range se {
+			add(e.head)
+		}
+	}
+	return verts
+}
+
+// trialView adapts the round-3 answers to the pattern package's Order and
+// Adjacency interfaces (Definition 12's ≺_G and the queried E').
+type trialView struct {
+	deg map[int64]int64
+	adj map[[2]int64]bool
+}
+
+func (v *trialView) Less(a, b int64) bool {
+	da, db := v.deg[a], v.deg[b]
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+func (v *trialView) HasEdge(a, b int64) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return v.adj[[2]int64{a, b}]
+}
+
+// postprocess performs the offline checks of Algorithm 1/5 lines 18–33:
+// branch selection and acceptance coins, canonicality of every cycle and
+// star, disjointness, and the copy extraction with multiplicity correction.
+func postprocess(tr *trial, pl *Plan, answers []oracle.Answer, m, s int64, rng *rand.Rand) trialOutcome {
+	view := &trialView{deg: make(map[int64]int64), adj: make(map[[2]int64]bool)}
+	pos := 0
+	for _, v := range tr.verts {
+		view.deg[v] = answers[pos].Count
+		pos++
+	}
+	for i := 0; i < len(tr.verts); i++ {
+		for j := i + 1; j < len(tr.verts); j++ {
+			a, b := tr.verts[i], tr.verts[j]
+			if a > b {
+				a, b = b, a
+			}
+			view.adj[[2]int64{a, b}] = answers[pos].Yes
+			pos++
+		}
+	}
+
+	var used []int64
+	usedSet := make(map[int64]bool)
+	addUsed := func(v int64) bool {
+		if usedSet[v] {
+			return false
+		}
+		usedSet[v] = true
+		used = append(used, v)
+		return true
+	}
+	var tupleEdges [][2]int64
+
+	// Cycles: select w per the degree branch, flip the acceptance coin,
+	// check canonicality.
+	for ci, k := range pl.ks {
+		path := tr.cyclePath[ci]
+		u1 := path[0].tail
+		var w int64
+		if view.deg[u1] <= s {
+			// Low-degree branch: w is the sampled neighbor of u1.
+			if ci >= len(tr.neighbor) || !tr.neighbor[ci].OK {
+				return trialOutcome{}
+			}
+			w = tr.neighbor[ci].Count
+			// In the relaxed model the neighbor is uniform over deg(u1)
+			// neighbors; accept with probability deg(u1)/S to land on 1/S
+			// exactly. (The augmented Neighbor query already realized the
+			// 1/S by failing when the random index exceeded the degree.)
+			if tr.relaxed {
+				if rng.Int63n(s) >= view.deg[u1] {
+					return trialOutcome{}
+				}
+			}
+		} else {
+			// High-degree branch: w is a uniform endpoint of the spare
+			// edge, i.e. degree-proportional; accept with probability
+			// 2m/(S·deg(w)) to land on 1/S exactly (valid whenever
+			// deg(w) ≥ 2m/S, which canonical cycles guarantee; otherwise
+			// the canonicality check below rejects).
+			spare := tr.cycleSpare[ci]
+			if rng.Intn(2) == 0 {
+				w = spare.tail
+			} else {
+				w = spare.head
+			}
+			den := s * view.deg[w]
+			if den > 2*m && rng.Int63n(den) >= 2*m {
+				return trialOutcome{}
+			}
+		}
+		// Cycle sequence u1, v1, u2, v2, ..., uk, vk, w.
+		seq := make([]int64, 0, 2*k+1)
+		for _, e := range path {
+			seq = append(seq, e.tail, e.head)
+		}
+		seq = append(seq, w)
+		if !pattern.IsCanonicalCycle(seq, view, view) {
+			return trialOutcome{}
+		}
+		for _, v := range seq {
+			if !addUsed(v) {
+				return trialOutcome{}
+			}
+		}
+		for i := range seq {
+			tupleEdges = append(tupleEdges, [2]int64{seq[i], seq[(i+1)%len(seq)]})
+		}
+	}
+
+	// Stars: common center already pre-checked; verify canonical petal
+	// order under ≺_G.
+	for _, se := range tr.starEdges {
+		center := se[0].tail
+		petals := make([]int64, len(se))
+		for i, e := range se {
+			petals[i] = e.head
+		}
+		if !pattern.IsCanonicalStar(center, petals, view, view) {
+			return trialOutcome{}
+		}
+		if !addUsed(center) {
+			return trialOutcome{}
+		}
+		for _, p := range petals {
+			if !addUsed(p) {
+				return trialOutcome{}
+			}
+		}
+		for _, p := range petals {
+			tupleEdges = append(tupleEdges, [2]int64{center, p})
+		}
+	}
+
+	if len(used) != pl.p.N() {
+		return trialOutcome{}
+	}
+
+	// Map V'' to local indices and extract the witnessed copies D(t).
+	local := make(map[int64]int, len(used))
+	for i, v := range used {
+		local[v] = i
+	}
+	adjLocal := func(a, b int) bool { return view.HasEdge(used[a], used[b]) }
+	tupleLocal := make([][2]int, len(tupleEdges))
+	for i, e := range tupleEdges {
+		tupleLocal[i] = [2]int{local[e[0]], local[e[1]]}
+	}
+	copies := pattern.DecomposedCopies(pl.p, adjLocal, tupleLocal)
+	if len(copies) == 0 {
+		return trialOutcome{}
+	}
+	found := make([][][2]int64, len(copies))
+	for i, cp := range copies {
+		ge := make([][2]int64, len(cp))
+		for j, e := range cp {
+			ge[j] = [2]int64{used[e[0]], used[e[1]]}
+		}
+		found[i] = ge
+	}
+	return trialOutcome{copies: int64(len(copies)), found: found, verts: used}
+}
+
+// SampleResult is a uniformly sampled copy of H.
+type SampleResult struct {
+	// Edges are the copy's edges in the host graph.
+	Edges []graph.Edge
+	// Vertices are the copy's vertices.
+	Vertices []int64
+}
+
+// Sample runs the FGP uniform subgraph sampler (Algorithm 10): it performs
+// up to `trials` parallel trials in 3 rounds and returns the first
+// successfully witnessed copy, rejection-corrected so that every copy of H
+// is returned with identical probability W/c_max(H). ok is false if no trial
+// succeeded.
+func Sample(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand) (SampleResult, bool, error) {
+	if pl.cMax == 0 {
+		pl.cMax = pattern.MaxCopiesPerTuple(pl.p, pl.dec)
+	}
+	res := &Result{Trials: trials}
+	ts, err := runTrials(r, pl, trials, rng, res)
+	if err != nil {
+		return SampleResult{}, false, err
+	}
+	for _, t := range ts {
+		if t.copies == 0 {
+			continue
+		}
+		// Pick slot j uniform in [c_max]; a slot beyond |D(t)| rejects, so
+		// every copy is selected with probability exactly 1/c_max.
+		j := rng.Int63n(pl.cMax)
+		if j >= t.copies {
+			continue
+		}
+		// Paper's correction coin: accept with probability 1/f_T.
+		if rng.Int63n(pl.fT) != 0 {
+			continue
+		}
+		cp := t.found[j]
+		edges := make([]graph.Edge, len(cp))
+		vset := make(map[int64]bool)
+		for i, e := range cp {
+			edges[i] = graph.Edge{U: e[0], V: e[1]}.Canon()
+			vset[e[0]] = true
+			vset[e[1]] = true
+		}
+		verts := make([]int64, 0, len(vset))
+		for v := range vset {
+			verts = append(verts, v)
+		}
+		sortInt64s(verts)
+		return SampleResult{Edges: edges, Vertices: verts}, true, nil
+	}
+	return SampleResult{}, false, nil
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,503 @@
+package fgp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"streamcount/internal/exact"
+	"streamcount/internal/gen"
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+	"streamcount/internal/pattern"
+	"streamcount/internal/stream"
+	"streamcount/internal/transform"
+)
+
+func newInsertion(st stream.Stream, rng *rand.Rand) (oracle.Runner, error) {
+	return transform.NewInsertionRunner(st, rng)
+}
+
+func newTurnstile(st stream.Stream, rng *rand.Rand) oracle.Runner {
+	return transform.NewTurnstileRunner(st, rng)
+}
+
+func mustPlan(t *testing.T, p *pattern.Pattern) *Plan {
+	t.Helper()
+	pl, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// relErr returns |est - want| / want.
+func relErr(est float64, want int64) float64 {
+	if want == 0 {
+		return est
+	}
+	return math.Abs(est-float64(want)) / float64(want)
+}
+
+func TestCountTrianglesDirect(t *testing.T) {
+	g := gen.Complete(5) // 10 triangles, m = 10
+	rng := rand.New(rand.NewSource(1))
+	pl := mustPlan(t, pattern.Triangle())
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 40000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, 10); e > 0.10 {
+		t.Errorf("estimate %.2f vs 10 triangles: rel err %.3f", res.Estimate, e)
+	}
+	if r.Rounds() != 3 {
+		t.Errorf("rounds=%d, want 3", r.Rounds())
+	}
+}
+
+func TestCountTrianglesInsertionStream(t *testing.T) {
+	g := gen.Complete(6) // 20 triangles, m = 15
+	rng := rand.New(rand.NewSource(2))
+	pl := mustPlan(t, pattern.Triangle())
+	cnt := stream.NewCounter(stream.Shuffled(stream.FromGraph(g), rng))
+	r, err := newInsertion(cnt, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(r, pl, 40000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, 20); e > 0.10 {
+		t.Errorf("estimate %.2f vs 20 triangles: rel err %.3f", res.Estimate, e)
+	}
+	if cnt.Passes() != 3 {
+		t.Errorf("passes=%d, want 3 (Theorem 1 / Lemma 16)", cnt.Passes())
+	}
+}
+
+func TestCountTrianglesTurnstileStream(t *testing.T) {
+	g := gen.Complete(6)
+	rng := rand.New(rand.NewSource(3))
+	ts := stream.WithDeletions(g, 0.5, rng)
+	cnt := stream.NewCounter(stream.Shuffled(ts, rng))
+	pl := mustPlan(t, pattern.Triangle())
+	r := newTurnstile(cnt, rng)
+	res, err := Count(r, pl, 20000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, 20); e > 0.15 {
+		t.Errorf("turnstile estimate %.2f vs 20: rel err %.3f", res.Estimate, e)
+	}
+	if cnt.Passes() != 3 {
+		t.Errorf("passes=%d, want 3 (Theorem 1)", cnt.Passes())
+	}
+	if res.M != g.M() {
+		t.Errorf("m=%d, want %d", res.M, g.M())
+	}
+}
+
+func TestCountC5(t *testing.T) {
+	// A 5-cycle plus one chord: C5 copies = 1 (the chord creates C3+C4 but
+	// no extra C5 on 5 vertices? adding chord 0-2 to cycle 0..4 creates
+	// cycles (0,1,2) and (0,2,3,4) only), m = 6.
+	g := gen.Cycle(5)
+	g.AddEdge(0, 2)
+	p := pattern.CycleGraph(5)
+	want := exact.Count(g, p)
+	if want != 1 {
+		t.Fatalf("precondition: #C5=%d, want 1", want)
+	}
+	rng := rand.New(rand.NewSource(4))
+	pl := mustPlan(t, p)
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 120000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, want); e > 0.35 {
+		t.Errorf("estimate %.3f vs %d: rel err %.3f", res.Estimate, want, e)
+	}
+}
+
+func TestCountC7HighRho(t *testing.T) {
+	// ρ(C7) = 7/2, the largest exponent in the test suite: one trial
+	// samples 3 path edges + the spare + a wedge. Host: C7 plus one chord
+	// (still exactly one 7-cycle).
+	g := gen.Cycle(7)
+	g.AddEdge(0, 3)
+	p := pattern.CycleGraph(7)
+	want := exact.Count(g, p)
+	if want != 1 {
+		t.Fatalf("precondition: #C7=%d", want)
+	}
+	rng := rand.New(rand.NewSource(26))
+	pl := mustPlan(t, p)
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 400000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W = (2m)^{-3}/S with m=8: hits ≈ trials/16384 ≈ 24 → ~20% rel std.
+	if e := relErr(res.Estimate, want); e > 0.7 {
+		t.Errorf("estimate %.3f vs %d: rel err %.3f", res.Estimate, want, e)
+	}
+}
+
+func TestCountK4(t *testing.T) {
+	g := gen.Complete(5) // #K4 = 5, m = 10
+	rng := rand.New(rand.NewSource(5))
+	pl := mustPlan(t, pattern.Clique(4))
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 30000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, 5); e > 0.10 {
+		t.Errorf("estimate %.2f vs 5 K4s: rel err %.3f", res.Estimate, e)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	// Star graph with 5 petals: #S2 = C(5,2) = 10, m = 5.
+	g := graph.New(6)
+	for i := int64(1); i <= 5; i++ {
+		g.AddEdge(0, i)
+	}
+	p := pattern.Star(2)
+	want := exact.Count(g, p)
+	rng := rand.New(rand.NewSource(6))
+	pl := mustPlan(t, p)
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 30000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, want); e > 0.10 {
+		t.Errorf("estimate %.2f vs %d S2s: rel err %.3f", res.Estimate, want, e)
+	}
+}
+
+func TestCountPawMultiplicityCorrection(t *testing.T) {
+	// The paw's decomposition tuples witness up to 4 copies each; the
+	// |D(t)|/f_T correction must keep the estimator unbiased.
+	g := gen.Complete(4) // #paw = 12, m = 6
+	rng := rand.New(rand.NewSource(7))
+	pl := mustPlan(t, pattern.Paw())
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, 12); e > 0.10 {
+		t.Errorf("estimate %.2f vs 12 paws: rel err %.3f", res.Estimate, e)
+	}
+}
+
+func TestCountButterflyMixedDecomposition(t *testing.T) {
+	// Butterfly = C3 + S1: one trial samples a cycle part AND a star part.
+	// #butterfly in K5 = 5 centers × 3 pairings = 15.
+	g := gen.Complete(5)
+	p, err := pattern.ByName("butterfly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.Count(g, p)
+	if want != 15 {
+		t.Fatalf("precondition: #butterfly in K5 = %d, want 15", want)
+	}
+	rng := rand.New(rand.NewSource(21))
+	pl := mustPlan(t, p)
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, want); e > 0.15 {
+		t.Errorf("estimate %.2f vs %d butterflies: rel err %.3f", res.Estimate, want, e)
+	}
+}
+
+func TestCountBullTwoStars(t *testing.T) {
+	// Bull = S2 + S1 (ρ = 3): a two-star decomposition with no cycle part,
+	// so only 2 passes are needed. #bull in K5 = 10 triangles × 6
+	// pendant assignments = 60.
+	g := gen.Complete(5)
+	p, err := pattern.ByName("bull")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.Count(g, p)
+	if want != 60 {
+		t.Fatalf("precondition: #bull in K5 = %d, want 60", want)
+	}
+	rng := rand.New(rand.NewSource(22))
+	pl := mustPlan(t, p)
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, want); e > 0.15 {
+		t.Errorf("estimate %.2f vs %d bulls: rel err %.3f", res.Estimate, want, e)
+	}
+	if r.Rounds() != 2 {
+		t.Errorf("rounds=%d: star-only decompositions need exactly 2", r.Rounds())
+	}
+}
+
+func TestStdErrCoversTruth(t *testing.T) {
+	g := gen.Complete(6)
+	rng := rand.New(rand.NewSource(23))
+	pl := mustPlan(t, pattern.Triangle())
+	covered := 0
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		r := oracle.NewDirect(g, oracle.Augmented, rng)
+		res, err := Count(r, pl, 5000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StdErr <= 0 {
+			t.Fatalf("StdErr=%g", res.StdErr)
+		}
+		if math.Abs(res.Estimate-20) <= 2*res.StdErr {
+			covered++
+		}
+	}
+	// 2σ should cover ~95%; demand at least 80% to keep the test robust.
+	if covered < runs*8/10 {
+		t.Errorf("2σ interval covered truth %d/%d times", covered, runs)
+	}
+}
+
+func TestCountZeroCopies(t *testing.T) {
+	g := gen.Grid(4, 4) // bipartite: no triangles
+	rng := rand.New(rand.NewSource(8))
+	pl := mustPlan(t, pattern.Triangle())
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 {
+		t.Errorf("estimate %.2f on triangle-free graph, want 0", res.Estimate)
+	}
+}
+
+func TestCountEmptyGraph(t *testing.T) {
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.RemoveEdge(0, 1) // n=5, m=0
+	rng := rand.New(rand.NewSource(9))
+	pl := mustPlan(t, pattern.Triangle())
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	res, err := Count(r, pl, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 || res.M != 0 {
+		t.Errorf("empty graph: estimate=%.2f m=%d", res.Estimate, res.M)
+	}
+}
+
+func TestCountInvalidTrials(t *testing.T) {
+	g := gen.Complete(4)
+	rng := rand.New(rand.NewSource(10))
+	pl := mustPlan(t, pattern.Triangle())
+	r := oracle.NewDirect(g, oracle.Augmented, rng)
+	if _, err := Count(r, pl, 0, rng); err == nil {
+		t.Error("trials=0 should be rejected")
+	}
+}
+
+// copyKey builds a canonical identifier for a sampled copy.
+func copyKey(sr SampleResult) string {
+	parts := make([]string, len(sr.Edges))
+	for i, e := range sr.Edges {
+		parts[i] = e.Canon().String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "")
+}
+
+func TestSamplerUniformityLemma16(t *testing.T) {
+	// Lemma 16: every fixed copy of H is returned with the same probability.
+	// Count how often each of K5's 10 triangles is returned by Sample.
+	g := gen.Complete(5)
+	p := pattern.Triangle()
+	rng := rand.New(rand.NewSource(11))
+	pl := mustPlan(t, p)
+	counts := make(map[string]int)
+	var total int
+	const invocations = 4000
+	for i := 0; i < invocations; i++ {
+		r := oracle.NewDirect(g, oracle.Augmented, rng)
+		sr, ok, err := Sample(r, pl, 40, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		counts[copyKey(sr)]++
+		total++
+	}
+	if total < invocations/4 {
+		t.Fatalf("only %d/%d samples succeeded", total, invocations)
+	}
+	if len(counts) != 10 {
+		t.Fatalf("observed %d distinct triangles, want all 10", len(counts))
+	}
+	want := float64(total) / 10
+	for key, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("copy %s sampled %d times, want ~%.0f", key, c, want)
+		}
+	}
+}
+
+func TestSamplerUniformityPaw(t *testing.T) {
+	// Multiplicity-heavy pattern: all 12 paws of K4 must be equally likely.
+	g := gen.Complete(4)
+	rng := rand.New(rand.NewSource(12))
+	pl := mustPlan(t, pattern.Paw())
+	counts := make(map[string]int)
+	total := 0
+	const invocations = 6000
+	for i := 0; i < invocations; i++ {
+		r := oracle.NewDirect(g, oracle.Augmented, rng)
+		sr, ok, err := Sample(r, pl, 60, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		counts[copyKey(sr)]++
+		total++
+	}
+	if total < 200 {
+		t.Fatalf("only %d samples succeeded", total)
+	}
+	if len(counts) != 12 {
+		t.Fatalf("observed %d distinct paws, want 12", len(counts))
+	}
+	want := float64(total) / 12
+	for key, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("paw %s sampled %d times, want ~%.0f", key, c, want)
+		}
+	}
+}
+
+func TestSampleReturnsRealCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := gen.ErdosRenyiGNM(rng, 20, 60)
+	p := pattern.Triangle()
+	pl := mustPlan(t, p)
+	found := 0
+	for i := 0; i < 200 && found < 5; i++ {
+		r := oracle.NewDirect(g, oracle.Augmented, rng)
+		sr, ok, err := Sample(r, pl, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		found++
+		if len(sr.Edges) != 3 || len(sr.Vertices) != 3 {
+			t.Fatalf("sample has %d edges / %d vertices", len(sr.Edges), len(sr.Vertices))
+		}
+		for _, e := range sr.Edges {
+			if !g.HasEdge(e.U, e.V) {
+				t.Errorf("sampled edge %v not in graph", e)
+			}
+		}
+	}
+	if found == 0 && exact.Triangles(g) > 0 {
+		t.Error("no triangle ever sampled despite triangles existing")
+	}
+}
+
+func TestInsertionAndTurnstileAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := gen.ErdosRenyiGNM(rng, 24, 90)
+	want := exact.Triangles(g)
+	if want < 5 {
+		t.Skipf("graph has only %d triangles", want)
+	}
+	pl := mustPlan(t, pattern.Triangle())
+	trials := 60000
+
+	ri, err := newInsertion(stream.FromGraph(g), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resI, err := Count(ri, pl, trials, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newTurnstile(stream.WithDeletions(g, 0.3, rng), rng)
+	resT, err := Count(rt, pl, trials, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(resI.Estimate, want); e > 0.25 {
+		t.Errorf("insertion estimate %.1f vs %d: rel err %.3f", resI.Estimate, want, e)
+	}
+	if e := relErr(resT.Estimate, want); e > 0.3 {
+		t.Errorf("turnstile estimate %.1f vs %d: rel err %.3f", resT.Estimate, want, e)
+	}
+}
+
+func TestCountAdjacencyListOrder(t *testing.T) {
+	// The arbitrary-order algorithm must be order-insensitive; feed it the
+	// maximally structured adjacency-list order (§1.3).
+	rng := rand.New(rand.NewSource(25))
+	g := gen.ErdosRenyiGNM(rng, 30, 180)
+	want := exact.Triangles(g)
+	if want < 10 {
+		t.Skipf("few triangles: %d", want)
+	}
+	pl := mustPlan(t, pattern.Triangle())
+	r, err := newInsertion(stream.AdjacencyListOrder(g), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(r, pl, 40000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(res.Estimate, want); e > 0.25 {
+		t.Errorf("adjacency-list order estimate %.1f vs %d: rel err %.3f", res.Estimate, want, e)
+	}
+}
+
+func TestPlanProperties(t *testing.T) {
+	for _, p := range []*pattern.Pattern{
+		pattern.Triangle(), pattern.CycleGraph(5), pattern.Clique(4),
+		pattern.Star(3), pattern.Paw(), pattern.Path(4),
+	} {
+		pl, err := NewPlan(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if pl.TupleCount() < 1 {
+			t.Errorf("%s: f_T=%d", p.Name(), pl.TupleCount())
+		}
+		// The trial weight must equal (2m)^{-ρ} up to the S rounding.
+		m, s := int64(50), int64(10) // s = sqrt(2m) exactly
+		w := pl.trialWeight(m, s)
+		rho := p.Rho()
+		ideal := math.Pow(float64(2*m), -rho)
+		if math.Abs(math.Log(w)-math.Log(ideal)) > 1e-9 {
+			t.Errorf("%s: weight %.3e vs ideal (2m)^-ρ %.3e", p.Name(), w, ideal)
+		}
+	}
+}

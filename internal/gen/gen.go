@@ -1,0 +1,221 @@
+// Package gen provides the synthetic workload generators used by the
+// experiments: Erdős–Rényi graphs, Barabási–Albert preferential-attachment
+// graphs (the low-degeneracy class motivating Theorem 2), Chung–Lu power-law
+// graphs, grid graphs (planar, degeneracy ≤ 2), and planted-structure
+// helpers.
+//
+// All generators are deterministic given their *rand.Rand source so that
+// experiments are reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamcount/internal/graph"
+)
+
+// ErdosRenyiGNM returns a uniform simple graph with n vertices and exactly m
+// edges (m must not exceed n(n-1)/2).
+func ErdosRenyiGNM(rng *rand.Rand, n, m int64) *graph.Graph {
+	max := n * (n - 1) / 2
+	if m > max {
+		panic(fmt.Sprintf("gen: m=%d exceeds max edges %d for n=%d", m, max, n))
+	}
+	g := graph.New(n)
+	for g.M() < m {
+		u := rng.Int63n(n)
+		v := rng.Int63n(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// ErdosRenyiGNP returns a G(n,p) graph: each pair independently an edge with
+// probability p. Uses the geometric-skip method, O(n + m) expected time.
+func ErdosRenyiGNP(rng *rand.Rand, n int64, p float64) *graph.Graph {
+	g := graph.New(n)
+	if p <= 0 {
+		return g
+	}
+	if p >= 1 {
+		for u := int64(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+		return g
+	}
+	// Walk the C(n,2) pairs (u,v), v > u, with geometric skips: the gap to
+	// the next present edge is Geom(p).
+	logq := math.Log(1 - p)
+	u, pos := int64(0), int64(-1) // pos indexes row u's columns u+1..n-1
+	for {
+		skip := int64(math.Floor(math.Log(1-rng.Float64()) / logq))
+		pos += 1 + skip
+		for u < n-1 && pos >= n-u-1 {
+			pos -= n - u - 1
+			u++
+		}
+		if u >= n-1 {
+			return g
+		}
+		g.AddEdge(u, u+1+pos)
+	}
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: start from a clique
+// on k+1 vertices, then each new vertex attaches to k distinct existing
+// vertices chosen proportionally to degree. Such graphs have degeneracy
+// exactly k, making them the canonical low-degeneracy workload for the ERS
+// experiments (Theorem 2).
+func BarabasiAlbert(rng *rand.Rand, n, k int64) *graph.Graph {
+	if n < k+1 {
+		panic(fmt.Sprintf("gen: BarabasiAlbert needs n >= k+1 (n=%d, k=%d)", n, k))
+	}
+	g := graph.New(n)
+	// Seed clique.
+	for u := int64(0); u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	// Repeated-endpoint list: vertex v appears deg(v) times; sampling a
+	// uniform element is degree-proportional sampling.
+	var ends []int64
+	for u := int64(0); u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			ends = append(ends, u, v)
+		}
+	}
+	for v := k + 1; v < n; v++ {
+		chosen := make(map[int64]bool, k)
+		for int64(len(chosen)) < k {
+			var t int64
+			if len(ends) == 0 || rng.Float64() < 0.01 {
+				t = rng.Int63n(v) // slight uniform mixing avoids star collapse
+			} else {
+				t = ends[rng.Intn(len(ends))]
+			}
+			if t != v {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			g.AddEdge(v, t)
+			ends = append(ends, v, t)
+		}
+	}
+	return g
+}
+
+// ChungLu returns a Chung–Lu random graph with power-law expected degrees
+// w_i ∝ (i+1)^{-1/(gamma-1)} scaled to average degree avgDeg. Pairs (u,v) are
+// edges independently with probability min(1, w_u w_v / Σw).
+func ChungLu(rng *rand.Rand, n int64, gamma, avgDeg float64) *graph.Graph {
+	w := make([]float64, n)
+	var sum float64
+	for i := int64(0); i < n; i++ {
+		w[i] = math.Pow(float64(i+1), -1/(gamma-1))
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	sum = 0
+	for i := range w {
+		w[i] *= scale
+		sum += w[i]
+	}
+	g := graph.New(n)
+	for u := int64(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := w[u] * w[v] / sum
+			if p >= 1 || rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph. Grids are planar, so their
+// degeneracy is at most 2 (in fact exactly 2 for rows,cols >= 2); they stand
+// in for the planar graph class the paper cites as constant-degeneracy.
+func Grid(rows, cols int64) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int64) int64 { return r*cols + c }
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int64) *graph.Graph {
+	g := graph.New(n)
+	for v := int64(0); v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int64) *graph.Graph {
+	g := graph.New(n)
+	for u := int64(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// PlantCliques adds cnt vertex-disjoint r-cliques on fresh random vertex
+// sets of g (vertices are reused from g; sets are disjoint from each other
+// but may touch existing edges). It returns the modified graph for chaining.
+func PlantCliques(rng *rand.Rand, g *graph.Graph, r, cnt int64) *graph.Graph {
+	n := g.N()
+	if r*cnt > n {
+		panic("gen: not enough vertices to plant disjoint cliques")
+	}
+	perm := rng.Perm(int(n))
+	idx := 0
+	for c := int64(0); c < cnt; c++ {
+		vs := perm[idx : idx+int(r)]
+		idx += int(r)
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				g.AddEdge(int64(vs[i]), int64(vs[j]))
+			}
+		}
+	}
+	return g
+}
+
+// PlantCycles adds cnt vertex-disjoint simple cycles of the given length on
+// fresh vertex sets of g.
+func PlantCycles(rng *rand.Rand, g *graph.Graph, length, cnt int64) *graph.Graph {
+	n := g.N()
+	if length*cnt > n {
+		panic("gen: not enough vertices to plant disjoint cycles")
+	}
+	perm := rng.Perm(int(n))
+	idx := 0
+	for c := int64(0); c < cnt; c++ {
+		vs := perm[idx : idx+int(length)]
+		idx += int(length)
+		for i := range vs {
+			g.AddEdge(int64(vs[i]), int64(vs[(i+1)%len(vs)]))
+		}
+	}
+	return g
+}

@@ -1,0 +1,94 @@
+package graph
+
+// Degeneracy computes the degeneracy λ of the graph (Definition 5: the
+// smallest κ such that every subgraph has a vertex of degree at most κ)
+// together with a degeneracy ordering of the vertices.
+//
+// The ordering is produced by the standard peeling (Matula–Beck) algorithm:
+// repeatedly remove a vertex of minimum remaining degree. Every vertex has at
+// most λ neighbors later in the returned order. Runs in O(n + m).
+func Degeneracy(g *Graph) (lambda int64, order []int64) {
+	n := g.N()
+	if n == 0 {
+		return 0, nil
+	}
+	deg := make([]int64, n)
+	var maxDeg int64
+	for v := int64(0); v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+
+	// Bucket queue keyed by current degree.
+	buckets := make([][]int64, maxDeg+1)
+	pos := make([]int, n) // index of v within its bucket
+	bucketOf := make([]int64, n)
+	for v := int64(0); v < n; v++ {
+		d := deg[v]
+		pos[v] = len(buckets[d])
+		bucketOf[v] = d
+		buckets[d] = append(buckets[d], v)
+	}
+
+	removed := make([]bool, n)
+	order = make([]int64, 0, n)
+	var cur int64 // smallest possibly non-empty bucket
+
+	removeFromBucket := func(v int64) {
+		b := bucketOf[v]
+		list := buckets[b]
+		last := list[len(list)-1]
+		list[pos[v]] = last
+		pos[last] = pos[v]
+		buckets[b] = list[:len(list)-1]
+	}
+
+	for len(order) < int(n) {
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		removed[v] = true
+		order = append(order, v)
+		if deg[v] > lambda {
+			lambda = deg[v]
+		}
+		for _, w := range g.Neighbors(v) {
+			if removed[w] {
+				continue
+			}
+			removeFromBucket(w)
+			deg[w]--
+			bucketOf[w] = deg[w]
+			pos[w] = len(buckets[deg[w]])
+			buckets[deg[w]] = append(buckets[deg[w]], w)
+			if deg[w] < cur {
+				cur = deg[w]
+			}
+		}
+	}
+	return lambda, order
+}
+
+// OrientByOrder returns, for each vertex, its out-neighbors under the
+// orientation that directs every edge from the endpoint earlier in order to
+// the endpoint later in order. With a degeneracy ordering, every vertex has
+// out-degree at most λ; this is the workhorse of the exact clique counter.
+func OrientByOrder(g *Graph, order []int64) [][]int64 {
+	rank := make([]int64, g.N())
+	for i, v := range order {
+		rank[v] = int64(i)
+	}
+	out := make([][]int64, g.N())
+	for v := int64(0); v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if rank[v] < rank[w] {
+				out[v] = append(out[v], w)
+			}
+		}
+	}
+	return out
+}

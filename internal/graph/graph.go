@@ -1,0 +1,235 @@
+// Package graph provides the static, in-memory graph representation used by
+// the exact counters, the query-access oracles and the workload generators.
+//
+// Graphs are simple and undirected: no self-loops, no parallel edges.
+// Vertices are identified by dense integer IDs in [0, N).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between two vertices. The zero value is the
+// (invalid) self-loop {0,0}.
+type Edge struct {
+	U, V int64
+}
+
+// Canon returns the edge with endpoints ordered so that U <= V. Two edges are
+// the same undirected edge iff their Canon values are equal.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Reverse returns the edge with endpoints swapped.
+func (e Edge) Reverse() Edge { return Edge{e.V, e.U} }
+
+// IsLoop reports whether the edge is a self-loop.
+func (e Edge) IsLoop() bool { return e.U == e.V }
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a simple undirected graph stored as adjacency lists.
+//
+// A Graph is built incrementally with AddEdge and is safe for concurrent
+// reads once construction is complete.
+type Graph struct {
+	n     int64
+	m     int64
+	adj   [][]int64
+	edges map[Edge]struct{}
+}
+
+// New returns an empty graph on n vertices (IDs 0..n-1).
+func New(n int64) *Graph {
+	return &Graph{
+		n:     n,
+		adj:   make([][]int64, n),
+		edges: make(map[Edge]struct{}),
+	}
+}
+
+// FromEdges builds a graph on n vertices from the given edge list. Duplicate
+// edges and self-loops are ignored.
+func FromEdges(n int64, edges []Edge) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int64 { return g.n }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int64 { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int64) int64 { return int64(len(g.adj[v])) }
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int64 {
+	var max int64
+	for v := int64(0); v < g.n; v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v int64) []int64 { return g.adj[v] }
+
+// Neighbor returns the i-th neighbor of v (0-based) in insertion order,
+// matching the f3 query of the augmented general graph model.
+func (g *Graph) Neighbor(v int64, i int64) int64 { return g.adj[v][i] }
+
+// HasEdge reports whether the undirected edge (u,v) is present.
+func (g *Graph) HasEdge(u, v int64) bool {
+	_, ok := g.edges[Edge{u, v}.Canon()]
+	return ok
+}
+
+// AddEdge inserts the undirected edge (u,v). It reports whether the edge was
+// newly added (false for duplicates and self-loops).
+func (g *Graph) AddEdge(u, v int64) bool {
+	if u == v {
+		return false
+	}
+	c := Edge{u, v}.Canon()
+	if _, ok := g.edges[c]; ok {
+		return false
+	}
+	g.edges[c] = struct{}{}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge (u,v). It reports whether the edge
+// was present.
+func (g *Graph) RemoveEdge(u, v int64) bool {
+	c := Edge{u, v}.Canon()
+	if _, ok := g.edges[c]; !ok {
+		return false
+	}
+	delete(g.edges, c)
+	g.adj[u] = removeOne(g.adj[u], v)
+	g.adj[v] = removeOne(g.adj[v], u)
+	g.m--
+	return true
+}
+
+func removeOne(s []int64, x int64) []int64 {
+	for i, y := range s {
+		if y == x {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Edges returns all edges in canonical (U<=V) form, sorted lexicographically.
+// The slice is freshly allocated.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for e := range g.edges {
+		c.AddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// Subgraph returns the subgraph induced by the given vertices, relabelled to
+// 0..len(vs)-1 in the order given. Duplicate vertices are an error.
+func (g *Graph) Subgraph(vs []int64) (*Graph, error) {
+	idx := make(map[int64]int64, len(vs))
+	for i, v := range vs {
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("graph: duplicate vertex %d in subgraph", v)
+		}
+		if v < 0 || v >= g.n {
+			return nil, fmt.Errorf("graph: vertex %d out of range [0,%d)", v, g.n)
+		}
+		idx[v] = int64(i)
+	}
+	s := New(int64(len(vs)))
+	for i, u := range vs {
+		for j := i + 1; j < len(vs); j++ {
+			if g.HasEdge(u, vs[j]) {
+				s.AddEdge(int64(i), int64(j))
+			}
+		}
+	}
+	return s, nil
+}
+
+// Less reports whether u precedes v in the vertex order ≺_G of Definition 12:
+// by degree, ties broken by vertex ID.
+func (g *Graph) Less(u, v int64) bool {
+	du, dv := g.Degree(u), g.Degree(v)
+	if du != dv {
+		return du < dv
+	}
+	return u < v
+}
+
+// MinVertex returns the ≺_G-minimum of the given non-empty vertex list.
+func (g *Graph) MinVertex(vs []int64) int64 {
+	min := vs[0]
+	for _, v := range vs[1:] {
+		if g.Less(v, min) {
+			min = v
+		}
+	}
+	return min
+}
+
+// Validate checks internal consistency (adjacency lists vs edge set) and
+// returns an error describing the first inconsistency found.
+func (g *Graph) Validate() error {
+	var deg int64
+	for v := int64(0); v < g.n; v++ {
+		deg += g.Degree(v)
+		seen := make(map[int64]bool, len(g.adj[v]))
+		for _, w := range g.adj[v] {
+			if w == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if seen[w] {
+				return fmt.Errorf("graph: duplicate neighbor %d of %d", w, v)
+			}
+			seen[w] = true
+			if !g.HasEdge(v, w) {
+				return fmt.Errorf("graph: adjacency (%d,%d) missing from edge set", v, w)
+			}
+		}
+	}
+	if deg != 2*g.m {
+		return fmt.Errorf("graph: degree sum %d != 2m = %d", deg, 2*g.m)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamcount/internal/gen"
+	"streamcount/internal/graph"
+)
+
+func TestDirectBasicQueries(t *testing.T) {
+	g := gen.Complete(5)
+	d := NewDirect(g, Augmented, rand.New(rand.NewSource(1)))
+	ans, err := d.Round([]Query{
+		{Type: CountEdges},
+		{Type: Degree, U: 2},
+		{Type: Adjacent, U: 0, V: 4},
+		{Type: Neighbor, U: 1, I: 1},
+		{Type: Neighbor, U: 1, I: 99},
+		{Type: RandomEdge},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans[0].Count != 10 {
+		t.Errorf("m=%d", ans[0].Count)
+	}
+	if ans[1].Count != 4 {
+		t.Errorf("deg=%d", ans[1].Count)
+	}
+	if !ans[2].Yes {
+		t.Error("adjacency")
+	}
+	if !ans[3].OK || !g.HasEdge(1, ans[3].Count) {
+		t.Errorf("neighbor=%+v", ans[3])
+	}
+	if ans[4].OK {
+		t.Error("out-of-range neighbor index should fail")
+	}
+	if !ans[5].OK || !g.HasEdge(ans[5].Edge.U, ans[5].Edge.V) {
+		t.Errorf("random edge=%+v", ans[5])
+	}
+	if d.Rounds() != 1 || d.Queries() != 6 {
+		t.Errorf("rounds=%d queries=%d", d.Rounds(), d.Queries())
+	}
+}
+
+func TestDirectModelEnforcement(t *testing.T) {
+	g := gen.Complete(4)
+	aug := NewDirect(g, Augmented, rand.New(rand.NewSource(1)))
+	if _, err := aug.Round([]Query{{Type: RandomNeighbor, U: 0}}); err == nil {
+		t.Error("RandomNeighbor in augmented model should error")
+	}
+	rel := NewDirect(g, Relaxed, rand.New(rand.NewSource(1)))
+	if _, err := rel.Round([]Query{{Type: Neighbor, U: 0, I: 1}}); err == nil {
+		t.Error("Neighbor in relaxed model should error")
+	}
+	if _, err := rel.Round([]Query{{Type: RandomNeighbor, U: 0}}); err != nil {
+		t.Errorf("RandomNeighbor in relaxed model: %v", err)
+	}
+}
+
+func TestDirectVertexRangeChecks(t *testing.T) {
+	g := gen.Complete(3)
+	d := NewDirect(g, Augmented, rand.New(rand.NewSource(1)))
+	for _, q := range []Query{
+		{Type: Degree, U: -1},
+		{Type: Degree, U: 3},
+		{Type: Adjacent, U: 0, V: 7},
+	} {
+		if _, err := d.Round([]Query{q}); err == nil {
+			t.Errorf("query %+v should error", q)
+		}
+	}
+}
+
+func TestDirectRandomEdgeUniform(t *testing.T) {
+	g := gen.Cycle(8)
+	d := NewDirect(g, Augmented, rand.New(rand.NewSource(2)))
+	qs := make([]Query, 8000)
+	for i := range qs {
+		qs[i] = Query{Type: RandomEdge}
+	}
+	ans, err := d.Round(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[graph.Edge]int)
+	for _, a := range ans {
+		counts[a.Edge.Canon()]++
+	}
+	want := 8000.0 / 8
+	for e, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("edge %v: %d, want ~%.0f", e, c, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package pattern
+
+// Order abstracts the total vertex order ≺_G of Definition 12 (by degree,
+// ties broken by ID). The FGP sampler evaluates canonicality with respect to
+// the order of the host graph.
+type Order interface {
+	// Less reports whether u ≺ v.
+	Less(u, v int64) bool
+}
+
+// Adjacency abstracts edge membership in the (sub)graph E' against which
+// canonicality is checked.
+type Adjacency interface {
+	// HasEdge reports whether (u,v) is an edge.
+	HasEdge(u, v int64) bool
+}
+
+// IsCanonicalCycle reports whether the vertex sequence is a canonical cycle
+// in (E', ≺) per Definition 13: all consecutive pairs (cyclically) are edges,
+// the vertices are distinct, the first vertex precedes all others, and the
+// last vertex precedes the second (fixing one of the two traversal
+// directions).
+func IsCanonicalCycle(seq []int64, e Adjacency, o Order) bool {
+	c := len(seq)
+	if c < 3 {
+		return false
+	}
+	seen := make(map[int64]bool, c)
+	for _, v := range seq {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	for i := 0; i < c; i++ {
+		if !e.HasEdge(seq[i], seq[(i+1)%c]) {
+			return false
+		}
+	}
+	for i := 1; i < c; i++ {
+		if !o.Less(seq[0], seq[i]) {
+			return false
+		}
+	}
+	return o.Less(seq[c-1], seq[1])
+}
+
+// IsCanonicalStar reports whether (center; petals) is a canonical star in
+// (E', ≺) per Definition 14: every (center, petal) pair is an edge, all
+// vertices are distinct, and the petals are strictly increasing under ≺.
+func IsCanonicalStar(center int64, petals []int64, e Adjacency, o Order) bool {
+	if len(petals) == 0 {
+		return false
+	}
+	seen := map[int64]bool{center: true}
+	for _, p := range petals {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		if !e.HasEdge(center, p) {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(petals); i++ {
+		if !o.Less(petals[i], petals[i+1]) {
+			return false
+		}
+	}
+	return true
+}

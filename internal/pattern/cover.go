@@ -1,0 +1,103 @@
+package pattern
+
+import "fmt"
+
+// RhoHalves returns the fractional edge-cover number ρ(H) in half-integral
+// units, i.e. 2·ρ(H) as an integer. The edge-cover LP always has a
+// half-integral optimum, and by Lemma 4 that optimum equals the value of the
+// best decomposition of H into vertex-disjoint odd cycles and stars, which is
+// what this function computes (see Decompose). The result is cached.
+func (p *Pattern) RhoHalves() int {
+	d, err := Decompose(p)
+	if err != nil {
+		// New rejects isolated vertices, so decomposition always exists.
+		panic(fmt.Sprintf("pattern: decompose %s: %v", p.name, err))
+	}
+	return d.RhoHalves()
+}
+
+// Rho returns ρ(H) as a float64.
+func (p *Pattern) Rho() float64 { return float64(p.RhoHalves()) / 2 }
+
+// FractionalEdgeCoverBruteForce computes 2·ρ(H) directly from Definition 3
+// by enumerating half-integral edge weights x_e ∈ {0, 1/2, 1} with
+// branch-and-bound. It is exponential in |E(H)| and exists to cross-validate
+// the decomposition-based RhoHalves in tests (Lemma 4).
+func FractionalEdgeCoverBruteForce(p *Pattern) int {
+	e := p.edges
+	best := 2 * len(e) // all edges at weight 1 is feasible
+	cover := make([]int, p.n)
+	// remCap[i] = 2 * (number of edges with index >= i incident to v); used
+	// to prune branches that can no longer cover some vertex.
+	remCap := make([][]int, len(e)+1)
+	remCap[len(e)] = make([]int, p.n)
+	for i := len(e) - 1; i >= 0; i-- {
+		remCap[i] = append([]int(nil), remCap[i+1]...)
+		remCap[i][e[i][0]] += 2
+		remCap[i][e[i][1]] += 2
+	}
+	var rec func(i, sum int)
+	rec = func(i, sum int) {
+		if sum >= best {
+			return
+		}
+		if i == len(e) {
+			for v := 0; v < p.n; v++ {
+				if cover[v] < 2 {
+					return
+				}
+			}
+			best = sum
+			return
+		}
+		// Prune: some vertex can no longer reach coverage 2.
+		for v := 0; v < p.n; v++ {
+			if cover[v]+remCap[i][v] < 2 {
+				return
+			}
+		}
+		u, v := e[i][0], e[i][1]
+		for w := 0; w <= 2; w++ {
+			cover[u] += w
+			cover[v] += w
+			rec(i+1, sum+w)
+			cover[u] -= w
+			cover[v] -= w
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// IntegralEdgeCover returns β(H), the size of a minimum (integral) edge
+// cover. By Gallai's identity β(H) = |V(H)| − ν(H), where ν is the maximum
+// matching size; ν is computed by bitmask dynamic programming.
+func IntegralEdgeCover(p *Pattern) int {
+	full := (1 << uint(p.n)) - 1
+	memo := make(map[int]int)
+	var match func(mask int) int
+	match = func(mask int) int {
+		if mask == 0 {
+			return 0
+		}
+		if v, ok := memo[mask]; ok {
+			return v
+		}
+		// Lowest free vertex: either leave it unmatched or match it.
+		low := 0
+		for mask&(1<<uint(low)) == 0 {
+			low++
+		}
+		best := match(mask &^ (1 << uint(low)))
+		for w := 0; w < p.n; w++ {
+			if w != low && mask&(1<<uint(w)) != 0 && p.HasEdge(low, w) {
+				if m := 1 + match(mask&^(1<<uint(low))&^(1<<uint(w))); m > best {
+					best = m
+				}
+			}
+		}
+		memo[mask] = best
+		return best
+	}
+	return p.n - match(full)
+}

@@ -1,0 +1,224 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Decomposition is a partition of V(H) into vertex-disjoint odd cycles and
+// stars, all subgraphs of H, per Lemma 4. Decompose returns one of minimum
+// total fractional edge cover, whose value then equals ρ(H).
+type Decomposition struct {
+	// Cycles holds the vertex sequences of the odd cycles; each sequence
+	// (v_0 .. v_{c-1}) has consecutive edges in H, including v_{c-1}–v_0,
+	// and odd length c >= 3.
+	Cycles [][]int
+	// Stars holds the stars as [center, petal_1, ..., petal_k] with k >= 1
+	// and every (center, petal_i) an edge of H.
+	Stars [][]int
+}
+
+// CycleLengths returns the cycle length profile (c_1, ..., c_α).
+func (d Decomposition) CycleLengths() []int {
+	out := make([]int, len(d.Cycles))
+	for i, c := range d.Cycles {
+		out[i] = len(c)
+	}
+	return out
+}
+
+// StarPetals returns the star petal-count profile (s_1, ..., s_β).
+func (d Decomposition) StarPetals() []int {
+	out := make([]int, len(d.Stars))
+	for i, s := range d.Stars {
+		out[i] = len(s) - 1
+	}
+	return out
+}
+
+// RhoHalves returns twice the fractional edge-cover value of the
+// decomposition: Σ c_i (since ρ(C_c) = c/2 for odd c) + Σ 2·s_j
+// (since ρ(S_k) = k).
+func (d Decomposition) RhoHalves() int {
+	sum := 0
+	for _, c := range d.Cycles {
+		sum += len(c)
+	}
+	for _, s := range d.Stars {
+		sum += 2 * (len(s) - 1)
+	}
+	return sum
+}
+
+// String renders the decomposition type, e.g. "C3+C5+S2".
+func (d Decomposition) String() string {
+	var parts []string
+	for _, c := range d.Cycles {
+		parts = append(parts, fmt.Sprintf("C%d", len(c)))
+	}
+	for _, s := range d.Stars {
+		parts = append(parts, fmt.Sprintf("S%d", len(s)-1))
+	}
+	if len(parts) == 0 {
+		return "∅"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Decompose computes a minimum-value decomposition of H into vertex-disjoint
+// odd cycles and stars (Lemma 4) by dynamic programming over vertex subsets.
+// The returned decomposition's RhoHalves equals 2·ρ(H).
+func Decompose(p *Pattern) (Decomposition, error) {
+	full := (1 << uint(p.n)) - 1
+	const inf = 1 << 30
+
+	type choice struct {
+		isCycle bool
+		verts   []int // cycle sequence, or [center, petals...]
+	}
+	best := make([]int, full+1)
+	pick := make([]choice, full+1)
+	for i := range best {
+		best[i] = -1 // unknown
+	}
+	best[0] = 0
+
+	var solve func(mask int) int
+	solve = func(mask int) int {
+		if best[mask] >= 0 {
+			return best[mask]
+		}
+		best[mask] = inf
+		low := 0
+		for mask&(1<<uint(low)) == 0 {
+			low++
+		}
+		// Option 1: stars containing low (as center or petal).
+		for center := 0; center < p.n; center++ {
+			if mask&(1<<uint(center)) == 0 {
+				continue
+			}
+			nbrMask := int(p.adj[center]) & mask
+			if center != low {
+				// low must be a petal of this star.
+				if nbrMask&(1<<uint(low)) == 0 {
+					continue
+				}
+			}
+			// Enumerate non-empty petal subsets of nbrMask; when center != low
+			// require low in the subset.
+			req := 0
+			if center != low {
+				req = 1 << uint(low)
+			}
+			freePetals := nbrMask &^ req
+			for sub := freePetals; ; sub = (sub - 1) & freePetals {
+				petals := sub | req
+				if petals != 0 {
+					k := popcount(petals)
+					used := petals | 1<<uint(center)
+					if cost := 2*k + solve(mask&^used); cost < best[mask] {
+						best[mask] = cost
+						vs := []int{center}
+						for v := 0; v < p.n; v++ {
+							if petals&(1<<uint(v)) != 0 {
+								vs = append(vs, v)
+							}
+						}
+						pick[mask] = choice{isCycle: false, verts: vs}
+					}
+				}
+				if sub == 0 {
+					break
+				}
+			}
+		}
+		// Option 2: odd cycles through low, within mask. DFS simple paths
+		// starting at low; close the cycle when length >= 3 is odd and the
+		// last vertex is adjacent to low. To count each undirected cycle
+		// once, require the second vertex < the last vertex.
+		path := []int{low}
+		usedMask := 1 << uint(low)
+		var dfs func()
+		dfs = func() {
+			last := path[len(path)-1]
+			if len(path) >= 3 && len(path)%2 == 1 && p.HasEdge(last, low) && path[1] < last {
+				if cost := len(path) + solve(mask&^usedMask); cost < best[mask] {
+					best[mask] = cost
+					pick[mask] = choice{isCycle: true, verts: append([]int(nil), path...)}
+				}
+			}
+			if len(path) == p.n {
+				return
+			}
+			for w := 0; w < p.n; w++ {
+				bit := 1 << uint(w)
+				if mask&bit != 0 && usedMask&bit == 0 && p.HasEdge(last, w) {
+					path = append(path, w)
+					usedMask |= bit
+					dfs()
+					usedMask &^= bit
+					path = path[:len(path)-1]
+				}
+			}
+		}
+		dfs()
+		return best[mask]
+	}
+
+	if solve(full) >= inf {
+		return Decomposition{}, fmt.Errorf("pattern: %s has no odd-cycle/star decomposition", p.name)
+	}
+
+	var d Decomposition
+	mask := full
+	for mask != 0 {
+		c := pick[mask]
+		var used int
+		if c.isCycle {
+			d.Cycles = append(d.Cycles, c.verts)
+			for _, v := range c.verts {
+				used |= 1 << uint(v)
+			}
+		} else {
+			d.Stars = append(d.Stars, c.verts)
+			for _, v := range c.verts {
+				used |= 1 << uint(v)
+			}
+		}
+		mask &^= used
+	}
+	// Deterministic presentation order: cycles by decreasing length then
+	// lexicographic, stars by decreasing petal count then lexicographic.
+	sort.Slice(d.Cycles, func(i, j int) bool {
+		if len(d.Cycles[i]) != len(d.Cycles[j]) {
+			return len(d.Cycles[i]) > len(d.Cycles[j])
+		}
+		return lexLess(d.Cycles[i], d.Cycles[j])
+	})
+	sort.Slice(d.Stars, func(i, j int) bool {
+		if len(d.Stars[i]) != len(d.Stars[j]) {
+			return len(d.Stars[i]) > len(d.Stars[j])
+		}
+		return lexLess(d.Stars[i], d.Stars[j])
+	})
+	return d, nil
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

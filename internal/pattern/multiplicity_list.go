@@ -1,0 +1,42 @@
+package pattern
+
+import "sort"
+
+// DecomposedCopies returns the distinct copies of p on the full host vertex
+// set {0..p.N()-1} (adjacency adj) whose edge sets contain every tuple edge,
+// i.e. the set D(t) of copies witnessed by the sampled decomposition tuple.
+// Each copy is returned as its sorted local edge list. The order of the
+// returned copies is deterministic.
+func DecomposedCopies(p *Pattern, adj func(a, b int) bool, tupleEdges [][2]int) [][][2]int {
+	n := p.n
+	var tupleKey uint64
+	for _, e := range tupleEdges {
+		tupleKey |= pairBit(e[0], e[1], n)
+	}
+	copies := enumerateCopies(p, adj)
+	keys := make([]uint64, 0, len(copies))
+	for key := range copies {
+		if key&tupleKey == tupleKey {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([][][2]int, len(keys))
+	for i, key := range keys {
+		out[i] = keyToEdges(key, n)
+	}
+	return out
+}
+
+// keyToEdges decodes a pairBit edge-set key back into an edge list.
+func keyToEdges(key uint64, n int) [][2]int {
+	var edges [][2]int
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if key&pairBit(a, b, n) != 0 {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+	}
+	return edges
+}

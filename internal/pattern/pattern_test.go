@@ -1,0 +1,381 @@
+package pattern
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		ok    bool
+	}{
+		{"edge", 2, [][2]int{{0, 1}}, true},
+		{"loop", 2, [][2]int{{0, 0}}, false},
+		{"dup", 2, [][2]int{{0, 1}, {1, 0}}, false},
+		{"range", 2, [][2]int{{0, 2}}, false},
+		{"isolated", 3, [][2]int{{0, 1}}, false},
+		{"too-big", MaxVertices + 1, nil, false},
+		{"zero-n", 0, nil, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.name, c.n, c.edges)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: New err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestDegreesAndEdges(t *testing.T) {
+	p := Paw()
+	if p.N() != 4 || p.M() != 4 {
+		t.Fatalf("paw: n=%d m=%d, want 4,4", p.N(), p.M())
+	}
+	wantDeg := []int{3, 2, 2, 1}
+	for v, d := range wantDeg {
+		if p.Degree(v) != d {
+			t.Errorf("paw deg(%d)=%d, want %d", v, p.Degree(v), d)
+		}
+	}
+	if !p.HasEdge(0, 3) || p.HasEdge(1, 3) {
+		t.Errorf("paw adjacency wrong")
+	}
+	nb := p.Neighbors(0)
+	if len(nb) != 3 || nb[0] != 1 || nb[1] != 2 || nb[2] != 3 {
+		t.Errorf("paw neighbors(0)=%v", nb)
+	}
+}
+
+func TestRhoKnownValues(t *testing.T) {
+	// ρ(C_{2k+1}) = k + 1/2, ρ(S_k) = k, ρ(K_r) = r/2 (paper §2).
+	cases := []struct {
+		p         *Pattern
+		rhoHalves int
+	}{
+		{Triangle(), 3},
+		{CycleGraph(5), 5},
+		{CycleGraph(7), 7},
+		{CycleGraph(4), 4}, // even cycle: ρ = 2
+		{CycleGraph(6), 6}, // even cycle: ρ = 3
+		{Clique(4), 4},
+		{Clique(5), 5},
+		{Clique(6), 6},
+		{Star(1), 2},
+		{Star(2), 4},
+		{Star(4), 8},
+		{Path(2), 2},
+		{Path(3), 4}, // P3 = S2
+		{Path(4), 4}, // two disjoint edges
+		{Paw(), 4},   // two disjoint edges
+		{Diamond(), 4},
+	}
+	for _, c := range cases {
+		if got := c.p.RhoHalves(); got != c.rhoHalves {
+			t.Errorf("%s: 2ρ=%d, want %d", c.p.Name(), got, c.rhoHalves)
+		}
+	}
+}
+
+func TestRhoMatchesBruteForceLP(t *testing.T) {
+	// Lemma 4: decomposition value equals the fractional edge-cover LP
+	// optimum. Cross-validate on every catalog pattern with few edges.
+	pats := []*Pattern{
+		Triangle(), CycleGraph(4), CycleGraph(5), CycleGraph(6), CycleGraph(7),
+		Clique(4), Clique(5), Star(1), Star(2), Star(3), Star(5),
+		Path(2), Path(3), Path(4), Path(5), Path(6), Paw(), Diamond(),
+	}
+	for _, p := range pats {
+		if p.M() > 12 {
+			continue // brute force too slow
+		}
+		lp := FractionalEdgeCoverBruteForce(p)
+		if got := p.RhoHalves(); got != lp {
+			t.Errorf("%s: decomposition 2ρ=%d, LP=%d", p.Name(), got, lp)
+		}
+	}
+}
+
+func TestRhoLeqBetaLeqEdges(t *testing.T) {
+	// Known chain ρ(H) <= β(H) <= |E(H)| (§1).
+	pats := []*Pattern{
+		Triangle(), CycleGraph(5), CycleGraph(7), Clique(4), Clique(5),
+		Clique(6), Star(3), Path(5), Paw(), Diamond(),
+	}
+	for _, p := range pats {
+		rho2 := p.RhoHalves()
+		beta := IntegralEdgeCover(p)
+		if rho2 > 2*beta {
+			t.Errorf("%s: ρ=%d/2 > β=%d", p.Name(), rho2, beta)
+		}
+		if beta > p.M() {
+			t.Errorf("%s: β=%d > |E|=%d", p.Name(), beta, p.M())
+		}
+	}
+}
+
+func TestIntegralEdgeCoverKnown(t *testing.T) {
+	// β(K_r) = ceil(r/2), β(C_r) = ceil(r/2) (§1 footnote 1).
+	for r := 2; r <= 7; r++ {
+		want := (r + 1) / 2
+		if got := IntegralEdgeCover(Clique(r)); got != want {
+			t.Errorf("β(K%d)=%d, want %d", r, got, want)
+		}
+	}
+	for r := 3; r <= 8; r++ {
+		want := (r + 1) / 2
+		if got := IntegralEdgeCover(CycleGraph(r)); got != want {
+			t.Errorf("β(C%d)=%d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestDecomposeProfiles(t *testing.T) {
+	cases := []struct {
+		p    *Pattern
+		want string
+	}{
+		{Triangle(), "C3"},
+		{CycleGraph(5), "C5"},
+		{CycleGraph(7), "C7"},
+		{Star(3), "S3"},
+		{Path(3), "S2"},
+	}
+	for _, c := range cases {
+		d, err := Decompose(c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.p.Name(), err)
+		}
+		if d.String() != c.want {
+			t.Errorf("%s: decomposition %s, want %s", c.p.Name(), d, c.want)
+		}
+	}
+}
+
+func TestDecomposeCoversAllVertices(t *testing.T) {
+	pats := []*Pattern{
+		Triangle(), CycleGraph(5), Clique(4), Clique(5), Clique(6), Clique(7),
+		Star(4), Path(6), Paw(), Diamond(), CycleGraph(4), CycleGraph(6),
+	}
+	for _, p := range pats {
+		d, err := Decompose(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		covered := make(map[int]int)
+		for _, c := range d.Cycles {
+			if len(c)%2 == 0 || len(c) < 3 {
+				t.Errorf("%s: even/short cycle %v", p.Name(), c)
+			}
+			for i, v := range c {
+				covered[v]++
+				if !p.HasEdge(v, c[(i+1)%len(c)]) {
+					t.Errorf("%s: cycle edge (%d,%d) not in H", p.Name(), v, c[(i+1)%len(c)])
+				}
+			}
+		}
+		for _, s := range d.Stars {
+			if len(s) < 2 {
+				t.Errorf("%s: star with no petals %v", p.Name(), s)
+			}
+			covered[s[0]]++
+			for _, pe := range s[1:] {
+				covered[pe]++
+				if !p.HasEdge(s[0], pe) {
+					t.Errorf("%s: star edge (%d,%d) not in H", p.Name(), s[0], pe)
+				}
+			}
+		}
+		for v := 0; v < p.N(); v++ {
+			if covered[v] != 1 {
+				t.Errorf("%s: vertex %d covered %d times", p.Name(), v, covered[v])
+			}
+		}
+	}
+}
+
+func TestDecompositionCountKnown(t *testing.T) {
+	// Cycles: one undirected cycle structure witnesses the copy -> f=1.
+	// Stars S_k: the copy itself is the unique (center, petals) structure.
+	// Paw with profile S1+S1: matching {ad, bc}; each edge has 2 center
+	// choices, and the two slots are ordered: f = 2*2*2 = 8.
+	cases := []struct {
+		p    *Pattern
+		want int64
+	}{
+		{Triangle(), 1},
+		{CycleGraph(5), 1},
+		{Star(3), 1},
+		{Path(3), 1},
+		{Paw(), 8},
+	}
+	for _, c := range cases {
+		d, err := Decompose(c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.p.Name(), err)
+		}
+		if got := DecompositionCount(c.p, d); got != c.want {
+			t.Errorf("f_T(%s)=%d, want %d", c.p.Name(), got, c.want)
+		}
+	}
+}
+
+func TestDecompositionCountK4(t *testing.T) {
+	// K4 decomposes as S1+S1 (two disjoint directed-center edges). K4 has 3
+	// perfect matchings; each matching yields 2*2 center choices and 2 slot
+	// orders: f = 3*4*2 = 24.
+	p := Clique(4)
+	d, err := Decompose(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != "S1+S1" {
+		t.Fatalf("K4 decomposition %s, want S1+S1", d)
+	}
+	if got := DecompositionCount(p, d); got != 24 {
+		t.Errorf("f_T(K4)=%d, want 24", got)
+	}
+}
+
+func TestDecompositionCountPositive(t *testing.T) {
+	pats := []*Pattern{
+		Triangle(), CycleGraph(4), CycleGraph(5), CycleGraph(6), CycleGraph(7),
+		Clique(4), Clique(5), Clique(6), Star(2), Star(4), Path(4), Path(5),
+		Paw(), Diamond(),
+	}
+	for _, p := range pats {
+		d, err := Decompose(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if got := DecompositionCount(p, d); got < 1 {
+			t.Errorf("f_T(%s)=%d, want >= 1", p.Name(), got)
+		}
+	}
+}
+
+func TestMaxCopiesPerTuple(t *testing.T) {
+	// For cycles, cliques and stars a tuple pins down the copy: c_max = 1.
+	ones := []*Pattern{Triangle(), CycleGraph(5), Star(3), Clique(4), Clique(5)}
+	for _, p := range ones {
+		d, _ := Decompose(p)
+		if got := MaxCopiesPerTuple(p, d); got != 1 {
+			t.Errorf("c_max(%s)=%d, want 1", p.Name(), got)
+		}
+	}
+	// Paw: the tuple {ad, bc} inside the K4 host is contained in 4 paw
+	// copies (triangles abc+ad, abd+bc, acd+bc, bcd+ad).
+	p := Paw()
+	d, _ := Decompose(p)
+	if got := MaxCopiesPerTuple(p, d); got != 4 {
+		t.Errorf("c_max(paw)=%d, want 4", got)
+	}
+}
+
+func TestAutomorphisms(t *testing.T) {
+	cases := []struct {
+		p    *Pattern
+		want int64
+	}{
+		{Triangle(), 6},
+		{CycleGraph(5), 10},
+		{Clique(4), 24},
+		{Star(3), 6}, // 3! petal permutations
+		{Path(3), 2},
+		{Paw(), 2},
+		{Diamond(), 4},
+	}
+	for _, c := range cases {
+		if got := c.p.Automorphisms(); got != c.want {
+			t.Errorf("|Aut(%s)|=%d, want %d", c.p.Name(), got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"triangle", "C5", "K4", "S3", "P4", "paw", "diamond"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p == nil || p.N() == 0 {
+			t.Errorf("ByName(%q): empty pattern", name)
+		}
+	}
+	for _, name := range []string{"", "C2", "K99", "S0", "X5", "K"} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q): want error", name)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	if got := Triangle().ConnectedComponents(); got != 1 {
+		t.Errorf("triangle components=%d", got)
+	}
+	two := MustNew("2K2", 4, [][2]int{{0, 1}, {2, 3}})
+	if got := two.ConnectedComponents(); got != 2 {
+		t.Errorf("2K2 components=%d", got)
+	}
+}
+
+type mapAdj map[[2]int64]bool
+
+func (m mapAdj) HasEdge(u, v int64) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return m[[2]int64{u, v}]
+}
+
+type idOrder struct{}
+
+func (idOrder) Less(u, v int64) bool { return u < v }
+
+func TestIsCanonicalCycle(t *testing.T) {
+	e := mapAdj{{0, 1}: true, {1, 2}: true, {0, 2}: true}
+	o := idOrder{}
+	if !IsCanonicalCycle([]int64{0, 2, 1}, e, o) {
+		t.Errorf("(0,2,1) should be canonical: 0 min, last=1 < second=2")
+	}
+	if IsCanonicalCycle([]int64{0, 1, 2}, e, o) {
+		t.Errorf("(0,1,2) has last=2 > second=1: not canonical")
+	}
+	if IsCanonicalCycle([]int64{1, 0, 2}, e, o) {
+		t.Errorf("(1,0,2): 1 is not the minimum")
+	}
+	if IsCanonicalCycle([]int64{0, 1}, e, o) {
+		t.Errorf("length-2 sequences are not cycles")
+	}
+	if IsCanonicalCycle([]int64{0, 1, 1}, e, o) {
+		t.Errorf("repeated vertices are not cycles")
+	}
+	e2 := mapAdj{{0, 1}: true, {1, 2}: true} // missing closing edge
+	if IsCanonicalCycle([]int64{0, 2, 1}, e2, o) {
+		t.Errorf("missing edge should fail")
+	}
+}
+
+func TestIsCanonicalStar(t *testing.T) {
+	e := mapAdj{{0, 1}: true, {0, 2}: true, {0, 3}: true}
+	o := idOrder{}
+	if !IsCanonicalStar(0, []int64{1, 2, 3}, e, o) {
+		t.Errorf("sorted petals should be canonical")
+	}
+	if IsCanonicalStar(0, []int64{2, 1, 3}, e, o) {
+		t.Errorf("unsorted petals are not canonical")
+	}
+	if IsCanonicalStar(0, []int64{1, 1}, e, o) {
+		t.Errorf("repeated petals are not canonical")
+	}
+	if IsCanonicalStar(0, nil, e, o) {
+		t.Errorf("empty stars are not canonical")
+	}
+	if IsCanonicalStar(1, []int64{2}, e, o) {
+		t.Errorf("non-edges should fail")
+	}
+	if IsCanonicalStar(0, []int64{0}, e, o) {
+		t.Errorf("center as petal should fail")
+	}
+}

@@ -1,0 +1,170 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomPattern builds a pattern on up to 7 vertices from fuzz bits,
+// ensuring no isolated vertices by chaining a spanning path first.
+func randomPattern(bits []byte) *Pattern {
+	n := 3 + int(len(bits))%5
+	var edges [][2]int
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	have := make(map[[2]int]bool)
+	for _, e := range edges {
+		have[e] = true
+	}
+	for i, b := range bits {
+		u := int(b) % n
+		v := (int(b)/7 + i) % n
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if !have[[2]int{u, v}] {
+			have[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	p, err := New("fuzz", n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestPropertyDecomposeAlwaysValid(t *testing.T) {
+	// Every connected-ish pattern decomposes (Lemma 4) into odd cycles and
+	// stars that partition V(H), and the value matches the LP optimum.
+	f := func(bits []byte) bool {
+		p := randomPattern(bits)
+		d, err := Decompose(p)
+		if err != nil {
+			return false
+		}
+		covered := make(map[int]int)
+		for _, c := range d.Cycles {
+			if len(c) < 3 || len(c)%2 == 0 {
+				return false
+			}
+			for i, v := range c {
+				covered[v]++
+				if !p.HasEdge(v, c[(i+1)%len(c)]) {
+					return false
+				}
+			}
+		}
+		for _, s := range d.Stars {
+			if len(s) < 2 {
+				return false
+			}
+			covered[s[0]]++
+			for _, pe := range s[1:] {
+				covered[pe]++
+				if !p.HasEdge(s[0], pe) {
+					return false
+				}
+			}
+		}
+		for v := 0; v < p.N(); v++ {
+			if covered[v] != 1 {
+				return false
+			}
+		}
+		if p.M() <= 11 {
+			if d.RhoHalves() != FractionalEdgeCoverBruteForce(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRhoBounds(t *testing.T) {
+	// n/2 <= ρ(H) <= β(H) <= |E| for patterns without isolated vertices.
+	f := func(bits []byte) bool {
+		p := randomPattern(bits)
+		rho2 := p.RhoHalves()
+		if rho2 < p.N() { // ρ >= n/2: each vertex needs total weight 1, each edge serves 2
+			return false
+		}
+		beta := IntegralEdgeCover(p)
+		return rho2 <= 2*beta && beta <= p.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDecompositionCountPositive(t *testing.T) {
+	f := func(bits []byte) bool {
+		p := randomPattern(bits)
+		d, err := Decompose(p)
+		if err != nil {
+			return false
+		}
+		return DecompositionCount(p, d) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCanonicalCycleUnique(t *testing.T) {
+	// Every undirected cycle has exactly one canonical vertex sequence
+	// among its 2c rotations/reflections (Definition 13).
+	f := func(perm8 uint32, c8 uint8) bool {
+		c := 3 + int(c8)%5 // cycle length 3..7
+		// Vertex labels: a permutation of 10..10+c-1 derived from perm8.
+		labels := make([]int64, c)
+		for i := range labels {
+			labels[i] = int64(10 + i)
+		}
+		x := perm8
+		for i := c - 1; i > 0; i-- {
+			j := int(x) % (i + 1)
+			x /= 7
+			labels[i], labels[j] = labels[j], labels[i]
+		}
+		adj := cycleAdj{labels: labels}
+		canonical := 0
+		// Enumerate all rotations in both directions.
+		for start := 0; start < c; start++ {
+			for _, dir := range []int{1, -1} {
+				seq := make([]int64, c)
+				for i := 0; i < c; i++ {
+					seq[i] = labels[((start+dir*i)%c+c)%c]
+				}
+				if IsCanonicalCycle(seq, adj, idOrder{}) {
+					canonical++
+				}
+			}
+		}
+		return canonical == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// cycleAdj is adjacency of the cycle given by consecutive labels.
+type cycleAdj struct{ labels []int64 }
+
+func (a cycleAdj) HasEdge(u, v int64) bool {
+	c := len(a.labels)
+	for i := 0; i < c; i++ {
+		x, y := a.labels[i], a.labels[(i+1)%c]
+		if (x == u && y == v) || (x == v && y == u) {
+			return true
+		}
+	}
+	return false
+}

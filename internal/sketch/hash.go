@@ -1,0 +1,71 @@
+// Package sketch provides the small-space randomized data structures the
+// streaming algorithms are built from: reservoir samplers for insertion-only
+// streams and ℓ0-samplers (Lemma 7, Cormode–Firmani style) for turnstile
+// streams, plus the hashing utilities they share.
+package sketch
+
+// splitmix64 is the SplitMix64 finalizer, a fast 64-bit mixing function with
+// excellent avalanche behaviour. It is used as a seeded hash: distinct seeds
+// give (empirically) independent hash functions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash64 hashes key under the given seed.
+func Hash64(seed, key uint64) uint64 {
+	return splitmix64(splitmix64(seed) ^ splitmix64(key))
+}
+
+// mersenne61 is the Mersenne prime 2^61 - 1, the fingerprint field modulus.
+const mersenne61 = (1 << 61) - 1
+
+// mulmod61 returns a*b mod 2^61-1 for a, b < 2^61-1, using 128-bit
+// intermediate arithmetic.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := mul64(a, b)
+	// a*b = hi*2^64 + lo. Reduce modulo 2^61-1 using 2^61 ≡ 1:
+	// hi*2^64 = hi*8*2^61 ≡ hi*8, and lo = (lo >> 61)*2^61 + (lo & M) ≡
+	// (lo >> 61) + (lo & M).
+	res := hi<<3 | lo>>61
+	res += lo & mersenne61
+	if res >= mersenne61 {
+		res -= mersenne61
+	}
+	// hi can be close to 2^61, so hi<<3 may exceed the modulus once more.
+	for res >= mersenne61 {
+		res -= mersenne61
+	}
+	return res
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// powmod61 returns base^exp mod 2^61-1.
+func powmod61(base, exp uint64) uint64 {
+	base %= mersenne61
+	result := uint64(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulmod61(result, base)
+		}
+		base = mulmod61(base, base)
+		exp >>= 1
+	}
+	return result
+}

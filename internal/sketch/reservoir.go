@@ -1,0 +1,55 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Reservoir maintains a uniform sample of one item from an insertion-only
+// stream using O(1) words (reservoir sampling). It implements the f1
+// (uniform random edge) query of Theorem 9's emulation.
+//
+// It uses skip sampling: instead of one coin per item, the index of the
+// next accepted item is drawn directly (given the current accept position
+// t0, the next accept T satisfies P(T > t) = t0/t, so T = ⌈t0/U⌉ for
+// uniform U), costing O(log m) random draws per stream instead of O(m).
+type Reservoir struct {
+	rng   *rand.Rand
+	item  uint64
+	count int64
+	next  int64 // index (1-based) of the next item to accept
+}
+
+// NewReservoir returns an empty reservoir drawing randomness from rng.
+func NewReservoir(rng *rand.Rand) *Reservoir {
+	return &Reservoir{rng: rng, next: 1}
+}
+
+// Offer presents the next stream item to the reservoir.
+func (r *Reservoir) Offer(item uint64) {
+	r.count++
+	if r.count != r.next {
+		return
+	}
+	r.item = item
+	u := r.rng.Float64()
+	for u == 0 {
+		u = r.rng.Float64()
+	}
+	next := int64(math.Ceil(float64(r.count) / u))
+	if next <= r.count {
+		next = r.count + 1
+	}
+	r.next = next
+}
+
+// Sample returns the sampled item and whether the stream was non-empty.
+func (r *Reservoir) Sample() (uint64, bool) {
+	return r.item, r.count > 0
+}
+
+// Count returns the number of items offered.
+func (r *Reservoir) Count() int64 { return r.count }
+
+// SpaceWords returns the approximate space usage in 64-bit words.
+func (r *Reservoir) SpaceWords() int64 { return 2 }

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"streamcount/internal/graph"
+)
+
+// File is a Stream replayed from a file on every pass, so multi-pass
+// algorithms can process streams that do not fit in memory. The format is
+// the one cmd/streamcount reads: a header line "n" followed by update lines
+// "+ u v" or "- u v"; blank lines and '#' comments are ignored.
+type File struct {
+	path    string
+	n       int64
+	length  int64
+	inserts bool
+}
+
+// OpenFile validates the file with one full scan and returns the stream.
+func OpenFile(path string) (*File, error) {
+	f := &File{path: path, inserts: true}
+	err := f.scan(func(u Update) error {
+		f.length++
+		if u.Op == Delete {
+			f.inserts = false
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// N implements Stream.
+func (f *File) N() int64 { return f.n }
+
+// Len implements Stream.
+func (f *File) Len() int64 { return f.length }
+
+// InsertOnly implements Stream.
+func (f *File) InsertOnly() bool { return f.inserts }
+
+// ForEach implements Stream: each call re-reads the file (one pass).
+func (f *File) ForEach(fn func(Update) error) error { return f.scan(fn) }
+
+func (f *File) scan(fn func(Update) error) error {
+	fh, err := os.Open(f.path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	sc := bufio.NewScanner(fh)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := 0
+	gotHeader := false
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		if !gotHeader {
+			var n int64
+			if _, err := fmt.Sscanf(txt, "%d", &n); err != nil || n <= 0 {
+				return fmt.Errorf("stream: %s line %d: bad header %q", f.path, line, txt)
+			}
+			f.n = n
+			gotHeader = true
+			continue
+		}
+		var op string
+		var u, v int64
+		if _, err := fmt.Sscanf(txt, "%s %d %d", &op, &u, &v); err != nil {
+			return fmt.Errorf("stream: %s line %d: bad update %q: %v", f.path, line, txt, err)
+		}
+		o := Insert
+		switch op {
+		case "+":
+		case "-":
+			o = Delete
+		default:
+			return fmt.Errorf("stream: %s line %d: bad op %q", f.path, line, op)
+		}
+		if u == v || u < 0 || v < 0 || u >= f.n || v >= f.n {
+			return fmt.Errorf("stream: %s line %d: bad edge (%d,%d)", f.path, line, u, v)
+		}
+		if err := fn(Update{Edge: graph.Edge{U: u, V: v}, Op: o}); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !gotHeader {
+		return fmt.Errorf("stream: %s: empty input", f.path)
+	}
+	return nil
+}
+
+// WriteFile writes a stream in the File format.
+func WriteFile(path string, s Stream) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	w := bufio.NewWriter(fh)
+	if _, err := fmt.Fprintf(w, "%d\n", s.N()); err != nil {
+		return err
+	}
+	err = s.ForEach(func(u Update) error {
+		_, werr := fmt.Fprintf(w, "%s %d %d\n", u.Op, u.Edge.U, u.Edge.V)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	return w.Flush()
+}

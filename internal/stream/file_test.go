@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamcount/internal/gen"
+)
+
+func TestFileStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.ErdosRenyiGNM(rng, 25, 60)
+	ts := WithDeletions(g, 0.5, rng)
+
+	path := filepath.Join(t.TempDir(), "stream.txt")
+	if err := WriteFile(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.N() != ts.N() || fs.Len() != ts.Len() || fs.InsertOnly() != ts.InsertOnly() {
+		t.Fatalf("metadata mismatch: n=%d len=%d insertOnly=%v", fs.N(), fs.Len(), fs.InsertOnly())
+	}
+	// Replay must match the original update sequence, twice (multi-pass).
+	for pass := 0; pass < 2; pass++ {
+		i := 0
+		orig := ts.Updates()
+		err := fs.ForEach(func(u Update) error {
+			if u != orig[i] {
+				t.Fatalf("pass %d update %d: %v != %v", pass, i, u, orig[i])
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != len(orig) {
+			t.Fatalf("pass %d saw %d updates, want %d", pass, i, len(orig))
+		}
+	}
+	// Materialize matches the source graph.
+	got, err := Materialize(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != g.M() {
+		t.Errorf("m=%d, want %d", got.M(), g.M())
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"empty":     "",
+		"badheader": "zero\n",
+		"badop":     "3\n* 0 1\n",
+		"loop":      "3\n+ 1 1\n",
+		"range":     "3\n+ 0 9\n",
+		"badline":   "3\n+ x y\n",
+	}
+	for name, content := range cases {
+		if _, err := OpenFile(write(name+".txt", content)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := OpenFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file: expected error")
+	}
+	// Comments and blank lines are accepted.
+	p := write("ok.txt", "# comment\n\n3\n+ 0 1\n- 0 1\n+ 1 2\n")
+	fs, err := OpenFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 3 || fs.InsertOnly() {
+		t.Errorf("len=%d insertOnly=%v", fs.Len(), fs.InsertOnly())
+	}
+}

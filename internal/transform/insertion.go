@@ -1,0 +1,179 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+	"streamcount/internal/sketch"
+	"streamcount/internal/stream"
+)
+
+// InsertionRunner answers query rounds over an arbitrary-order
+// insertion-only stream, one pass per round, realizing Theorem 9:
+//
+//	f1 (uniform edge)  — reservoir sampling, O(1) words per query;
+//	f2 (degree)        — a counter per queried vertex;
+//	f3 (i-th neighbor) — a countdown on edges incident to the vertex;
+//	f4 (adjacency)     — a boolean per queried pair;
+//
+// so a k-round algorithm with q queries runs in k passes and O(q) words of
+// emulation state (O(q log n) bits).
+type InsertionRunner struct {
+	st      stream.Stream
+	rng     *rand.Rand
+	rounds  int64
+	queries int64
+	space   int64
+}
+
+// NewInsertionRunner wraps the stream. The stream must be insertion-only.
+func NewInsertionRunner(st stream.Stream, rng *rand.Rand) (*InsertionRunner, error) {
+	if !st.InsertOnly() {
+		return nil, fmt.Errorf("transform: InsertionRunner requires an insertion-only stream")
+	}
+	return &InsertionRunner{st: st, rng: rng}, nil
+}
+
+// Model implements oracle.Runner.
+func (r *InsertionRunner) Model() oracle.Model { return oracle.Augmented }
+
+// Rounds implements oracle.Runner.
+func (r *InsertionRunner) Rounds() int64 { return r.rounds }
+
+// Queries implements oracle.Runner.
+func (r *InsertionRunner) Queries() int64 { return r.queries }
+
+// SpaceWords implements oracle.Runner.
+func (r *InsertionRunner) SpaceWords() int64 { return r.space }
+
+// NumVertices implements oracle.Runner.
+func (r *InsertionRunner) NumVertices() int64 { return r.st.N() }
+
+// Round implements oracle.Runner: it answers the whole batch in one pass.
+func (r *InsertionRunner) Round(queries []oracle.Query) ([]oracle.Answer, error) {
+	r.rounds++
+	r.queries += int64(len(queries))
+
+	type neighborWatch struct {
+		idx       int
+		remaining int64
+		result    int64
+		found     bool
+	}
+	var (
+		reservoirs []int // query indices
+		resSamps   []*sketch.Reservoir
+		degIdx     = make(map[int64][]int) // vertex -> degree query indices
+		degCount   = make(map[int64]int64) // vertex -> counter
+		nbrIdx     = make(map[int64][]*neighborWatch)
+		adjIdx     = make(map[graph.Edge][]int)
+		adjSeen    = make(map[graph.Edge]bool)
+		m          int64
+	)
+	for i, q := range queries {
+		switch q.Type {
+		case oracle.CountEdges:
+			r.space++
+		case oracle.RandomEdge:
+			reservoirs = append(reservoirs, i)
+			resSamps = append(resSamps, sketch.NewReservoir(r.rng))
+			r.space += 2
+		case oracle.Degree:
+			degIdx[q.U] = append(degIdx[q.U], i)
+			r.space++
+		case oracle.Neighbor:
+			if q.I < 1 {
+				return nil, fmt.Errorf("transform: Neighbor index %d < 1", q.I)
+			}
+			nbrIdx[q.U] = append(nbrIdx[q.U], &neighborWatch{idx: i, remaining: q.I})
+			r.space += 2
+		case oracle.RandomNeighbor:
+			return nil, fmt.Errorf("transform: RandomNeighbor is a relaxed-model query; the insertion-only runner emulates the augmented model (use Neighbor)")
+		case oracle.Adjacent:
+			c := graph.Edge{U: q.U, V: q.V}.Canon()
+			adjIdx[c] = append(adjIdx[c], i)
+			r.space++
+		default:
+			return nil, fmt.Errorf("transform: unknown query type %d", q.Type)
+		}
+	}
+
+	err := r.st.ForEach(func(u stream.Update) error {
+		if u.Op != stream.Insert {
+			return fmt.Errorf("transform: deletion in insertion-only stream")
+		}
+		m++
+		e := u.Edge.Canon()
+		for _, rs := range resSamps {
+			rs.Offer(edgeKey(e, r.st.N()))
+		}
+		if len(degIdx[e.U]) > 0 {
+			degCount[e.U]++
+		}
+		if len(degIdx[e.V]) > 0 {
+			degCount[e.V]++
+		}
+		for _, w := range nbrIdx[e.U] {
+			if !w.found {
+				w.remaining--
+				if w.remaining == 0 {
+					w.result, w.found = e.V, true
+				}
+			}
+		}
+		for _, w := range nbrIdx[e.V] {
+			if !w.found {
+				w.remaining--
+				if w.remaining == 0 {
+					w.result, w.found = e.U, true
+				}
+			}
+		}
+		if _, ok := adjIdx[e]; ok {
+			adjSeen[e] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	answers := make([]oracle.Answer, len(queries))
+	for i, q := range queries {
+		switch q.Type {
+		case oracle.CountEdges:
+			answers[i] = oracle.Answer{OK: true, Count: m}
+		case oracle.Degree:
+			answers[i] = oracle.Answer{OK: true, Count: degCount[q.U]}
+		case oracle.Adjacent:
+			c := graph.Edge{U: q.U, V: q.V}.Canon()
+			answers[i] = oracle.Answer{OK: true, Yes: adjSeen[c]}
+		}
+	}
+	for j, qi := range reservoirs {
+		if key, ok := resSamps[j].Sample(); ok {
+			answers[qi] = oracle.Answer{OK: true, Edge: keyEdge(key, r.st.N())}
+		} else {
+			answers[qi] = oracle.Answer{OK: false}
+		}
+	}
+	for _, ws := range nbrIdx {
+		for _, w := range ws {
+			answers[w.idx] = oracle.Answer{OK: w.found, Count: w.result}
+		}
+	}
+	return answers, nil
+}
+
+// edgeKey encodes a canonical edge as a single integer key in [0, n^2).
+func edgeKey(e graph.Edge, n int64) uint64 {
+	c := e.Canon()
+	return uint64(c.U)*uint64(n) + uint64(c.V)
+}
+
+// keyEdge decodes edgeKey.
+func keyEdge(key uint64, n int64) graph.Edge {
+	return graph.Edge{U: int64(key / uint64(n)), V: int64(key % uint64(n))}
+}

@@ -1,0 +1,96 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamcount/internal/gen"
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+	"streamcount/internal/stream"
+)
+
+func TestPropertyEdgeKeyRoundTrip(t *testing.T) {
+	f := func(u32, v32 uint16, nPlus uint16) bool {
+		n := int64(nPlus)%1000 + 2
+		u := int64(u32) % n
+		v := int64(v32) % n
+		if u == v {
+			return true // loops are not encoded
+		}
+		e := graph.Edge{U: u, V: v}
+		key := edgeKey(e, n)
+		got := keyEdge(key, n)
+		return got == e.Canon()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDegreesMatchGraph(t *testing.T) {
+	// Whatever the stream order, degree answers equal the final graph's
+	// degrees in both runners.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyiGNM(rng, 20, 50)
+		queries := make([]oracle.Query, g.N())
+		for v := int64(0); v < g.N(); v++ {
+			queries[v] = oracle.Query{Type: oracle.Degree, U: v}
+		}
+		ir, err := NewInsertionRunner(stream.Shuffled(stream.FromGraph(g), rng), rng)
+		if err != nil {
+			return false
+		}
+		ia, err := ir.Round(queries)
+		if err != nil {
+			return false
+		}
+		tr := NewTurnstileRunner(stream.Shuffled(stream.WithDeletions(g, 0.5, rng), rng), rng)
+		ta, err := tr.Round(queries)
+		if err != nil {
+			return false
+		}
+		for v := int64(0); v < g.N(); v++ {
+			if ia[v].Count != g.Degree(v) || ta[v].Count != g.Degree(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAdjacencyMatchesGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyiGNM(rng, 12, 30)
+		var queries []oracle.Query
+		for u := int64(0); u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				queries = append(queries, oracle.Query{Type: oracle.Adjacent, U: u, V: v})
+			}
+		}
+		tr := NewTurnstileRunner(stream.Shuffled(stream.WithDeletions(g, 1.0, rng), rng), rng)
+		ans, err := tr.Round(queries)
+		if err != nil {
+			return false
+		}
+		i := 0
+		for u := int64(0); u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				if ans[i].Yes != g.HasEdge(u, v) {
+					return false
+				}
+				i++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package transform implements the paper's generic transformation from
+// k-round adaptive query algorithms to k-pass streaming algorithms
+// (Theorems 9 and 11).
+//
+// The two streaming runners answer each batch of queries with a single pass
+// over the stream: InsertionRunner emulates the augmented general graph
+// model (Theorem 9) with reservoirs and counters; TurnstileRunner emulates
+// the relaxed augmented general graph model (Theorem 11) with ℓ0-samplers
+// and signed counters. Because algorithms are written against the
+// oracle.Runner interface, the very same algorithm code also runs on
+// oracle.Direct, realizing the sublinear-time query-model setting.
+//
+// Run executes a set of Tasks in parallel rounds: per executor iteration,
+// every unfinished task contributes one batch of queries, all batches are
+// answered by one Round (one pass), and the answers are distributed back.
+// The total number of passes is therefore the maximum round count over the
+// tasks — exactly the paper's "parallel for" composition.
+package transform
+
+import (
+	"fmt"
+
+	"streamcount/internal/oracle"
+)
+
+// Task is a round-adaptive computation (Definition 8). Step is called with
+// the answers to the task's previous query batch (nil on the first call) and
+// returns the next batch. When done is true the task has finished and
+// queries must be empty.
+type Task interface {
+	Step(prev []oracle.Answer) (queries []oracle.Query, done bool)
+}
+
+// Run executes the tasks against the runner, batching each round's queries
+// from all unfinished tasks into a single Round call. It returns the number
+// of rounds consumed.
+func Run(r oracle.Runner, tasks ...Task) (rounds int64, err error) {
+	type slot struct {
+		task Task
+		prev []oracle.Answer
+		done bool
+	}
+	slots := make([]*slot, len(tasks))
+	for i, t := range tasks {
+		slots[i] = &slot{task: t}
+	}
+	remaining := len(slots)
+	for remaining > 0 {
+		var batch []oracle.Query
+		type span struct {
+			s          *slot
+			start, end int
+		}
+		var spans []span
+		for _, s := range slots {
+			if s.done {
+				continue
+			}
+			qs, done := s.task.Step(s.prev)
+			s.prev = nil
+			if done {
+				if len(qs) != 0 {
+					return rounds, fmt.Errorf("transform: task returned %d queries with done=true", len(qs))
+				}
+				s.done = true
+				remaining--
+				continue
+			}
+			if len(qs) == 0 {
+				return rounds, fmt.Errorf("transform: task returned no queries but is not done")
+			}
+			start := len(batch)
+			batch = append(batch, qs...)
+			spans = append(spans, span{s, start, len(batch)})
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		answers, err := r.Round(batch)
+		if err != nil {
+			return rounds, err
+		}
+		rounds++
+		for _, sp := range spans {
+			sp.s.prev = answers[sp.start:sp.end]
+		}
+	}
+	return rounds, nil
+}
+
+// FuncTask adapts a step function to the Task interface.
+type FuncTask func(prev []oracle.Answer) ([]oracle.Query, bool)
+
+// Step implements Task.
+func (f FuncTask) Step(prev []oracle.Answer) ([]oracle.Query, bool) { return f(prev) }
+
+// StagesTask builds a Task from a fixed sequence of stages. Stage i receives
+// the answers to stage i-1's queries (nil for stage 0) and returns stage
+// i's queries. A stage returning an empty batch terminates the task (so the
+// last stage is typically a postprocessing step that consumes the final
+// answers and returns nil).
+type StagesTask struct {
+	stages []func(prev []oracle.Answer) []oracle.Query
+	next   int
+}
+
+// NewStages builds a StagesTask from the given stage functions.
+func NewStages(stages ...func(prev []oracle.Answer) []oracle.Query) *StagesTask {
+	return &StagesTask{stages: stages}
+}
+
+// Step implements Task.
+func (t *StagesTask) Step(prev []oracle.Answer) ([]oracle.Query, bool) {
+	if t.next >= len(t.stages) {
+		return nil, true
+	}
+	qs := t.stages[t.next](prev)
+	t.next++
+	if len(qs) == 0 {
+		t.next = len(t.stages)
+		return nil, true
+	}
+	return qs, false
+}

@@ -1,0 +1,407 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamcount/internal/gen"
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+	"streamcount/internal/stream"
+)
+
+func q(t oracle.Type, args ...int64) oracle.Query {
+	var qq oracle.Query
+	qq.Type = t
+	if len(args) > 0 {
+		qq.U = args[0]
+	}
+	if len(args) > 1 {
+		qq.V = args[1]
+	}
+	if len(args) > 2 {
+		qq.I = args[2]
+	}
+	return qq
+}
+
+func TestInsertionRunnerBasicQueries(t *testing.T) {
+	g := gen.Complete(4) // K4: every vertex degree 3, m=6
+	st := stream.FromGraph(g)
+	r, err := NewInsertionRunner(st, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := r.Round([]oracle.Query{
+		q(oracle.CountEdges),
+		q(oracle.Degree, 0),
+		q(oracle.Adjacent, 0, 1),
+		q(oracle.Adjacent, 1, 0),
+		q(oracle.RandomEdge),
+		q(oracle.Neighbor, 2, 0, 1),
+		q(oracle.Neighbor, 2, 0, 4), // index > degree: fail
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans[0].OK || ans[0].Count != 6 {
+		t.Errorf("CountEdges=%+v", ans[0])
+	}
+	if !ans[1].OK || ans[1].Count != 3 {
+		t.Errorf("Degree(0)=%+v", ans[1])
+	}
+	if !ans[2].Yes || !ans[3].Yes {
+		t.Errorf("Adjacent answers: %+v %+v", ans[2], ans[3])
+	}
+	if !ans[4].OK || !g.HasEdge(ans[4].Edge.U, ans[4].Edge.V) {
+		t.Errorf("RandomEdge=%+v", ans[4])
+	}
+	if !ans[5].OK || !g.HasEdge(2, ans[5].Count) {
+		t.Errorf("Neighbor(2,1)=%+v", ans[5])
+	}
+	if ans[6].OK {
+		t.Errorf("Neighbor(2,4) should fail, got %+v", ans[6])
+	}
+	if r.Rounds() != 1 {
+		t.Errorf("rounds=%d", r.Rounds())
+	}
+	if r.Queries() != 7 {
+		t.Errorf("queries=%d", r.Queries())
+	}
+	if r.SpaceWords() <= 0 {
+		t.Errorf("space=%d", r.SpaceWords())
+	}
+}
+
+func TestInsertionRunnerRejectsRelaxedQueries(t *testing.T) {
+	st := stream.FromGraph(gen.Cycle(3))
+	r, _ := NewInsertionRunner(st, rand.New(rand.NewSource(1)))
+	if _, err := r.Round([]oracle.Query{q(oracle.RandomNeighbor, 0)}); err == nil {
+		t.Error("RandomNeighbor should be rejected by the insertion runner")
+	}
+}
+
+func TestInsertionRunnerRejectsTurnstileStream(t *testing.T) {
+	g := gen.Cycle(4)
+	ts := stream.WithDeletions(g, 0.5, rand.New(rand.NewSource(2)))
+	if _, err := NewInsertionRunner(ts, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("turnstile stream should be rejected")
+	}
+}
+
+func TestInsertionRandomEdgeUniform(t *testing.T) {
+	g := gen.Cycle(6) // 6 edges
+	st := stream.FromGraph(g)
+	rng := rand.New(rand.NewSource(3))
+	r, _ := NewInsertionRunner(st, rng)
+	counts := make(map[graph.Edge]int)
+	const trials = 6000
+	qs := make([]oracle.Query, trials)
+	for i := range qs {
+		qs[i] = q(oracle.RandomEdge)
+	}
+	ans, err := r.Round(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range ans {
+		if !a.OK {
+			t.Fatal("reservoir failed on non-empty stream")
+		}
+		counts[a.Edge.Canon()]++
+	}
+	want := float64(trials) / 6
+	for e, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("edge %v sampled %d, want ~%.0f", e, c, want)
+		}
+	}
+}
+
+func TestNeighborMatchesStreamOrder(t *testing.T) {
+	// The i-th neighbor in the insertion emulation is the i-th incident
+	// edge in stream order (Theorem 9's proof); verify against the stream.
+	ups := []stream.Update{
+		{Edge: graph.Edge{U: 5, V: 1}, Op: stream.Insert},
+		{Edge: graph.Edge{U: 2, V: 5}, Op: stream.Insert},
+		{Edge: graph.Edge{U: 0, V: 3}, Op: stream.Insert},
+		{Edge: graph.Edge{U: 5, V: 4}, Op: stream.Insert},
+	}
+	st, err := stream.NewSlice(6, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewInsertionRunner(st, rand.New(rand.NewSource(1)))
+	ans, err := r.Round([]oracle.Query{
+		q(oracle.Neighbor, 5, 0, 1),
+		q(oracle.Neighbor, 5, 0, 2),
+		q(oracle.Neighbor, 5, 0, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 4}
+	for i, w := range want {
+		if !ans[i].OK || ans[i].Count != w {
+			t.Errorf("neighbor %d = %+v, want %d", i+1, ans[i], w)
+		}
+	}
+}
+
+func TestTurnstileRunnerBasicQueries(t *testing.T) {
+	g := gen.Complete(4)
+	rng := rand.New(rand.NewSource(5))
+	ts := stream.WithDeletions(g, 1.0, rng)
+	r := NewTurnstileRunner(ts, rng)
+	ans, err := r.Round([]oracle.Query{
+		q(oracle.CountEdges),
+		q(oracle.Degree, 0),
+		q(oracle.Adjacent, 0, 1),
+		q(oracle.RandomEdge),
+		q(oracle.RandomNeighbor, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans[0].OK || ans[0].Count != 6 {
+		t.Errorf("CountEdges=%+v, want 6", ans[0])
+	}
+	if ans[1].Count != 3 {
+		t.Errorf("Degree(0)=%+v, want 3", ans[1])
+	}
+	if !ans[2].Yes {
+		t.Errorf("Adjacent(0,1)=%+v", ans[2])
+	}
+	if !ans[3].OK || !g.HasEdge(ans[3].Edge.U, ans[3].Edge.V) {
+		t.Errorf("RandomEdge=%+v: not an edge of the final graph", ans[3])
+	}
+	if !ans[4].OK || !g.HasEdge(2, ans[4].Count) {
+		t.Errorf("RandomNeighbor(2)=%+v", ans[4])
+	}
+	if r.Model() != oracle.Relaxed {
+		t.Errorf("model=%v", r.Model())
+	}
+}
+
+func TestTurnstileRunnerDeletionsErase(t *testing.T) {
+	// Insert a K4 fully, delete all edges at vertex 3: degree/adjacency and
+	// samplers must reflect the final graph only.
+	var ups []stream.Update
+	g := gen.Complete(4)
+	for _, e := range g.Edges() {
+		ups = append(ups, stream.Update{Edge: e, Op: stream.Insert})
+	}
+	for _, e := range g.Edges() {
+		if e.U == 3 || e.V == 3 {
+			ups = append(ups, stream.Update{Edge: e, Op: stream.Delete})
+		}
+	}
+	st, err := stream.NewSlice(4, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewTurnstileRunner(st, rand.New(rand.NewSource(6)))
+	ans, err := r.Round([]oracle.Query{
+		q(oracle.CountEdges),
+		q(oracle.Degree, 3),
+		q(oracle.Adjacent, 0, 3),
+		q(oracle.RandomNeighbor, 3),
+		q(oracle.Adjacent, 0, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans[0].Count != 3 {
+		t.Errorf("m=%d, want 3", ans[0].Count)
+	}
+	if ans[1].Count != 0 {
+		t.Errorf("deg(3)=%d, want 0", ans[1].Count)
+	}
+	if ans[2].Yes {
+		t.Error("edge (0,3) was deleted")
+	}
+	if ans[3].OK {
+		t.Error("RandomNeighbor(3) should fail: vertex isolated")
+	}
+	if !ans[4].Yes {
+		t.Error("edge (0,1) should remain")
+	}
+}
+
+func TestTurnstileRejectsNeighborQuery(t *testing.T) {
+	st := stream.FromGraph(gen.Cycle(3))
+	r := NewTurnstileRunner(st, rand.New(rand.NewSource(1)))
+	if _, err := r.Round([]oracle.Query{q(oracle.Neighbor, 0, 0, 1)}); err == nil {
+		t.Error("Neighbor should be rejected by the turnstile runner")
+	}
+}
+
+func TestTurnstileRandomEdgeNearUniform(t *testing.T) {
+	g := gen.Cycle(5)
+	st := stream.FromGraph(g)
+	rng := rand.New(rand.NewSource(7))
+	r := NewTurnstileRunner(st, rng)
+	const trials = 2000
+	qs := make([]oracle.Query, trials)
+	for i := range qs {
+		qs[i] = q(oracle.RandomEdge)
+	}
+	ans, err := r.Round(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[graph.Edge]int)
+	succ := 0
+	for _, a := range ans {
+		if a.OK {
+			counts[a.Edge.Canon()]++
+			succ++
+		}
+	}
+	if succ < trials*9/10 {
+		t.Fatalf("ℓ0 success rate %d/%d too low", succ, trials)
+	}
+	want := float64(succ) / 5
+	for e, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("edge %v sampled %d, want ~%.0f", e, c, want)
+		}
+	}
+}
+
+// rememberTask records answers for inspection.
+type rememberTask struct {
+	batches [][]oracle.Query
+	seen    [][]oracle.Answer
+	step    int
+}
+
+func (r *rememberTask) Step(prev []oracle.Answer) ([]oracle.Query, bool) {
+	if prev != nil {
+		r.seen = append(r.seen, prev)
+	}
+	if r.step >= len(r.batches) {
+		return nil, true
+	}
+	b := r.batches[r.step]
+	r.step++
+	return b, false
+}
+
+func TestRunParallelRoundCount(t *testing.T) {
+	g := gen.Complete(5)
+	st := stream.NewCounter(stream.FromGraph(g))
+	r, _ := NewInsertionRunner(st, rand.New(rand.NewSource(8)))
+	// Task A: 3 rounds; Task B: 1 round. Parallel composition: 3 passes.
+	a := &rememberTask{batches: [][]oracle.Query{
+		{q(oracle.CountEdges)},
+		{q(oracle.Degree, 0)},
+		{q(oracle.Adjacent, 0, 1)},
+	}}
+	b := &rememberTask{batches: [][]oracle.Query{
+		{q(oracle.CountEdges)},
+	}}
+	rounds, err := Run(r, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 {
+		t.Errorf("rounds=%d, want 3", rounds)
+	}
+	if st.Passes() != 3 {
+		t.Errorf("passes=%d, want 3", st.Passes())
+	}
+	if len(a.seen) != 3 || len(b.seen) != 1 {
+		t.Errorf("answer batches: a=%d b=%d", len(a.seen), len(b.seen))
+	}
+	if a.seen[0][0].Count != 10 || b.seen[0][0].Count != 10 {
+		t.Errorf("m answers wrong: %+v %+v", a.seen[0][0], b.seen[0][0])
+	}
+	if a.seen[1][0].Count != 4 {
+		t.Errorf("deg(0)=%+v, want 4", a.seen[1][0])
+	}
+}
+
+func TestStagesTask(t *testing.T) {
+	g := gen.Complete(4)
+	r, _ := NewInsertionRunner(stream.FromGraph(g), rand.New(rand.NewSource(9)))
+	var m, deg int64
+	task := NewStages(
+		func(prev []oracle.Answer) []oracle.Query {
+			return []oracle.Query{q(oracle.CountEdges)}
+		},
+		func(prev []oracle.Answer) []oracle.Query {
+			m = prev[0].Count
+			return []oracle.Query{q(oracle.Degree, 1)}
+		},
+		func(prev []oracle.Answer) []oracle.Query {
+			deg = prev[0].Count
+			return nil
+		},
+	)
+	rounds, err := Run(r, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 || m != 6 || deg != 3 {
+		t.Errorf("rounds=%d m=%d deg=%d", rounds, m, deg)
+	}
+}
+
+// badTask violates the executor contract in configurable ways.
+type badTask struct{ mode int }
+
+func (b *badTask) Step(prev []oracle.Answer) ([]oracle.Query, bool) {
+	switch b.mode {
+	case 0: // queries together with done=true
+		return []oracle.Query{{Type: oracle.CountEdges}}, true
+	default: // no queries but not done
+		return nil, false
+	}
+}
+
+func TestRunRejectsContractViolations(t *testing.T) {
+	g := gen.Complete(3)
+	r, _ := NewInsertionRunner(stream.FromGraph(g), rand.New(rand.NewSource(1)))
+	if _, err := Run(r, &badTask{mode: 0}); err == nil {
+		t.Error("queries with done=true should be rejected")
+	}
+	if _, err := Run(r, &badTask{mode: 1}); err == nil {
+		t.Error("empty non-done batch should be rejected")
+	}
+}
+
+func TestRunNoTasks(t *testing.T) {
+	g := gen.Complete(3)
+	r, _ := NewInsertionRunner(stream.FromGraph(g), rand.New(rand.NewSource(1)))
+	rounds, err := Run(r)
+	if err != nil || rounds != 0 {
+		t.Errorf("empty run: rounds=%d err=%v", rounds, err)
+	}
+}
+
+func TestDirectOracleAgreesWithRunners(t *testing.T) {
+	g := gen.Complete(5)
+	rng := rand.New(rand.NewSource(10))
+	d := oracle.NewDirect(g, oracle.Augmented, rng)
+	ir, _ := NewInsertionRunner(stream.FromGraph(g), rng)
+	queries := []oracle.Query{
+		q(oracle.CountEdges),
+		q(oracle.Degree, 2),
+		q(oracle.Adjacent, 0, 4),
+	}
+	da, err := d.Round(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, err := ir.Round(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if da[i].Count != ia[i].Count || da[i].Yes != ia[i].Yes {
+			t.Errorf("query %d: direct %+v vs insertion %+v", i, da[i], ia[i])
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package transform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamcount/internal/graph"
+	"streamcount/internal/oracle"
+	"streamcount/internal/sketch"
+	"streamcount/internal/stream"
+)
+
+// TurnstileRunner answers query rounds over an arbitrary-order turnstile
+// stream, one pass per round, realizing Theorem 11 (the relaxed augmented
+// general graph model, Definition 10):
+//
+//	f1 (random edge)     — an ℓ0-sampler over the adjacency matrix;
+//	f2 (degree)          — a signed counter per queried vertex;
+//	f3 (random neighbor) — an ℓ0-sampler over the vertex's adjacency list;
+//	f4 (adjacency)       — a signed counter per queried pair;
+//
+// so a k-round algorithm with q queries runs in k passes and O(q·log^4 n)
+// bits. All ℓ0-samplers in a round share one fingerprint base so the
+// per-update field exponentiation is computed once.
+type TurnstileRunner struct {
+	st      stream.Stream
+	rng     *rand.Rand
+	l0cfg   sketch.L0Config
+	rounds  int64
+	queries int64
+	space   int64
+}
+
+// NewTurnstileRunner wraps the stream (insertions and deletions allowed).
+func NewTurnstileRunner(st stream.Stream, rng *rand.Rand) *TurnstileRunner {
+	// Size the samplers to the universe: supports are at most n^2 keys, so
+	// ~2·log2(n) + slack levels suffice.
+	levels := int(2*math.Ceil(math.Log2(float64(st.N()+2)))) + 8
+	return NewTurnstileRunnerConfig(st, rng, sketch.L0Config{Levels: levels, Buckets: 8, Reps: 2})
+}
+
+// NewTurnstileRunnerConfig is NewTurnstileRunner with an explicit
+// ℓ0-sampler configuration. Smaller configurations save space but raise the
+// sampler failure probability, which biases estimators downward (failed
+// trials contribute zero); the E12 ablation quantifies the trade-off.
+func NewTurnstileRunnerConfig(st stream.Stream, rng *rand.Rand, cfg sketch.L0Config) *TurnstileRunner {
+	return &TurnstileRunner{st: st, rng: rng, l0cfg: cfg}
+}
+
+// Model implements oracle.Runner.
+func (r *TurnstileRunner) Model() oracle.Model { return oracle.Relaxed }
+
+// Rounds implements oracle.Runner.
+func (r *TurnstileRunner) Rounds() int64 { return r.rounds }
+
+// Queries implements oracle.Runner.
+func (r *TurnstileRunner) Queries() int64 { return r.queries }
+
+// SpaceWords implements oracle.Runner.
+func (r *TurnstileRunner) SpaceWords() int64 { return r.space }
+
+// NumVertices implements oracle.Runner.
+func (r *TurnstileRunner) NumVertices() int64 { return r.st.N() }
+
+// Round implements oracle.Runner: one pass answers the whole batch.
+func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error) {
+	r.rounds++
+	r.queries += int64(len(queries))
+	n := r.st.N()
+	base := sketch.RandomFieldBase(r.rng.Uint64())
+
+	var (
+		edgeSamplers []*sketch.L0Sampler // for RandomEdge queries
+		edgeSampIdx  []int
+		nbrSamplers  = make(map[int64][]*sketch.L0Sampler) // vertex -> samplers
+		nbrSampIdx   = make(map[int64][]int)
+		degIdx       = make(map[int64][]int)
+		degCount     = make(map[int64]int64)
+		adjIdx       = make(map[graph.Edge][]int)
+		adjCount     = make(map[graph.Edge]int64)
+		m            int64
+	)
+	for i, q := range queries {
+		switch q.Type {
+		case oracle.CountEdges:
+			r.space++
+		case oracle.RandomEdge:
+			s := sketch.NewL0SamplerWithBase(r.rng.Uint64(), base, r.l0cfg)
+			edgeSamplers = append(edgeSamplers, s)
+			edgeSampIdx = append(edgeSampIdx, i)
+			r.space += s.SpaceWords()
+		case oracle.Degree:
+			degIdx[q.U] = append(degIdx[q.U], i)
+			r.space++
+		case oracle.RandomNeighbor:
+			s := sketch.NewL0SamplerWithBase(r.rng.Uint64(), base, r.l0cfg)
+			nbrSamplers[q.U] = append(nbrSamplers[q.U], s)
+			nbrSampIdx[q.U] = append(nbrSampIdx[q.U], i)
+			r.space += s.SpaceWords()
+		case oracle.Neighbor:
+			return nil, fmt.Errorf("transform: Neighbor is an augmented-model query; the turnstile runner emulates the relaxed model (use RandomNeighbor)")
+		case oracle.Adjacent:
+			c := graph.Edge{U: q.U, V: q.V}.Canon()
+			adjIdx[c] = append(adjIdx[c], i)
+			r.space++
+		default:
+			return nil, fmt.Errorf("transform: unknown query type %d", q.Type)
+		}
+	}
+
+	// One pass: counters are updated inline; sampler feeds are buffered so
+	// each sampler can then consume the whole pass sequentially, keeping its
+	// cells cache-resident (processing thousands of samplers per incoming
+	// update would thrash the cache).
+	type buffered struct {
+		key   uint64
+		delta int64
+		term  uint64
+	}
+	var edgeFeed []buffered
+	nbrFeed := make(map[int64][]buffered) // vertex -> its adjacency updates
+	err := r.st.ForEach(func(u stream.Update) error {
+		delta := int64(1)
+		if u.Op == stream.Delete {
+			delta = -1
+		}
+		e := u.Edge.Canon()
+		m += delta
+		if len(edgeSamplers) > 0 {
+			key := edgeKey(e, n)
+			edgeFeed = append(edgeFeed, buffered{key, delta, sketch.FingerprintTerm(base, key, delta)})
+		}
+		if len(degIdx[e.U]) > 0 {
+			degCount[e.U] += delta
+		}
+		if len(degIdx[e.V]) > 0 {
+			degCount[e.V] += delta
+		}
+		if _, ok := nbrSamplers[e.U]; ok {
+			nbrFeed[e.U] = append(nbrFeed[e.U], buffered{uint64(e.V), delta, sketch.FingerprintTerm(base, uint64(e.V), delta)})
+		}
+		if _, ok := nbrSamplers[e.V]; ok {
+			nbrFeed[e.V] = append(nbrFeed[e.V], buffered{uint64(e.U), delta, sketch.FingerprintTerm(base, uint64(e.U), delta)})
+		}
+		if _, ok := adjIdx[e]; ok {
+			adjCount[e] += delta
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range edgeSamplers {
+		for _, b := range edgeFeed {
+			s.UpdateTerm(b.key, b.delta, b.term)
+		}
+	}
+	for v, ss := range nbrSamplers {
+		feed := nbrFeed[v]
+		for _, s := range ss {
+			for _, b := range feed {
+				s.UpdateTerm(b.key, b.delta, b.term)
+			}
+		}
+	}
+
+	answers := make([]oracle.Answer, len(queries))
+	for i, q := range queries {
+		switch q.Type {
+		case oracle.CountEdges:
+			answers[i] = oracle.Answer{OK: true, Count: m}
+		case oracle.Degree:
+			answers[i] = oracle.Answer{OK: true, Count: degCount[q.U]}
+		case oracle.Adjacent:
+			c := graph.Edge{U: q.U, V: q.V}.Canon()
+			answers[i] = oracle.Answer{OK: true, Yes: adjCount[c] > 0}
+		}
+	}
+	for j, s := range edgeSamplers {
+		if key, ok := s.Sample(); ok {
+			answers[edgeSampIdx[j]] = oracle.Answer{OK: true, Edge: keyEdge(key, n)}
+		} else {
+			answers[edgeSampIdx[j]] = oracle.Answer{OK: false}
+		}
+	}
+	for v, ss := range nbrSamplers {
+		for j, s := range ss {
+			if key, ok := s.Sample(); ok {
+				answers[nbrSampIdx[v][j]] = oracle.Answer{OK: true, Count: int64(key)}
+			} else {
+				answers[nbrSampIdx[v][j]] = oracle.Answer{OK: false}
+			}
+		}
+	}
+	return answers, nil
+}

@@ -1,0 +1,123 @@
+package streamcount
+
+import (
+	"io"
+	"math/rand"
+
+	"streamcount/internal/core"
+	"streamcount/internal/exact"
+	"streamcount/internal/gen"
+	"streamcount/internal/graph"
+	"streamcount/internal/pattern"
+	"streamcount/internal/stream"
+)
+
+// Re-exported core types. The facade keeps downstream users on one import
+// path while the implementation lives in focused internal packages.
+type (
+	// Pattern is a constant-size target subgraph H.
+	Pattern = pattern.Pattern
+	// Graph is an in-memory simple undirected graph.
+	Graph = graph.Graph
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Update is one stream element (edge insert or delete).
+	Update = stream.Update
+	// Stream is a replayable multi-pass edge stream.
+	Stream = stream.Stream
+	// Config configures Estimate and Sample.
+	Config = core.Config
+	// CliqueConfig configures EstimateCliques.
+	CliqueConfig = core.CliqueConfig
+	// Result is a counting outcome with pass/space accounting.
+	Result = core.Estimate
+	// SampledCopy is a uniformly sampled copy of H.
+	SampledCopy = core.SampledCopy
+)
+
+// Stream update operations.
+const (
+	Insert = stream.Insert
+	Delete = stream.Delete
+)
+
+// PatternByName resolves catalog patterns: "triangle", "C<k>", "K<r>",
+// "S<k>", "P<k>", "paw", "diamond".
+func PatternByName(name string) (*Pattern, error) { return pattern.ByName(name) }
+
+// NewPattern builds a custom pattern on n vertices from an edge list.
+func NewPattern(name string, n int, edges [][2]int) (*Pattern, error) {
+	return pattern.New(name, n, edges)
+}
+
+// NewStream builds an in-memory stream over n vertices, validating updates.
+func NewStream(n int64, updates []Update) (Stream, error) { return stream.NewSlice(n, updates) }
+
+// StreamFromGraph turns a graph into an insertion-only stream.
+func StreamFromGraph(g *Graph) Stream { return stream.FromGraph(g) }
+
+// TurnstileFromGraph builds a turnstile stream whose final graph is g:
+// every edge of g inserted plus extra·m decoy edges inserted and later
+// deleted, interleaved at random.
+func TurnstileFromGraph(g *Graph, extra float64, rng *rand.Rand) Stream {
+	return stream.WithDeletions(g, extra, rng)
+}
+
+// ShuffledStream returns a copy of st with updates permuted (per-edge order
+// preserved for turnstile streams). st must come from this package.
+func ShuffledStream(st Stream, rng *rand.Rand) Stream {
+	return stream.Shuffled(st.(*stream.Slice), rng)
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int64) *Graph { return graph.New(n) }
+
+// ReadGraph parses the "n m" + edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// Estimate runs the paper's 3-pass subgraph counting algorithm (Theorem 17
+// on insertion-only streams, Theorem 1 on turnstile streams).
+func Estimate(st Stream, cfg Config) (*Result, error) { return core.EstimateSubgraphs(st, cfg) }
+
+// Sample draws one uniformly random copy of H in 3 passes (Lemma 16/18).
+func Sample(st Stream, cfg Config) (SampledCopy, bool, error) { return core.SampleSubgraph(st, cfg) }
+
+// EstimateCliques runs the 5r-pass low-degeneracy clique counter
+// (Theorem 2).
+func EstimateCliques(st Stream, cfg CliqueConfig) (*Result, error) {
+	return core.EstimateCliques(st, cfg)
+}
+
+// EstimateAuto is Estimate without a known lower bound on #H: it performs a
+// geometric search over guesses (cf. Lemma 21), at 3 passes per guess.
+func EstimateAuto(st Stream, cfg Config) (*Result, error) {
+	return core.EstimateSubgraphsAuto(st, cfg)
+}
+
+// Distinguish reports whether #H >= (1+eps)·l rather than <= l — the
+// paper's decision phrasing of the problem (§1.1).
+func Distinguish(st Stream, cfg Config, l float64) (bool, *Result, error) {
+	return core.Distinguish(st, cfg, l)
+}
+
+// OpenStreamFile opens a file-backed update stream ("n" header, then
+// "+ u v"/"- u v" lines) replayed from disk on each pass.
+func OpenStreamFile(path string) (Stream, error) { return stream.OpenFile(path) }
+
+// TrialsFor returns the instance count Theorem 17/1 prescribes for m edges,
+// edge-cover exponent rho, accuracy eps and lower bound l on #H.
+func TrialsFor(m int64, rho float64, eps, l float64) int { return core.TrialsFor(m, rho, eps, l) }
+
+// ExactCount counts #H in an in-memory graph exactly (ground truth).
+func ExactCount(g *Graph, p *Pattern) int64 { return exact.Count(g, p) }
+
+// Degeneracy returns the degeneracy λ of g and a degeneracy ordering.
+func Degeneracy(g *Graph) (int64, []int64) { return graph.Degeneracy(g) }
+
+// Generators re-exported for examples and experiments.
+
+// ErdosRenyi returns a uniform graph with n vertices and m edges.
+func ErdosRenyi(rng *rand.Rand, n, m int64) *Graph { return gen.ErdosRenyiGNM(rng, n, m) }
+
+// BarabasiAlbert returns a preferential-attachment graph with degeneracy k.
+func BarabasiAlbert(rng *rand.Rand, n, k int64) *Graph { return gen.BarabasiAlbert(rng, n, k) }

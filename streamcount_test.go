@@ -1,0 +1,170 @@
+package streamcount_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamcount"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	g := streamcount.ErdosRenyi(rng, 30, 150)
+	want := streamcount.ExactCount(g, p)
+	if want == 0 {
+		t.Skip("no triangles in workload")
+	}
+	est, err := streamcount.Estimate(streamcount.StreamFromGraph(g), streamcount.Config{
+		Pattern: p,
+		Trials:  40000,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Passes != 3 {
+		t.Errorf("passes=%d, want 3", est.Passes)
+	}
+	if e := math.Abs(est.Value-float64(want)) / float64(want); e > 0.3 {
+		t.Errorf("estimate %.1f vs %d: rel err %.3f", est.Value, want, e)
+	}
+}
+
+func TestFacadeDerivedTrials(t *testing.T) {
+	p, _ := streamcount.PatternByName("triangle")
+	rng := rand.New(rand.NewSource(2))
+	g := streamcount.ErdosRenyi(rng, 25, 120)
+	want := streamcount.ExactCount(g, p)
+	if want < 10 {
+		t.Skip("too few triangles")
+	}
+	st := streamcount.StreamFromGraph(g)
+	est, err := streamcount.Estimate(st, streamcount.Config{
+		Pattern:    p,
+		Epsilon:    0.3,
+		LowerBound: float64(want),
+		EdgeBound:  g.M(),
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Trials < 1 {
+		t.Errorf("derived trials=%d", est.Trials)
+	}
+	if e := math.Abs(est.Value-float64(want)) / float64(want); e > 0.6 {
+		t.Errorf("estimate %.1f vs %d: rel err %.3f", est.Value, want, e)
+	}
+}
+
+func TestFacadeConfigErrors(t *testing.T) {
+	st, _ := streamcount.NewStream(3, nil)
+	if _, err := streamcount.Estimate(st, streamcount.Config{}); err == nil {
+		t.Error("missing pattern should error")
+	}
+	p, _ := streamcount.PatternByName("triangle")
+	if _, err := streamcount.Estimate(st, streamcount.Config{Pattern: p}); err == nil {
+		t.Error("missing trials derivation inputs should error")
+	}
+}
+
+func TestFacadeSample(t *testing.T) {
+	p, _ := streamcount.PatternByName("triangle")
+	rng := rand.New(rand.NewSource(4))
+	g := streamcount.ErdosRenyi(rng, 20, 80)
+	if streamcount.ExactCount(g, p) == 0 {
+		t.Skip("no triangles")
+	}
+	found := false
+	for seed := int64(0); seed < 20 && !found; seed++ {
+		cp, ok, err := streamcount.Sample(streamcount.StreamFromGraph(g), streamcount.Config{
+			Pattern: p, Trials: 500, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			found = true
+			if len(cp.Edges) != 3 {
+				t.Errorf("sampled copy has %d edges", len(cp.Edges))
+			}
+			for _, e := range cp.Edges {
+				if !g.HasEdge(e.U, e.V) {
+					t.Errorf("edge %v not in graph", e)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no sample in 20 attempts")
+	}
+}
+
+func TestFacadeEstimateCliques(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := streamcount.BarabasiAlbert(rng, 200, 3)
+	p, _ := streamcount.PatternByName("K3")
+	want := streamcount.ExactCount(g, p)
+	if want < 20 {
+		t.Skipf("too few triangles: %d", want)
+	}
+	lambda, _ := streamcount.Degeneracy(g)
+	est, err := streamcount.EstimateCliques(streamcount.StreamFromGraph(g), streamcount.CliqueConfig{
+		R:          3,
+		Lambda:     lambda,
+		Epsilon:    0.4,
+		LowerBound: float64(want) / 2,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Passes > 15 {
+		t.Errorf("passes=%d exceeds 5r=15", est.Passes)
+	}
+	if e := math.Abs(est.Value-float64(want)) / float64(want); e > 0.6 {
+		t.Errorf("estimate %.1f vs %d: rel err %.3f", est.Value, want, e)
+	}
+}
+
+func TestFacadeEstimateCliquesRejectsTurnstile(t *testing.T) {
+	var ups []streamcount.Update
+	ups = append(ups,
+		streamcount.Update{Edge: streamcount.Edge{U: 0, V: 1}, Op: streamcount.Insert},
+		streamcount.Update{Edge: streamcount.Edge{U: 0, V: 1}, Op: streamcount.Delete},
+	)
+	st, err := streamcount.NewStream(3, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = streamcount.EstimateCliques(st, streamcount.CliqueConfig{R: 3, Lambda: 1, Epsilon: 0.4, LowerBound: 1})
+	if err == nil || !strings.Contains(err.Error(), "insertion-only") {
+		t.Errorf("want insertion-only error, got %v", err)
+	}
+}
+
+func TestFacadeReadGraph(t *testing.T) {
+	in := "3 2\n0 1\n1 2\n"
+	g, err := streamcount.ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestTrialsFor(t *testing.T) {
+	if k := streamcount.TrialsFor(100, 1.5, 0.1, 10); k < 100 {
+		t.Errorf("TrialsFor too small: %d", k)
+	}
+	if k := streamcount.TrialsFor(0, 1.5, 0.1, 10); k != 1 {
+		t.Errorf("empty graph trials=%d, want 1", k)
+	}
+}
