@@ -113,7 +113,10 @@ func BenchmarkDecomposePattern(b *testing.B) {
 	}
 }
 
-func BenchmarkFGPInsertionPass(b *testing.B) {
+// benchFGPInsertion measures one full 3-pass FGP count at the given pass
+// engine parallelism (0 = GOMAXPROCS, 1 = the sequential baseline).
+func benchFGPInsertion(b *testing.B, parallelism int) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(4))
 	g := gen.ErdosRenyiGNM(rng, 500, 5000)
 	pl, err := fgp.NewPlan(pattern.Triangle())
@@ -127,13 +130,18 @@ func BenchmarkFGPInsertionPass(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := fgp.Count(r, pl, 5000, rng); err != nil {
+		r.SetParallelism(parallelism)
+		if _, err := fgp.CountParallel(r, pl, 5000, rng, parallelism); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkFGPTurnstilePass(b *testing.B) {
+func BenchmarkFGPInsertionPass(b *testing.B)           { benchFGPInsertion(b, 0) }
+func BenchmarkFGPInsertionPassSequential(b *testing.B) { benchFGPInsertion(b, 1) }
+
+func benchFGPTurnstile(b *testing.B, parallelism int) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(5))
 	g := gen.ErdosRenyiGNM(rng, 200, 1500)
 	pl, err := fgp.NewPlan(pattern.Triangle())
@@ -144,13 +152,41 @@ func BenchmarkFGPTurnstilePass(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := transform.NewTurnstileRunner(st, rng)
-		if _, err := fgp.Count(r, pl, 2000, rng); err != nil {
+		r.SetParallelism(parallelism)
+		if _, err := fgp.CountParallel(r, pl, 2000, rng, parallelism); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+func BenchmarkFGPTurnstilePass(b *testing.B)           { benchFGPTurnstile(b, 0) }
+func BenchmarkFGPTurnstilePassSequential(b *testing.B) { benchFGPTurnstile(b, 1) }
+
+// BenchmarkStreamPassThroughput measures the pass engine's replay hot path:
+// the batched API the runners consume the stream through.
 func BenchmarkStreamPassThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.ErdosRenyiGNM(rng, 2000, 50000)
+	st := stream.FromGraph(g)
+	b.SetBytes(int64(st.Len()) * 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cnt int64
+		if err := st.ForEachBatch(func(batch []stream.Update) error {
+			cnt += int64(len(batch))
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if cnt != st.Len() {
+			b.Fatalf("replayed %d of %d updates", cnt, st.Len())
+		}
+	}
+}
+
+// BenchmarkStreamPassPerUpdate is the legacy per-update replay path, kept
+// as the baseline the batched API is measured against.
+func BenchmarkStreamPassPerUpdate(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	g := gen.ErdosRenyiGNM(rng, 2000, 50000)
 	st := stream.FromGraph(g)

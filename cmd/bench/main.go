@@ -1,0 +1,140 @@
+// Command bench runs the repository's core micro-benchmarks and writes a
+// machine-readable BENCH_core.json mapping each benchmark to its measured
+// ns/op, B/op and allocs/op. It seeds the performance trajectory: successive
+// revisions regenerate the file and diff it to catch regressions.
+//
+// It shells out to `go test -bench`, so it needs the Go toolchain — the
+// same environment that builds the repository.
+//
+// Examples:
+//
+//	bench                         # core set -> BENCH_core.json
+//	bench -bench 'BenchmarkFGP.*' # custom selection
+//	bench -benchtime 5s -out perf.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// coreSet selects the substrate and pass-engine benchmarks; the Exp*
+// experiment benchmarks regenerate whole report tables and are too slow for
+// a default run.
+const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
+
+// Measurement is one benchmark result.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		benchRe   = flag.String("bench", coreSet, "benchmark selection regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (go test -benchtime)")
+		count     = flag.Int("count", 1, "runs per benchmark; the minimum ns/op is kept")
+		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+		out       = flag.String("out", "BENCH_core.json", "output JSON path")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe,
+		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		log.Fatalf("go test -bench failed: %v", err)
+	}
+
+	results, err := parseBench(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatalf("no benchmark results matched %q", *benchRe)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-44s %14.1f ns/op %10.0f allocs/op\n",
+			name, results[name].NsPerOp, results[name].AllocsPerOp)
+	}
+	fmt.Printf("bench: wrote %d results to %s\n", len(results), *out)
+}
+
+// parseBench extracts results from `go test -bench` output lines such as
+//
+//	BenchmarkFGPInsertionPass-8   104   22885547 ns/op   23029059 B/op   117741 allocs/op
+//
+// Repeated measurements of one benchmark (-count > 1) keep the fastest run.
+func parseBench(r *bytes.Buffer) (map[string]Measurement, error) {
+	results := make(map[string]Measurement)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the -GOMAXPROCS suffix so keys are stable across hosts.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("unparseable benchmark line: %q", line)
+		}
+		m := Measurement{NsPerOp: ns, Iterations: iters}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if prev, ok := results[name]; !ok || m.NsPerOp < prev.NsPerOp {
+			results[name] = m
+		}
+	}
+	return results, sc.Err()
+}

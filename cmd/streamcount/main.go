@@ -40,6 +40,7 @@ func main() {
 		lambda  = flag.Int64("lambda", 0, "degeneracy bound for -cliques (0: compute exactly)")
 		exactF  = flag.Bool("exact", false, "also print the exact count (loads the graph into memory)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		paral   = flag.Int("parallel", 0, "pass-engine workers (0: GOMAXPROCS, 1: sequential; same estimate either way)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	if *cliques >= 3 {
-		runCliques(st, *cliques, *lambda, *eps, *lower, *seed, *exactF)
+		runCliques(st, *cliques, *lambda, *eps, *lower, *seed, *paral, *exactF)
 		return
 	}
 
@@ -62,12 +63,13 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := streamcount.Config{
-		Pattern:    p,
-		Trials:     *trials,
-		Epsilon:    *eps,
-		LowerBound: *lower,
-		EdgeBound:  st.Len(),
-		Seed:       *seed,
+		Pattern:     p,
+		Trials:      *trials,
+		Epsilon:     *eps,
+		LowerBound:  *lower,
+		EdgeBound:   st.Len(),
+		Seed:        *seed,
+		Parallelism: *paral,
 	}
 	est, err := streamcount.Estimate(st, cfg)
 	if err != nil {
@@ -88,7 +90,7 @@ func main() {
 	}
 }
 
-func runCliques(st streamcount.Stream, r int, lambda int64, eps, lower float64, seed int64, exactF bool) {
+func runCliques(st streamcount.Stream, r int, lambda int64, eps, lower float64, seed int64, paral int, exactF bool) {
 	var g *graph.Graph
 	if lambda == 0 || exactF || lower == 0 {
 		var err error
@@ -112,6 +114,7 @@ func runCliques(st streamcount.Stream, r int, lambda int64, eps, lower float64, 
 	}
 	est, err := streamcount.EstimateCliques(st, streamcount.CliqueConfig{
 		R: r, Lambda: lambda, Epsilon: eps, LowerBound: lower, Seed: seed,
+		Parallelism: paral,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -21,6 +21,15 @@
 //	est, _ := streamcount.Estimate(st, streamcount.Config{Pattern: p, Trials: 100000})
 //	fmt.Println(est.Value, est.Passes) // ≈ #triangles, 3
 //
+// # Parallelism
+//
+// The pass engine is parallel: stream replay is batched, each runner shards
+// its per-query emulation state across workers, and the FGP trials are
+// processed concurrently. Config.Parallelism (and CliqueConfig.Parallelism)
+// bounds the worker count — 0 means GOMAXPROCS, 1 forces the sequential
+// path. For a fixed Config.Seed the estimate is bit-identical at any
+// parallelism; see DESIGN.md §2 for the determinism contract.
+//
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // architecture and the paper-faithfulness notes.
 package streamcount

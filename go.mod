@@ -1,0 +1,3 @@
+module streamcount
+
+go 1.24

@@ -47,6 +47,11 @@ type Config struct {
 	MaxTrials int
 	// Seed seeds the run's randomness.
 	Seed int64
+	// Parallelism bounds the worker goroutines of the pass engine (sharded
+	// query serving, batched stream replay) and the per-trial pipeline. 0
+	// selects GOMAXPROCS; 1 forces the sequential path. For a fixed Seed the
+	// estimate is bit-identical at any Parallelism (DESIGN.md §2).
+	Parallelism int
 }
 
 // Estimate is the outcome of a counting run.
@@ -104,13 +109,19 @@ func (c Config) trials() (int, error) {
 }
 
 // runnerFor builds the pass-counting runner matching the stream's model.
-func runnerFor(st stream.Stream, rng *rand.Rand) (oracle.Runner, *stream.Counter, error) {
+func runnerFor(st stream.Stream, rng *rand.Rand, parallelism int) (oracle.Runner, *stream.Counter, error) {
 	cnt := stream.NewCounter(st)
 	if st.InsertOnly() {
 		r, err := transform.NewInsertionRunner(cnt, rng)
-		return r, cnt, err
+		if err != nil {
+			return nil, nil, err
+		}
+		r.SetParallelism(parallelism)
+		return r, cnt, nil
 	}
-	return transform.NewTurnstileRunner(cnt, rng), cnt, nil
+	r := transform.NewTurnstileRunner(cnt, rng)
+	r.SetParallelism(parallelism)
+	return r, cnt, nil
 }
 
 // EstimateSubgraphs estimates #H in the stream with the 3-pass FGP counting
@@ -130,11 +141,11 @@ func EstimateSubgraphs(st stream.Stream, cfg Config) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, cnt, err := runnerFor(st, rng)
+	r, cnt, err := runnerFor(st, rng, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	res, err := fgp.Count(r, pl, trials, rng)
+	res, err := fgp.CountParallel(r, pl, trials, rng, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -171,11 +182,11 @@ func SampleSubgraph(st stream.Stream, cfg Config) (SampledCopy, bool, error) {
 	if err != nil {
 		return SampledCopy{}, false, err
 	}
-	r, _, err := runnerFor(st, rng)
+	r, _, err := runnerFor(st, rng, cfg.Parallelism)
 	if err != nil {
 		return SampledCopy{}, false, err
 	}
-	sr, ok, err := fgp.Sample(r, pl, trials, rng)
+	sr, ok, err := fgp.SampleParallel(r, pl, trials, rng, cfg.Parallelism)
 	if err != nil || !ok {
 		return SampledCopy{}, false, err
 	}
@@ -259,6 +270,10 @@ type CliqueConfig struct {
 	Params ers.Params
 	// Seed seeds the run's randomness.
 	Seed int64
+	// Parallelism bounds the pass engine's worker goroutines (see
+	// Config.Parallelism). The ERS chain itself is sequential; its passes
+	// are served by the sharded runner.
+	Parallelism int
 }
 
 // EstimateCliques estimates #K_r on a low-degeneracy insertion-only stream
@@ -278,6 +293,7 @@ func EstimateCliques(st stream.Stream, cfg CliqueConfig) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.SetParallelism(cfg.Parallelism)
 	res, err := ers.Count(r, p, rng)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"streamcount/internal/exact"
 	"streamcount/internal/fgp"
 	"streamcount/internal/gen"
+	"streamcount/internal/par"
 	"streamcount/internal/pattern"
 	"streamcount/internal/sketch"
 	"streamcount/internal/stream"
@@ -91,25 +92,36 @@ func E12L0ConfigAblation(seed int64) (*Table, error) {
 		{Levels: levels, Buckets: 8, Reps: 2},
 	}
 	const reps = 4
-	for _, cfg := range configs {
+	ests := make([][reps]float64, len(configs))
+	errOut := make([]error, len(configs)*reps)
+	par.For(0, len(configs)*reps, func(j int) {
+		i, rep := j/reps, j%reps
+		cfg := configs[i]
+		rr := rand.New(rand.NewSource(seed + int64(rep) + int64(cfg.Buckets*100+cfg.Reps)))
+		ts := stream.WithDeletions(g, 0.5, rr)
+		run := transform.NewTurnstileRunnerConfig(ts, rr, cfg)
+		res, err := fgp.Count(run, pl, 15000, rr)
+		if err != nil {
+			errOut[j] = err
+			return
+		}
+		ests[i][rep] = res.Estimate
+	})
+	for _, err := range errOut {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, cfg := range configs {
 		var estSum, errSum float64
-		var space int64
 		for rep := 0; rep < reps; rep++ {
-			rr := rand.New(rand.NewSource(seed + int64(rep) + int64(cfg.Buckets*100+cfg.Reps)))
-			ts := stream.WithDeletions(g, 0.5, rr)
-			run := transform.NewTurnstileRunnerConfig(ts, rr, cfg)
-			res, err := fgp.Count(run, pl, 15000, rr)
-			if err != nil {
-				return nil, err
-			}
-			estSum += res.Estimate
-			errSum += relErr(res.Estimate, want)
+			estSum += ests[i][rep]
+			errSum += relErr(ests[i][rep], want)
 		}
 		probe := sketch.NewL0Sampler(1, cfg)
-		space = probe.SpaceWords()
 		mean := estSum / reps
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%dx%d", cfg.Buckets, cfg.Reps), fi(space),
+			fmt.Sprintf("%dx%d", cfg.Buckets, cfg.Reps), fi(probe.SpaceWords()),
 			f1(mean), pct((mean - float64(want)) / float64(want)), pct(errSum / reps),
 		})
 	}

@@ -19,11 +19,17 @@ import (
 	"streamcount/internal/fgp"
 	"streamcount/internal/gen"
 	"streamcount/internal/graph"
+	"streamcount/internal/par"
 	"streamcount/internal/pattern"
 	"streamcount/internal/sketch"
 	"streamcount/internal/stream"
 	"streamcount/internal/transform"
 )
+
+// Repetitions of one experiment point are independent runs with their own
+// seeds, so the harness executes them concurrently (par.For) and reduces
+// their outputs in repetition order — tables are identical at any
+// GOMAXPROCS. Experiment functions stay deterministic given their seed.
 
 // Table is a printable experiment result.
 type Table struct {
@@ -201,36 +207,52 @@ func E02SamplerUniformity(seed int64) (*Table, error) {
 		counts := make(map[string]int)
 		total := 0
 		const invocations = 3000
-		for i := 0; i < invocations; i++ {
+		// Each invocation is an independent sampler run with its own seed
+		// (drawn sequentially, so tables don't depend on the worker count);
+		// the invocations themselves run concurrently.
+		seeds := make([]int64, invocations)
+		for i := range seeds {
+			seeds[i] = rng.Int63()
+		}
+		keys := make([]string, invocations)
+		errs := make([]error, invocations)
+		par.For(0, invocations, func(i int) {
+			rr := rand.New(rand.NewSource(seeds[i]))
 			var sr fgp.SampleResult
 			var ok bool
+			var err error
 			if model == "insertion" {
-				r, err := transform.NewInsertionRunner(stream.FromGraph(g), rng)
-				if err != nil {
-					return nil, err
-				}
-				sr, ok, err = fgp.Sample(r, pl, 30, rng)
-				if err != nil {
-					return nil, err
+				var r *transform.InsertionRunner
+				r, err = transform.NewInsertionRunner(stream.FromGraph(g), rr)
+				if err == nil {
+					sr, ok, err = fgp.SampleParallel(r, pl, 30, rr, 1)
 				}
 			} else {
-				r := transform.NewTurnstileRunner(stream.WithDeletions(g, 0, rng), rng)
-				var err error
-				sr, ok, err = fgp.Sample(r, pl, 30, rng)
-				if err != nil {
-					return nil, err
-				}
+				r := transform.NewTurnstileRunner(stream.WithDeletions(g, 0, rr), rr)
+				sr, ok, err = fgp.SampleParallel(r, pl, 30, rr, 1)
+			}
+			if err != nil {
+				errs[i] = err
+				return
 			}
 			if !ok {
-				continue
+				return
 			}
 			parts := make([]string, len(sr.Edges))
 			for j, e := range sr.Edges {
 				parts[j] = e.Canon().String()
 			}
 			sort.Strings(parts)
-			counts[strings.Join(parts, "")]++
-			total++
+			keys[i] = strings.Join(parts, "")
+		})
+		for i := 0; i < invocations; i++ {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			if keys[i] != "" {
+				counts[keys[i]]++
+				total++
+			}
 		}
 		mean := float64(total) / float64(copies)
 		minC, maxC := math.Inf(1), 0.0
@@ -269,16 +291,28 @@ func E03ErrorVsInstances(seed int64) (*Table, error) {
 		Columns: []string{"k (instances)", "mean rel.err", "pred ∝ 1/sqrt(k)"},
 	}
 	sweep := []int{1000, 3000, 10000, 30000, 100000}
+	const reps = 5
+	errVals := make([][reps]float64, len(sweep))
+	errOut := make([]error, len(sweep)*reps)
+	par.For(0, len(sweep)*reps, func(j int) {
+		i, rep := j/reps, j%reps
+		res, _, err := fgpInsertion(g, p, sweep[i], seed+int64(100*i+rep))
+		if err != nil {
+			errOut[j] = err
+			return
+		}
+		errVals[i][rep] = relErr(res.Estimate, want)
+	})
+	for _, err := range errOut {
+		if err != nil {
+			return nil, err
+		}
+	}
 	var base float64
 	for i, k := range sweep {
 		var errSum float64
-		const reps = 5
 		for rep := 0; rep < reps; rep++ {
-			res, _, err := fgpInsertion(g, p, k, seed+int64(100*i+rep))
-			if err != nil {
-				return nil, err
-			}
-			errSum += relErr(res.Estimate, want)
+			errSum += errVals[i][rep]
 		}
 		mean := errSum / reps
 		if i == 0 {
@@ -303,17 +337,34 @@ func E04Turnstile(seed int64) (*Table, error) {
 		Title:   fmt.Sprintf("turnstile robustness, triangles, m=%d #T=%d (Theorem 1)", g.M(), want),
 		Columns: []string{"decoy ratio", "stream len", "mean rel.err", "mean observed m"},
 	}
-	for _, extra := range []float64{0, 0.25, 0.5, 1.0, 2.0} {
+	extras := []float64{0, 0.25, 0.5, 1.0, 2.0}
+	const reps = 3
+	type repOut struct {
+		err float64
+		m   int64
+	}
+	outs := make([][reps]repOut, len(extras))
+	errOut := make([]error, len(extras)*reps)
+	par.For(0, len(extras)*reps, func(j int) {
+		i, rep := j/reps, j%reps
+		res, _, err := fgpTurnstile(g, p, 30000, extras[i], seed+int64(rep)+int64(1000*extras[i]))
+		if err != nil {
+			errOut[j] = err
+			return
+		}
+		outs[i][rep] = repOut{err: relErr(res.Estimate, want), m: res.M}
+	})
+	for _, err := range errOut {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, extra := range extras {
 		var errSum float64
 		var mSum, lenSum int64
-		const reps = 3
 		for rep := 0; rep < reps; rep++ {
-			res, _, err := fgpTurnstile(g, p, 30000, extra, seed+int64(rep)+int64(1000*extra))
-			if err != nil {
-				return nil, err
-			}
-			errSum += relErr(res.Estimate, want)
-			mSum += res.M
+			errSum += outs[i][rep].err
+			mSum += outs[i][rep].m
 			lenSum += g.M() + 2*int64(extra*float64(g.M()))
 		}
 		t.Rows = append(t.Rows, []string{
@@ -349,17 +400,21 @@ func E05PatternSweep(seed int64) (*Table, error) {
 		{"S3", func(rng *rand.Rand) *graph.Graph { return gen.ErdosRenyiGNM(rng, 60, 200) }},
 		{"paw", func(rng *rand.Rand) *graph.Graph { return gen.ErdosRenyiGNM(rng, 120, 700) }},
 	}
-	for i, c := range cases {
+	rows := make([][]string, len(cases))
+	errOut := make([]error, len(cases))
+	par.For(0, len(cases), func(i int) {
+		c := cases[i]
 		rng := rand.New(rand.NewSource(seed + int64(i)))
 		g := c.mk(rng)
 		p, err := pattern.ByName(c.name)
 		if err != nil {
-			return nil, err
+			errOut[i] = err
+			return
 		}
 		want := exact.Count(g, p)
 		if want == 0 {
-			t.Rows = append(t.Rows, []string{c.name, f1(p.Rho()), fi(g.N()), fi(g.M()), "0", "-", "-", "-", "-"})
-			continue
+			rows[i] = []string{c.name, f1(p.Rho()), fi(g.N()), fi(g.M()), "0", "-", "-", "-", "-"}
+			return
 		}
 		trials := int(2 * math.Pow(float64(2*g.M()), p.Rho()) / (0.25 * 0.25 * float64(want)))
 		if trials > 600000 {
@@ -370,13 +425,20 @@ func E05PatternSweep(seed int64) (*Table, error) {
 		}
 		res, run, err := fgpInsertion(g, p, trials, seed+int64(i))
 		if err != nil {
-			return nil, err
+			errOut[i] = err
+			return
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			c.name, f1(p.Rho()), fi(g.N()), fi(g.M()), fi(want), f1(res.Estimate),
 			pct(relErr(res.Estimate, want)), fi(int64(trials)), fi(run.Rounds()),
-		})
+		}
+	})
+	for _, err := range errOut {
+		if err != nil {
+			return nil, err
+		}
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"patterns whose decomposition has no odd cycle (K4 = S1+S1, S3, paw) skip the wedge pass and finish in 2 passes.")
 	return t, nil
@@ -587,19 +649,34 @@ func E10Baselines(seed int64) (*Table, error) {
 		Columns: []string{"algorithm", "space(words)", "mean rel.err", "passes"},
 	}
 	const reps = 3
-	for _, trials := range []int{5000, 20000, 80000} {
+	sweep := []int{5000, 20000, 80000}
+	type repOut struct {
+		err   float64
+		space int64
+	}
+	outs := make([][reps]repOut, len(sweep))
+	errOut := make([]error, len(sweep)*reps)
+	par.For(0, len(sweep)*reps, func(j int) {
+		i, rep := j/reps, j%reps
+		res, run, err := fgpInsertion(g, p, sweep[i], seed+int64(sweep[i]+rep))
+		if err != nil {
+			errOut[j] = err
+			return
+		}
+		outs[i][rep] = repOut{err: relErr(res.Estimate, want), space: run.SpaceWords()}
+	})
+	for _, err := range errOut {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, trials := range sweep {
 		var errSum float64
-		var space int64
 		for rep := 0; rep < reps; rep++ {
-			res, run, err := fgpInsertion(g, p, trials, seed+int64(trials+rep))
-			if err != nil {
-				return nil, err
-			}
-			errSum += relErr(res.Estimate, want)
-			space = run.SpaceWords()
+			errSum += outs[i][rep].err
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("FGP k=%d", trials), fi(space), pct(errSum / reps), "3",
+			fmt.Sprintf("FGP k=%d", trials), fi(outs[i][reps-1].space), pct(errSum / reps), "3",
 		})
 	}
 	for _, keep := range []float64{0.1, 0.3, 0.6} {

@@ -33,7 +33,9 @@ import (
 
 	"streamcount/internal/graph"
 	"streamcount/internal/oracle"
+	"streamcount/internal/par"
 	"streamcount/internal/pattern"
+	"streamcount/internal/sketch"
 )
 
 // Plan precomputes the pattern-dependent constants used by every trial.
@@ -94,7 +96,11 @@ type directedEdge struct {
 }
 
 // trial is the per-instance state of one parallel run of Algorithm 1/5.
+// Every trial owns a private RNG derived from the run seed and the trial
+// index (splitmix64), so its coin flips are identical no matter which worker
+// executes it or in what order — the determinism contract of DESIGN.md §2.
 type trial struct {
+	rng        *rand.Rand
 	cyclePath  [][]directedEdge // per cycle: k path edges
 	cycleSpare []directedEdge   // per cycle: the extra edge for the high-degree branch
 	starEdges  [][]directedEdge // per star: s directed edges
@@ -129,13 +135,24 @@ type Result struct {
 
 // Count runs the 3-round FGP counting algorithm (Theorem 17 / Theorem 1)
 // with the given number of parallel trials and returns the unbiased
-// estimate of #H.
+// estimate of #H. Trial work (construction, prechecks, round-3
+// postprocessing) is spread over GOMAXPROCS workers; use CountParallel to
+// bound or disable the fan-out.
 func Count(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand) (*Result, error) {
+	return CountParallel(r, pl, trials, rng, 0)
+}
+
+// CountParallel is Count with an explicit worker bound: parallelism <= 0
+// selects GOMAXPROCS, 1 forces the sequential path. The estimate is
+// bit-identical for a fixed rng seed at any parallelism: each trial owns a
+// splitmix64 RNG derived from the seed and the trial index, and per-trial
+// contributions are reduced in trial order.
+func CountParallel(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, parallelism int) (*Result, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("fgp: trials must be positive, got %d", trials)
 	}
 	res := &Result{Trials: trials}
-	ts, err := runTrials(r, pl, trials, rng, res)
+	ts, err := runTrials(r, pl, trials, rng, res, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -169,11 +186,20 @@ type trialOutcome struct {
 	copies int64        // |D(t)|; 0 for failed trials
 	found  [][][2]int64 // the witnessed copies as global edge lists
 	verts  []int64      // V'' in local-index order (only when copies > 0)
+	rng    *rand.Rand   // the trial's RNG, for Sample's rejection coins
 }
 
 // runTrials executes the three query rounds shared by Count and Sample and
-// post-processes every trial.
-func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Result) ([]trialOutcome, error) {
+// post-processes every trial. The query rounds themselves are sequential
+// (each is one stream pass); all per-trial work between rounds — orientation
+// coins, prechecks, vertex collection, postprocessing — fans out over
+// parallelism workers. Trials touch only their own state and their own RNG,
+// so the outcome vector is independent of the worker count.
+func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Result, parallelism int) ([]trialOutcome, error) {
+	// One sequential draw seeds the whole per-trial RNG family.
+	seedBase := rng.Uint64()
+	relaxed := r.Model() == oracle.Relaxed
+
 	// ---- Round 1: count edges and sample all raw edges (f1). ----
 	edgesPerTrial := 0
 	for _, k := range pl.ks {
@@ -202,21 +228,24 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 	s := int64(math.Ceil(math.Sqrt(float64(2 * m))))
 	res.PerTupleProb = pl.trialWeight(m, s)
 
-	orient := func(a oracle.Answer) directedEdge {
-		if !a.OK {
-			return directedEdge{}
-		}
-		e := a.Edge
-		if rng.Intn(2) == 0 {
-			return directedEdge{tail: e.U, head: e.V, ok: true}
-		}
-		return directedEdge{tail: e.V, head: e.U, ok: true}
-	}
-
+	// ---- Trial construction and precheck (parallel over trials). ----
 	ts := make([]*trial, trials)
-	pos := 1
-	for t := 0; t < trials; t++ {
-		tr := &trial{relaxed: r.Model() == oracle.Relaxed}
+	par.For(parallelism, trials, func(t int) {
+		tr := &trial{
+			relaxed: relaxed,
+			rng:     rand.New(sketch.NewSplitMix64(sketch.Hash64(seedBase, uint64(t)))),
+		}
+		orient := func(a oracle.Answer) directedEdge {
+			if !a.OK {
+				return directedEdge{}
+			}
+			e := a.Edge
+			if tr.rng.Intn(2) == 0 {
+				return directedEdge{tail: e.U, head: e.V, ok: true}
+			}
+			return directedEdge{tail: e.V, head: e.U, ok: true}
+		}
+		pos := 1 + t*edgesPerTrial
 		for _, k := range pl.ks {
 			spare := orient(a1[pos])
 			pos++
@@ -253,9 +282,11 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 			precheck(tr, pl)
 		}
 		ts[t] = tr
-	}
+	})
 
-	// ---- Round 2: one neighbor sample per cycle per live trial (f3). ----
+	// ---- Round 2: one neighbor sample per cycle per live trial (f3).
+	// Query assembly is sequential so the batch order is deterministic; the
+	// neighbor-index draw comes from the trial's own RNG. ----
 	var round2 []oracle.Query
 	type nref struct{ t, c int }
 	var nrefs []nref
@@ -266,11 +297,11 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 		for ci := range pl.ks {
 			u1 := tr.cyclePath[ci][0].tail
 			var q oracle.Query
-			if r.Model() == oracle.Augmented {
+			if !relaxed {
 				// Insertion-only (Algorithm 1): the j-th neighbor for a
 				// uniform j ∈ [S]; fails when j exceeds the degree, which
 				// realizes probability exactly 1/S per neighbor.
-				q = oracle.Query{Type: oracle.Neighbor, U: u1, I: rng.Int63n(s) + 1}
+				q = oracle.Query{Type: oracle.Neighbor, U: u1, I: tr.rng.Int63n(s) + 1}
 			} else {
 				// Turnstile (Algorithm 5): an ℓ0-sampled neighbor; the
 				// degree-dependent acceptance coin is flipped in
@@ -297,7 +328,12 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 	}
 
 	// ---- Round 3: degrees and all pairwise adjacencies per live trial
-	// (f2, f4). ----
+	// (f2, f4). Vertex collection is parallel; query assembly sequential. ----
+	par.For(parallelism, trials, func(ti int) {
+		if tr := ts[ti]; !tr.dead {
+			tr.verts = collectVertices(tr, pl)
+		}
+	})
 	var round3 []oracle.Query
 	type qspan struct{ start, end int }
 	spans := make([]qspan, trials)
@@ -305,7 +341,6 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 		if tr.dead {
 			continue
 		}
-		tr.verts = collectVertices(tr, pl)
 		start := len(round3)
 		for _, v := range tr.verts {
 			round3 = append(round3, oracle.Query{Type: oracle.Degree, U: v})
@@ -326,15 +361,17 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 		res.Rounds = 3
 	}
 
-	// ---- Postprocessing (offline). ----
+	// ---- Postprocessing (offline, parallel over trials). ----
 	out := make([]trialOutcome, trials)
-	for ti, tr := range ts {
+	par.For(parallelism, trials, func(ti int) {
+		tr := ts[ti]
 		if tr.dead {
-			continue
+			return
 		}
 		sp := spans[ti]
-		out[ti] = postprocess(tr, pl, a3[sp.start:sp.end], m, s, rng)
-	}
+		out[ti] = postprocess(tr, pl, a3[sp.start:sp.end], m, s, tr.rng)
+		out[ti].rng = tr.rng
+	})
 	return out, nil
 }
 
@@ -581,11 +618,19 @@ type SampleResult struct {
 // is returned with identical probability W/c_max(H). ok is false if no trial
 // succeeded.
 func Sample(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand) (SampleResult, bool, error) {
+	return SampleParallel(r, pl, trials, rng, 0)
+}
+
+// SampleParallel is Sample with an explicit worker bound (see CountParallel
+// for the parallelism contract). The rejection coins come from each trial's
+// own RNG and trials are inspected in index order, so the returned copy is
+// identical at any parallelism.
+func SampleParallel(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, parallelism int) (SampleResult, bool, error) {
 	if pl.cMax == 0 {
 		pl.cMax = pattern.MaxCopiesPerTuple(pl.p, pl.dec)
 	}
 	res := &Result{Trials: trials}
-	ts, err := runTrials(r, pl, trials, rng, res)
+	ts, err := runTrials(r, pl, trials, rng, res, parallelism)
 	if err != nil {
 		return SampleResult{}, false, err
 	}
@@ -595,12 +640,12 @@ func Sample(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand) (SampleResult
 		}
 		// Pick slot j uniform in [c_max]; a slot beyond |D(t)| rejects, so
 		// every copy is selected with probability exactly 1/c_max.
-		j := rng.Int63n(pl.cMax)
+		j := t.rng.Int63n(pl.cMax)
 		if j >= t.copies {
 			continue
 		}
 		// Paper's correction coin: accept with probability 1/f_T.
-		if rng.Int63n(pl.fT) != 0 {
+		if t.rng.Int63n(pl.fT) != 0 {
 			continue
 		}
 		cp := t.found[j]

@@ -19,6 +19,30 @@ func Hash64(seed, key uint64) uint64 {
 	return splitmix64(splitmix64(seed) ^ splitmix64(key))
 }
 
+// SplitMix64 is a rand.Source64 backed by the SplitMix64 generator. It is
+// the pass engine's per-instance RNG: every parallel unit of work (a sampler
+// instance, an FGP trial) owns one, seeded deterministically from the run
+// seed and the unit's index, so results are bit-identical at any worker
+// count. It is tiny (8 bytes of state) and allocation-free to advance.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a source seeded with the given state.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 implements rand.Source64.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return splitmix64(s.state)
+}
+
+// Int63 implements rand.Source.
+func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
+
 // mersenne61 is the Mersenne prime 2^61 - 1, the fingerprint field modulus.
 const mersenne61 = (1 << 61) - 1
 

@@ -43,6 +43,32 @@ func (r *Reservoir) Offer(item uint64) {
 	r.next = next
 }
 
+// OfferKeys presents a whole batch of stream items at once. It is
+// equivalent to calling Offer on every key in order — the same accepts
+// happen and the same random draws are made, so the final state is
+// bit-identical — but skip sampling lets it jump straight to the accepted
+// positions, costing O(accepts) instead of O(len(keys)). This is what makes
+// thousands of reservoirs per pass affordable: each consumes a batch in
+// amortized O(1).
+func (r *Reservoir) OfferKeys(keys []uint64) {
+	base := r.count
+	end := base + int64(len(keys))
+	for r.next <= end {
+		r.item = keys[r.next-base-1]
+		cnt := r.next
+		u := r.rng.Float64()
+		for u == 0 {
+			u = r.rng.Float64()
+		}
+		next := int64(math.Ceil(float64(cnt) / u))
+		if next <= cnt {
+			next = cnt + 1
+		}
+		r.next = next
+	}
+	r.count = end
+}
+
 // Sample returns the sampled item and whether the stream was non-empty.
 func (r *Reservoir) Sample() (uint64, bool) {
 	return r.item, r.count > 0

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"streamcount/internal/graph"
@@ -23,10 +24,12 @@ type File struct {
 // OpenFile validates the file with one full scan and returns the stream.
 func OpenFile(path string) (*File, error) {
 	f := &File{path: path, inserts: true}
-	err := f.scan(func(u Update) error {
-		f.length++
-		if u.Op == Delete {
-			f.inserts = false
+	err := f.scan(func(batch []Update) error {
+		f.length += int64(len(batch))
+		for _, u := range batch {
+			if u.Op == Delete {
+				f.inserts = false
+			}
 		}
 		return nil
 	})
@@ -45,10 +48,24 @@ func (f *File) Len() int64 { return f.length }
 // InsertOnly implements Stream.
 func (f *File) InsertOnly() bool { return f.inserts }
 
-// ForEach implements Stream: each call re-reads the file (one pass).
-func (f *File) ForEach(fn func(Update) error) error { return f.scan(fn) }
+// ForEach implements Stream as a thin wrapper over ForEachBatch.
+func (f *File) ForEach(fn func(Update) error) error {
+	return f.ForEachBatch(func(batch []Update) error {
+		for _, u := range batch {
+			if err := fn(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
 
-func (f *File) scan(fn func(Update) error) error {
+// ForEachBatch implements Stream: each call re-reads the file (one pass),
+// parsing updates into a reusable buffer flushed every DefaultBatchSize
+// updates. The batch slice is invalidated by the next callback.
+func (f *File) ForEachBatch(fn func([]Update) error) error { return f.scan(fn) }
+
+func (f *File) scan(fn func([]Update) error) error {
 	fh, err := os.Open(f.path)
 	if err != nil {
 		return err
@@ -56,41 +73,57 @@ func (f *File) scan(fn func(Update) error) error {
 	defer fh.Close()
 	sc := bufio.NewScanner(fh)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	// The batch buffer is per-scan, not per-stream, so concurrent replays of
+	// one File stay independent; one allocation per pass is noise next to
+	// the file I/O.
+	batch := make([]Update, 0, DefaultBatchSize)
 	line := 0
 	gotHeader := false
 	for sc.Scan() {
 		line++
 		txt := strings.TrimSpace(sc.Text())
-		if txt == "" || strings.HasPrefix(txt, "#") {
+		if txt == "" || txt[0] == '#' {
 			continue
 		}
 		if !gotHeader {
-			var n int64
-			if _, err := fmt.Sscanf(txt, "%d", &n); err != nil || n <= 0 {
+			n, err := strconv.ParseInt(strings.Fields(txt)[0], 10, 64)
+			if err != nil || n <= 0 {
 				return fmt.Errorf("stream: %s line %d: bad header %q", f.path, line, txt)
 			}
 			f.n = n
 			gotHeader = true
 			continue
 		}
-		var op string
-		var u, v int64
-		if _, err := fmt.Sscanf(txt, "%s %d %d", &op, &u, &v); err != nil {
-			return fmt.Errorf("stream: %s line %d: bad update %q: %v", f.path, line, txt, err)
-		}
 		o := Insert
-		switch op {
-		case "+":
-		case "-":
+		switch txt[0] {
+		case '+':
+		case '-':
 			o = Delete
 		default:
-			return fmt.Errorf("stream: %s line %d: bad op %q", f.path, line, op)
+			return fmt.Errorf("stream: %s line %d: bad op %q", f.path, line, txt[:1])
+		}
+		rest := strings.TrimSpace(txt[1:])
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			sp = strings.IndexByte(rest, '\t')
+		}
+		if sp < 0 {
+			return fmt.Errorf("stream: %s line %d: bad update %q", f.path, line, txt)
+		}
+		u, err1 := strconv.ParseInt(rest[:sp], 10, 64)
+		v, err2 := strconv.ParseInt(strings.TrimSpace(rest[sp+1:]), 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("stream: %s line %d: bad update %q", f.path, line, txt)
 		}
 		if u == v || u < 0 || v < 0 || u >= f.n || v >= f.n {
 			return fmt.Errorf("stream: %s line %d: bad edge (%d,%d)", f.path, line, u, v)
 		}
-		if err := fn(Update{Edge: graph.Edge{U: u, V: v}, Op: o}); err != nil {
-			return err
+		batch = append(batch, Update{Edge: graph.Edge{U: u, V: v}, Op: o})
+		if len(batch) == DefaultBatchSize {
+			if err := fn(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -98,6 +131,11 @@ func (f *File) scan(fn func(Update) error) error {
 	}
 	if !gotHeader {
 		return fmt.Errorf("stream: %s: empty input", f.path)
+	}
+	if len(batch) > 0 {
+		if err := fn(batch); err != nil {
+			return err
+		}
 	}
 	return nil
 }

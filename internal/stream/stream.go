@@ -39,9 +39,16 @@ type Update struct {
 	Op   Op
 }
 
+// DefaultBatchSize is the batch granularity of ForEachBatch: large enough
+// that the per-batch callback cost vanishes against the per-update work,
+// small enough that a batch stays cache-resident while the pass engine fans
+// it out to workers.
+const DefaultBatchSize = 4096
+
 // Stream is a replayable edge stream over a graph on N vertices. A call to
-// ForEach is one full pass in arbitrary order; multi-pass algorithms call it
-// repeatedly. Implementations replay the same sequence on every pass.
+// ForEach or ForEachBatch is one full pass in arbitrary order; multi-pass
+// algorithms call it repeatedly. Implementations replay the same sequence on
+// every pass.
 type Stream interface {
 	// N returns the number of vertices (known to the algorithm upfront, as
 	// in the paper's model).
@@ -49,6 +56,12 @@ type Stream interface {
 	// ForEach performs one pass, invoking fn for every update in order.
 	// It stops early and returns fn's error if non-nil.
 	ForEach(fn func(Update) error) error
+	// ForEachBatch performs one pass, invoking fn with consecutive chunks of
+	// updates (at most DefaultBatchSize each, in order). It is the pass
+	// engine's hot path: one dynamic call per ~4096 updates instead of one
+	// per update. The batch slice is only valid during the callback —
+	// implementations may reuse its backing array.
+	ForEachBatch(fn func([]Update) error) error
 	// Len returns the stream length (number of updates).
 	Len() int64
 	// InsertOnly reports whether the stream contains no deletions.
@@ -92,10 +105,27 @@ func (s *Slice) Len() int64 { return int64(len(s.updates)) }
 // InsertOnly implements Stream.
 func (s *Slice) InsertOnly() bool { return s.inserts }
 
-// ForEach implements Stream.
+// ForEach implements Stream as a thin wrapper over ForEachBatch.
 func (s *Slice) ForEach(fn func(Update) error) error {
-	for _, u := range s.updates {
-		if err := fn(u); err != nil {
+	return s.ForEachBatch(func(batch []Update) error {
+		for _, u := range batch {
+			if err := fn(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ForEachBatch implements Stream, serving zero-copy subslices of the backing
+// array.
+func (s *Slice) ForEachBatch(fn func([]Update) error) error {
+	for i := 0; i < len(s.updates); i += DefaultBatchSize {
+		j := i + DefaultBatchSize
+		if j > len(s.updates) {
+			j = len(s.updates)
+		}
+		if err := fn(s.updates[i:j]); err != nil {
 			return err
 		}
 	}
@@ -194,6 +224,25 @@ func AdjacencyListOrder(g *graph.Graph) *Slice {
 		panic(err)
 	}
 	return s
+}
+
+// Collect replays the stream once and returns an in-memory copy of it. It
+// is how disk-backed (or otherwise non-Slice) streams are brought in memory
+// for operations that need random access to the update sequence, such as
+// shuffling.
+func Collect(s Stream) (*Slice, error) {
+	if sl, ok := s.(*Slice); ok {
+		return sl, nil
+	}
+	ups := make([]Update, 0, s.Len())
+	err := s.ForEachBatch(func(batch []Update) error {
+		ups = append(ups, batch...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewSlice(s.N(), ups)
 }
 
 // Materialize replays the stream once and returns the resulting graph,
@@ -300,6 +349,12 @@ func NewCounter(s Stream) *Counter { return &Counter{Stream: s} }
 func (c *Counter) ForEach(fn func(Update) error) error {
 	c.passes++
 	return c.Stream.ForEach(fn)
+}
+
+// ForEachBatch counts the pass and delegates.
+func (c *Counter) ForEachBatch(fn func([]Update) error) error {
+	c.passes++
+	return c.Stream.ForEachBatch(fn)
 }
 
 // Passes returns the number of completed ForEach calls.

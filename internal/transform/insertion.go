@@ -3,9 +3,11 @@ package transform
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"streamcount/internal/graph"
 	"streamcount/internal/oracle"
+	"streamcount/internal/par"
 	"streamcount/internal/sketch"
 	"streamcount/internal/stream"
 )
@@ -20,12 +22,92 @@ import (
 //
 // so a k-round algorithm with q queries runs in k passes and O(q) words of
 // emulation state (O(q log n) bits).
+//
+// The pass itself is parallel: per-query state is sharded across P workers
+// (P = SetParallelism, default GOMAXPROCS) — vertex-keyed state by
+// hash(vertex) mod P, adjacency watches by hash(packed edge key) mod P,
+// reservoirs round-robin — and each update batch from the stream fans out to
+// the workers, which touch only their own shard's maps. Every reservoir owns
+// a private splitmix64 RNG seeded sequentially at setup, so answers are
+// bit-identical at any P.
 type InsertionRunner struct {
 	st      stream.Stream
 	rng     *rand.Rand
+	paral   int
 	rounds  int64
 	queries int64
 	space   int64
+
+	// Scratch reused across rounds.
+	shards     []*insShard
+	batchEdges []graph.Edge
+	batchKeys  []uint64
+}
+
+// neighborWatch is the countdown state of one f3 (i-th neighbor) query.
+type neighborWatch struct {
+	idx       int
+	remaining int64
+	result    int64
+	found     bool
+}
+
+// insShard is the per-worker slice of a round's query state. Maps are
+// pre-populated at setup with exactly the keys the shard owns, so shard
+// membership during the pass is just map membership.
+type insShard struct {
+	res    []*sketch.Reservoir
+	resIdx []int
+	deg    map[int64]int64
+	nbr    map[int64][]*neighborWatch
+	adj    map[uint64]bool
+}
+
+func (s *insShard) reset() {
+	s.res = s.res[:0]
+	s.resIdx = s.resIdx[:0]
+	clear(s.deg)
+	clear(s.nbr)
+	clear(s.adj)
+}
+
+// process consumes one update batch: edges[i] is the canonical edge of the
+// i-th update and keys[i] its packed key.
+func (s *insShard) process(edges []graph.Edge, keys []uint64) {
+	for _, rs := range s.res {
+		rs.OfferKeys(keys)
+	}
+	if len(s.deg) == 0 && len(s.nbr) == 0 && len(s.adj) == 0 {
+		return
+	}
+	for i, e := range edges {
+		if _, ok := s.deg[e.U]; ok {
+			s.deg[e.U]++
+		}
+		if _, ok := s.deg[e.V]; ok {
+			s.deg[e.V]++
+		}
+		if ws := s.nbr[e.U]; len(ws) > 0 {
+			advanceWatches(ws, e.V)
+		}
+		if ws := s.nbr[e.V]; len(ws) > 0 {
+			advanceWatches(ws, e.U)
+		}
+		if seen, ok := s.adj[keys[i]]; ok && !seen {
+			s.adj[keys[i]] = true
+		}
+	}
+}
+
+func advanceWatches(ws []*neighborWatch, other int64) {
+	for _, w := range ws {
+		if !w.found {
+			w.remaining--
+			if w.remaining == 0 {
+				w.result, w.found = other, true
+			}
+		}
+	}
 }
 
 // NewInsertionRunner wraps the stream. The stream must be insertion-only.
@@ -35,6 +117,10 @@ func NewInsertionRunner(st stream.Stream, rng *rand.Rand) (*InsertionRunner, err
 	}
 	return &InsertionRunner{st: st, rng: rng}, nil
 }
+
+// SetParallelism bounds the number of pass workers. p <= 0 selects
+// GOMAXPROCS, 1 forces the sequential path. Answers do not depend on p.
+func (r *InsertionRunner) SetParallelism(p int) { r.paral = p }
 
 // Model implements oracle.Runner.
 func (r *InsertionRunner) Model() oracle.Model { return oracle.Augmented }
@@ -51,117 +137,141 @@ func (r *InsertionRunner) SpaceWords() int64 { return r.space }
 // NumVertices implements oracle.Runner.
 func (r *InsertionRunner) NumVertices() int64 { return r.st.N() }
 
+// shardOfVertex and shardOfKey give the deterministic state assignment; they
+// only decide which worker owns a piece of state, never the answer itself.
+func shardOfVertex(v int64, p int) int { return int(sketch.Hash64(0x5ee7, uint64(v)) % uint64(p)) }
+func shardOfKey(key uint64, p int) int { return int(sketch.Hash64(0xed6e, key) % uint64(p)) }
+
+func (r *InsertionRunner) ensureShards(p int) {
+	if len(r.shards) != p {
+		r.shards = make([]*insShard, p)
+		for i := range r.shards {
+			r.shards[i] = &insShard{
+				deg: make(map[int64]int64),
+				nbr: make(map[int64][]*neighborWatch),
+				adj: make(map[uint64]bool),
+			}
+		}
+		return
+	}
+	for _, s := range r.shards {
+		s.reset()
+	}
+}
+
 // Round implements oracle.Runner: it answers the whole batch in one pass.
 func (r *InsertionRunner) Round(queries []oracle.Query) ([]oracle.Answer, error) {
 	r.rounds++
 	r.queries += int64(len(queries))
+	n := r.st.N()
+	p := par.Workers(r.paral)
+	r.ensureShards(p)
 
-	type neighborWatch struct {
-		idx       int
-		remaining int64
-		result    int64
-		found     bool
-	}
-	var (
-		reservoirs []int // query indices
-		resSamps   []*sketch.Reservoir
-		degIdx     = make(map[int64][]int) // vertex -> degree query indices
-		degCount   = make(map[int64]int64) // vertex -> counter
-		nbrIdx     = make(map[int64][]*neighborWatch)
-		adjIdx     = make(map[graph.Edge][]int)
-		adjSeen    = make(map[graph.Edge]bool)
-		m          int64
-	)
+	// ---- Setup (sequential): shard the per-query state. ----
+	nres := 0
 	for i, q := range queries {
 		switch q.Type {
 		case oracle.CountEdges:
 			r.space++
 		case oracle.RandomEdge:
-			reservoirs = append(reservoirs, i)
-			resSamps = append(resSamps, sketch.NewReservoir(r.rng))
+			// Each reservoir owns a private deterministic RNG: seeds are
+			// drawn sequentially here, so the accept sequence is independent
+			// of which worker replays it.
+			rs := sketch.NewReservoir(rand.New(sketch.NewSplitMix64(r.rng.Uint64())))
+			sh := r.shards[nres%p]
+			sh.res = append(sh.res, rs)
+			sh.resIdx = append(sh.resIdx, i)
+			nres++
 			r.space += 2
 		case oracle.Degree:
-			degIdx[q.U] = append(degIdx[q.U], i)
+			sh := r.shards[shardOfVertex(q.U, p)]
+			if _, ok := sh.deg[q.U]; !ok {
+				sh.deg[q.U] = 0
+			}
 			r.space++
 		case oracle.Neighbor:
 			if q.I < 1 {
 				return nil, fmt.Errorf("transform: Neighbor index %d < 1", q.I)
 			}
-			nbrIdx[q.U] = append(nbrIdx[q.U], &neighborWatch{idx: i, remaining: q.I})
+			sh := r.shards[shardOfVertex(q.U, p)]
+			sh.nbr[q.U] = append(sh.nbr[q.U], &neighborWatch{idx: i, remaining: q.I})
 			r.space += 2
 		case oracle.RandomNeighbor:
 			return nil, fmt.Errorf("transform: RandomNeighbor is a relaxed-model query; the insertion-only runner emulates the augmented model (use Neighbor)")
 		case oracle.Adjacent:
-			c := graph.Edge{U: q.U, V: q.V}.Canon()
-			adjIdx[c] = append(adjIdx[c], i)
+			key := edgeKey(graph.Edge{U: q.U, V: q.V}.Canon(), n)
+			sh := r.shards[shardOfKey(key, p)]
+			if _, ok := sh.adj[key]; !ok {
+				sh.adj[key] = false
+			}
 			r.space++
 		default:
 			return nil, fmt.Errorf("transform: unknown query type %d", q.Type)
 		}
 	}
 
-	err := r.st.ForEach(func(u stream.Update) error {
-		if u.Op != stream.Insert {
-			return fmt.Errorf("transform: deletion in insertion-only stream")
-		}
-		m++
-		e := u.Edge.Canon()
-		for _, rs := range resSamps {
-			rs.Offer(edgeKey(e, r.st.N()))
-		}
-		if len(degIdx[e.U]) > 0 {
-			degCount[e.U]++
-		}
-		if len(degIdx[e.V]) > 0 {
-			degCount[e.V]++
-		}
-		for _, w := range nbrIdx[e.U] {
-			if !w.found {
-				w.remaining--
-				if w.remaining == 0 {
-					w.result, w.found = e.V, true
-				}
+	// ---- One pass: each batch is canonicalized once, then fanned out to
+	// the shard workers. ----
+	var m int64
+	err := r.st.ForEachBatch(func(batch []stream.Update) error {
+		edges := r.batchEdges[:0]
+		keys := r.batchKeys[:0]
+		for _, u := range batch {
+			if u.Op != stream.Insert {
+				return fmt.Errorf("transform: deletion in insertion-only stream")
 			}
+			e := u.Edge.Canon()
+			edges = append(edges, e)
+			keys = append(keys, edgeKey(e, n))
 		}
-		for _, w := range nbrIdx[e.V] {
-			if !w.found {
-				w.remaining--
-				if w.remaining == 0 {
-					w.result, w.found = e.U, true
-				}
-			}
+		r.batchEdges, r.batchKeys = edges, keys
+		m += int64(len(batch))
+		if p <= 1 {
+			r.shards[0].process(edges, keys)
+			return nil
 		}
-		if _, ok := adjIdx[e]; ok {
-			adjSeen[e] = true
+		var wg sync.WaitGroup
+		for _, sh := range r.shards {
+			wg.Add(1)
+			go func(sh *insShard) {
+				defer wg.Done()
+				sh.process(edges, keys)
+			}(sh)
 		}
+		wg.Wait()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
+	// ---- Merge (sequential, in query order). ----
 	answers := make([]oracle.Answer, len(queries))
 	for i, q := range queries {
 		switch q.Type {
 		case oracle.CountEdges:
 			answers[i] = oracle.Answer{OK: true, Count: m}
 		case oracle.Degree:
-			answers[i] = oracle.Answer{OK: true, Count: degCount[q.U]}
+			sh := r.shards[shardOfVertex(q.U, p)]
+			answers[i] = oracle.Answer{OK: true, Count: sh.deg[q.U]}
 		case oracle.Adjacent:
-			c := graph.Edge{U: q.U, V: q.V}.Canon()
-			answers[i] = oracle.Answer{OK: true, Yes: adjSeen[c]}
+			key := edgeKey(graph.Edge{U: q.U, V: q.V}.Canon(), n)
+			sh := r.shards[shardOfKey(key, p)]
+			answers[i] = oracle.Answer{OK: true, Yes: sh.adj[key]}
 		}
 	}
-	for j, qi := range reservoirs {
-		if key, ok := resSamps[j].Sample(); ok {
-			answers[qi] = oracle.Answer{OK: true, Edge: keyEdge(key, r.st.N())}
-		} else {
-			answers[qi] = oracle.Answer{OK: false}
+	for _, sh := range r.shards {
+		for j, rs := range sh.res {
+			if key, ok := rs.Sample(); ok {
+				answers[sh.resIdx[j]] = oracle.Answer{OK: true, Edge: keyEdge(key, n)}
+			} else {
+				answers[sh.resIdx[j]] = oracle.Answer{OK: false}
+			}
 		}
-	}
-	for _, ws := range nbrIdx {
-		for _, w := range ws {
-			answers[w.idx] = oracle.Answer{OK: w.found, Count: w.result}
+		for _, ws := range sh.nbr {
+			for _, w := range ws {
+				answers[w.idx] = oracle.Answer{OK: w.found, Count: w.result}
+			}
 		}
 	}
 	return answers, nil

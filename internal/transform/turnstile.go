@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"streamcount/internal/graph"
 	"streamcount/internal/oracle"
+	"streamcount/internal/par"
 	"streamcount/internal/sketch"
 	"streamcount/internal/stream"
 )
@@ -22,14 +24,76 @@ import (
 //
 // so a k-round algorithm with q queries runs in k passes and O(q·log^4 n)
 // bits. All ℓ0-samplers in a round share one fingerprint base so the
-// per-update field exponentiation is computed once.
+// per-update field exponentiation is computed once per feed entry.
+//
+// The pass is a three-stage parallel pipeline: (1) counters are sharded by
+// hash(vertex) / hash(packed edge key) mod P and each update batch fans out
+// to the owning workers, while sampler feeds are buffered; (2) the feeds'
+// fingerprint terms (the expensive field exponentiations) are computed by a
+// parallel sweep; (3) every sampler consumes its feed sequentially, samplers
+// in parallel. Sampler seeds are drawn sequentially at setup, so answers are
+// bit-identical at any parallelism.
 type TurnstileRunner struct {
 	st      stream.Stream
 	rng     *rand.Rand
 	l0cfg   sketch.L0Config
+	paral   int
 	rounds  int64
 	queries int64
 	space   int64
+
+	// Scratch reused across rounds.
+	shards     []*turnShard
+	batchEdges []graph.Edge
+	batchKeys  []uint64
+	batchDelta []int64
+	edgeFeed   []feedEntry
+}
+
+// feedEntry is one buffered sampler update; term is filled in by the
+// parallel fingerprint sweep after the pass.
+type feedEntry struct {
+	key   uint64
+	delta int64
+	term  uint64
+}
+
+// turnShard is the per-worker slice of a round's counter state and neighbor
+// feeds, pre-populated at setup with the keys the shard owns.
+type turnShard struct {
+	deg     map[int64]int64
+	adj     map[uint64]int64
+	nbrFeed map[int64][]feedEntry
+}
+
+func (s *turnShard) reset() {
+	clear(s.deg)
+	clear(s.adj)
+	clear(s.nbrFeed)
+}
+
+func (s *turnShard) process(edges []graph.Edge, keys []uint64, deltas []int64) {
+	if len(s.deg) == 0 && len(s.adj) == 0 && len(s.nbrFeed) == 0 {
+		return
+	}
+	for i, e := range edges {
+		d := deltas[i]
+		if _, ok := s.deg[e.U]; ok {
+			s.deg[e.U] += d
+		}
+		if _, ok := s.deg[e.V]; ok {
+			s.deg[e.V] += d
+		}
+		if _, ok := s.nbrFeed[e.U]; ok {
+			s.nbrFeed[e.U] = append(s.nbrFeed[e.U], feedEntry{key: uint64(e.V), delta: d})
+		}
+		if _, ok := s.nbrFeed[e.V]; ok {
+			s.nbrFeed[e.V] = append(s.nbrFeed[e.V], feedEntry{key: uint64(e.U), delta: d})
+		}
+		if _, ok := s.adj[keys[i]]; ok {
+			s.adj[keys[i]] += d
+		}
+	}
 }
 
 // NewTurnstileRunner wraps the stream (insertions and deletions allowed).
@@ -48,6 +112,10 @@ func NewTurnstileRunnerConfig(st stream.Stream, rng *rand.Rand, cfg sketch.L0Con
 	return &TurnstileRunner{st: st, rng: rng, l0cfg: cfg}
 }
 
+// SetParallelism bounds the number of pass workers. p <= 0 selects
+// GOMAXPROCS, 1 forces the sequential path. Answers do not depend on p.
+func (r *TurnstileRunner) SetParallelism(p int) { r.paral = p }
+
 // Model implements oracle.Runner.
 func (r *TurnstileRunner) Model() oracle.Model { return oracle.Relaxed }
 
@@ -63,23 +131,55 @@ func (r *TurnstileRunner) SpaceWords() int64 { return r.space }
 // NumVertices implements oracle.Runner.
 func (r *TurnstileRunner) NumVertices() int64 { return r.st.N() }
 
+func (r *TurnstileRunner) ensureShards(p int) {
+	if len(r.shards) != p {
+		r.shards = make([]*turnShard, p)
+		for i := range r.shards {
+			r.shards[i] = &turnShard{
+				deg:     make(map[int64]int64),
+				adj:     make(map[uint64]int64),
+				nbrFeed: make(map[int64][]feedEntry),
+			}
+		}
+		return
+	}
+	for _, s := range r.shards {
+		s.reset()
+	}
+}
+
+// fillTerms computes the fingerprint terms of a feed in a parallel sweep.
+func fillTerms(p int, base uint64, feed []feedEntry) {
+	const chunk = 2048
+	nchunks := (len(feed) + chunk - 1) / chunk
+	par.For(p, nchunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(feed) {
+			hi = len(feed)
+		}
+		for i := lo; i < hi; i++ {
+			feed[i].term = sketch.FingerprintTerm(base, feed[i].key, feed[i].delta)
+		}
+	})
+}
+
 // Round implements oracle.Runner: one pass answers the whole batch.
 func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error) {
 	r.rounds++
 	r.queries += int64(len(queries))
 	n := r.st.N()
+	p := par.Workers(r.paral)
+	r.ensureShards(p)
 	base := sketch.RandomFieldBase(r.rng.Uint64())
 
+	// ---- Setup (sequential): shard counters, register samplers. ----
 	var (
 		edgeSamplers []*sketch.L0Sampler // for RandomEdge queries
 		edgeSampIdx  []int
 		nbrSamplers  = make(map[int64][]*sketch.L0Sampler) // vertex -> samplers
 		nbrSampIdx   = make(map[int64][]int)
-		degIdx       = make(map[int64][]int)
-		degCount     = make(map[int64]int64)
-		adjIdx       = make(map[graph.Edge][]int)
-		adjCount     = make(map[graph.Edge]int64)
-		m            int64
+		nbrVerts     []int64 // deterministic iteration order over nbrSamplers
 	)
 	for i, q := range queries {
 		switch q.Type {
@@ -91,90 +191,138 @@ func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 			edgeSampIdx = append(edgeSampIdx, i)
 			r.space += s.SpaceWords()
 		case oracle.Degree:
-			degIdx[q.U] = append(degIdx[q.U], i)
+			sh := r.shards[shardOfVertex(q.U, p)]
+			if _, ok := sh.deg[q.U]; !ok {
+				sh.deg[q.U] = 0
+			}
 			r.space++
 		case oracle.RandomNeighbor:
 			s := sketch.NewL0SamplerWithBase(r.rng.Uint64(), base, r.l0cfg)
+			if _, ok := nbrSamplers[q.U]; !ok {
+				nbrVerts = append(nbrVerts, q.U)
+				sh := r.shards[shardOfVertex(q.U, p)]
+				if _, ok := sh.nbrFeed[q.U]; !ok {
+					sh.nbrFeed[q.U] = []feedEntry{}
+				}
+			}
 			nbrSamplers[q.U] = append(nbrSamplers[q.U], s)
 			nbrSampIdx[q.U] = append(nbrSampIdx[q.U], i)
 			r.space += s.SpaceWords()
 		case oracle.Neighbor:
 			return nil, fmt.Errorf("transform: Neighbor is an augmented-model query; the turnstile runner emulates the relaxed model (use RandomNeighbor)")
 		case oracle.Adjacent:
-			c := graph.Edge{U: q.U, V: q.V}.Canon()
-			adjIdx[c] = append(adjIdx[c], i)
+			key := edgeKey(graph.Edge{U: q.U, V: q.V}.Canon(), n)
+			sh := r.shards[shardOfKey(key, p)]
+			if _, ok := sh.adj[key]; !ok {
+				sh.adj[key] = 0
+			}
 			r.space++
 		default:
 			return nil, fmt.Errorf("transform: unknown query type %d", q.Type)
 		}
 	}
 
-	// One pass: counters are updated inline; sampler feeds are buffered so
-	// each sampler can then consume the whole pass sequentially, keeping its
-	// cells cache-resident (processing thousands of samplers per incoming
-	// update would thrash the cache).
-	type buffered struct {
-		key   uint64
-		delta int64
-		term  uint64
-	}
-	var edgeFeed []buffered
-	nbrFeed := make(map[int64][]buffered) // vertex -> its adjacency updates
-	err := r.st.ForEach(func(u stream.Update) error {
-		delta := int64(1)
-		if u.Op == stream.Delete {
-			delta = -1
+	// ---- Stage 1, one pass: counters are updated by the shard workers;
+	// sampler feeds are buffered so each sampler can consume the whole pass
+	// sequentially, keeping its cells cache-resident (processing thousands
+	// of samplers per incoming update would thrash the cache). ----
+	var m int64
+	edgeFeed := r.edgeFeed[:0]
+	err := r.st.ForEachBatch(func(batch []stream.Update) error {
+		edges := r.batchEdges[:0]
+		keys := r.batchKeys[:0]
+		deltas := r.batchDelta[:0]
+		for _, u := range batch {
+			delta := int64(1)
+			if u.Op == stream.Delete {
+				delta = -1
+			}
+			e := u.Edge.Canon()
+			m += delta
+			edges = append(edges, e)
+			keys = append(keys, edgeKey(e, n))
+			deltas = append(deltas, delta)
 		}
-		e := u.Edge.Canon()
-		m += delta
+		r.batchEdges, r.batchKeys, r.batchDelta = edges, keys, deltas
+		var wg sync.WaitGroup
+		if p > 1 {
+			for _, sh := range r.shards {
+				wg.Add(1)
+				go func(sh *turnShard) {
+					defer wg.Done()
+					sh.process(edges, keys, deltas)
+				}(sh)
+			}
+		}
+		// The coordinator buffers the edge-matrix feed while the shard
+		// workers run; no worker touches edgeFeed.
 		if len(edgeSamplers) > 0 {
-			key := edgeKey(e, n)
-			edgeFeed = append(edgeFeed, buffered{key, delta, sketch.FingerprintTerm(base, key, delta)})
+			for i, key := range keys {
+				edgeFeed = append(edgeFeed, feedEntry{key: key, delta: deltas[i]})
+			}
 		}
-		if len(degIdx[e.U]) > 0 {
-			degCount[e.U] += delta
-		}
-		if len(degIdx[e.V]) > 0 {
-			degCount[e.V] += delta
-		}
-		if _, ok := nbrSamplers[e.U]; ok {
-			nbrFeed[e.U] = append(nbrFeed[e.U], buffered{uint64(e.V), delta, sketch.FingerprintTerm(base, uint64(e.V), delta)})
-		}
-		if _, ok := nbrSamplers[e.V]; ok {
-			nbrFeed[e.V] = append(nbrFeed[e.V], buffered{uint64(e.U), delta, sketch.FingerprintTerm(base, uint64(e.U), delta)})
-		}
-		if _, ok := adjIdx[e]; ok {
-			adjCount[e] += delta
+		if p <= 1 {
+			r.shards[0].process(edges, keys, deltas)
+		} else {
+			wg.Wait()
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range edgeSamplers {
-		for _, b := range edgeFeed {
-			s.UpdateTerm(b.key, b.delta, b.term)
-		}
-	}
-	for v, ss := range nbrSamplers {
-		feed := nbrFeed[v]
-		for _, s := range ss {
-			for _, b := range feed {
-				s.UpdateTerm(b.key, b.delta, b.term)
-			}
-		}
-	}
+	r.edgeFeed = edgeFeed
 
+	// ---- Stage 2: fingerprint terms, computed once per feed entry by a
+	// parallel sweep (the field exponentiation dominates the feed cost). ----
+	if len(edgeSamplers) > 0 {
+		fillTerms(p, base, edgeFeed)
+	}
+	par.For(p, len(nbrVerts), func(i int) {
+		v := nbrVerts[i]
+		sh := r.shards[shardOfVertex(v, p)]
+		feed := sh.nbrFeed[v]
+		for j := range feed {
+			feed[j].term = sketch.FingerprintTerm(base, feed[j].key, feed[j].delta)
+		}
+	})
+
+	// ---- Stage 3: every sampler consumes its feed; samplers in parallel.
+	// Sampler state is private, so assignment cannot affect answers. ----
+	type samplerTask struct {
+		s    *sketch.L0Sampler
+		feed []feedEntry
+	}
+	tasks := make([]samplerTask, 0, len(edgeSamplers)+len(nbrVerts))
+	for _, s := range edgeSamplers {
+		tasks = append(tasks, samplerTask{s, edgeFeed})
+	}
+	for _, v := range nbrVerts {
+		sh := r.shards[shardOfVertex(v, p)]
+		for _, s := range nbrSamplers[v] {
+			tasks = append(tasks, samplerTask{s, sh.nbrFeed[v]})
+		}
+	}
+	par.For(p, len(tasks), func(i int) {
+		t := tasks[i]
+		for _, b := range t.feed {
+			t.s.UpdateTerm(b.key, b.delta, b.term)
+		}
+	})
+
+	// ---- Merge (sequential, in query order). ----
 	answers := make([]oracle.Answer, len(queries))
 	for i, q := range queries {
 		switch q.Type {
 		case oracle.CountEdges:
 			answers[i] = oracle.Answer{OK: true, Count: m}
 		case oracle.Degree:
-			answers[i] = oracle.Answer{OK: true, Count: degCount[q.U]}
+			sh := r.shards[shardOfVertex(q.U, p)]
+			answers[i] = oracle.Answer{OK: true, Count: sh.deg[q.U]}
 		case oracle.Adjacent:
-			c := graph.Edge{U: q.U, V: q.V}.Canon()
-			answers[i] = oracle.Answer{OK: true, Yes: adjCount[c] > 0}
+			key := edgeKey(graph.Edge{U: q.U, V: q.V}.Canon(), n)
+			sh := r.shards[shardOfKey(key, p)]
+			answers[i] = oracle.Answer{OK: true, Yes: sh.adj[key] > 0}
 		}
 	}
 	for j, s := range edgeSamplers {
@@ -184,8 +332,8 @@ func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 			answers[edgeSampIdx[j]] = oracle.Answer{OK: false}
 		}
 	}
-	for v, ss := range nbrSamplers {
-		for j, s := range ss {
+	for _, v := range nbrVerts {
+		for j, s := range nbrSamplers[v] {
 			if key, ok := s.Sample(); ok {
 				answers[nbrSampIdx[v][j]] = oracle.Answer{OK: true, Count: int64(key)}
 			} else {

@@ -1,0 +1,163 @@
+package streamcount_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"streamcount"
+)
+
+// estimateAt runs Estimate on st with the given trial budget and
+// parallelism at a fixed seed. (Turnstile runs use a smaller budget: each
+// RandomEdge query materializes an ℓ0-sampler, so trials dominate memory
+// and time there.)
+func estimateAt(t *testing.T, st streamcount.Stream, p *streamcount.Pattern, trials, parallelism int) *streamcount.Result {
+	t.Helper()
+	est, err := streamcount.Estimate(st, streamcount.Config{
+		Pattern:     p,
+		Trials:      trials,
+		Seed:        42,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// TestEstimateDeterministicAcrossParallelism is the pass engine's
+// determinism contract (DESIGN.md §2): a fixed seed yields bit-identical
+// estimates no matter how many workers serve the passes, on both stream
+// models.
+func TestEstimateDeterministicAcrossParallelism(t *testing.T) {
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	g := streamcount.ErdosRenyi(rng, 150, 1200)
+	ts := streamcount.TurnstileFromGraph(g, 0.5, rng)
+
+	streams := map[string]struct {
+		st     streamcount.Stream
+		trials int
+	}{
+		"insertion": {streamcount.StreamFromGraph(g), 20000},
+		"turnstile": {ts, 2000},
+	}
+	for name, c := range streams {
+		st := c.st
+		base := estimateAt(t, st, p, c.trials, 1)
+		if base.Value <= 0 {
+			t.Fatalf("%s: degenerate baseline estimate %v", name, base.Value)
+		}
+		for _, par := range []int{2, 3, 8, 0} {
+			got := estimateAt(t, st, p, c.trials, par)
+			if got.Value != base.Value {
+				t.Errorf("%s: estimate at parallelism %d = %v, want %v (parallelism 1)",
+					name, par, got.Value, base.Value)
+			}
+			if got.M != base.M || got.Queries != base.Queries || got.SpaceWords != base.SpaceWords {
+				t.Errorf("%s: accounting at parallelism %d = (m=%d q=%d w=%d), want (m=%d q=%d w=%d)",
+					name, par, got.M, got.Queries, got.SpaceWords, base.M, base.Queries, base.SpaceWords)
+			}
+		}
+	}
+}
+
+// TestEstimateDeterministicAcrossGOMAXPROCS pins the same contract against
+// the runtime knob: Parallelism 0 resolves to GOMAXPROCS, so the estimate
+// at GOMAXPROCS=1 must equal the estimate at GOMAXPROCS=N.
+func TestEstimateDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	g := streamcount.ErdosRenyi(rng, 100, 800)
+	st := streamcount.StreamFromGraph(g)
+
+	old := runtime.GOMAXPROCS(1)
+	seq := estimateAt(t, st, p, 10000, 0)
+	runtime.GOMAXPROCS(4)
+	par := estimateAt(t, st, p, 10000, 0)
+	runtime.GOMAXPROCS(old)
+
+	if seq.Value != par.Value {
+		t.Errorf("estimate at GOMAXPROCS 1 = %v, at GOMAXPROCS 4 = %v", seq.Value, par.Value)
+	}
+}
+
+// TestSampleDeterministicAcrossParallelism extends the contract to the
+// uniform sampler: the returned copy is identical at any parallelism.
+func TestSampleDeterministicAcrossParallelism(t *testing.T) {
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	g := streamcount.ErdosRenyi(rng, 40, 250)
+	if streamcount.ExactCount(g, p) == 0 {
+		t.Skip("no triangles in workload")
+	}
+	st := streamcount.StreamFromGraph(g)
+	run := func(parallelism int) (streamcount.SampledCopy, bool) {
+		cp, ok, err := streamcount.Sample(st, streamcount.Config{
+			Pattern: p, Trials: 2000, Seed: 9, Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cp, ok
+	}
+	base, okBase := run(1)
+	for _, par := range []int{2, 8} {
+		cp, ok := run(par)
+		if ok != okBase {
+			t.Fatalf("parallelism %d: ok=%v, want %v", par, ok, okBase)
+		}
+		if !ok {
+			continue
+		}
+		if len(cp.Edges) != len(base.Edges) {
+			t.Fatalf("parallelism %d: %d edges, want %d", par, len(cp.Edges), len(base.Edges))
+		}
+		for i := range cp.Edges {
+			if cp.Edges[i] != base.Edges[i] {
+				t.Errorf("parallelism %d: edge %d = %v, want %v", par, i, cp.Edges[i], base.Edges[i])
+			}
+		}
+	}
+}
+
+// TestShuffledStreamFileBacked covers the former panic: shuffling a
+// file-backed stream must materialize it rather than crash on the type
+// assertion.
+func TestShuffledStreamFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.txt")
+	content := "4\n+ 0 1\n+ 1 2\n+ 2 3\n+ 0 3\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := streamcount.OpenStreamFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := streamcount.ShuffledStream(st, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Len() != 4 || sh.N() != 4 {
+		t.Errorf("shuffled stream: len=%d n=%d, want 4, 4", sh.Len(), sh.N())
+	}
+	seen := 0
+	if err := sh.ForEach(func(streamcount.Update) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 4 {
+		t.Errorf("replayed %d updates, want 4", seen)
+	}
+}

@@ -1,6 +1,7 @@
 package streamcount
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -63,10 +64,17 @@ func TurnstileFromGraph(g *Graph, extra float64, rng *rand.Rand) Stream {
 	return stream.WithDeletions(g, extra, rng)
 }
 
-// ShuffledStream returns a copy of st with updates permuted (per-edge order
-// preserved for turnstile streams). st must come from this package.
-func ShuffledStream(st Stream, rng *rand.Rand) Stream {
-	return stream.Shuffled(st.(*stream.Slice), rng)
+// ShuffledStream returns an in-memory copy of st with updates permuted
+// (per-edge order preserved for turnstile streams, so the stream stays
+// well-formed). Streams that are not already in memory — e.g. file-backed
+// streams from OpenStreamFile — are materialized with one pass first; the
+// error reports a failed replay.
+func ShuffledStream(st Stream, rng *rand.Rand) (Stream, error) {
+	sl, err := stream.Collect(st)
+	if err != nil {
+		return nil, fmt.Errorf("streamcount: cannot shuffle stream: %w", err)
+	}
+	return stream.Shuffled(sl, rng), nil
 }
 
 // NewGraph returns an empty graph on n vertices.
