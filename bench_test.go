@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"streamcount"
 	"streamcount/internal/exact"
 	"streamcount/internal/experiments"
 	"streamcount/internal/fgp"
@@ -42,6 +43,7 @@ func BenchmarkExp09L0Sampler(b *testing.B)            { benchExperiment(b, "E09"
 func BenchmarkExp10Baselines(b *testing.B)            { benchExperiment(b, "E10") }
 func BenchmarkExp11MultiplicityAblation(b *testing.B) { benchExperiment(b, "E11") }
 func BenchmarkExp12L0ConfigAblation(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkExp13SessionSharedReplay(b *testing.B)  { benchExperiment(b, "E13") }
 
 // --- micro-benchmarks ---
 
@@ -161,6 +163,71 @@ func benchFGPTurnstile(b *testing.B, parallelism int) {
 
 func BenchmarkFGPTurnstilePass(b *testing.B)           { benchFGPTurnstile(b, 0) }
 func BenchmarkFGPTurnstilePassSequential(b *testing.B) { benchFGPTurnstile(b, 1) }
+
+// sessionBenchWorkload is a shared workload for the session benchmarks: K
+// triangle-counting jobs over one 50k-update stream replayed from disk —
+// the regime the session engine exists for, where every pass is real I/O
+// and parsing. K sequential jobs cost 3K file replays; one session costs 3.
+func sessionBenchWorkload(b *testing.B) (streamcount.Stream, []streamcount.Config) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g := gen.ErdosRenyiGNM(rng, 2000, 50000)
+	path := b.TempDir() + "/stream.txt"
+	if err := stream.WriteFile(path, stream.FromGraph(g)); err != nil {
+		b.Fatal(err)
+	}
+	st, err := streamcount.OpenStreamFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 8
+	cfgs := make([]streamcount.Config, k)
+	for i := range cfgs {
+		cfgs[i] = streamcount.Config{Pattern: p, Trials: 2000, Seed: int64(i + 1)}
+	}
+	return st, cfgs
+}
+
+// BenchmarkSessionSharedReplay runs K jobs through one session: every round
+// k across the jobs is served by a single shared pass.
+func BenchmarkSessionSharedReplay(b *testing.B) {
+	st, cfgs := sessionBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := streamcount.NewSession(st)
+		handles := make([]*streamcount.JobHandle, len(cfgs))
+		for j, cfg := range cfgs {
+			handles[j] = s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: cfg})
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range handles {
+			if _, err := h.Estimate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSessionSequentialJobs is the baseline the shared replay is
+// measured against: the same K jobs as standalone calls, each replaying the
+// stream privately.
+func BenchmarkSessionSequentialJobs(b *testing.B) {
+	st, cfgs := sessionBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := streamcount.Estimate(st, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 // BenchmarkStreamPassThroughput measures the pass engine's replay hot path:
 // the batched API the runners consume the stream through.

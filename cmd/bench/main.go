@@ -11,6 +11,7 @@
 //	bench                         # core set -> BENCH_core.json
 //	bench -bench 'BenchmarkFGP.*' # custom selection
 //	bench -benchtime 5s -out perf.json
+//	bench -short -out /tmp/smoke.json  # CI smoke: one fast iteration each
 package main
 
 import (
@@ -27,10 +28,10 @@ import (
 	"strings"
 )
 
-// coreSet selects the substrate and pass-engine benchmarks; the Exp*
-// experiment benchmarks regenerate whole report tables and are too slow for
-// a default run.
-const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
+// coreSet selects the substrate, pass-engine and session benchmarks; the
+// Exp* experiment benchmarks regenerate whole report tables and are too
+// slow for a default run.
+const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkSession|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
 
 // Measurement is one benchmark result.
 type Measurement struct {
@@ -49,8 +50,14 @@ func main() {
 		count     = flag.Int("count", 1, "runs per benchmark; the minimum ns/op is kept")
 		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
 		out       = flag.String("out", "BENCH_core.json", "output JSON path")
+		short     = flag.Bool("short", false, "smoke mode: one iteration per benchmark, numbers are build-health only")
 	)
 	flag.Parse()
+	if *short && *benchtime == "1s" {
+		// One iteration per benchmark: enough to prove every benchmark still
+		// builds and runs; the resulting numbers are not comparable.
+		*benchtime = "1x"
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *benchRe,
 		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}

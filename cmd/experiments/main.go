@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		run  = flag.String("run", "all", "experiment ID (E01..E10) or 'all'")
+		run  = flag.String("run", "all", "experiment ID (E01..E13) or 'all'")
 		seed = flag.Int64("seed", 2022, "random seed")
 	)
 	flag.Parse()

@@ -8,9 +8,13 @@
 //	graph:   header "n m", then one "u v" line per edge (insertion-only)
 //	updates: header "n", then "+ u v" / "- u v" lines (turnstile)
 //
+// A comma-separated -pattern list submits every pattern to one shared-replay
+// session: all estimators ride the same 3 passes instead of 3 passes each.
+//
 // Examples:
 //
 //	streamcount -input graph.txt -pattern triangle -trials 100000
+//	streamcount -input graph.txt -pattern triangle,C5,K4 -trials 100000
 //	streamcount -input updates.txt -updates -pattern C5 -trials 500000
 //	streamcount -input graph.txt -cliques 4 -eps 0.3 -lower 50
 package main
@@ -20,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"streamcount"
 	"streamcount/internal/graph"
@@ -32,7 +38,7 @@ func main() {
 	var (
 		input   = flag.String("input", "", "input file (required)")
 		updates = flag.Bool("updates", false, "input is a turnstile update list, not an edge list")
-		pat     = flag.String("pattern", "triangle", "pattern name: triangle, C<k>, K<r>, S<k>, P<k>, paw, diamond")
+		pat     = flag.String("pattern", "triangle", "pattern name or comma-separated list: triangle, C<k>, K<r>, S<k>, P<k>, paw, diamond")
 		trials  = flag.Int("trials", 0, "parallel sampler instances (0: derive from -eps/-lower)")
 		eps     = flag.Float64("eps", 0.1, "target relative error (used when -trials is 0)")
 		lower   = flag.Float64("lower", 0, "lower bound on #H (used when -trials is 0)")
@@ -58,20 +64,39 @@ func main() {
 		return
 	}
 
-	p, err := streamcount.PatternByName(*pat)
-	if err != nil {
-		log.Fatal(err)
+	names := strings.Split(*pat, ",")
+	pats := make([]*streamcount.Pattern, 0, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, err := streamcount.PatternByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pats = append(pats, p)
 	}
-	cfg := streamcount.Config{
+	if len(pats) == 0 {
+		log.Fatal("no pattern given")
+	}
+	if len(pats) == 1 {
+		runSingle(st, pats[0], *trials, *eps, *lower, *seed, *paral, *exactF)
+		return
+	}
+	runSession(st, pats, *trials, *eps, *lower, *seed, *paral, *exactF)
+}
+
+func runSingle(st streamcount.Stream, p *streamcount.Pattern, trials int, eps, lower float64, seed int64, paral int, exactF bool) {
+	est, err := streamcount.Estimate(st, streamcount.Config{
 		Pattern:     p,
-		Trials:      *trials,
-		Epsilon:     *eps,
-		LowerBound:  *lower,
+		Trials:      trials,
+		Epsilon:     eps,
+		LowerBound:  lower,
 		EdgeBound:   st.Len(),
-		Seed:        *seed,
-		Parallelism: *paral,
-	}
-	est, err := streamcount.Estimate(st, cfg)
+		Seed:        seed,
+		Parallelism: paral,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,13 +106,65 @@ func main() {
 	fmt.Printf("passes     %d\n", est.Passes)
 	fmt.Printf("trials     %d\n", est.Trials)
 	fmt.Printf("space      %d words\n", est.SpaceWords)
-	if *exactF {
+	if exactF {
 		g, err := stream.Materialize(st)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("exact      %d\n", streamcount.ExactCount(g, p))
 	}
+}
+
+// runSession serves every pattern through one shared-replay session and
+// prints a result table with per-job and total (shared) pass counts.
+func runSession(st streamcount.Stream, pats []*streamcount.Pattern, trials int, eps, lower float64, seed int64, paral int, exactF bool) {
+	s := streamcount.NewSession(st)
+	handles := make([]*streamcount.JobHandle, len(pats))
+	for i, p := range pats {
+		handles[i] = s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: streamcount.Config{
+			Pattern:     p,
+			Trials:      trials,
+			Epsilon:     eps,
+			LowerBound:  lower,
+			EdgeBound:   st.Len(),
+			Seed:        seed + int64(i),
+			Parallelism: paral,
+		}})
+	}
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	var g *graph.Graph
+	if exactF {
+		var err error
+		g, err = stream.Materialize(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stream     n=%d, %d updates\n\n", st.N(), st.Len())
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	header := "pattern\trho\testimate\tpasses\ttrials\tspace(words)"
+	if exactF {
+		header += "\texact"
+	}
+	fmt.Fprintln(w, header)
+	var sumPasses int64
+	for i, h := range handles {
+		est, err := h.Estimate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sumPasses += est.Passes
+		row := fmt.Sprintf("%s\t%.1f\t%.1f\t%d\t%d\t%d",
+			pats[i].Name(), pats[i].Rho(), est.Value, est.Passes, est.Trials, est.SpaceWords)
+		if exactF {
+			row += fmt.Sprintf("\t%d", streamcount.ExactCount(g, pats[i]))
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	fmt.Printf("\nshared passes  %d (vs %d if each job replayed privately)\n", s.Passes(), sumPasses)
 }
 
 func runCliques(st streamcount.Stream, r int, lambda int64, eps, lower float64, seed int64, paral int, exactF bool) {

@@ -21,6 +21,21 @@
 //	est, _ := streamcount.Estimate(st, streamcount.Config{Pattern: p, Trials: 100000})
 //	fmt.Println(est.Value, est.Passes) // ≈ #triangles, 3
 //
+// # Sessions
+//
+// Every entry point above is a single-job session. To serve many queries
+// over one stream, submit them all to one Session: the pass scheduler
+// coalesces the rounds the jobs are concurrently waiting on into shared
+// replays, so K jobs cost max-rounds passes over the stream instead of the
+// sum, and each job's result stays bit-identical to a standalone run:
+//
+//	s := streamcount.NewSession(st)
+//	h1 := s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: cfg1})
+//	h2 := s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: cfg2})
+//	_ = s.Run()
+//	r1, _ := h1.Estimate() // == streamcount.Estimate(st, cfg1)
+//	fmt.Println(s.Passes()) // 3, not 6
+//
 // # Parallelism
 //
 // The pass engine is parallel: stream replay is batched, each runner shards

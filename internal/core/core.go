@@ -8,6 +8,11 @@
 //     graphs (Theorem 2) on insertion-only streams.
 //   - SampleSubgraph draws a uniformly random copy of H (Lemma 16/18).
 //
+// All of them are single-job sessions: a Session binds any number of jobs
+// to one stream and coalesces the rounds they are concurrently waiting on
+// into shared passes, so K jobs cost max-rounds passes instead of the sum
+// (DESIGN.md §2.5). The one-shot functions below submit one job and run it.
+//
 // All functions report passes, queries and emulation space so experiments
 // can verify the paper's complexity claims.
 package core
@@ -15,15 +20,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"streamcount/internal/ers"
-	"streamcount/internal/fgp"
 	"streamcount/internal/graph"
-	"streamcount/internal/oracle"
 	"streamcount/internal/pattern"
 	"streamcount/internal/stream"
-	"streamcount/internal/transform"
 )
 
 // Config configures EstimateSubgraphs and SampleSubgraph.
@@ -60,7 +61,9 @@ type Estimate struct {
 	Value float64
 	// M is the number of edges seen in the first pass.
 	M int64
-	// Passes is the number of passes over the stream.
+	// Passes is the number of passes the job consumed. Inside a multi-job
+	// session it is the job's own round count — the passes a standalone run
+	// would have cost; the shared total is Session.Passes.
 	Passes int64
 	// Queries is the number of emulated oracle queries.
 	Queries int64
@@ -108,20 +111,14 @@ func (c Config) trials() (int, error) {
 	return t, nil
 }
 
-// runnerFor builds the pass-counting runner matching the stream's model.
-func runnerFor(st stream.Stream, rng *rand.Rand, parallelism int) (oracle.Runner, *stream.Counter, error) {
-	cnt := stream.NewCounter(st)
-	if st.InsertOnly() {
-		r, err := transform.NewInsertionRunner(cnt, rng)
-		if err != nil {
-			return nil, nil, err
-		}
-		r.SetParallelism(parallelism)
-		return r, cnt, nil
+// runOne submits one job to a fresh session over st and runs it.
+func runOne(st stream.Stream, j Job) (*JobHandle, error) {
+	s := NewSession(st)
+	h := s.Submit(j)
+	if err := s.Run(); err != nil {
+		return nil, err
 	}
-	r := transform.NewTurnstileRunner(cnt, rng)
-	r.SetParallelism(parallelism)
-	return r, cnt, nil
+	return h, nil
 }
 
 // EstimateSubgraphs estimates #H in the stream with the 3-pass FGP counting
@@ -129,34 +126,11 @@ func runnerFor(st stream.Stream, rng *rand.Rand, parallelism int) (oracle.Runner
 // (Theorem 9 + Theorem 17); turnstile streams use the relaxed-model
 // emulation with ℓ0-samplers (Theorem 11 + Theorem 1).
 func EstimateSubgraphs(st stream.Stream, cfg Config) (*Estimate, error) {
-	if cfg.Pattern == nil {
-		return nil, fmt.Errorf("core: Pattern must be set")
-	}
-	trials, err := cfg.trials()
+	h, err := runOne(st, Job{Kind: JobEstimate, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pl, err := fgp.NewPlan(cfg.Pattern)
-	if err != nil {
-		return nil, err
-	}
-	r, cnt, err := runnerFor(st, rng, cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	res, err := fgp.CountParallel(r, pl, trials, rng, cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	return &Estimate{
-		Value:      res.Estimate,
-		M:          res.M,
-		Passes:     cnt.Passes(),
-		Queries:    r.Queries(),
-		SpaceWords: r.SpaceWords(),
-		Trials:     trials,
-	}, nil
+	return h.res.Est, nil
 }
 
 // SampledCopy is a uniformly sampled copy of H.
@@ -170,67 +144,25 @@ type SampledCopy struct {
 // trial witnessed a copy; callers wanting success probability ~1 should set
 // Trials ≈ 10·(2m)^ρ(H)/#H (Algorithm 10).
 func SampleSubgraph(st stream.Stream, cfg Config) (SampledCopy, bool, error) {
-	if cfg.Pattern == nil {
-		return SampledCopy{}, false, fmt.Errorf("core: Pattern must be set")
-	}
-	trials, err := cfg.trials()
+	h, err := runOne(st, Job{Kind: JobSample, Config: cfg})
 	if err != nil {
 		return SampledCopy{}, false, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pl, err := fgp.NewPlan(cfg.Pattern)
-	if err != nil {
-		return SampledCopy{}, false, err
-	}
-	r, _, err := runnerFor(st, rng, cfg.Parallelism)
-	if err != nil {
-		return SampledCopy{}, false, err
-	}
-	sr, ok, err := fgp.SampleParallel(r, pl, trials, rng, cfg.Parallelism)
-	if err != nil || !ok {
-		return SampledCopy{}, false, err
-	}
-	return SampledCopy{Edges: sr.Edges, Vertices: sr.Vertices}, true, nil
+	return h.res.Copy, h.res.Found, nil
 }
 
 // EstimateSubgraphsAuto is EstimateSubgraphs without a known lower bound on
 // #H: it performs a geometric search over guesses L (the paper's standard
 // remedy, cf. Lemma 21), running the 3-pass counter with the trial budget
 // for each guess until the estimate validates the guess. Each guess costs 3
-// passes, so the total pass count is 3·(number of guesses).
+// passes and the reported pass/query/space accounting is cumulative over
+// all guesses made.
 func EstimateSubgraphsAuto(st stream.Stream, cfg Config) (*Estimate, error) {
-	if cfg.Pattern == nil {
-		return nil, fmt.Errorf("core: Pattern must be set")
+	h, err := runOne(st, Job{Kind: JobAuto, Config: cfg})
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Epsilon <= 0 {
-		cfg.Epsilon = 0.2
-	}
-	if cfg.EdgeBound <= 0 {
-		return nil, fmt.Errorf("core: EdgeBound must be set for the geometric search")
-	}
-	rho := cfg.Pattern.Rho()
-	// Start from the AGM upper bound #H <= m^ρ and halve.
-	start := math.Pow(float64(cfg.EdgeBound), rho)
-	var last *Estimate
-	for l := start; l >= 0.5; l /= 2 {
-		sub := cfg
-		sub.LowerBound = l
-		sub.Trials = 0
-		est, err := EstimateSubgraphs(st, sub)
-		if err != nil {
-			return nil, err
-		}
-		if last != nil {
-			est.Passes += last.Passes
-			est.Queries += last.Queries
-			est.SpaceWords += last.SpaceWords
-		}
-		last = est
-		if est.Value >= l {
-			return est, nil
-		}
-	}
-	return last, nil
+	return h.res.Est, nil
 }
 
 // Distinguish solves the paper's decision phrasing of the problem (§1.1):
@@ -239,21 +171,11 @@ func EstimateSubgraphsAuto(st stream.Stream, cfg Config) (*Estimate, error) {
 // for lower bound l, and the midpoint (1+eps/2)·l is the decision
 // threshold, so both cases are separated by eps/2-accuracy estimates.
 func Distinguish(st stream.Stream, cfg Config, l float64) (bool, *Estimate, error) {
-	if l <= 0 {
-		return false, nil, fmt.Errorf("core: threshold l must be positive")
-	}
-	if cfg.Epsilon <= 0 {
-		cfg.Epsilon = 0.1
-	}
-	cfg.LowerBound = l
-	if cfg.Trials == 0 && cfg.EdgeBound <= 0 {
-		return false, nil, fmt.Errorf("core: either Trials or EdgeBound must be set")
-	}
-	est, err := EstimateSubgraphs(st, cfg)
+	h, err := runOne(st, Job{Kind: JobDistinguish, Config: cfg, Threshold: l})
 	if err != nil {
 		return false, nil, err
 	}
-	return est.Value >= (1+cfg.Epsilon/2)*l, est, nil
+	return h.res.Above, h.res.Est, nil
 }
 
 // CliqueConfig configures EstimateCliques.
@@ -279,33 +201,9 @@ type CliqueConfig struct {
 // EstimateCliques estimates #K_r on a low-degeneracy insertion-only stream
 // with the 5r-pass ERS algorithm (Theorem 2).
 func EstimateCliques(st stream.Stream, cfg CliqueConfig) (*Estimate, error) {
-	if !st.InsertOnly() {
-		return nil, fmt.Errorf("core: EstimateCliques requires an insertion-only stream (Theorem 2)")
-	}
-	p := cfg.Params
-	p.R = cfg.R
-	p.Lambda = cfg.Lambda
-	p.Eps = cfg.Epsilon
-	p.L = cfg.LowerBound
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	cnt := stream.NewCounter(st)
-	r, err := transform.NewInsertionRunner(cnt, rng)
+	h, err := runOne(st, Job{Kind: JobCliques, Clique: cfg})
 	if err != nil {
 		return nil, err
 	}
-	r.SetParallelism(cfg.Parallelism)
-	res, err := ers.Count(r, p, rng)
-	if err != nil {
-		return nil, err
-	}
-	if cnt.Passes() > int64(5*cfg.R) {
-		return nil, fmt.Errorf("core: internal error: %d passes exceeds Theorem 2's 5r = %d", cnt.Passes(), 5*cfg.R)
-	}
-	return &Estimate{
-		Value:      res.Estimate,
-		M:          res.M,
-		Passes:     cnt.Passes(),
-		Queries:    r.Queries(),
-		SpaceWords: r.SpaceWords(),
-	}, nil
+	return h.res.Est, nil
 }

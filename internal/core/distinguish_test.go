@@ -75,6 +75,56 @@ func TestEstimateSubgraphsAuto(t *testing.T) {
 	}
 }
 
+// TestEstimateAutoCumulativePasses pins the geometric search's pass
+// accounting: the reported passes cover every guess made (3 per guess), not
+// only the final validating guess, and agree with the session scheduler's
+// per-job round count.
+func TestEstimateAutoCumulativePasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	g := gen.ErdosRenyiGNM(rng, 40, 260)
+	want := float64(exact.Triangles(g))
+	if want < 30 {
+		t.Skipf("few triangles: %.0f", want)
+	}
+	sl := stream.FromGraph(g)
+	cfg := Config{
+		Pattern:   pattern.Triangle(),
+		Epsilon:   0.4,
+		EdgeBound: g.M(),
+		MaxTrials: 200000,
+		Seed:      46,
+	}
+	cnt := stream.NewCounter(sl)
+	s := NewSession(cnt)
+	h := s.SubmitAuto(cfg)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	est := h.Result().Est
+	if est.Passes != h.Passes() {
+		t.Errorf("estimate reports %d passes, scheduler served %d", est.Passes, h.Passes())
+	}
+	if est.Passes != cnt.Passes() {
+		t.Errorf("estimate reports %d passes, stream saw %d", est.Passes, cnt.Passes())
+	}
+	if est.Passes%3 != 0 {
+		t.Errorf("passes=%d: want a multiple of 3 (one guess per 3 passes)", est.Passes)
+	}
+	// The search starts at the AGM bound m^1.5 >> #H, so it must have taken
+	// more than one guess: single-guess accounting would report exactly 3.
+	if est.Passes < 6 {
+		t.Errorf("passes=%d: cumulative accounting should cover all guesses (>= 6)", est.Passes)
+	}
+	// And the whole thing must match the plain entry point bit-for-bit.
+	plain, err := EstimateSubgraphsAuto(sl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *plain != *est {
+		t.Errorf("EstimateSubgraphsAuto %+v != session auto job %+v", *plain, *est)
+	}
+}
+
 func TestEstimateSubgraphsAutoNeedsEdgeBound(t *testing.T) {
 	st, _ := stream.NewSlice(3, nil)
 	if _, err := EstimateSubgraphsAuto(st, Config{Pattern: pattern.Triangle()}); err == nil {

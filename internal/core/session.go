@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamcount/internal/ers"
+	"streamcount/internal/fgp"
+	"streamcount/internal/oracle"
+	"streamcount/internal/stream"
+	"streamcount/internal/transform"
+)
+
+// A Session binds a set of estimator jobs to one stream and serves them with
+// shared replays: every job that is waiting on its next query round when a
+// pass starts rides that same pass. The paper's generic transformation
+// (Theorems 9/11) charges one pass per adaptivity round; the session charges
+// one pass per adaptivity round *across all jobs*, so K concurrent jobs over
+// one stream cost max-rounds passes instead of the sum.
+//
+// Usage: NewSession, any number of Submit calls, one Run call, then read
+// each handle's result. Sessions are single-shot; jobs may not be submitted
+// once Run has started.
+//
+// Scheduling is a round barrier: each job runs its unmodified round-adaptive
+// algorithm against a proxy runner whose Round blocks until every live job
+// has either requested its next round or finished; then one broadcast replay
+// serves all pending rounds at once and the barrier reopens. Jobs that
+// finish early simply stop participating, so the shared pass count equals
+// the maximum round count over the jobs.
+//
+// Determinism: each job owns its runner, its RNG (seeded from its own
+// config) and all of its per-round state, and the shared replay feeds every
+// runner the same batches in the same order a private replay would. A job's
+// result is therefore bit-identical to the same job run standalone, no
+// matter which other jobs share the session.
+type Session struct {
+	st  stream.Stream
+	cnt *stream.Counter
+	bc  *stream.Broadcaster
+
+	jobs    []*JobHandle
+	reqCh   chan *roundReq
+	started bool
+}
+
+// JobKind selects which algorithm a Job runs.
+type JobKind int
+
+const (
+	// JobEstimate runs the 3-pass FGP counter (EstimateSubgraphs).
+	JobEstimate JobKind = iota
+	// JobSample draws one uniform copy of H (SampleSubgraph).
+	JobSample
+	// JobCliques runs the 5r-pass ERS clique counter (EstimateCliques).
+	JobCliques
+	// JobAuto runs the geometric search (EstimateSubgraphsAuto).
+	JobAuto
+	// JobDistinguish runs the decision variant (Distinguish).
+	JobDistinguish
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case JobEstimate:
+		return "estimate"
+	case JobSample:
+		return "sample"
+	case JobCliques:
+		return "cliques"
+	case JobAuto:
+		return "auto"
+	case JobDistinguish:
+		return "distinguish"
+	default:
+		return "unknown"
+	}
+}
+
+// Job describes one unit of work submitted to a Session. Config configures
+// the FGP-family kinds (Estimate, Sample, Auto, Distinguish); Clique
+// configures JobCliques; Threshold is JobDistinguish's decision threshold l.
+type Job struct {
+	Kind      JobKind
+	Config    Config
+	Clique    CliqueConfig
+	Threshold float64
+}
+
+// JobResult is the outcome of one job. Which fields are set depends on the
+// job's kind; Err is set when the job failed.
+type JobResult struct {
+	// Est is the counting outcome (Estimate, Cliques, Auto, Distinguish).
+	Est *Estimate
+	// Copy is the sampled copy (Sample).
+	Copy SampledCopy
+	// Found reports whether Sample witnessed a copy.
+	Found bool
+	// Above reports Distinguish's decision: #H >= (1+eps)·l.
+	Above bool
+	// Err is the job's error, if any.
+	Err error
+}
+
+// JobHandle tracks one submitted job. Its result accessors are valid once
+// Run has returned.
+type JobHandle struct {
+	job    Job
+	res    JobResult
+	rounds int64 // rounds served by the scheduler; written under the barrier
+}
+
+// Job returns the submitted job description.
+func (h *JobHandle) Job() Job { return h.job }
+
+// Result returns the job's outcome. Valid after Session.Run has returned.
+func (h *JobHandle) Result() JobResult { return h.res }
+
+// Estimate returns the job's counting outcome (or its error). Valid after
+// Session.Run has returned. Sample jobs have no counting outcome — read
+// them through Result instead.
+func (h *JobHandle) Estimate() (*Estimate, error) {
+	if h.res.Err == nil && h.res.Est == nil {
+		return nil, fmt.Errorf("core: %s job has no counting estimate; use Result", h.job.Kind)
+	}
+	return h.res.Est, h.res.Err
+}
+
+// Passes returns the number of shared passes this job rode — its own
+// round-adaptivity, which for a standalone run would equal its private pass
+// count. Valid after Session.Run has returned.
+func (h *JobHandle) Passes() int64 { return h.rounds }
+
+// NewSession creates a session over st. The stream is replayed through a
+// session-owned stream.Counter, so Passes reports the true shared I/O cost.
+func NewSession(st stream.Stream) *Session {
+	cnt := stream.NewCounter(st)
+	return &Session{st: st, cnt: cnt, bc: stream.NewBroadcaster(cnt)}
+}
+
+// Passes returns the number of shared passes performed so far. After Run it
+// equals the maximum per-job round count, not the sum.
+func (s *Session) Passes() int64 { return s.cnt.Passes() }
+
+// Submit registers a job. It must be called before Run; a handle submitted
+// after Run carries an error result.
+func (s *Session) Submit(j Job) *JobHandle {
+	h := &JobHandle{job: j}
+	if s.started {
+		h.res.Err = fmt.Errorf("core: Submit after Session.Run")
+		return h
+	}
+	s.jobs = append(s.jobs, h)
+	return h
+}
+
+// SubmitEstimate submits an EstimateSubgraphs job.
+func (s *Session) SubmitEstimate(cfg Config) *JobHandle {
+	return s.Submit(Job{Kind: JobEstimate, Config: cfg})
+}
+
+// SubmitSample submits a SampleSubgraph job.
+func (s *Session) SubmitSample(cfg Config) *JobHandle {
+	return s.Submit(Job{Kind: JobSample, Config: cfg})
+}
+
+// SubmitCliques submits an EstimateCliques job.
+func (s *Session) SubmitCliques(cfg CliqueConfig) *JobHandle {
+	return s.Submit(Job{Kind: JobCliques, Clique: cfg})
+}
+
+// SubmitAuto submits an EstimateSubgraphsAuto job.
+func (s *Session) SubmitAuto(cfg Config) *JobHandle {
+	return s.Submit(Job{Kind: JobAuto, Config: cfg})
+}
+
+// SubmitDistinguish submits a Distinguish job with threshold l.
+func (s *Session) SubmitDistinguish(cfg Config, l float64) *JobHandle {
+	return s.Submit(Job{Kind: JobDistinguish, Config: cfg, Threshold: l})
+}
+
+// roundReq is one job's request for its next query round.
+type roundReq struct {
+	h      *JobHandle
+	runner oracle.PassRunner
+	qs     []oracle.Query
+	reply  chan roundReply
+}
+
+type roundReply struct {
+	answers []oracle.Answer
+	err     error
+}
+
+// Run executes all submitted jobs to completion and returns the first error
+// (in submit order) any job hit, or nil. Every handle carries its own result
+// either way, so multi-job callers can inspect each job individually.
+func (s *Session) Run() error {
+	if s.started {
+		return fmt.Errorf("core: Session.Run called twice")
+	}
+	s.started = true
+	if len(s.jobs) == 0 {
+		return nil
+	}
+	s.reqCh = make(chan *roundReq)
+	doneCh := make(chan struct{})
+	for _, h := range s.jobs {
+		go func(h *JobHandle) {
+			h.res = s.execute(h)
+			doneCh <- struct{}{}
+		}(h)
+	}
+
+	// The round barrier: collect requests until every live job is either
+	// pending or done, then serve all pending rounds with one shared pass.
+	live := len(s.jobs)
+	var pending []*roundReq
+	for live > 0 {
+		select {
+		case req := <-s.reqCh:
+			pending = append(pending, req)
+		case <-doneCh:
+			live--
+		}
+		if live > 0 && len(pending) == live {
+			s.servePass(pending)
+			pending = pending[:0]
+		}
+	}
+	for _, h := range s.jobs {
+		if h.res.Err != nil {
+			return h.res.Err
+		}
+	}
+	return nil
+}
+
+// servePass answers one coalesced round: BeginRound on every pending runner,
+// one broadcast replay of the stream feeding every runner each batch, then
+// EndRound per runner. Each runner only ever sees its own state, so the
+// serve order of the requests cannot influence any answer.
+func (s *Session) servePass(reqs []*roundReq) {
+	fail := func(err error) {
+		for _, req := range reqs {
+			req.reply <- roundReply{err: err}
+		}
+	}
+	for _, req := range reqs {
+		if err := req.runner.BeginRound(req.qs); err != nil {
+			fail(err)
+			return
+		}
+	}
+	subs := make([]stream.Subscriber, len(reqs))
+	for i, req := range reqs {
+		subs[i] = req.runner
+	}
+	if err := s.bc.Replay(subs...); err != nil {
+		// The pass was consumed (the stream Counter saw it) even though it
+		// failed mid-replay; charge its riders so per-job and shared pass
+		// accounting stay consistent on the error path.
+		for _, req := range reqs {
+			req.h.rounds++
+		}
+		fail(err)
+		return
+	}
+	for _, req := range reqs {
+		answers, err := req.runner.EndRound()
+		req.h.rounds++
+		req.reply <- roundReply{answers: answers, err: err}
+	}
+}
+
+// sessionRunner is the oracle.Runner handed to a job's algorithm: Round
+// parks the request at the session barrier and blocks until the shared pass
+// that serves it completes. Everything else delegates to the job's own
+// underlying pass runner.
+type sessionRunner struct {
+	inner oracle.PassRunner
+	h     *JobHandle
+	reqCh chan<- *roundReq
+}
+
+func (p *sessionRunner) Round(qs []oracle.Query) ([]oracle.Answer, error) {
+	req := &roundReq{h: p.h, runner: p.inner, qs: qs, reply: make(chan roundReply, 1)}
+	p.reqCh <- req
+	rep := <-req.reply
+	return rep.answers, rep.err
+}
+
+func (p *sessionRunner) Model() oracle.Model { return p.inner.Model() }
+func (p *sessionRunner) Rounds() int64       { return p.inner.Rounds() }
+func (p *sessionRunner) Queries() int64      { return p.inner.Queries() }
+func (p *sessionRunner) SpaceWords() int64   { return p.inner.SpaceWords() }
+func (p *sessionRunner) NumVertices() int64  { return p.inner.NumVertices() }
+
+// newRunner builds the job's pass runner for the session's stream model and
+// wraps it in the barrier proxy. The runner is constructed over the bare
+// stream — it only uses it for n and the insert-only check; all replays go
+// through the session's broadcaster.
+func (s *Session) newRunner(h *JobHandle, rng *rand.Rand, parallelism int) (oracle.Runner, error) {
+	var inner oracle.PassRunner
+	if s.st.InsertOnly() {
+		r, err := transform.NewInsertionRunner(s.st, rng)
+		if err != nil {
+			return nil, err
+		}
+		r.SetParallelism(parallelism)
+		inner = r
+	} else {
+		r := transform.NewTurnstileRunner(s.st, rng)
+		r.SetParallelism(parallelism)
+		inner = r
+	}
+	return &sessionRunner{inner: inner, h: h, reqCh: s.reqCh}, nil
+}
+
+// execute runs one job to completion on the job's own goroutine. All
+// randomness is drawn from the job's private RNG, so results do not depend
+// on the other jobs in the session.
+func (s *Session) execute(h *JobHandle) JobResult {
+	switch h.job.Kind {
+	case JobEstimate:
+		est, err := s.runEstimate(h, h.job.Config)
+		return JobResult{Est: est, Err: err}
+	case JobSample:
+		cp, found, err := s.runSample(h, h.job.Config)
+		return JobResult{Copy: cp, Found: found, Err: err}
+	case JobCliques:
+		est, err := s.runCliques(h, h.job.Clique)
+		return JobResult{Est: est, Err: err}
+	case JobAuto:
+		est, err := s.runAuto(h, h.job.Config)
+		return JobResult{Est: est, Err: err}
+	case JobDistinguish:
+		above, est, err := s.runDistinguish(h, h.job.Config, h.job.Threshold)
+		return JobResult{Est: est, Above: above, Err: err}
+	default:
+		return JobResult{Err: fmt.Errorf("core: unknown job kind %d", h.job.Kind)}
+	}
+}
+
+// runEstimate is the 3-pass FGP counting job (Theorem 17 insertion-only,
+// Theorem 1 turnstile).
+func (s *Session) runEstimate(h *JobHandle, cfg Config) (*Estimate, error) {
+	if cfg.Pattern == nil {
+		return nil, fmt.Errorf("core: Pattern must be set")
+	}
+	trials, err := cfg.trials()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pl, err := fgp.NewPlan(cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.newRunner(h, rng, cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fgp.CountParallel(r, pl, trials, rng, cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		Value:      res.Estimate,
+		M:          res.M,
+		Passes:     h.rounds, // cumulative: Auto guesses reuse the handle
+		Queries:    r.Queries(),
+		SpaceWords: r.SpaceWords(),
+		Trials:     trials,
+	}, nil
+}
+
+// runSample is the 3-pass uniform sampler job (Lemma 16/18).
+func (s *Session) runSample(h *JobHandle, cfg Config) (SampledCopy, bool, error) {
+	if cfg.Pattern == nil {
+		return SampledCopy{}, false, fmt.Errorf("core: Pattern must be set")
+	}
+	trials, err := cfg.trials()
+	if err != nil {
+		return SampledCopy{}, false, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pl, err := fgp.NewPlan(cfg.Pattern)
+	if err != nil {
+		return SampledCopy{}, false, err
+	}
+	r, err := s.newRunner(h, rng, cfg.Parallelism)
+	if err != nil {
+		return SampledCopy{}, false, err
+	}
+	sr, ok, err := fgp.SampleParallel(r, pl, trials, rng, cfg.Parallelism)
+	if err != nil || !ok {
+		return SampledCopy{}, false, err
+	}
+	return SampledCopy{Edges: sr.Edges, Vertices: sr.Vertices}, true, nil
+}
+
+// runCliques is the 5r-pass ERS clique counting job (Theorem 2).
+func (s *Session) runCliques(h *JobHandle, cfg CliqueConfig) (*Estimate, error) {
+	if !s.st.InsertOnly() {
+		return nil, fmt.Errorf("core: EstimateCliques requires an insertion-only stream (Theorem 2)")
+	}
+	p := cfg.Params
+	p.R = cfg.R
+	p.Lambda = cfg.Lambda
+	p.Eps = cfg.Epsilon
+	p.L = cfg.LowerBound
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r, err := s.newRunner(h, rng, cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ers.Count(r, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	if h.rounds > int64(5*cfg.R) {
+		return nil, fmt.Errorf("core: internal error: %d passes exceeds Theorem 2's 5r = %d", h.rounds, 5*cfg.R)
+	}
+	return &Estimate{
+		Value:      res.Estimate,
+		M:          res.M,
+		Passes:     h.rounds,
+		Queries:    r.Queries(),
+		SpaceWords: r.SpaceWords(),
+	}, nil
+}
+
+// runAuto is the geometric search over lower-bound guesses (cf. Lemma 21):
+// the 3-pass counter runs at the trial budget for each guess until the
+// estimate validates the guess. Every guess re-seeds from cfg.Seed (so each
+// guess is the exact run a standalone EstimateSubgraphs at that lower bound
+// would produce), and pass/query/space accounting is cumulative across
+// guesses — the handle's round count ticks once per served round, so Passes
+// reports the total the search consumed, not the final guess's share.
+func (s *Session) runAuto(h *JobHandle, cfg Config) (*Estimate, error) {
+	if cfg.Pattern == nil {
+		return nil, fmt.Errorf("core: Pattern must be set")
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.2
+	}
+	if cfg.EdgeBound <= 0 {
+		return nil, fmt.Errorf("core: EdgeBound must be set for the geometric search")
+	}
+	rho := cfg.Pattern.Rho()
+	// Start from the AGM upper bound #H <= m^ρ and halve.
+	start := math.Pow(float64(cfg.EdgeBound), rho)
+	var last *Estimate
+	for l := start; l >= 0.5; l /= 2 {
+		sub := cfg
+		sub.LowerBound = l
+		sub.Trials = 0
+		est, err := s.runEstimate(h, sub)
+		if err != nil {
+			return nil, err
+		}
+		if last != nil {
+			est.Queries += last.Queries
+			est.SpaceWords += last.SpaceWords
+		}
+		last = est
+		if est.Value >= l {
+			return est, nil
+		}
+	}
+	return last, nil
+}
+
+// runDistinguish is the decision job (§1.1): is #H at least (1+eps)·l or at
+// most l, decided at the midpoint of an eps/2-accurate estimate.
+func (s *Session) runDistinguish(h *JobHandle, cfg Config, l float64) (bool, *Estimate, error) {
+	if l <= 0 {
+		return false, nil, fmt.Errorf("core: threshold l must be positive")
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.1
+	}
+	cfg.LowerBound = l
+	if cfg.Trials == 0 && cfg.EdgeBound <= 0 {
+		return false, nil, fmt.Errorf("core: either Trials or EdgeBound must be set")
+	}
+	est, err := s.runEstimate(h, cfg)
+	if err != nil {
+		return false, nil, err
+	}
+	return est.Value >= (1+cfg.Epsilon/2)*l, est, nil
+}

@@ -265,14 +265,19 @@ func countImpl(r oracle.Runner, p Params, rng *rand.Rand, activeOverride func([]
 
 // assignJob holds one invocation's assignment work: the activeness groups
 // for every prefix of every ordering of every distinct clique in its R_r
-// (StrIsAssigned, Algorithm 17).
+// (StrIsAssigned, Algorithm 17). Cliques and prefix groups are visited in
+// first-seen order (never map order): the activeness chains share the
+// invocation's RNG, so a nondeterministic visit order would reshuffle the
+// draw sequence and break the engine's fixed-seed reproducibility.
 type assignJob struct {
-	p        Params
-	rr       []tupleState
-	cliques  map[string][]int64 // clique key -> sorted vertices
-	groups   map[string][]*actTask
-	override func([]int64) bool
-	active   map[string]bool
+	p           Params
+	rr          []tupleState
+	cliques     map[string][]int64 // clique key -> sorted vertices
+	cliqueOrder []string           // deterministic iteration order
+	groups      map[string][]*actTask
+	groupOrder  []string // deterministic iteration order
+	override    func([]int64) bool
+	active      map[string]bool
 }
 
 func newAssignJob(p Params, rng *rand.Rand, m int64, rr []tupleState, override func([]int64) bool) *assignJob {
@@ -297,9 +302,10 @@ func newAssignJob(p Params, rng *rand.Rand, m int64, rr []tupleState, override f
 		s := append([]int64(nil), t.verts...)
 		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
 		j.cliques[k] = s
+		j.cliqueOrder = append(j.cliqueOrder, k)
 	}
-	for _, sorted := range j.cliques {
-		forEachPermutation(sorted, func(perm []int64) {
+	for _, ck := range j.cliqueOrder {
+		forEachPermutation(j.cliques[ck], func(perm []int64) {
 			for i := 2; i < p.R; i++ {
 				pk := prefixKey(perm[:i])
 				if override != nil {
@@ -321,6 +327,7 @@ func newAssignJob(p Params, rng *rand.Rand, m int64, rr []tupleState, override f
 					reps[rep] = newActTask(p, rng, m, prefix)
 				}
 				j.groups[pk] = reps
+				j.groupOrder = append(j.groupOrder, pk)
 			}
 		})
 	}
@@ -330,8 +337,8 @@ func newAssignJob(p Params, rng *rand.Rand, m int64, rr []tupleState, override f
 // tasks returns the activeness chains to run (empty when overridden).
 func (j *assignJob) tasks() []transform.Task {
 	var ts []transform.Task
-	for _, reps := range j.groups {
-		for _, at := range reps {
+	for _, pk := range j.groupOrder {
+		for _, at := range j.groups[pk] {
 			ts = append(ts, at)
 		}
 	}

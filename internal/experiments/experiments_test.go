@@ -8,11 +8,11 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(ids))
+	if len(ids) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(ids))
 	}
 	for i, id := range ids {
-		want := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09", "E10", "E11", "E12"}[i]
+		want := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08", "E09", "E10", "E11", "E12", "E13"}[i]
 		if id != want {
 			t.Errorf("ids[%d]=%s, want %s", i, id, want)
 		}
@@ -55,6 +55,27 @@ func TestE09RunsQuickly(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "ℓ0-sampler") {
 		t.Error("missing table title")
+	}
+}
+
+func TestE13SessionContracts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := E13SessionSharedReplay(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("expected 5 job rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "yes" {
+			t.Errorf("%s: session result diverged from standalone", row[0])
+		}
+	}
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "max per-job rounds") {
+		t.Error("missing shared-pass note")
 	}
 }
 

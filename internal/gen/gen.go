@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"streamcount/internal/graph"
 )
@@ -104,7 +105,15 @@ func BarabasiAlbert(rng *rand.Rand, n, k int64) *graph.Graph {
 				chosen[t] = true
 			}
 		}
+		// Attach in sorted order, not map order: the ends list's layout feeds
+		// later degree-proportional draws, so map iteration here would make
+		// the whole graph differ between processes at a fixed seed.
+		ts := make([]int64, 0, len(chosen))
 		for t := range chosen {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		for _, t := range ts {
 			g.AddEdge(v, t)
 			ends = append(ends, v, t)
 		}

@@ -11,6 +11,7 @@ package oracle
 
 import (
 	"streamcount/internal/graph"
+	"streamcount/internal/stream"
 )
 
 // Type enumerates the query types.
@@ -116,4 +117,30 @@ type Runner interface {
 	SpaceWords() int64
 	// NumVertices returns n, known to all algorithms upfront.
 	NumVertices() int64
+}
+
+// PassRunner is a Runner whose round lifecycle is exposed to an external
+// pass scheduler, so one stream replay can serve the concurrent rounds of
+// many runners (the session engine's shared pass). The lifecycle of one
+// round is
+//
+//	BeginRound(queries)  — register the round's queries, set up state;
+//	ConsumeBatch(batch)  — fed every update batch of exactly one pass,
+//	                       in stream order;
+//	EndRound()           — merge the per-query state into answers.
+//
+// Round(qs) must be equivalent to BeginRound(qs), one full replay of the
+// runner's own stream through ConsumeBatch, then EndRound() — a runner
+// driven standalone and one driven by a scheduler give bit-identical
+// answers for the same query batch and update sequence. ConsumeBatch must
+// not retain the batch slice: schedulers may reuse its backing array.
+type PassRunner interface {
+	Runner
+	// BeginRound starts a round, registering its queries.
+	BeginRound(queries []Query) error
+	// ConsumeBatch consumes one batch of the round's single pass.
+	ConsumeBatch(batch []stream.Update) error
+	// EndRound completes the round and returns the answers, parallel to the
+	// queries registered by BeginRound.
+	EndRound() ([]Answer, error)
 }

@@ -1,0 +1,62 @@
+package stream
+
+import "fmt"
+
+// Subscriber consumes the update batches of one pass. It is the stream-side
+// half of the pass-engine round lifecycle: the session scheduler registers
+// each runner's round, then a Broadcaster feeds one shared replay to every
+// subscriber. Implementations must not retain the batch slice (the backing
+// array may be reused by the next batch).
+type Subscriber interface {
+	ConsumeBatch(batch []Update) error
+}
+
+// Broadcaster replays one underlying stream to many subscribers at once:
+// each Replay call is exactly one pass over the stream — the pass the
+// session engine charges once, no matter how many subscribers ride it —
+// with every batch fanned out to all subscribers in registration order
+// before the next batch is read. It keeps per-subscriber pass accounting so
+// each job's own pass count (its round-adaptivity) stays observable even
+// though the underlying I/O is shared.
+type Broadcaster struct {
+	st        Stream
+	passes    int64
+	subPasses map[Subscriber]int64
+}
+
+// NewBroadcaster wraps st. Wrap st in a Counter first (and hand the Counter
+// in) when the total shared pass count must be assertable from outside.
+func NewBroadcaster(st Stream) *Broadcaster {
+	return &Broadcaster{st: st, subPasses: make(map[Subscriber]int64)}
+}
+
+// Stream returns the underlying stream.
+func (b *Broadcaster) Stream() Stream { return b.st }
+
+// Replay performs one pass over the underlying stream, feeding every batch
+// to each subscriber in order. It stops at the first subscriber error. A
+// call with no subscribers is a no-op (no pass is consumed).
+func (b *Broadcaster) Replay(subs ...Subscriber) error {
+	if len(subs) == 0 {
+		return nil
+	}
+	b.passes++
+	for _, s := range subs {
+		b.subPasses[s]++
+	}
+	return b.st.ForEachBatch(func(batch []Update) error {
+		for i, s := range subs {
+			if err := s.ConsumeBatch(batch); err != nil {
+				return fmt.Errorf("stream: broadcast subscriber %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+}
+
+// Passes returns the number of shared passes performed.
+func (b *Broadcaster) Passes() int64 { return b.passes }
+
+// SubscriberPasses returns how many of the shared passes the given
+// subscriber rode.
+func (b *Broadcaster) SubscriberPasses(s Subscriber) int64 { return b.subPasses[s] }

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"streamcount/internal/graph"
+)
+
+// collectSub records every update it is fed and can be told to fail.
+type collectSub struct {
+	got     []Update
+	failAt  int // fail when len(got) reaches failAt (0: never)
+	batches int
+}
+
+func (c *collectSub) ConsumeBatch(batch []Update) error {
+	c.batches++
+	c.got = append(c.got, batch...)
+	if c.failAt > 0 && len(c.got) >= c.failAt {
+		return errors.New("subscriber boom")
+	}
+	return nil
+}
+
+func broadcastStream(t *testing.T, n int64, edges ...[2]int64) *Slice {
+	t.Helper()
+	ups := make([]Update, len(edges))
+	for i, e := range edges {
+		ups[i] = Update{Edge: graph.Edge{U: e[0], V: e[1]}, Op: Insert}
+	}
+	sl, err := NewSlice(n, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sl
+}
+
+func TestBroadcasterFansOutOnePass(t *testing.T) {
+	sl := broadcastStream(t, 5, [2]int64{0, 1}, [2]int64{1, 2}, [2]int64{2, 3}, [2]int64{3, 4})
+	cnt := NewCounter(sl)
+	b := NewBroadcaster(cnt)
+
+	a, c := &collectSub{}, &collectSub{}
+	if err := b.Replay(a, c); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Passes() != 1 {
+		t.Errorf("two subscribers cost %d passes, want 1", cnt.Passes())
+	}
+	for name, sub := range map[string]*collectSub{"a": a, "c": c} {
+		if int64(len(sub.got)) != sl.Len() {
+			t.Errorf("%s saw %d updates, want %d", name, len(sub.got), sl.Len())
+		}
+		for i, u := range sub.got {
+			if u != sl.Updates()[i] {
+				t.Errorf("%s update %d: %v != %v", name, i, u, sl.Updates()[i])
+			}
+		}
+	}
+
+	// Second replay with only one subscriber: per-subscriber accounting
+	// diverges from the shared total.
+	if err := b.Replay(a); err != nil {
+		t.Fatal(err)
+	}
+	if b.Passes() != 2 {
+		t.Errorf("total shared passes=%d, want 2", b.Passes())
+	}
+	if b.SubscriberPasses(a) != 2 || b.SubscriberPasses(c) != 1 {
+		t.Errorf("per-subscriber passes a=%d c=%d, want 2, 1", b.SubscriberPasses(a), b.SubscriberPasses(c))
+	}
+}
+
+func TestBroadcasterNoSubscribersIsFree(t *testing.T) {
+	sl := broadcastStream(t, 3, [2]int64{0, 1})
+	cnt := NewCounter(sl)
+	b := NewBroadcaster(cnt)
+	if err := b.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Passes() != 0 || b.Passes() != 0 {
+		t.Errorf("empty replay consumed passes: counter=%d broadcaster=%d", cnt.Passes(), b.Passes())
+	}
+}
+
+func TestBroadcasterSubscriberErrorAbortsPass(t *testing.T) {
+	sl := broadcastStream(t, 5, [2]int64{0, 1}, [2]int64{1, 2}, [2]int64{2, 3})
+	b := NewBroadcaster(sl)
+	ok := &collectSub{}
+	bad := &collectSub{failAt: 1}
+	err := b.Replay(ok, bad)
+	if err == nil {
+		t.Fatal("failing subscriber should abort the pass")
+	}
+	if !strings.Contains(err.Error(), "subscriber 1") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error %q should identify the failing subscriber and cause", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"streamcount/internal/gen"
@@ -86,5 +87,85 @@ func TestOpenFileErrors(t *testing.T) {
 	}
 	if fs.Len() != 3 || fs.InsertOnly() {
 		t.Errorf("len=%d insertOnly=%v", fs.Len(), fs.InsertOnly())
+	}
+}
+
+// TestFileParserErrorDetails pins the hand-rolled parser's failure paths:
+// each malformed input is rejected with a message naming the offending line,
+// so a bad record deep inside a multi-gigabyte stream is findable.
+func TestFileParserErrorDetails(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name    string
+		content string
+		wantMsg string
+	}{
+		{"empty file", "", "empty input"},
+		{"comments only", "# nothing\n\n# more nothing\n", "empty input"},
+		{"truncated line", "5\n+ 0 1\n+ 3\n", "line 3: bad update"},
+		{"missing second vertex", "5\n+ 2\t\n", "line 2: bad update"},
+		{"bad op token", "5\n? 0 1\n", `line 2: bad op "?"`},
+		{"vertex at n", "5\n+ 0 5\n", "bad edge (0,5)"},
+		{"negative vertex", "5\n+ -1 2\n", "bad edge (-1,2)"},
+		{"self loop", "5\n+ 3 3\n", "bad edge (3,3)"},
+		{"zero header", "0\n+ 0 1\n", "bad header"},
+		{"negative header", "-4\n", "bad header"},
+		{"non-numeric vertex", "5\n+ a b\n", "bad update"},
+	}
+	for _, c := range cases {
+		_, err := OpenFile(write(strings.ReplaceAll(c.name, " ", "_")+".txt", c.content))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantMsg)
+		}
+	}
+}
+
+// TestCollectFileBacked covers Collect on disk-backed streams: the happy
+// path brings the stream in memory, and a replay that fails mid-pass (the
+// file was corrupted after OpenFile validated it) surfaces the error instead
+// of returning a short stream.
+func TestCollectFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.txt")
+	good := "4\n+ 0 1\n+ 1 2\n+ 2 3\n"
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := Collect(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 3 || sl.N() != 4 {
+		t.Fatalf("collected len=%d n=%d, want 3, 4", sl.Len(), sl.N())
+	}
+	// Slices pass through without copying.
+	if again, err := Collect(sl); err != nil || again != sl {
+		t.Errorf("Collect on a Slice should be identity, got %v, %v", again, err)
+	}
+
+	// Corrupt the file underneath the already-validated stream: the next
+	// replay (and therefore Collect) must fail loudly.
+	bad := "4\n+ 0 1\n+ 9 2\n+ 2 3\n"
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(fs); err == nil {
+		t.Fatal("Collect over a mid-replay failure should error")
+	} else if !strings.Contains(err.Error(), "bad edge (9,2)") {
+		t.Errorf("error %q does not name the bad record", err)
 	}
 }

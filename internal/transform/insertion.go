@@ -38,11 +38,19 @@ type InsertionRunner struct {
 	queries int64
 	space   int64
 
+	// In-flight round state (BeginRound .. EndRound).
+	curQueries []oracle.Query
+	curP       int
+	curM       int64
+
 	// Scratch reused across rounds.
 	shards     []*insShard
 	batchEdges []graph.Edge
 	batchKeys  []uint64
 }
+
+// InsertionRunner implements the session engine's round lifecycle.
+var _ oracle.PassRunner = (*InsertionRunner)(nil)
 
 // neighborWatch is the countdown state of one f3 (i-th neighbor) query.
 type neighborWatch struct {
@@ -160,14 +168,31 @@ func (r *InsertionRunner) ensureShards(p int) {
 }
 
 // Round implements oracle.Runner: it answers the whole batch in one pass.
+// It is BeginRound + one private replay + EndRound, so a standalone runner
+// and a session-scheduled one answer identically.
 func (r *InsertionRunner) Round(queries []oracle.Query) ([]oracle.Answer, error) {
+	if err := r.BeginRound(queries); err != nil {
+		return nil, err
+	}
+	if err := r.st.ForEachBatch(r.ConsumeBatch); err != nil {
+		return nil, err
+	}
+	return r.EndRound()
+}
+
+// BeginRound implements oracle.PassRunner: it registers the round's queries
+// and shards the per-query state (sequentially, so reservoir seeds are drawn
+// in query order regardless of the worker count).
+func (r *InsertionRunner) BeginRound(queries []oracle.Query) error {
 	r.rounds++
 	r.queries += int64(len(queries))
+	r.curQueries = queries
+	r.curM = 0
 	n := r.st.N()
 	p := par.Workers(r.paral)
+	r.curP = p
 	r.ensureShards(p)
 
-	// ---- Setup (sequential): shard the per-query state. ----
 	nres := 0
 	for i, q := range queries {
 		switch q.Type {
@@ -191,13 +216,13 @@ func (r *InsertionRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 			r.space++
 		case oracle.Neighbor:
 			if q.I < 1 {
-				return nil, fmt.Errorf("transform: Neighbor index %d < 1", q.I)
+				return fmt.Errorf("transform: Neighbor index %d < 1", q.I)
 			}
 			sh := r.shards[shardOfVertex(q.U, p)]
 			sh.nbr[q.U] = append(sh.nbr[q.U], &neighborWatch{idx: i, remaining: q.I})
 			r.space += 2
 		case oracle.RandomNeighbor:
-			return nil, fmt.Errorf("transform: RandomNeighbor is a relaxed-model query; the insertion-only runner emulates the augmented model (use Neighbor)")
+			return fmt.Errorf("transform: RandomNeighbor is a relaxed-model query; the insertion-only runner emulates the augmented model (use Neighbor)")
 		case oracle.Adjacent:
 			key := edgeKey(graph.Edge{U: q.U, V: q.V}.Canon(), n)
 			sh := r.shards[shardOfKey(key, p)]
@@ -206,46 +231,51 @@ func (r *InsertionRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 			}
 			r.space++
 		default:
-			return nil, fmt.Errorf("transform: unknown query type %d", q.Type)
+			return fmt.Errorf("transform: unknown query type %d", q.Type)
 		}
 	}
+	return nil
+}
 
-	// ---- One pass: each batch is canonicalized once, then fanned out to
-	// the shard workers. ----
-	var m int64
-	err := r.st.ForEachBatch(func(batch []stream.Update) error {
-		edges := r.batchEdges[:0]
-		keys := r.batchKeys[:0]
-		for _, u := range batch {
-			if u.Op != stream.Insert {
-				return fmt.Errorf("transform: deletion in insertion-only stream")
-			}
-			e := u.Edge.Canon()
-			edges = append(edges, e)
-			keys = append(keys, edgeKey(e, n))
+// ConsumeBatch implements oracle.PassRunner: each batch is canonicalized
+// once, then fanned out to the shard workers.
+func (r *InsertionRunner) ConsumeBatch(batch []stream.Update) error {
+	n := r.st.N()
+	edges := r.batchEdges[:0]
+	keys := r.batchKeys[:0]
+	for _, u := range batch {
+		if u.Op != stream.Insert {
+			return fmt.Errorf("transform: deletion in insertion-only stream")
 		}
-		r.batchEdges, r.batchKeys = edges, keys
-		m += int64(len(batch))
-		if p <= 1 {
-			r.shards[0].process(edges, keys)
-			return nil
-		}
-		var wg sync.WaitGroup
-		for _, sh := range r.shards {
-			wg.Add(1)
-			go func(sh *insShard) {
-				defer wg.Done()
-				sh.process(edges, keys)
-			}(sh)
-		}
-		wg.Wait()
+		e := u.Edge.Canon()
+		edges = append(edges, e)
+		keys = append(keys, edgeKey(e, n))
+	}
+	r.batchEdges, r.batchKeys = edges, keys
+	r.curM += int64(len(batch))
+	if r.curP <= 1 {
+		r.shards[0].process(edges, keys)
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
+	var wg sync.WaitGroup
+	for _, sh := range r.shards {
+		wg.Add(1)
+		go func(sh *insShard) {
+			defer wg.Done()
+			sh.process(edges, keys)
+		}(sh)
+	}
+	wg.Wait()
+	return nil
+}
 
-	// ---- Merge (sequential, in query order). ----
+// EndRound implements oracle.PassRunner: the merge is sequential, in query
+// order, so answer assembly never depends on the worker count.
+func (r *InsertionRunner) EndRound() ([]oracle.Answer, error) {
+	queries := r.curQueries
+	n := r.st.N()
+	p := r.curP
+	m := r.curM
 	answers := make([]oracle.Answer, len(queries))
 	for i, q := range queries {
 		switch q.Type {
@@ -274,6 +304,7 @@ func (r *InsertionRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 			}
 		}
 	}
+	r.curQueries = nil
 	return answers, nil
 }
 

@@ -405,3 +405,96 @@ func TestDirectOracleAgreesWithRunners(t *testing.T) {
 		}
 	}
 }
+
+// TestRoundLifecycleEquivalence is the PassRunner contract: a round served
+// by an external scheduler (BeginRound + broadcast replay + EndRound) must
+// answer bit-identically to a self-replaying Round call, on both runners.
+// Two runners share one broadcast pass here, mimicking a session.
+func TestRoundLifecycleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.ErdosRenyiGNM(rng, 40, 200)
+
+	queries := []oracle.Query{
+		q(oracle.CountEdges),
+		q(oracle.RandomEdge),
+		q(oracle.RandomEdge),
+		q(oracle.Degree, 3),
+		q(oracle.Adjacent, 0, 1),
+	}
+	insQueries := append(append([]oracle.Query(nil), queries...), q(oracle.Neighbor, 2, 0, 1))
+	turnQueries := append(append([]oracle.Query(nil), queries...), q(oracle.RandomNeighbor, 2))
+
+	t.Run("insertion", func(t *testing.T) {
+		st := stream.FromGraph(g)
+		standalone, err := NewInsertionRunner(st, rand.New(rand.NewSource(33)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := standalone.Round(insQueries)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r1, _ := NewInsertionRunner(st, rand.New(rand.NewSource(33)))
+		r2, _ := NewInsertionRunner(st, rand.New(rand.NewSource(77)))
+		if err := r1.BeginRound(insQueries); err != nil {
+			t.Fatal(err)
+		}
+		if err := r2.BeginRound(insQueries); err != nil {
+			t.Fatal(err)
+		}
+		bc := stream.NewBroadcaster(st)
+		if err := bc.Replay(r1, r2); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r1.EndRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r2.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d answers, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("answer %d: scheduled %+v != standalone %+v", i, got[i], want[i])
+			}
+		}
+	})
+
+	t.Run("turnstile", func(t *testing.T) {
+		st := stream.WithDeletions(g, 0.5, rng)
+		standalone := NewTurnstileRunner(st, rand.New(rand.NewSource(34)))
+		want, err := standalone.Round(turnQueries)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r1 := NewTurnstileRunner(st, rand.New(rand.NewSource(34)))
+		r2 := NewTurnstileRunner(st, rand.New(rand.NewSource(78)))
+		if err := r1.BeginRound(turnQueries); err != nil {
+			t.Fatal(err)
+		}
+		if err := r2.BeginRound(turnQueries); err != nil {
+			t.Fatal(err)
+		}
+		bc := stream.NewBroadcaster(st)
+		if err := bc.Replay(r1, r2); err != nil {
+			t.Fatal(err)
+		}
+		got, err := r1.EndRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r2.EndRound(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("answer %d: scheduled %+v != standalone %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

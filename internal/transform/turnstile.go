@@ -42,6 +42,17 @@ type TurnstileRunner struct {
 	queries int64
 	space   int64
 
+	// In-flight round state (BeginRound .. EndRound).
+	curQueries   []oracle.Query
+	curP         int
+	curM         int64
+	curBase      uint64
+	edgeSamplers []*sketch.L0Sampler // for RandomEdge queries
+	edgeSampIdx  []int
+	nbrSamplers  map[int64][]*sketch.L0Sampler // vertex -> samplers
+	nbrSampIdx   map[int64][]int
+	nbrVerts     []int64 // deterministic iteration order over nbrSamplers
+
 	// Scratch reused across rounds.
 	shards     []*turnShard
 	batchEdges []graph.Edge
@@ -49,6 +60,9 @@ type TurnstileRunner struct {
 	batchDelta []int64
 	edgeFeed   []feedEntry
 }
+
+// TurnstileRunner implements the session engine's round lifecycle.
+var _ oracle.PassRunner = (*TurnstileRunner)(nil)
 
 // feedEntry is one buffered sampler update; term is filled in by the
 // parallel fingerprint sweep after the pass.
@@ -164,23 +178,40 @@ func fillTerms(p int, base uint64, feed []feedEntry) {
 	})
 }
 
-// Round implements oracle.Runner: one pass answers the whole batch.
+// Round implements oracle.Runner: one pass answers the whole batch. It is
+// BeginRound + one private replay + EndRound, so a standalone runner and a
+// session-scheduled one answer identically.
 func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error) {
+	if err := r.BeginRound(queries); err != nil {
+		return nil, err
+	}
+	if err := r.st.ForEachBatch(r.ConsumeBatch); err != nil {
+		return nil, err
+	}
+	return r.EndRound()
+}
+
+// BeginRound implements oracle.PassRunner: it registers the round's queries,
+// shards the counters and registers the ℓ0-samplers (sequentially, so
+// sampler seeds are drawn in query order regardless of the worker count).
+func (r *TurnstileRunner) BeginRound(queries []oracle.Query) error {
 	r.rounds++
 	r.queries += int64(len(queries))
+	r.curQueries = queries
+	r.curM = 0
 	n := r.st.N()
 	p := par.Workers(r.paral)
+	r.curP = p
 	r.ensureShards(p)
 	base := sketch.RandomFieldBase(r.rng.Uint64())
+	r.curBase = base
+	r.edgeFeed = r.edgeFeed[:0]
 
-	// ---- Setup (sequential): shard counters, register samplers. ----
-	var (
-		edgeSamplers []*sketch.L0Sampler // for RandomEdge queries
-		edgeSampIdx  []int
-		nbrSamplers  = make(map[int64][]*sketch.L0Sampler) // vertex -> samplers
-		nbrSampIdx   = make(map[int64][]int)
-		nbrVerts     []int64 // deterministic iteration order over nbrSamplers
-	)
+	edgeSamplers := r.edgeSamplers[:0]
+	edgeSampIdx := r.edgeSampIdx[:0]
+	nbrSamplers := make(map[int64][]*sketch.L0Sampler) // vertex -> samplers
+	nbrSampIdx := make(map[int64][]int)
+	var nbrVerts []int64 // deterministic iteration order over nbrSamplers
 	for i, q := range queries {
 		switch q.Type {
 		case oracle.CountEdges:
@@ -209,7 +240,7 @@ func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 			nbrSampIdx[q.U] = append(nbrSampIdx[q.U], i)
 			r.space += s.SpaceWords()
 		case oracle.Neighbor:
-			return nil, fmt.Errorf("transform: Neighbor is an augmented-model query; the turnstile runner emulates the relaxed model (use RandomNeighbor)")
+			return fmt.Errorf("transform: Neighbor is an augmented-model query; the turnstile runner emulates the relaxed model (use RandomNeighbor)")
 		case oracle.Adjacent:
 			key := edgeKey(graph.Edge{U: q.U, V: q.V}.Canon(), n)
 			sh := r.shards[shardOfKey(key, p)]
@@ -218,60 +249,73 @@ func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 			}
 			r.space++
 		default:
-			return nil, fmt.Errorf("transform: unknown query type %d", q.Type)
+			return fmt.Errorf("transform: unknown query type %d", q.Type)
 		}
 	}
+	r.edgeSamplers, r.edgeSampIdx = edgeSamplers, edgeSampIdx
+	r.nbrSamplers, r.nbrSampIdx, r.nbrVerts = nbrSamplers, nbrSampIdx, nbrVerts
+	return nil
+}
 
-	// ---- Stage 1, one pass: counters are updated by the shard workers;
-	// sampler feeds are buffered so each sampler can consume the whole pass
-	// sequentially, keeping its cells cache-resident (processing thousands
-	// of samplers per incoming update would thrash the cache). ----
-	var m int64
-	edgeFeed := r.edgeFeed[:0]
-	err := r.st.ForEachBatch(func(batch []stream.Update) error {
-		edges := r.batchEdges[:0]
-		keys := r.batchKeys[:0]
-		deltas := r.batchDelta[:0]
-		for _, u := range batch {
-			delta := int64(1)
-			if u.Op == stream.Delete {
-				delta = -1
-			}
-			e := u.Edge.Canon()
-			m += delta
-			edges = append(edges, e)
-			keys = append(keys, edgeKey(e, n))
-			deltas = append(deltas, delta)
+// ConsumeBatch implements oracle.PassRunner (the round's stage 1): counters
+// are updated by the shard workers; sampler feeds are buffered so each
+// sampler can consume the whole pass sequentially in EndRound, keeping its
+// cells cache-resident (processing thousands of samplers per incoming
+// update would thrash the cache).
+func (r *TurnstileRunner) ConsumeBatch(batch []stream.Update) error {
+	n := r.st.N()
+	p := r.curP
+	edges := r.batchEdges[:0]
+	keys := r.batchKeys[:0]
+	deltas := r.batchDelta[:0]
+	for _, u := range batch {
+		delta := int64(1)
+		if u.Op == stream.Delete {
+			delta = -1
 		}
-		r.batchEdges, r.batchKeys, r.batchDelta = edges, keys, deltas
-		var wg sync.WaitGroup
-		if p > 1 {
-			for _, sh := range r.shards {
-				wg.Add(1)
-				go func(sh *turnShard) {
-					defer wg.Done()
-					sh.process(edges, keys, deltas)
-				}(sh)
-			}
-		}
-		// The coordinator buffers the edge-matrix feed while the shard
-		// workers run; no worker touches edgeFeed.
-		if len(edgeSamplers) > 0 {
-			for i, key := range keys {
-				edgeFeed = append(edgeFeed, feedEntry{key: key, delta: deltas[i]})
-			}
-		}
-		if p <= 1 {
-			r.shards[0].process(edges, keys, deltas)
-		} else {
-			wg.Wait()
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		e := u.Edge.Canon()
+		r.curM += delta
+		edges = append(edges, e)
+		keys = append(keys, edgeKey(e, n))
+		deltas = append(deltas, delta)
 	}
-	r.edgeFeed = edgeFeed
+	r.batchEdges, r.batchKeys, r.batchDelta = edges, keys, deltas
+	var wg sync.WaitGroup
+	if p > 1 {
+		for _, sh := range r.shards {
+			wg.Add(1)
+			go func(sh *turnShard) {
+				defer wg.Done()
+				sh.process(edges, keys, deltas)
+			}(sh)
+		}
+	}
+	// The coordinator buffers the edge-matrix feed while the shard
+	// workers run; no worker touches edgeFeed.
+	if len(r.edgeSamplers) > 0 {
+		for i, key := range keys {
+			r.edgeFeed = append(r.edgeFeed, feedEntry{key: key, delta: deltas[i]})
+		}
+	}
+	if p <= 1 {
+		r.shards[0].process(edges, keys, deltas)
+	} else {
+		wg.Wait()
+	}
+	return nil
+}
+
+// EndRound implements oracle.PassRunner: the post-pass sampler stages and
+// the sequential in-query-order merge.
+func (r *TurnstileRunner) EndRound() ([]oracle.Answer, error) {
+	queries := r.curQueries
+	n := r.st.N()
+	p := r.curP
+	m := r.curM
+	base := r.curBase
+	edgeFeed := r.edgeFeed
+	edgeSamplers, edgeSampIdx := r.edgeSamplers, r.edgeSampIdx
+	nbrSamplers, nbrSampIdx, nbrVerts := r.nbrSamplers, r.nbrSampIdx, r.nbrVerts
 
 	// ---- Stage 2: fingerprint terms, computed once per feed entry by a
 	// parallel sweep (the field exponentiation dominates the feed cost). ----
@@ -341,5 +385,7 @@ func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 			}
 		}
 	}
+	r.curQueries = nil
+	r.nbrSamplers, r.nbrSampIdx, r.nbrVerts = nil, nil, nil
 	return answers, nil
 }

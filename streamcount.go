@@ -34,7 +34,39 @@ type (
 	Result = core.Estimate
 	// SampledCopy is a uniformly sampled copy of H.
 	SampledCopy = core.SampledCopy
+	// Session binds many jobs to one stream and serves all rounds they are
+	// concurrently waiting on with shared passes (DESIGN.md §2.5).
+	Session = core.Session
+	// Job describes one unit of work submitted to a Session.
+	Job = core.Job
+	// JobKind selects which algorithm a Job runs.
+	JobKind = core.JobKind
+	// JobHandle tracks a submitted job; read its result after Session.Run.
+	JobHandle = core.JobHandle
+	// JobResult is the outcome of one session job.
+	JobResult = core.JobResult
 )
+
+// Session job kinds.
+const (
+	// JobEstimate runs the 3-pass FGP counter (Estimate).
+	JobEstimate = core.JobEstimate
+	// JobSample draws one uniform copy of H (Sample).
+	JobSample = core.JobSample
+	// JobCliques runs the 5r-pass ERS clique counter (EstimateCliques).
+	JobCliques = core.JobCliques
+	// JobAuto runs the geometric lower-bound search (EstimateAuto).
+	JobAuto = core.JobAuto
+	// JobDistinguish runs the decision variant (Distinguish).
+	JobDistinguish = core.JobDistinguish
+)
+
+// NewSession creates a session over st. Submit any mix of jobs, call Run
+// once, then read each handle's result: every job's answer is bit-identical
+// to the same job run standalone, while a session of K jobs costs only
+// max-rounds shared passes over the stream instead of the sum — N concurrent
+// queries no longer cost N× the stream I/O.
+func NewSession(st Stream) *Session { return core.NewSession(st) }
 
 // Stream update operations.
 const (

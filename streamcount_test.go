@@ -149,6 +149,50 @@ func TestFacadeEstimateCliquesRejectsTurnstile(t *testing.T) {
 	}
 }
 
+// TestFacadeSession exercises the session API end to end: several patterns
+// served by one shared replay, each bit-identical to its standalone run.
+func TestFacadeSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := streamcount.ErdosRenyi(rng, 80, 600)
+	st := streamcount.StreamFromGraph(g)
+
+	names := []string{"triangle", "C5", "paw"}
+	configs := make([]streamcount.Config, len(names))
+	standalone := make([]*streamcount.Result, len(names))
+	for i, name := range names {
+		p, err := streamcount.PatternByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		configs[i] = streamcount.Config{Pattern: p, Trials: 3000, Seed: int64(20 + i)}
+		standalone[i], err = streamcount.Estimate(st, configs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := streamcount.NewSession(st)
+	handles := make([]*streamcount.JobHandle, len(names))
+	for i := range configs {
+		handles[i] = s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: configs[i]})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		got, err := h.Estimate()
+		if err != nil {
+			t.Fatalf("%s: %v", names[i], err)
+		}
+		if *got != *standalone[i] {
+			t.Errorf("%s: session %+v != standalone %+v", names[i], *got, *standalone[i])
+		}
+	}
+	if s.Passes() != 3 {
+		t.Errorf("shared passes=%d, want 3 for %d jobs", s.Passes(), len(names))
+	}
+}
+
 func TestFacadeReadGraph(t *testing.T) {
 	in := "3 2\n0 1\n1 2\n"
 	g, err := streamcount.ReadGraph(strings.NewReader(in))
