@@ -1,0 +1,224 @@
+package streamcount_test
+
+// The API-surface golden test: the exported surface of the facade package
+// is rendered to a sorted symbol list and compared against
+// testdata/api_surface.golden, so accidental breakage (a renamed option, a
+// changed signature, a dropped method) fails CI instead of shipping.
+//
+// After an intentional API change, regenerate with
+//
+//	go test -run TestAPISurfaceGolden -update-api-surface
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPISurface = flag.Bool("update-api-surface", false, "rewrite testdata/api_surface.golden from the current source")
+
+const goldenPath = "testdata/api_surface.golden"
+
+func TestAPISurfaceGolden(t *testing.T) {
+	got := renderAPISurface(t, ".")
+	if *updateAPISurface {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	wantBytes, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-api-surface to create): %v", err)
+	}
+	want := string(wantBytes)
+	if got != want {
+		t.Errorf("exported API surface changed.\nIf intentional, regenerate with:\n\tgo test -run TestAPISurfaceGolden -update-api-surface\n\n%s", surfaceDiff(want, got))
+	}
+}
+
+// renderAPISurface parses the package in dir (non-test files) and returns
+// one line per exported symbol, sorted.
+func renderAPISurface(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["streamcount"]
+	if !ok {
+		t.Fatalf("package streamcount not found in %s (got %v)", dir, pkgs)
+	}
+
+	var lines []string
+	add := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	render := func(n ast.Node) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		// One line per symbol: collapse any multi-line type rendering.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					recv := d.Recv.List[0].Type
+					// Methods only count when the receiver type is exported.
+					base := recv
+					if star, ok := base.(*ast.StarExpr); ok {
+						base = star.X
+					}
+					if ident, ok := base.(*ast.Ident); ok && !ident.IsExported() {
+						continue
+					}
+					add("method (%s) %s%s", render(recv), d.Name.Name, renderFuncType(render, d.Type))
+				} else {
+					add("func %s%s", d.Name.Name, renderFuncType(render, d.Type))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !sp.Name.IsExported() {
+							continue
+						}
+						assign := ""
+						if sp.Assign.IsValid() {
+							assign = "= "
+						}
+						add("type %s %s%s", sp.Name.Name, assign, render(exportedOnly(sp.Type)))
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								add("%s %s", kind, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// exportedOnly strips unexported fields from struct types and unexported
+// methods from interface types, so the golden file tracks the *public*
+// surface — internal representation changes (a private field added to an
+// exported struct, a sealed interface's hidden methods) don't trip it. A
+// struct/interface that hides anything is marked with an ellipsis so
+// "opaque" vs "fully exported" is still part of the surface.
+func exportedOnly(t ast.Expr) ast.Expr {
+	// marker is rendered in place of the hidden members: a blank field for
+	// structs, an embedded pseudo-interface for interfaces (interface
+	// methods must be FuncTypes, so a named marker field is not printable).
+	filter := func(list *ast.FieldList, marker *ast.Field) *ast.FieldList {
+		out := &ast.FieldList{}
+		hidden := false
+		for _, f := range list.List {
+			if len(f.Names) == 0 { // embedded field: keep
+				out.List = append(out.List, f)
+				continue
+			}
+			var names []*ast.Ident
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, n)
+				} else {
+					hidden = true
+				}
+			}
+			if len(names) > 0 {
+				out.List = append(out.List, &ast.Field{Names: names, Type: f.Type})
+			}
+		}
+		if hidden {
+			out.List = append(out.List, marker)
+		}
+		return out
+	}
+	switch tt := t.(type) {
+	case *ast.StructType:
+		return &ast.StructType{Struct: tt.Struct, Fields: filter(tt.Fields, &ast.Field{
+			Names: []*ast.Ident{{Name: "_"}},
+			Type:  &ast.Ident{Name: "unexportedFields"},
+		})}
+	case *ast.InterfaceType:
+		return &ast.InterfaceType{Interface: tt.Interface, Methods: filter(tt.Methods, &ast.Field{
+			Type: &ast.Ident{Name: "unexportedMethods"},
+		})}
+	default:
+		return t
+	}
+}
+
+// renderFuncType renders a function signature (params + results, plus type
+// parameters for generic functions) without the func keyword.
+func renderFuncType(render func(ast.Node) string, ft *ast.FuncType) string {
+	s := render(ft)
+	return strings.TrimPrefix(s, "func")
+}
+
+// surfaceDiff reports the added and removed lines between two surface
+// renderings (order-insensitive set diff, printed sorted).
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range sortedKeys(wantSet) {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range sortedKeys(gotSet) {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(lines reordered only)"
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

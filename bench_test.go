@@ -1,14 +1,17 @@
 package streamcount_test
 
-// One benchmark per experiment in DESIGN.md §4 (the harness that
+// One benchmark per experiment in DESIGN.md §5 (the harness that
 // regenerates every table/figure of EXPERIMENTS.md), plus micro-benchmarks
 // for the substrates. Experiment benches do one full regeneration per
 // iteration; run them with -benchtime=1x for a single regeneration.
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"streamcount"
 	"streamcount/internal/exact"
@@ -21,6 +24,8 @@ import (
 	"streamcount/internal/stream"
 	"streamcount/internal/transform"
 )
+
+//lint:file-ignore SA1019 the session benchmarks keep the deprecated one-shot path as the baseline the engine is measured against.
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
@@ -223,6 +228,60 @@ func BenchmarkSessionSequentialJobs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range cfgs {
 			if _, err := streamcount.Estimate(st, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineContinuousAdmission measures the long-lived Engine serving
+// the same K-job wave as the session benchmarks, submitted concurrently at
+// run time: the admission controller groups the arrivals into shared-replay
+// generations, so a wave costs ~3 file replays like a pre-declared session,
+// without knowing the batch in advance.
+func BenchmarkEngineContinuousAdmission(b *testing.B) {
+	st, cfgs := sessionBenchWorkload(b)
+	queries := make([]streamcount.TypedQuery[*streamcount.CountResult], len(cfgs))
+	for i, cfg := range cfgs {
+		queries[i] = streamcount.CountQuery(cfg.Pattern,
+			streamcount.WithTrials(cfg.Trials), streamcount.WithSeed(cfg.Seed))
+	}
+	e := streamcount.NewEngine(st, streamcount.WithAdmissionWindow(2*time.Millisecond))
+	defer e.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q streamcount.TypedQuery[*streamcount.CountResult]) {
+				defer wg.Done()
+				if _, err := streamcount.Do(ctx, e, q); err != nil {
+					b.Error(err)
+				}
+			}(q)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkEngineSessionRunBackToBack is the pre-engine baseline for the
+// same wave: a fresh one-shot session per wave, with the batch known up
+// front.
+func BenchmarkEngineSessionRunBackToBack(b *testing.B) {
+	st, cfgs := sessionBenchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := streamcount.NewSession(st)
+		handles := make([]*streamcount.JobHandle, len(cfgs))
+		for j, cfg := range cfgs {
+			handles[j] = s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: cfg})
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range handles {
+			if _, err := h.Estimate(); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -31,7 +31,7 @@ import (
 // coreSet selects the substrate, pass-engine and session benchmarks; the
 // Exp* experiment benchmarks regenerate whole report tables and are too
 // slow for a default run.
-const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkSession|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
+const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkSession|BenchmarkEngine|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
 
 // Measurement is one benchmark result.
 type Measurement struct {

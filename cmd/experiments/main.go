@@ -1,5 +1,5 @@
 // Command experiments regenerates the tables and figures of EXPERIMENTS.md
-// (the paper has no empirical section; DESIGN.md §4 defines the suite from
+// (the paper has no empirical section; DESIGN.md §5 defines the suite from
 // its theorems).
 //
 // Examples:

@@ -8,8 +8,15 @@
 //	graph:   header "n m", then one "u v" line per edge (insertion-only)
 //	updates: header "n", then "+ u v" / "- u v" lines (turnstile)
 //
-// A comma-separated -pattern list submits every pattern to one shared-replay
-// session: all estimators ride the same 3 passes instead of 3 passes each.
+// A comma-separated -pattern list submits every pattern to one engine over
+// the stream: all estimators ride the same shared replays instead of 3
+// passes each. Failures are per-query — the whole run is not aborted by one
+// bad pattern; a result table with an error column is printed and the exit
+// status is nonzero if any query failed.
+//
+// The process cancels cleanly: -timeout bounds the total run, and a SIGINT
+// (Ctrl-C) or SIGTERM aborts in-flight replays between update batches; both
+// surface as "canceled" errors in the result table.
 //
 // Examples:
 //
@@ -17,15 +24,21 @@
 //	streamcount -input graph.txt -pattern triangle,C5,K4 -trials 100000
 //	streamcount -input updates.txt -updates -pattern C5 -trials 500000
 //	streamcount -input graph.txt -cliques 4 -eps 0.3 -lower 50
+//	streamcount -input huge.txt -updates -pattern C5 -timeout 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"streamcount"
 	"streamcount/internal/graph"
@@ -47,11 +60,22 @@ func main() {
 		exactF  = flag.Bool("exact", false, "also print the exact count (loads the graph into memory)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		paral   = flag.Int("parallel", 0, "pass-engine workers (0: GOMAXPROCS, 1: sequential; same estimate either way)")
+		timeout = flag.Duration("timeout", 0, "overall deadline (0: none); exceeding it cancels in-flight replays")
 	)
 	flag.Parse()
 	if *input == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Context plumbing: Ctrl-C / SIGTERM cancel between update batches of
+	// any in-flight pass; -timeout adds a deadline on top.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	st, err := readStream(*input, *updates)
@@ -60,120 +84,140 @@ func main() {
 	}
 
 	if *cliques >= 3 {
-		runCliques(st, *cliques, *lambda, *eps, *lower, *seed, *paral, *exactF)
+		if !runCliques(ctx, st, *cliques, *lambda, *eps, *lower, *seed, *paral, *exactF) {
+			os.Exit(1)
+		}
 		return
 	}
 
-	names := strings.Split(*pat, ",")
-	pats := make([]*streamcount.Pattern, 0, len(names))
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		p, err := streamcount.PatternByName(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pats = append(pats, p)
-	}
-	if len(pats) == 0 {
+	names := splitPatterns(*pat)
+	if len(names) == 0 {
 		log.Fatal("no pattern given")
 	}
-	if len(pats) == 1 {
-		runSingle(st, pats[0], *trials, *eps, *lower, *seed, *paral, *exactF)
-		return
+	if !runPatterns(ctx, st, names, *trials, *eps, *lower, *seed, *paral, *exactF) {
+		os.Exit(1)
 	}
-	runSession(st, pats, *trials, *eps, *lower, *seed, *paral, *exactF)
 }
 
-func runSingle(st streamcount.Stream, p *streamcount.Pattern, trials int, eps, lower float64, seed int64, paral int, exactF bool) {
-	est, err := streamcount.Estimate(st, streamcount.Config{
-		Pattern:     p,
-		Trials:      trials,
-		Epsilon:     eps,
-		LowerBound:  lower,
-		EdgeBound:   st.Len(),
-		Seed:        seed,
-		Parallelism: paral,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("pattern    %s (rho=%.1f)\n", p.Name(), p.Rho())
-	fmt.Printf("stream     n=%d, %d updates, m=%d\n", st.N(), st.Len(), est.M)
-	fmt.Printf("estimate   %.1f\n", est.Value)
-	fmt.Printf("passes     %d\n", est.Passes)
-	fmt.Printf("trials     %d\n", est.Trials)
-	fmt.Printf("space      %d words\n", est.SpaceWords)
-	if exactF {
-		g, err := stream.Materialize(st)
-		if err != nil {
-			log.Fatal(err)
+func splitPatterns(s string) []string {
+	var names []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
 		}
-		fmt.Printf("exact      %d\n", streamcount.ExactCount(g, p))
 	}
+	return names
 }
 
-// runSession serves every pattern through one shared-replay session and
-// prints a result table with per-job and total (shared) pass counts.
-func runSession(st streamcount.Stream, pats []*streamcount.Pattern, trials int, eps, lower float64, seed int64, paral int, exactF bool) {
-	s := streamcount.NewSession(st)
-	handles := make([]*streamcount.JobHandle, len(pats))
-	for i, p := range pats {
-		handles[i] = s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: streamcount.Config{
-			Pattern:     p,
-			Trials:      trials,
-			Epsilon:     eps,
-			LowerBound:  lower,
-			EdgeBound:   st.Len(),
-			Seed:        seed + int64(i),
-			Parallelism: paral,
-		}})
+// row is one line of the result table: a served estimate or an error.
+type row struct {
+	name string
+	p    *streamcount.Pattern
+	est  *streamcount.CountResult
+	err  error
+}
+
+// runPatterns serves every named pattern through one engine over the stream
+// — concurrent queries share replays — and prints a result table. Failures
+// (unknown pattern, bad budget, cancellation) become per-query error rows
+// instead of aborting the run; it returns false if any query failed.
+func runPatterns(ctx context.Context, st streamcount.Stream, names []string, trials int, eps, lower float64, seed int64, paral int, exactF bool) bool {
+	e := streamcount.NewEngine(st, streamcount.WithAdmissionWindow(50*time.Millisecond))
+	defer e.Close()
+
+	rows := make([]row, len(names))
+	done := make(chan int, len(names))
+	for i, name := range names {
+		rows[i].name = name
+		p, err := streamcount.PatternByName(name)
+		if err != nil {
+			rows[i].err = err
+			done <- i
+			continue
+		}
+		rows[i].p = p
+		go func(i int, p *streamcount.Pattern) {
+			opts := []streamcount.QueryOption{
+				streamcount.WithTrials(trials),
+				streamcount.WithEpsilon(eps),
+				streamcount.WithLowerBound(lower),
+				streamcount.WithSeed(seed + int64(i)),
+				streamcount.WithParallelism(paral),
+			}
+			rows[i].est, rows[i].err = streamcount.Do(ctx, e, streamcount.CountQuery(p, opts...))
+			done <- i
+		}(i, p)
 	}
-	if err := s.Run(); err != nil {
-		log.Fatal(err)
+	for range names {
+		<-done
 	}
+
 	var g *graph.Graph
 	if exactF {
 		var err error
-		g, err = stream.Materialize(st)
-		if err != nil {
-			log.Fatal(err)
+		if g, err = stream.Materialize(st); err != nil {
+			log.Print(err)
+			exactF = false
 		}
 	}
+
 	fmt.Printf("stream     n=%d, %d updates\n\n", st.N(), st.Len())
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	header := "pattern\trho\testimate\tpasses\ttrials\tspace(words)"
 	if exactF {
 		header += "\texact"
 	}
+	header += "\terror"
 	fmt.Fprintln(w, header)
+	ok := true
 	var sumPasses int64
-	for i, h := range handles {
-		est, err := h.Estimate()
-		if err != nil {
-			log.Fatal(err)
+	for _, r := range rows {
+		if r.err != nil {
+			ok = false
+			rho := "-"
+			if r.p != nil {
+				rho = fmt.Sprintf("%.1f", r.p.Rho())
+			}
+			line := fmt.Sprintf("%s\t%s\t-\t-\t-\t-", r.name, rho)
+			if exactF {
+				line += "\t-"
+			}
+			fmt.Fprintf(w, "%s\t%s\n", line, errLabel(r.err))
+			continue
 		}
-		sumPasses += est.Passes
-		row := fmt.Sprintf("%s\t%.1f\t%.1f\t%d\t%d\t%d",
-			pats[i].Name(), pats[i].Rho(), est.Value, est.Passes, est.Trials, est.SpaceWords)
+		sumPasses += r.est.Passes
+		line := fmt.Sprintf("%s\t%.1f\t%.1f\t%d\t%d\t%d",
+			r.name, r.p.Rho(), r.est.Value, r.est.Passes, r.est.Trials, r.est.SpaceWords)
 		if exactF {
-			row += fmt.Sprintf("\t%d", streamcount.ExactCount(g, pats[i]))
+			line += fmt.Sprintf("\t%d", streamcount.ExactCount(g, r.p))
 		}
-		fmt.Fprintln(w, row)
+		fmt.Fprintf(w, "%s\t\n", line)
 	}
 	w.Flush()
-	fmt.Printf("\nshared passes  %d (vs %d if each job replayed privately)\n", s.Passes(), sumPasses)
+	fmt.Printf("\nshared passes  %d in %d generation(s) (vs %d if each query replayed privately)\n",
+		e.Passes(), e.Generations(), sumPasses)
+	return ok
 }
 
-func runCliques(st streamcount.Stream, r int, lambda int64, eps, lower float64, seed int64, paral int, exactF bool) {
+// errLabel compresses an error for the table; typed sentinels keep it
+// short.
+func errLabel(err error) string {
+	switch {
+	case errors.Is(err, streamcount.ErrCanceled):
+		return "canceled (timeout or signal)"
+	default:
+		return err.Error()
+	}
+}
+
+func runCliques(ctx context.Context, st streamcount.Stream, r int, lambda int64, eps, lower float64, seed int64, paral int, exactF bool) bool {
 	var g *graph.Graph
 	if lambda == 0 || exactF || lower == 0 {
 		var err error
 		g, err = stream.Materialize(st)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return false
 		}
 	}
 	if lambda == 0 {
@@ -184,17 +228,21 @@ func runCliques(st streamcount.Stream, r int, lambda int64, eps, lower float64, 
 		exact := streamcount.ExactCount(g, p)
 		if exact == 0 {
 			fmt.Println("graph contains no such cliques")
-			return
+			return true
 		}
 		lower = float64(exact) / 2
 		fmt.Printf("(no -lower given: using exact/2 = %.1f)\n", lower)
 	}
-	est, err := streamcount.EstimateCliques(st, streamcount.CliqueConfig{
-		R: r, Lambda: lambda, Epsilon: eps, LowerBound: lower, Seed: seed,
-		Parallelism: paral,
-	})
+	est, err := streamcount.Run(ctx, st, streamcount.CliqueQuery(r,
+		streamcount.WithLambda(lambda),
+		streamcount.WithEpsilon(eps),
+		streamcount.WithLowerBound(lower),
+		streamcount.WithSeed(seed),
+		streamcount.WithParallelism(paral),
+	))
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("K%d: %s", r, errLabel(err))
+		return false
 	}
 	fmt.Printf("pattern    K%d (degeneracy λ=%d)\n", r, lambda)
 	fmt.Printf("estimate   %.1f\n", est.Value)
@@ -204,6 +252,7 @@ func runCliques(st streamcount.Stream, r int, lambda int64, eps, lower float64, 
 		p, _ := streamcount.PatternByName(fmt.Sprintf("K%d", r))
 		fmt.Printf("exact      %d\n", streamcount.ExactCount(g, p))
 	}
+	return true
 }
 
 func readStream(path string, updateFormat bool) (streamcount.Stream, error) {

@@ -14,36 +14,69 @@
 //     sublinear-time algorithm in the (augmented) general graph query model
 //     becomes a k-pass streaming algorithm (Theorems 9 and 11).
 //
-// The quickstart:
+// # Queries
+//
+// Work is described by typed queries, built with constructors and
+// functional options and returning typed results:
 //
 //	p, _ := streamcount.PatternByName("triangle")
 //	st, _ := streamcount.NewStream(n, updates)
-//	est, _ := streamcount.Estimate(st, streamcount.Config{Pattern: p, Trials: 100000})
+//	est, _ := streamcount.Run(ctx, st, streamcount.CountQuery(p,
+//	    streamcount.WithTrials(100000),
+//	    streamcount.WithSeed(1),
+//	))
 //	fmt.Println(est.Value, est.Passes) // ≈ #triangles, 3
 //
-// # Sessions
+// CountQuery, SampleQuery, CliqueQuery, AutoQuery and DistinguishQuery
+// cover the paper's estimation, sampling and decision variants; Run
+// executes one query over a stream under a context — cancellation is
+// checked between the update batches of every pass, and errors wrap typed
+// sentinels (ErrBadPattern, ErrCanceled, ...) for errors.Is dispatch.
 //
-// Every entry point above is a single-job session. To serve many queries
-// over one stream, submit them all to one Session: the pass scheduler
-// coalesces the rounds the jobs are concurrently waiting on into shared
-// replays, so K jobs cost max-rounds passes over the stream instead of the
-// sum, and each job's result stays bit-identical to a standalone run:
+// # Engine
 //
-//	s := streamcount.NewSession(st)
-//	h1 := s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: cfg1})
-//	h2 := s.Submit(streamcount.Job{Kind: streamcount.JobEstimate, Config: cfg2})
-//	_ = s.Run()
-//	r1, _ := h1.Estimate() // == streamcount.Estimate(st, cfg1)
-//	fmt.Println(s.Passes()) // 3, not 6
+// To serve many queries over one stream — the embedded-in-a-server case —
+// create a long-lived Engine. Submit (or the typed Do) may be called from
+// any goroutine at any time; an admission controller groups queries that
+// arrive close together into shared-replay generations, so K overlapping
+// queries cost max-rounds passes over the stream per generation instead of
+// the sum, and each result is bit-identical to a standalone run:
 //
-// # Parallelism
+//	e := streamcount.NewEngine(st)
+//	defer e.Close()
+//	// from any goroutine, at any time:
+//	est, err := streamcount.Do(ctx, e, streamcount.CountQuery(p, streamcount.WithTrials(100000)))
+//
+// Engines also hold a named-stream registry (RegisterStream / DoOn) so one
+// service instance can answer queries over many streams independently.
+//
+// # Parallelism and determinism
 //
 // The pass engine is parallel: stream replay is batched, each runner shards
 // its per-query emulation state across workers, and the FGP trials are
-// processed concurrently. Config.Parallelism (and CliqueConfig.Parallelism)
-// bounds the worker count — 0 means GOMAXPROCS, 1 forces the sequential
-// path. For a fixed Config.Seed the estimate is bit-identical at any
-// parallelism; see DESIGN.md §2 for the determinism contract.
+// processed concurrently. WithParallelism bounds the worker count — 0 means
+// GOMAXPROCS, 1 forces the sequential path. For a fixed WithSeed the result
+// is bit-identical at any parallelism, standalone or inside any engine
+// generation, even after cancellations; see DESIGN.md §2–§3 for the
+// contract.
+//
+// # Migrating from the pre-query API
+//
+// The original entry points remain as thin deprecated wrappers over the
+// query API and behave exactly as before:
+//
+//	Estimate(st, Config{Pattern: p, Trials: n, Seed: s})
+//	  -> Run(ctx, st, CountQuery(p, WithTrials(n), WithSeed(s)))
+//	Sample(st, cfg)            -> Run(ctx, st, SampleQuery(p, ...))   (SampleResult)
+//	EstimateCliques(st, ccfg)  -> Run(ctx, st, CliqueQuery(r, WithLambda(λ), ...))
+//	EstimateAuto(st, cfg)      -> Run(ctx, st, AutoQuery(p, ...))
+//	Distinguish(st, cfg, l)    -> Run(ctx, st, DistinguishQuery(p, l, ...)) (DistinguishResult)
+//	NewSession + Submit + Run  -> NewEngine + Do / Submit
+//
+// Differences in the new layer: every query kind defaults ε to 0.1 (the
+// legacy EstimateAuto path defaulted to 0.2), and the edge bound used to
+// derive trial budgets defaults to the stream length instead of being
+// required.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // architecture and the paper-faithfulness notes.

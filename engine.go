@@ -1,0 +1,133 @@
+package streamcount
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"streamcount/internal/core"
+)
+
+// An Engine is a long-lived query service over one or more replayable
+// streams — the embeddable form of the library for servers that admit
+// queries continuously under deadlines. Create it once, then call Submit
+// (or the typed Do) from any goroutine at any time; Close it when done.
+//
+// An admission controller groups queries that arrive close together —
+// within the admission window while the engine is idle, or while the
+// current batch is being served — into successive shared-replay "generations".
+// All queries of a generation ride the same passes, so K overlapping
+// queries cost max-rounds passes over the stream per generation instead of
+// the sum (DESIGN.md §3). Results are bit-identical to standalone runs at
+// the same seed, no matter how admission sliced the arrivals.
+//
+// Cancellation: Submit honors its context — on cancel it returns an error
+// wrapping ErrCanceled, the abandoned job unwinds at its next pass
+// boundary, and a generation none of whose submitters is still listening
+// aborts its replay between batches. The engine stays serviceable
+// throughout; a canceled query can simply be resubmitted.
+type Engine struct {
+	eng *core.Engine
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*core.EngineOptions)
+
+// WithAdmissionWindow sets how long an idle engine waits after a query
+// arrives for more queries to share its generation with. Zero (the default)
+// serves the first arrival immediately; under load the window is moot,
+// because everything arriving during a running generation is admitted into
+// the next one anyway. Larger windows trade latency for fewer passes.
+func WithAdmissionWindow(d time.Duration) EngineOption {
+	return func(o *core.EngineOptions) { o.Window = d }
+}
+
+// NewEngine creates an engine over st and starts serving immediately.
+// Register more streams with RegisterStream; stop the engine with Close.
+func NewEngine(st Stream, opts ...EngineOption) *Engine {
+	var o core.EngineOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Engine{eng: core.NewEngine(st, o)}
+}
+
+// RegisterStream adds a named stream to the engine. Named streams are
+// served independently — each has its own admission queue and generations —
+// and are queried with SubmitOn / DoOn.
+func (e *Engine) RegisterStream(name string, st Stream) error {
+	return e.eng.Register(name, st)
+}
+
+// Streams returns the registered stream names in sorted order. The default
+// stream is the empty name.
+func (e *Engine) Streams() []string { return e.eng.Streams() }
+
+// Submit runs q on the engine's default stream and blocks until the
+// admission generation that adopted it completes (or ctx is done). The
+// untyped Outcome carries the one result field matching the query's kind;
+// homogeneous callers should prefer the typed Do.
+func (e *Engine) Submit(ctx context.Context, q Query) (Outcome, error) {
+	return e.SubmitOn(ctx, core.DefaultStream, q)
+}
+
+// SubmitOn is Submit against a registered named stream.
+func (e *Engine) SubmitOn(ctx context.Context, stream string, q Query) (Outcome, error) {
+	h, err := e.submit(ctx, stream, q)
+	if err != nil {
+		return Outcome{Kind: q.Kind()}, err
+	}
+	return q.outcome(h), nil
+}
+
+// submit lowers q to a core job (resolving the stream-length edge-bound
+// default) and rides the core engine.
+func (e *Engine) submit(ctx context.Context, name string, q Query) (*core.JobHandle, error) {
+	st, ok := e.eng.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("streamcount: Submit on %q: %w", name, ErrUnknownStream)
+	}
+	j, err := q.job(st.Len())
+	if err != nil {
+		return nil, err
+	}
+	return e.eng.SubmitTo(ctx, name, j)
+}
+
+// Do runs q on e's default stream and returns its typed result:
+//
+//	est, err := streamcount.Do(ctx, engine, streamcount.CountQuery(p,
+//	    streamcount.WithTrials(100000)))
+//
+// It is Engine.Submit with the result statically typed by the query.
+func Do[R any](ctx context.Context, e *Engine, q TypedQuery[R]) (R, error) {
+	return DoOn(ctx, e, core.DefaultStream, q)
+}
+
+// DoOn is Do against a registered named stream.
+func DoOn[R any](ctx context.Context, e *Engine, stream string, q TypedQuery[R]) (R, error) {
+	var zero R
+	h, err := e.submit(ctx, stream, q)
+	if err != nil {
+		return zero, err
+	}
+	return q.result(h), nil
+}
+
+// Passes returns the number of shared passes performed over the default
+// stream so far. Under concurrent load it grows like 3 per generation, not
+// 3 per query.
+func (e *Engine) Passes() int64 { return e.eng.Passes() }
+
+// PassesOn returns the number of shared passes performed over the named
+// stream so far.
+func (e *Engine) PassesOn(stream string) int64 { return e.eng.PassesOn(stream) }
+
+// Generations returns the number of admission generations served so far
+// across all streams.
+func (e *Engine) Generations() int64 { return e.eng.Generations() }
+
+// Close shuts the engine down: the running generation aborts between
+// batches, queued queries fail with ErrEngineClosed, and later Submits are
+// rejected. Close blocks until the engine is idle and is idempotent.
+func (e *Engine) Close() error { return e.eng.Close() }

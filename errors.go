@@ -1,0 +1,27 @@
+package streamcount
+
+import "streamcount/internal/core"
+
+// Typed sentinel errors. Every error returned by Run, Engine.Submit / Do
+// and the legacy wrappers wraps exactly one of these; dispatch with
+// errors.Is. Cancellation errors additionally wrap the underlying
+// context.Canceled / context.DeadlineExceeded, so both checks work.
+var (
+	// ErrBadPattern reports a missing or unusable target pattern H.
+	ErrBadPattern = core.ErrBadPattern
+	// ErrBadConfig reports an invalid or underspecified query (no trial
+	// budget derivable, missing degeneracy bound, non-positive threshold...).
+	ErrBadConfig = core.ErrBadConfig
+	// ErrReplayFailed reports a pass over the stream failing mid-replay.
+	ErrReplayFailed = core.ErrReplayFailed
+	// ErrCanceled reports a query abandoned by context cancellation or
+	// timeout.
+	ErrCanceled = core.ErrCanceled
+	// ErrSessionDone reports a Submit or Run against a Session whose
+	// single-shot Run already started.
+	ErrSessionDone = core.ErrSessionDone
+	// ErrEngineClosed reports a Submit against a closed Engine.
+	ErrEngineClosed = core.ErrEngineClosed
+	// ErrUnknownStream reports a Submit naming an unregistered stream.
+	ErrUnknownStream = core.ErrUnknownStream
+)

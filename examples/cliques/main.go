@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -40,13 +41,13 @@ func main() {
 		if c.exact == 0 {
 			continue
 		}
-		est, err := streamcount.EstimateCliques(streamcount.StreamFromGraph(g), streamcount.CliqueConfig{
-			R:          c.r,
-			Lambda:     lambda,
-			Epsilon:    0.3,
-			LowerBound: float64(c.exact) / 2,
-			Seed:       int64(c.r),
-		})
+		est, err := streamcount.Run(context.Background(), streamcount.StreamFromGraph(g),
+			streamcount.CliqueQuery(c.r,
+				streamcount.WithLambda(lambda),
+				streamcount.WithEpsilon(0.3),
+				streamcount.WithLowerBound(float64(c.exact)/2),
+				streamcount.WithSeed(int64(c.r)),
+			))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -38,9 +39,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, err := streamcount.Estimate(st, streamcount.Config{
-			Pattern: p, Trials: m.trials, Seed: int64(len(m.name)),
-		})
+		est, err := streamcount.Run(context.Background(), st, streamcount.CountQuery(p,
+			streamcount.WithTrials(m.trials), streamcount.WithSeed(int64(len(m.name)))))
 		if err != nil {
 			log.Fatal(err)
 		}

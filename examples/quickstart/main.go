@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,11 +23,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	est, err := streamcount.Estimate(st, streamcount.Config{
-		Pattern: triangle,
-		Trials:  200000, // parallel sampler instances; more = tighter
-		Seed:    1,
-	})
+	// A typed query: CountQuery returns a *CountResult, and Run threads a
+	// context through every stream pass (cancel it to abort mid-replay).
+	est, err := streamcount.Run(context.Background(), st, streamcount.CountQuery(triangle,
+		streamcount.WithTrials(200000), // parallel sampler instances; more = tighter
+		streamcount.WithSeed(1),
+	))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,11 +30,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	triEst, err := streamcount.Estimate(st, streamcount.Config{Pattern: triangle, Trials: 300000, Seed: 2})
+	ctx := context.Background()
+	triEst, err := streamcount.Run(ctx, st, streamcount.CountQuery(triangle,
+		streamcount.WithTrials(300000), streamcount.WithSeed(2)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	wedgeEst, err := streamcount.Estimate(st, streamcount.Config{Pattern: wedge, Trials: 150000, Seed: 3})
+	wedgeEst, err := streamcount.Run(ctx, st, streamcount.CountQuery(wedge,
+		streamcount.WithTrials(150000), streamcount.WithSeed(3)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -29,9 +30,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	est, err := streamcount.Estimate(st, streamcount.Config{
-		Pattern: triangle, Trials: 20000, Seed: 9,
-	})
+	est, err := streamcount.Run(context.Background(), st, streamcount.CountQuery(triangle,
+		streamcount.WithTrials(20000), streamcount.WithSeed(9)))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,8 +35,14 @@ type Config struct {
 	// Trials is the number of parallel sampler instances. If zero it is
 	// derived from Epsilon, LowerBound and EdgeBound via TrialsFor.
 	Trials int
-	// Epsilon is the target relative error (default 0.1); used only when
-	// Trials is zero.
+	// Epsilon is the target relative error, used when Trials is zero.
+	//
+	// Beware the legacy defaults: trial derivation and Distinguish fall back
+	// to 0.1 when Epsilon is unset, but the legacy EstimateSubgraphsAuto path
+	// falls back to 0.2. (The old docs claimed "default 0.1" across the
+	// board.) The query options layer (facade WithEpsilon) resolves an unset
+	// epsilon to 0.1 uniformly before the Config reaches this package, so new
+	// API callers never hit the mismatch.
 	Epsilon float64
 	// LowerBound is a lower bound L on #H (the paper's parameterization);
 	// used only when Trials is zero.
@@ -55,8 +62,11 @@ type Config struct {
 	Parallelism int
 }
 
-// Estimate is the outcome of a counting run.
-type Estimate struct {
+// CountResult is the outcome of a counting run. (It was exported from the
+// facade as the confusingly named Result alias before the query API; the
+// facade now exports it as CountResult and keeps Result as a deprecated
+// alias.)
+type CountResult struct {
 	// Value is the estimate of #H (or #K_r).
 	Value float64
 	// M is the number of edges seen in the first pass.
@@ -98,7 +108,7 @@ func (c Config) trials() (int, error) {
 		c.Epsilon = 0.1
 	}
 	if c.LowerBound <= 0 || c.EdgeBound <= 0 {
-		return 0, fmt.Errorf("core: either Trials or (Epsilon, LowerBound, EdgeBound) must be set")
+		return 0, fmt.Errorf("core: either Trials or (Epsilon, LowerBound, EdgeBound) must be set: %w", ErrBadConfig)
 	}
 	t := TrialsFor(c.EdgeBound, c.Pattern.Rho(), c.Epsilon, c.LowerBound)
 	max := c.MaxTrials
@@ -111,21 +121,29 @@ func (c Config) trials() (int, error) {
 	return t, nil
 }
 
-// runOne submits one job to a fresh session over st and runs it.
-func runOne(st stream.Stream, j Job) (*JobHandle, error) {
+// RunJob submits one job to a fresh single-job session over st and runs it
+// under ctx: cancellation is checked between the update batches of every
+// pass, and a canceled job's error wraps ErrCanceled. It is the one-shot
+// entry point the facade's query API builds on.
+func RunJob(ctx context.Context, st stream.Stream, j Job) (*JobHandle, error) {
 	s := NewSession(st)
-	h := s.Submit(j)
-	if err := s.Run(); err != nil {
+	h := s.SubmitContext(ctx, j)
+	if err := s.RunContext(ctx); err != nil {
 		return nil, err
 	}
 	return h, nil
+}
+
+// runOne is RunJob without cancellation (the legacy entry points).
+func runOne(st stream.Stream, j Job) (*JobHandle, error) {
+	return RunJob(context.Background(), st, j)
 }
 
 // EstimateSubgraphs estimates #H in the stream with the 3-pass FGP counting
 // algorithm. Insertion-only streams use the augmented-model emulation
 // (Theorem 9 + Theorem 17); turnstile streams use the relaxed-model
 // emulation with ℓ0-samplers (Theorem 11 + Theorem 1).
-func EstimateSubgraphs(st stream.Stream, cfg Config) (*Estimate, error) {
+func EstimateSubgraphs(st stream.Stream, cfg Config) (*CountResult, error) {
 	h, err := runOne(st, Job{Kind: JobEstimate, Config: cfg})
 	if err != nil {
 		return nil, err
@@ -157,7 +175,7 @@ func SampleSubgraph(st stream.Stream, cfg Config) (SampledCopy, bool, error) {
 // for each guess until the estimate validates the guess. Each guess costs 3
 // passes and the reported pass/query/space accounting is cumulative over
 // all guesses made.
-func EstimateSubgraphsAuto(st stream.Stream, cfg Config) (*Estimate, error) {
+func EstimateSubgraphsAuto(st stream.Stream, cfg Config) (*CountResult, error) {
 	h, err := runOne(st, Job{Kind: JobAuto, Config: cfg})
 	if err != nil {
 		return nil, err
@@ -170,7 +188,7 @@ func EstimateSubgraphsAuto(st stream.Stream, cfg Config) (*Estimate, error) {
 // the estimate as evidence. The 3-pass counter is run at the trial budget
 // for lower bound l, and the midpoint (1+eps/2)·l is the decision
 // threshold, so both cases are separated by eps/2-accuracy estimates.
-func Distinguish(st stream.Stream, cfg Config, l float64) (bool, *Estimate, error) {
+func Distinguish(st stream.Stream, cfg Config, l float64) (bool, *CountResult, error) {
 	h, err := runOne(st, Job{Kind: JobDistinguish, Config: cfg, Threshold: l})
 	if err != nil {
 		return false, nil, err
@@ -200,7 +218,7 @@ type CliqueConfig struct {
 
 // EstimateCliques estimates #K_r on a low-degeneracy insertion-only stream
 // with the 5r-pass ERS algorithm (Theorem 2).
-func EstimateCliques(st stream.Stream, cfg CliqueConfig) (*Estimate, error) {
+func EstimateCliques(st stream.Stream, cfg CliqueConfig) (*CountResult, error) {
 	h, err := runOne(st, Job{Kind: JobCliques, Clique: cfg})
 	if err != nil {
 		return nil, err

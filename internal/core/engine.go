@@ -1,0 +1,370 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamcount/internal/stream"
+)
+
+// DefaultStream is the name of the stream an Engine is created over. Submit
+// targets it; SubmitTo targets any registered stream by name.
+const DefaultStream = ""
+
+// EngineOptions configures NewEngine.
+type EngineOptions struct {
+	// Window is the admission window: after the first query of an idle
+	// generation arrives, the engine waits Window for more arrivals before
+	// sealing the generation and serving it with one shared-replay session.
+	// Zero serves the first arrival immediately. Under load the window is
+	// moot — every query arriving while a generation is being served is
+	// admitted into the next one, so batching is automatic.
+	Window time.Duration
+}
+
+// engineJob is one queued unit of work: the job, the submitter's context,
+// and the channel Submit blocks on until the job's generation completes.
+type engineJob struct {
+	ctx  context.Context
+	job  Job
+	h    *JobHandle // set when the generation ran
+	err  error      // submit-level failure (engine closed before the job ran)
+	done chan struct{}
+}
+
+// lane is the per-stream admission queue plus the goroutine serving it.
+// Generations on one lane run strictly one after another (streams need not
+// support concurrent replays); distinct lanes serve their streams
+// concurrently.
+type lane struct {
+	name string
+	st   stream.Stream
+	cnt  *stream.Counter // lane-wide shared pass accounting
+
+	mu    sync.Mutex
+	queue []*engineJob
+	wake  chan struct{} // buffered(1): "queue became non-empty"
+
+	generations atomic.Int64
+}
+
+// An Engine is the long-lived form of the session scheduler: it owns one
+// stream (plus any number of registered named streams) and serves typed
+// queries submitted at any time. An admission controller groups queries that
+// arrive close together — within Window while the engine is idle, or during
+// the service of the current generation — into successive shared-replay
+// session generations, so K overlapping queries cost max-rounds passes per
+// generation instead of the sum (DESIGN.md §3).
+//
+// Determinism carries over from the session engine unchanged: a query's
+// result is bit-identical to its standalone run no matter which generation
+// admitted it or which queries share that generation, because every job owns
+// its RNG and per-round state and the shared replay feeds each runner
+// exactly the batches a private replay would.
+//
+// Cancellation: each Submit's context is honored at the job's round
+// boundaries; a generation whose submitters have all gone away aborts its
+// replay between batches. Either way the stream is left replayable and the
+// engine stays serviceable — a canceled query can be resubmitted and returns
+// the bit-identical result an uncancelled run would have produced.
+type Engine struct {
+	opts EngineOptions
+
+	root   context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	lanes map[string]*lane
+}
+
+// NewEngine creates an engine over st and starts serving immediately.
+func NewEngine(st stream.Stream, opts EngineOptions) *Engine {
+	root, cancel := context.WithCancel(context.Background())
+	e := &Engine{opts: opts, root: root, cancel: cancel, lanes: make(map[string]*lane)}
+	if err := e.Register(DefaultStream, st); err != nil {
+		panic(err) // unreachable: the engine is empty and open
+	}
+	return e
+}
+
+// Register adds a named stream. Queries reach it through SubmitTo. Streams
+// are served independently: each has its own admission queue and its
+// generations do not serialize with other streams'.
+func (e *Engine) Register(name string, st stream.Stream) error {
+	if st == nil {
+		return fmt.Errorf("core: Register(%q): nil stream: %w", name, ErrBadConfig)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.root.Err() != nil {
+		return fmt.Errorf("core: Register(%q): %w", name, ErrEngineClosed)
+	}
+	if _, ok := e.lanes[name]; ok {
+		return fmt.Errorf("core: Register(%q): stream already registered: %w", name, ErrBadConfig)
+	}
+	l := &lane{name: name, st: st, cnt: stream.NewCounter(st), wake: make(chan struct{}, 1)}
+	e.lanes[name] = l
+	e.wg.Add(1)
+	go e.serve(l)
+	return nil
+}
+
+// Lookup returns the stream registered under name, if any. It is how the
+// facade resolves per-stream defaults (e.g. the trial-budget edge bound)
+// without keeping a registry of its own.
+func (e *Engine) Lookup(name string) (stream.Stream, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l, ok := e.lanes[name]
+	if !ok {
+		return nil, false
+	}
+	return l.st, true
+}
+
+// Streams returns the registered stream names in sorted order.
+func (e *Engine) Streams() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.lanes))
+	for name := range e.lanes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Submit queues j on the default stream and blocks until its generation has
+// served it (returning the job's handle) or ctx is done (returning an error
+// wrapping ErrCanceled; the job itself is then abandoned at its next round
+// boundary). Submit may be called from any goroutine at any time.
+func (e *Engine) Submit(ctx context.Context, j Job) (*JobHandle, error) {
+	return e.SubmitTo(ctx, DefaultStream, j)
+}
+
+// SubmitTo is Submit against the named registered stream.
+func (e *Engine) SubmitTo(ctx context.Context, name string, j Job) (*JobHandle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	l, ok := e.lanes[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: SubmitTo(%q): %w", name, ErrUnknownStream)
+	}
+	ej := &engineJob{ctx: ctx, job: j, done: make(chan struct{})}
+	if err := l.enqueue(e.root, ej); err != nil {
+		return nil, err
+	}
+	select {
+	case <-ej.done:
+		if ej.err != nil {
+			return nil, ej.err
+		}
+		if jerr := ej.h.Result().Err; jerr != nil {
+			return ej.h, jerr
+		}
+		return ej.h, nil
+	case <-ctx.Done():
+		// The submitter stops waiting; the job is unwound by the generation
+		// machinery (it fails with ErrCanceled at its next round boundary,
+		// and a generation with no remaining listeners aborts its replay).
+		return nil, canceled(context.Cause(ctx))
+	}
+}
+
+// Passes returns the number of shared passes performed over the default
+// stream so far.
+func (e *Engine) Passes() int64 { return e.PassesOn(DefaultStream) }
+
+// PassesOn returns the number of shared passes performed over the named
+// stream so far (0 for unknown names).
+func (e *Engine) PassesOn(name string) int64 {
+	e.mu.Lock()
+	l := e.lanes[name]
+	e.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	return l.cnt.Passes()
+}
+
+// Generations returns the number of admission generations served so far
+// across all streams.
+func (e *Engine) Generations() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total int64
+	for _, l := range e.lanes {
+		total += l.generations.Load()
+	}
+	return total
+}
+
+// Pending returns the number of queries queued (admitted but not yet being
+// served) across all streams.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	lanes := make([]*lane, 0, len(e.lanes))
+	for _, l := range e.lanes {
+		lanes = append(lanes, l)
+	}
+	e.mu.Unlock()
+	total := 0
+	for _, l := range lanes {
+		l.mu.Lock()
+		total += len(l.queue)
+		l.mu.Unlock()
+	}
+	return total
+}
+
+// Close shuts the engine down: the running generation (if any) aborts its
+// replay between batches, its jobs and all queued jobs fail with errors
+// wrapping ErrCanceled, and subsequent Submits fail with ErrEngineClosed.
+// Close blocks until every lane has drained and is idempotent.
+func (e *Engine) Close() error {
+	e.cancel()
+	e.wg.Wait()
+	return nil
+}
+
+// enqueue appends ej to the lane's queue, or rejects it when the engine is
+// closed. The closed check and the append are one critical section; the
+// serve loop's final drain runs after root cancellation and takes the same
+// lock, so no job can slip in behind the drain and hang its submitter.
+func (l *lane) enqueue(root context.Context, ej *engineJob) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if root.Err() != nil {
+		return fmt.Errorf("core: Submit on %q: %w", l.name, ErrEngineClosed)
+	}
+	l.queue = append(l.queue, ej)
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// take removes and returns the whole queue.
+func (l *lane) take() []*engineJob {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	batch := l.queue
+	l.queue = nil
+	return batch
+}
+
+// serve is the lane's admission loop: wait for arrivals, hold the admission
+// window open while the lane is idle, then seal the batch into one
+// shared-replay session generation and serve it to completion. Arrivals
+// during a running generation queue up and form the next generation —
+// served immediately, with no second window wait (they already waited) — so
+// under load the window never throttles throughput; it only bounds
+// idle-time latency.
+func (e *Engine) serve(l *lane) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-l.wake:
+			// A closed engine drains even when a wakeup races the shutdown,
+			// so queued jobs deterministically fail with ErrEngineClosed.
+			if e.root.Err() != nil {
+				e.drain(l)
+				return
+			}
+		case <-e.root.Done():
+			e.drain(l)
+			return
+		}
+		batch := l.take()
+		if len(batch) == 0 {
+			continue
+		}
+		// The lane was idle when this batch's first job arrived: linger for
+		// the admission window so close-together arrivals share the
+		// generation.
+		if e.opts.Window > 0 {
+			t := time.NewTimer(e.opts.Window)
+			select {
+			case <-t.C:
+			case <-e.root.Done():
+				t.Stop()
+				e.fail(batch)
+				e.drain(l)
+				return
+			}
+			batch = append(batch, l.take()...)
+		}
+		e.runGeneration(l, batch)
+		// Serve everything that queued while the generation ran, without
+		// re-opening the window. Stop as soon as the engine closes — the
+		// outer select's drain path owns the ErrEngineClosed handoff.
+		for e.root.Err() == nil {
+			more := l.take()
+			if len(more) == 0 {
+				break
+			}
+			e.runGeneration(l, more)
+		}
+	}
+}
+
+// drain fails every queued job after the engine has been closed.
+func (e *Engine) drain(l *lane) {
+	e.fail(l.take())
+}
+
+// fail rejects jobs that will never run because the engine closed.
+func (e *Engine) fail(batch []*engineJob) {
+	for _, ej := range batch {
+		ej.err = fmt.Errorf("core: engine closed before job ran: %w", ErrEngineClosed)
+		close(ej.done)
+	}
+}
+
+// runGeneration serves one sealed batch with a fresh shared-replay session
+// over the lane's stream. The generation's context is canceled when the
+// engine closes, or as soon as every submitter in the batch has gone away —
+// there is no point finishing a replay nobody is listening to. Job-level
+// results and errors land on each job's handle; Submit surfaces them.
+func (e *Engine) runGeneration(l *lane, batch []*engineJob) {
+	gctx, gcancel := context.WithCancel(e.root)
+	defer gcancel()
+
+	// Auto-abort: count down the batch's cancellable submitter contexts; if
+	// they all fire the generation is canceled. Jobs submitted with a
+	// non-cancellable context keep the generation alive unconditionally, so
+	// the counter can only reach zero when every job had a Done channel.
+	remaining := int64(len(batch))
+	for _, ej := range batch {
+		if ej.ctx.Done() == nil {
+			continue
+		}
+		stop := context.AfterFunc(ej.ctx, func() {
+			if atomic.AddInt64(&remaining, -1) == 0 {
+				gcancel()
+			}
+		})
+		defer stop()
+	}
+
+	s := NewSession(l.cnt)
+	for _, ej := range batch {
+		ej.h = s.SubmitContext(ej.ctx, ej.job)
+	}
+	// Per-job errors are read from the handles; the session-level first
+	// error adds nothing here.
+	_ = s.RunContext(gctx)
+	l.generations.Add(1)
+	for _, ej := range batch {
+		close(ej.done)
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed sentinel errors for the query API. Every error the session engine
+// and the Engine return wraps exactly one of these, so callers dispatch with
+// errors.Is instead of string matching. The facade re-exports them.
+var (
+	// ErrBadPattern reports a missing or unusable target pattern H.
+	ErrBadPattern = errors.New("streamcount: bad pattern")
+	// ErrBadConfig reports an invalid or underspecified query configuration
+	// (e.g. no way to derive the trial budget, a non-positive threshold).
+	ErrBadConfig = errors.New("streamcount: bad config")
+	// ErrReplayFailed reports that a pass over the stream failed mid-replay
+	// (I/O error, malformed update, subscriber failure).
+	ErrReplayFailed = errors.New("streamcount: stream replay failed")
+	// ErrCanceled reports that a job was abandoned because its context (or
+	// its session's context) was canceled or timed out. The underlying
+	// context error is wrapped too, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	ErrCanceled = errors.New("streamcount: canceled")
+	// ErrSessionDone reports a Submit or Run against a session whose
+	// single-shot Run has already started.
+	ErrSessionDone = errors.New("streamcount: session already run")
+	// ErrEngineClosed reports a Submit against a closed Engine.
+	ErrEngineClosed = errors.New("streamcount: engine closed")
+	// ErrUnknownStream reports a Submit naming a stream that was never
+	// registered with the Engine.
+	ErrUnknownStream = errors.New("streamcount: unknown stream")
+)
+
+// canceled wraps a context error as an ErrCanceled that still matches the
+// original context sentinel under errors.Is.
+func canceled(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation or
+// deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,6 +40,14 @@ type Session struct {
 	st  stream.Stream
 	cnt *stream.Counter
 	bc  *stream.Broadcaster
+
+	// ctx is the session-wide context, set once by RunContext before any job
+	// goroutine starts. Cancellation is checked between batches of every
+	// shared replay: a cancel mid-replay aborts the pass and fails all of the
+	// pass's riders with ErrCanceled; jobs between rounds fail at their next
+	// Round call. The stream itself is left replayable, so a new session (or
+	// Engine generation) over the same stream stays serviceable.
+	ctx context.Context
 
 	jobs    []*JobHandle
 	reqCh   chan *roundReq
@@ -92,7 +101,7 @@ type Job struct {
 // job's kind; Err is set when the job failed.
 type JobResult struct {
 	// Est is the counting outcome (Estimate, Cliques, Auto, Distinguish).
-	Est *Estimate
+	Est *CountResult
 	// Copy is the sampled copy (Sample).
 	Copy SampledCopy
 	// Found reports whether Sample witnessed a copy.
@@ -107,6 +116,7 @@ type JobResult struct {
 // Run has returned.
 type JobHandle struct {
 	job    Job
+	ctx    context.Context // the job's own context (SubmitContext)
 	res    JobResult
 	rounds int64 // rounds served by the scheduler; written under the barrier
 }
@@ -120,7 +130,7 @@ func (h *JobHandle) Result() JobResult { return h.res }
 // Estimate returns the job's counting outcome (or its error). Valid after
 // Session.Run has returned. Sample jobs have no counting outcome — read
 // them through Result instead.
-func (h *JobHandle) Estimate() (*Estimate, error) {
+func (h *JobHandle) Estimate() (*CountResult, error) {
 	if h.res.Err == nil && h.res.Est == nil {
 		return nil, fmt.Errorf("core: %s job has no counting estimate; use Result", h.job.Kind)
 	}
@@ -146,9 +156,20 @@ func (s *Session) Passes() int64 { return s.cnt.Passes() }
 // Submit registers a job. It must be called before Run; a handle submitted
 // after Run carries an error result.
 func (s *Session) Submit(j Job) *JobHandle {
-	h := &JobHandle{job: j}
+	return s.SubmitContext(context.Background(), j)
+}
+
+// SubmitContext is Submit with a per-job context: when ctx is canceled the
+// job fails with ErrCanceled at its next round boundary without disturbing
+// the other jobs in the session (a shared pass it already requested is still
+// served — per-job cancellation never aborts a pass other jobs ride).
+func (s *Session) SubmitContext(ctx context.Context, j Job) *JobHandle {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h := &JobHandle{job: j, ctx: ctx}
 	if s.started {
-		h.res.Err = fmt.Errorf("core: Submit after Session.Run")
+		h.res.Err = fmt.Errorf("core: Submit after Session.Run: %w", ErrSessionDone)
 		return h
 	}
 	s.jobs = append(s.jobs, h)
@@ -197,9 +218,24 @@ type roundReply struct {
 // (in submit order) any job hit, or nil. Every handle carries its own result
 // either way, so multi-job callers can inspect each job individually.
 func (s *Session) Run() error {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run under a session-wide context. Cancellation is checked
+// between the update batches of every shared replay: canceling ctx mid-pass
+// aborts the replay and fails every job still pending with an error wrapping
+// ErrCanceled (and the context's own error); jobs between rounds fail at
+// their next round request. The underlying stream is left replayable, so the
+// caller can start a fresh session over it — a subsequent identical job at a
+// fixed seed returns a bit-identical result to a never-canceled run.
+func (s *Session) RunContext(ctx context.Context) error {
 	if s.started {
-		return fmt.Errorf("core: Session.Run called twice")
+		return fmt.Errorf("core: Session.Run called twice: %w", ErrSessionDone)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
 	s.started = true
 	if len(s.jobs) == 0 {
 		return nil
@@ -215,6 +251,8 @@ func (s *Session) Run() error {
 
 	// The round barrier: collect requests until every live job is either
 	// pending or done, then serve all pending rounds with one shared pass.
+	// Once the session context is canceled no further pass starts — pending
+	// requests are failed directly, and their jobs unwind with ErrCanceled.
 	live := len(s.jobs)
 	var pending []*roundReq
 	for live > 0 {
@@ -225,7 +263,13 @@ func (s *Session) Run() error {
 			live--
 		}
 		if live > 0 && len(pending) == live {
-			s.servePass(pending)
+			if err := ctx.Err(); err != nil {
+				for _, req := range pending {
+					req.reply <- roundReply{err: canceled(err)}
+				}
+			} else {
+				s.servePass(pending)
+			}
 			pending = pending[:0]
 		}
 	}
@@ -257,14 +301,20 @@ func (s *Session) servePass(reqs []*roundReq) {
 	for i, req := range reqs {
 		subs[i] = req.runner
 	}
-	if err := s.bc.Replay(subs...); err != nil {
+	if err := s.bc.Replay(s.ctx, subs...); err != nil {
 		// The pass was consumed (the stream Counter saw it) even though it
 		// failed mid-replay; charge its riders so per-job and shared pass
-		// accounting stay consistent on the error path.
+		// accounting stay consistent on the error path. A cancellation is
+		// reported as ErrCanceled, any other mid-replay failure as
+		// ErrReplayFailed.
 		for _, req := range reqs {
 			req.h.rounds++
 		}
-		fail(err)
+		if isCtxErr(err) {
+			fail(canceled(err))
+		} else {
+			fail(fmt.Errorf("%w: %w", ErrReplayFailed, err))
+		}
 		return
 	}
 	for _, req := range reqs {
@@ -281,13 +331,37 @@ func (s *Session) servePass(reqs []*roundReq) {
 type sessionRunner struct {
 	inner oracle.PassRunner
 	h     *JobHandle
+	sess  *Session
 	reqCh chan<- *roundReq
 }
 
+// ctxErr reports cancellation of the job's own context or the session-wide
+// one, wrapped as ErrCanceled.
+func (p *sessionRunner) ctxErr() error {
+	if err := p.h.ctx.Err(); err != nil {
+		return canceled(err)
+	}
+	if err := p.sess.ctx.Err(); err != nil {
+		return canceled(err)
+	}
+	return nil
+}
+
 func (p *sessionRunner) Round(qs []oracle.Query) ([]oracle.Answer, error) {
+	// Checked at every round boundary, so a canceled job stops requesting
+	// passes; a cancel that lands while the request is parked is honored
+	// after the (already coalesced) pass completes.
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	req := &roundReq{h: p.h, runner: p.inner, qs: qs, reply: make(chan roundReply, 1)}
 	p.reqCh <- req
 	rep := <-req.reply
+	if rep.err == nil {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
+	}
 	return rep.answers, rep.err
 }
 
@@ -315,7 +389,7 @@ func (s *Session) newRunner(h *JobHandle, rng *rand.Rand, parallelism int) (orac
 		r.SetParallelism(parallelism)
 		inner = r
 	}
-	return &sessionRunner{inner: inner, h: h, reqCh: s.reqCh}, nil
+	return &sessionRunner{inner: inner, h: h, sess: s, reqCh: s.reqCh}, nil
 }
 
 // execute runs one job to completion on the job's own goroutine. All
@@ -339,15 +413,15 @@ func (s *Session) execute(h *JobHandle) JobResult {
 		above, est, err := s.runDistinguish(h, h.job.Config, h.job.Threshold)
 		return JobResult{Est: est, Above: above, Err: err}
 	default:
-		return JobResult{Err: fmt.Errorf("core: unknown job kind %d", h.job.Kind)}
+		return JobResult{Err: fmt.Errorf("core: unknown job kind %d: %w", h.job.Kind, ErrBadConfig)}
 	}
 }
 
 // runEstimate is the 3-pass FGP counting job (Theorem 17 insertion-only,
 // Theorem 1 turnstile).
-func (s *Session) runEstimate(h *JobHandle, cfg Config) (*Estimate, error) {
+func (s *Session) runEstimate(h *JobHandle, cfg Config) (*CountResult, error) {
 	if cfg.Pattern == nil {
-		return nil, fmt.Errorf("core: Pattern must be set")
+		return nil, fmt.Errorf("core: Pattern must be set: %w", ErrBadPattern)
 	}
 	trials, err := cfg.trials()
 	if err != nil {
@@ -366,7 +440,7 @@ func (s *Session) runEstimate(h *JobHandle, cfg Config) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Estimate{
+	return &CountResult{
 		Value:      res.Estimate,
 		M:          res.M,
 		Passes:     h.rounds, // cumulative: Auto guesses reuse the handle
@@ -379,7 +453,7 @@ func (s *Session) runEstimate(h *JobHandle, cfg Config) (*Estimate, error) {
 // runSample is the 3-pass uniform sampler job (Lemma 16/18).
 func (s *Session) runSample(h *JobHandle, cfg Config) (SampledCopy, bool, error) {
 	if cfg.Pattern == nil {
-		return SampledCopy{}, false, fmt.Errorf("core: Pattern must be set")
+		return SampledCopy{}, false, fmt.Errorf("core: Pattern must be set: %w", ErrBadPattern)
 	}
 	trials, err := cfg.trials()
 	if err != nil {
@@ -402,9 +476,9 @@ func (s *Session) runSample(h *JobHandle, cfg Config) (SampledCopy, bool, error)
 }
 
 // runCliques is the 5r-pass ERS clique counting job (Theorem 2).
-func (s *Session) runCliques(h *JobHandle, cfg CliqueConfig) (*Estimate, error) {
+func (s *Session) runCliques(h *JobHandle, cfg CliqueConfig) (*CountResult, error) {
 	if !s.st.InsertOnly() {
-		return nil, fmt.Errorf("core: EstimateCliques requires an insertion-only stream (Theorem 2)")
+		return nil, fmt.Errorf("core: EstimateCliques requires an insertion-only stream (Theorem 2): %w", ErrBadConfig)
 	}
 	p := cfg.Params
 	p.R = cfg.R
@@ -423,7 +497,7 @@ func (s *Session) runCliques(h *JobHandle, cfg CliqueConfig) (*Estimate, error) 
 	if h.rounds > int64(5*cfg.R) {
 		return nil, fmt.Errorf("core: internal error: %d passes exceeds Theorem 2's 5r = %d", h.rounds, 5*cfg.R)
 	}
-	return &Estimate{
+	return &CountResult{
 		Value:      res.Estimate,
 		M:          res.M,
 		Passes:     h.rounds,
@@ -439,20 +513,20 @@ func (s *Session) runCliques(h *JobHandle, cfg CliqueConfig) (*Estimate, error) 
 // would produce), and pass/query/space accounting is cumulative across
 // guesses — the handle's round count ticks once per served round, so Passes
 // reports the total the search consumed, not the final guess's share.
-func (s *Session) runAuto(h *JobHandle, cfg Config) (*Estimate, error) {
+func (s *Session) runAuto(h *JobHandle, cfg Config) (*CountResult, error) {
 	if cfg.Pattern == nil {
-		return nil, fmt.Errorf("core: Pattern must be set")
+		return nil, fmt.Errorf("core: Pattern must be set: %w", ErrBadPattern)
 	}
 	if cfg.Epsilon <= 0 {
 		cfg.Epsilon = 0.2
 	}
 	if cfg.EdgeBound <= 0 {
-		return nil, fmt.Errorf("core: EdgeBound must be set for the geometric search")
+		return nil, fmt.Errorf("core: EdgeBound must be set for the geometric search: %w", ErrBadConfig)
 	}
 	rho := cfg.Pattern.Rho()
 	// Start from the AGM upper bound #H <= m^ρ and halve.
 	start := math.Pow(float64(cfg.EdgeBound), rho)
-	var last *Estimate
+	var last *CountResult
 	for l := start; l >= 0.5; l /= 2 {
 		sub := cfg
 		sub.LowerBound = l
@@ -475,16 +549,16 @@ func (s *Session) runAuto(h *JobHandle, cfg Config) (*Estimate, error) {
 
 // runDistinguish is the decision job (§1.1): is #H at least (1+eps)·l or at
 // most l, decided at the midpoint of an eps/2-accurate estimate.
-func (s *Session) runDistinguish(h *JobHandle, cfg Config, l float64) (bool, *Estimate, error) {
+func (s *Session) runDistinguish(h *JobHandle, cfg Config, l float64) (bool, *CountResult, error) {
 	if l <= 0 {
-		return false, nil, fmt.Errorf("core: threshold l must be positive")
+		return false, nil, fmt.Errorf("core: threshold l must be positive: %w", ErrBadConfig)
 	}
 	if cfg.Epsilon <= 0 {
 		cfg.Epsilon = 0.1
 	}
 	cfg.LowerBound = l
 	if cfg.Trials == 0 && cfg.EdgeBound <= 0 {
-		return false, nil, fmt.Errorf("core: either Trials or EdgeBound must be set")
+		return false, nil, fmt.Errorf("core: either Trials or EdgeBound must be set: %w", ErrBadConfig)
 	}
 	est, err := s.runEstimate(h, cfg)
 	if err != nil {

@@ -76,7 +76,7 @@ func TestSessionBitIdenticalToStandalone(t *testing.T) {
 
 	for _, c := range []struct {
 		name      string
-		got, want *Estimate
+		got, want *CountResult
 	}{
 		{"estimate", hEst.res.Est, wantEst},
 		{"estimate-C5", hC5.res.Est, wantC5},

@@ -16,7 +16,7 @@ import (
 )
 
 // E11MultiplicityAblation demonstrates why the |D(t)|/f_T multiplicity
-// correction (DESIGN.md §3) matters: a paper-literal reading that counts
+// correction (DESIGN.md §4) matters: a paper-literal reading that counts
 // each successful decomposition tuple once (coin 1/f_T) is unbiased for
 // patterns where a tuple pins down its copy (cycles, cliques, stars) but
 // systematically biased for patterns like the paw, where one tuple can
@@ -24,7 +24,7 @@ import (
 func E11MultiplicityAblation(seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "E11",
-		Title:   "ablation: multiplicity correction (DESIGN.md §3)",
+		Title:   "ablation: multiplicity correction (DESIGN.md §4)",
 		Columns: []string{"pattern", "exact", "corrected est", "corr rel.err", "naive est", "naive rel.err"},
 	}
 	cases := []struct {

@@ -1,7 +1,7 @@
 // Package experiments regenerates every table and figure in EXPERIMENTS.md.
 // The paper itself has no empirical section (it is a PODS theory paper), so
 // the experiment suite is derived from its theorems and its Section-1
-// comparison; DESIGN.md §4 is the index. Each experiment is deterministic
+// comparison; DESIGN.md §5 is the index. Each experiment is deterministic
 // given its seed.
 package experiments
 
@@ -182,7 +182,7 @@ func E01SpaceComparison(seed int64) (*Table, error) {
 		fmt.Sprintf("m^3/#T^2 = %.0f", math.Pow(m, 3)/float64(want*want)),
 	})
 	t.Notes = append(t.Notes,
-		"Kane et al.'s complex-valued sketch is reported by its space formula only (DESIGN.md §3).",
+		"Kane et al.'s complex-valued sketch is reported by its space formula only (DESIGN.md §4).",
 		fmt.Sprintf("FGP trials=%d derived from 3·(2m)^1.5/(ε²·#T) at ε=0.2.", trials))
 	return t, nil
 }

@@ -1,6 +1,9 @@
 package stream
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Subscriber consumes the update batches of one pass. It is the stream-side
 // half of the pass-engine round lifecycle: the session scheduler registers
@@ -36,7 +39,12 @@ func (b *Broadcaster) Stream() Stream { return b.st }
 // Replay performs one pass over the underlying stream, feeding every batch
 // to each subscriber in order. It stops at the first subscriber error. A
 // call with no subscribers is a no-op (no pass is consumed).
-func (b *Broadcaster) Replay(subs ...Subscriber) error {
+//
+// Cancellation is checked between batches: when ctx is done the replay stops
+// before fanning out the next batch and returns the context's error. The
+// pass has then been partially consumed — callers that account passes by
+// observing the underlying stream see it as one (aborted) pass.
+func (b *Broadcaster) Replay(ctx context.Context, subs ...Subscriber) error {
 	if len(subs) == 0 {
 		return nil
 	}
@@ -45,6 +53,9 @@ func (b *Broadcaster) Replay(subs ...Subscriber) error {
 		b.subPasses[s]++
 	}
 	return b.st.ForEachBatch(func(batch []Update) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i, s := range subs {
 			if err := s.ConsumeBatch(batch); err != nil {
 				return fmt.Errorf("stream: broadcast subscriber %d: %w", i, err)

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func TestBroadcasterFansOutOnePass(t *testing.T) {
 	b := NewBroadcaster(cnt)
 
 	a, c := &collectSub{}, &collectSub{}
-	if err := b.Replay(a, c); err != nil {
+	if err := b.Replay(context.Background(), a, c); err != nil {
 		t.Fatal(err)
 	}
 	if cnt.Passes() != 1 {
@@ -62,7 +63,7 @@ func TestBroadcasterFansOutOnePass(t *testing.T) {
 
 	// Second replay with only one subscriber: per-subscriber accounting
 	// diverges from the shared total.
-	if err := b.Replay(a); err != nil {
+	if err := b.Replay(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
 	if b.Passes() != 2 {
@@ -77,7 +78,7 @@ func TestBroadcasterNoSubscribersIsFree(t *testing.T) {
 	sl := broadcastStream(t, 3, [2]int64{0, 1})
 	cnt := NewCounter(sl)
 	b := NewBroadcaster(cnt)
-	if err := b.Replay(); err != nil {
+	if err := b.Replay(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if cnt.Passes() != 0 || b.Passes() != 0 {
@@ -90,11 +91,57 @@ func TestBroadcasterSubscriberErrorAbortsPass(t *testing.T) {
 	b := NewBroadcaster(sl)
 	ok := &collectSub{}
 	bad := &collectSub{failAt: 1}
-	err := b.Replay(ok, bad)
+	err := b.Replay(context.Background(), ok, bad)
 	if err == nil {
 		t.Fatal("failing subscriber should abort the pass")
 	}
 	if !strings.Contains(err.Error(), "subscriber 1") || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("error %q should identify the failing subscriber and cause", err)
+	}
+}
+
+// cancelSub cancels its context as soon as it has consumed one batch.
+type cancelSub struct {
+	cancel  context.CancelFunc
+	batches int
+}
+
+func (c *cancelSub) ConsumeBatch(batch []Update) error {
+	c.batches++
+	c.cancel()
+	return nil
+}
+
+// TestBroadcasterReplayChecksContextBetweenBatches: a context canceled during
+// a pass stops the replay before the next batch fans out.
+func TestBroadcasterReplayChecksContextBetweenBatches(t *testing.T) {
+	// Two full batches plus a tail, so an uncancelled pass sees >= 3 batches.
+	n := int64(2*DefaultBatchSize + 10)
+	ups := make([]Update, 0, n)
+	for i := int64(0); i < n-1; i++ {
+		ups = append(ups, Update{Edge: graph.Edge{U: i, V: i + 1}, Op: Insert})
+	}
+	sl, err := NewSlice(n, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sub := &cancelSub{cancel: cancel}
+	b := NewBroadcaster(sl)
+	err = b.Replay(ctx, sub)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("replay error = %v, want context.Canceled", err)
+	}
+	if sub.batches != 1 {
+		t.Errorf("subscriber consumed %d batches after cancel, want 1", sub.batches)
+	}
+	// An already-canceled context aborts before the first batch.
+	sub2 := &collectSub{}
+	if err := b.Replay(ctx, sub2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("replay on canceled ctx = %v, want context.Canceled", err)
+	}
+	if sub2.batches != 0 {
+		t.Errorf("canceled replay fed %d batches, want 0", sub2.batches)
 	}
 }

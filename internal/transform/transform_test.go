@@ -1,6 +1,8 @@
 package transform
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -444,7 +446,7 @@ func TestRoundLifecycleEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		bc := stream.NewBroadcaster(st)
-		if err := bc.Replay(r1, r2); err != nil {
+		if err := bc.Replay(context.Background(), r1, r2); err != nil {
 			t.Fatal(err)
 		}
 		got, err := r1.EndRound()
@@ -481,7 +483,7 @@ func TestRoundLifecycleEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		bc := stream.NewBroadcaster(st)
-		if err := bc.Replay(r1, r2); err != nil {
+		if err := bc.Replay(context.Background(), r1, r2); err != nil {
 			t.Fatal(err)
 		}
 		got, err := r1.EndRound()
@@ -495,6 +497,62 @@ func TestRoundLifecycleEquivalence(t *testing.T) {
 			if got[i] != want[i] {
 				t.Errorf("answer %d: scheduled %+v != standalone %+v", i, got[i], want[i])
 			}
+		}
+	})
+}
+
+// TestRoundContextCancelBetweenBatches: the runners' ctx-aware round entry
+// aborts its private replay between update batches, and a completed
+// RoundContext answers bit-identically to plain Round.
+func TestRoundContextCancelBetweenBatches(t *testing.T) {
+	n := int64(2*stream.DefaultBatchSize + 10)
+	ups := make([]stream.Update, 0, n-1)
+	for i := int64(0); i < n-1; i++ {
+		ups = append(ups, stream.Update{Edge: graph.Edge{U: i, V: i + 1}, Op: stream.Insert})
+	}
+	sl, err := stream.NewSlice(n, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []oracle.Query{{Type: oracle.CountEdges}, {Type: oracle.Degree, U: 0}}
+
+	t.Run("insertion", func(t *testing.T) {
+		r1, err := NewInsertionRunner(sl, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := r1.RoundContext(ctx, qs); !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled RoundContext error = %v, want context.Canceled", err)
+		}
+		// The runner stays usable, and a completed RoundContext matches Round.
+		want, err := r1.Round(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r1.RoundContext(context.Background(), qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("answer %d: RoundContext %+v != Round %+v", i, got[i], want[i])
+			}
+		}
+	})
+
+	t.Run("turnstile", func(t *testing.T) {
+		r2 := NewTurnstileRunner(sl, rand.New(rand.NewSource(2)))
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := r2.RoundContext(ctx, qs); !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled RoundContext error = %v, want context.Canceled", err)
+		}
+		if a, err := r2.RoundContext(context.Background(), qs); err != nil {
+			t.Fatal(err)
+		} else if a[0].Count != n-1 {
+			t.Errorf("post-cancel round m=%d, want %d", a[0].Count, n-1)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -182,10 +183,24 @@ func fillTerms(p int, base uint64, feed []feedEntry) {
 // BeginRound + one private replay + EndRound, so a standalone runner and a
 // session-scheduled one answer identically.
 func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error) {
+	return r.RoundContext(context.Background(), queries)
+}
+
+// RoundContext is Round with cancellation checked between the update batches
+// of the private replay: when ctx is done the pass aborts with the context's
+// error before the next batch is consumed. Cancellation never changes
+// answers — a round that completes is bit-identical to an uncancellable one.
+func (r *TurnstileRunner) RoundContext(ctx context.Context, queries []oracle.Query) ([]oracle.Answer, error) {
 	if err := r.BeginRound(queries); err != nil {
 		return nil, err
 	}
-	if err := r.st.ForEachBatch(r.ConsumeBatch); err != nil {
+	err := r.st.ForEachBatch(func(batch []stream.Update) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return r.ConsumeBatch(batch)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return r.EndRound()

@@ -1,6 +1,7 @@
 package streamcount_test
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -14,14 +15,13 @@ import (
 // parallelism at a fixed seed. (Turnstile runs use a smaller budget: each
 // RandomEdge query materializes an ℓ0-sampler, so trials dominate memory
 // and time there.)
-func estimateAt(t *testing.T, st streamcount.Stream, p *streamcount.Pattern, trials, parallelism int) *streamcount.Result {
+func estimateAt(t *testing.T, st streamcount.Stream, p *streamcount.Pattern, trials, parallelism int) *streamcount.CountResult {
 	t.Helper()
-	est, err := streamcount.Estimate(st, streamcount.Config{
-		Pattern:     p,
-		Trials:      trials,
-		Seed:        42,
-		Parallelism: parallelism,
-	})
+	est, err := streamcount.Run(context.Background(), st, streamcount.CountQuery(p,
+		streamcount.WithTrials(trials),
+		streamcount.WithSeed(42),
+		streamcount.WithParallelism(parallelism),
+	))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,3 +1,8 @@
+// The tests in this file exercise the DEPRECATED pre-query-API surface
+// (Estimate/Sample/..., Config, Session) on purpose: the wrappers are thin
+// shims over the query API and must keep behaving exactly as before so
+// downstream callers can migrate incrementally. New-API coverage lives in
+// query_test.go.
 package streamcount_test
 
 import (
@@ -8,6 +13,8 @@ import (
 
 	"streamcount"
 )
+
+//lint:file-ignore SA1019 this file pins the deprecated legacy wrappers on purpose.
 
 func TestFacadeQuickstart(t *testing.T) {
 	p, err := streamcount.PatternByName("triangle")
