@@ -6,9 +6,13 @@ package streamcount_test
 // iteration; run them with -benchtime=1x for a single regeneration.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -20,6 +24,7 @@ import (
 	"streamcount/internal/gen"
 	"streamcount/internal/graph"
 	"streamcount/internal/pattern"
+	"streamcount/internal/server"
 	"streamcount/internal/sketch"
 	"streamcount/internal/stream"
 	"streamcount/internal/transform"
@@ -285,6 +290,82 @@ func BenchmarkEngineSessionRunBackToBack(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkServerIngestAndQuery measures the whole service layer per
+// operation: one HTTP client creates a live stream, ingests a graph in
+// batched appends, and runs two concurrent count queries — the daemon's
+// steady-state request mix, including JSON codec, admission, generation
+// pinning and shared replay.
+func BenchmarkServerIngestAndQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := gen.ErdosRenyiGNM(rng, 200, 3000)
+	var updates []byte
+	{
+		type updateJSON struct {
+			U int64 `json:"u"`
+			V int64 `json:"v"`
+		}
+		var ups []updateJSON
+		stream.FromGraph(g).ForEach(func(u stream.Update) error {
+			ups = append(ups, updateJSON{U: u.Edge.U, V: u.Edge.V})
+			return nil
+		})
+		var err error
+		if updates, err = json.Marshal(map[string]any{"updates": ups}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	srv, err := server.New(server.Options{Window: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	client := ts.Client()
+	post := func(path string, body []byte) ([]byte, error) {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode >= 300 {
+			err = fmt.Errorf("%s: %s", resp.Status, data)
+		}
+		return data, err
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("s%d", i)
+		if _, err := post("/v1/streams", []byte(fmt.Sprintf(`{"name":%q,"n":200}`, name))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := post("/v1/streams/"+name+"/edges", updates); err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for q := 0; q < 2; q++ {
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"stream":%q,"pattern":"triangle","trials":2000,"seed":%d}`, name, q)
+				if _, err := post("/v1/queries", []byte(body)); err != nil {
+					b.Error(err)
+				}
+			}(q)
+		}
+		wg.Wait()
 	}
 }
 

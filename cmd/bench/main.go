@@ -3,6 +3,15 @@
 // ns/op, B/op and allocs/op. It seeds the performance trajectory: successive
 // revisions regenerate the file and diff it to catch regressions.
 //
+// With -compare BASELINE.json it additionally gates: after measuring, each
+// benchmark is checked against the baseline and the process exits nonzero
+// when a stable metric regresses past -tolerance. allocs/op is gated always
+// (allocation counts are deterministic); ns/op only for benchmarks whose
+// baseline is at or above -noise-floor, because sub-millisecond timings are
+// scheduler noise on shared CI runners. Benchmarks present in the baseline
+// but missing from the run fail the gate (a silently deleted benchmark is a
+// regression too); new benchmarks are reported and ignored.
+//
 // It shells out to `go test -bench`, so it needs the Go toolchain — the
 // same environment that builds the repository.
 //
@@ -12,6 +21,7 @@
 //	bench -bench 'BenchmarkFGP.*' # custom selection
 //	bench -benchtime 5s -out perf.json
 //	bench -short -out /tmp/smoke.json  # CI smoke: one fast iteration each
+//	bench -compare BENCH_core.json -tolerance 0.25   # CI regression gate
 package main
 
 import (
@@ -31,7 +41,7 @@ import (
 // coreSet selects the substrate, pass-engine and session benchmarks; the
 // Exp* experiment benchmarks regenerate whole report tables and are too
 // slow for a default run.
-const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkSession|BenchmarkEngine|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
+const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkSession|BenchmarkEngine|BenchmarkServer|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
 
 // Measurement is one benchmark result.
 type Measurement struct {
@@ -45,12 +55,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		benchRe   = flag.String("bench", coreSet, "benchmark selection regexp passed to go test -bench")
-		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (go test -benchtime)")
-		count     = flag.Int("count", 1, "runs per benchmark; the minimum ns/op is kept")
-		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
-		out       = flag.String("out", "BENCH_core.json", "output JSON path")
-		short     = flag.Bool("short", false, "smoke mode: one iteration per benchmark, numbers are build-health only")
+		benchRe     = flag.String("bench", coreSet, "benchmark selection regexp passed to go test -bench")
+		benchtime   = flag.String("benchtime", "1s", "per-benchmark measuring time (go test -benchtime)")
+		count       = flag.Int("count", 1, "runs per benchmark; the minimum ns/op is kept")
+		pkg         = flag.String("pkg", ".", "package pattern to benchmark")
+		out         = flag.String("out", "BENCH_core.json", "output JSON path")
+		short       = flag.Bool("short", false, "smoke mode: one iteration per benchmark, numbers are build-health only")
+		compare     = flag.String("compare", "", "baseline JSON to gate against; exit 1 on regression past tolerance")
+		tolerance   = flag.Float64("tolerance", 0.25, "allowed relative allocs/op regression (with -compare)")
+		nsTolerance = flag.Float64("ns-tolerance", 0, "allowed relative ns/op regression (0: same as -tolerance); set looser when the baseline was measured on different hardware")
+		noiseFloor  = flag.Float64("noise-floor", 1e6, "baseline ns/op below which timing is not gated (with -compare)")
 	)
 	flag.Parse()
 	if *short && *benchtime == "1s" {
@@ -95,6 +109,75 @@ func main() {
 			name, results[name].NsPerOp, results[name].AllocsPerOp)
 	}
 	fmt.Printf("bench: wrote %d results to %s\n", len(results), *out)
+
+	if *compare != "" {
+		if *short {
+			log.Fatal("-compare is meaningless with -short (one-iteration numbers)")
+		}
+		if *nsTolerance == 0 {
+			*nsTolerance = *tolerance
+		}
+		regressions := compareBaseline(*compare, results, *tolerance, *nsTolerance, *noiseFloor)
+		if regressions > 0 {
+			log.Fatalf("%d regression(s) past tolerance (allocs %.0f%%, ns %.0f%%) vs %s",
+				regressions, *tolerance*100, *nsTolerance*100, *compare)
+		}
+		fmt.Printf("bench: no regressions vs %s (allocs tol %.0f%%, ns tol %.0f%% above %.0fms)\n",
+			*compare, *tolerance*100, *nsTolerance*100, *noiseFloor/1e6)
+	}
+}
+
+// compareBaseline gates results against a baseline file and returns the
+// number of regressions. allocs/op is gated for every benchmark at
+// tolerance; ns/op at nsTolerance, and only where the baseline is at or
+// above noiseFloor. Gains and sub-floor timing moves are informational.
+func compareBaseline(path string, results map[string]Measurement, tolerance, nsTolerance, noiseFloor float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("read baseline: %v", err)
+	}
+	var base map[string]Measurement
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("parse baseline %s: %v", path, err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fail := func(name, metric string, baseV, curV float64) {
+		regressions++
+		fmt.Printf("REGRESSION %-40s %s %.1f -> %.1f (%+.1f%%)\n",
+			name, metric, baseV, curV, 100*(curV-baseV)/baseV)
+	}
+	for _, name := range names {
+		b := base[name]
+		cur, ok := results[name]
+		if !ok {
+			regressions++
+			fmt.Printf("REGRESSION %-40s missing from this run (deleted or renamed without regenerating the baseline)\n", name)
+			continue
+		}
+		// Allocation counts are deterministic per op: gate them always. The
+		// +0.5 absolute slack keeps 0-alloc baselines meaningful (any new
+		// allocation fails) without tripping on fractional reporting of
+		// sub-1 averages.
+		if cur.AllocsPerOp > b.AllocsPerOp*(1+tolerance)+0.5 {
+			fail(name, "allocs/op", b.AllocsPerOp, cur.AllocsPerOp)
+		}
+		// Timings gate only above the noise floor.
+		if b.NsPerOp >= noiseFloor && cur.NsPerOp > b.NsPerOp*(1+nsTolerance) {
+			fail(name, "ns/op", b.NsPerOp, cur.NsPerOp)
+		}
+	}
+	for name := range results {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("note: %s is new (not in baseline)\n", name)
+		}
+	}
+	return regressions
 }
 
 // parseBench extracts results from `go test -bench` output lines such as

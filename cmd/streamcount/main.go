@@ -45,58 +45,82 @@ import (
 	"streamcount/internal/stream"
 )
 
+// options carries the parsed flags into run.
+type options struct {
+	input   string
+	updates bool
+	pat     string
+	trials  int
+	eps     float64
+	lower   float64
+	cliques int
+	lambda  int64
+	exactF  bool
+	seed    int64
+	paral   int
+	timeout time.Duration
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("streamcount: ")
-	var (
-		input   = flag.String("input", "", "input file (required)")
-		updates = flag.Bool("updates", false, "input is a turnstile update list, not an edge list")
-		pat     = flag.String("pattern", "triangle", "pattern name or comma-separated list: triangle, C<k>, K<r>, S<k>, P<k>, paw, diamond")
-		trials  = flag.Int("trials", 0, "parallel sampler instances (0: derive from -eps/-lower)")
-		eps     = flag.Float64("eps", 0.1, "target relative error (used when -trials is 0)")
-		lower   = flag.Float64("lower", 0, "lower bound on #H (used when -trials is 0)")
-		cliques = flag.Int("cliques", 0, "if r >= 3: use the Theorem 2 low-degeneracy K_r counter")
-		lambda  = flag.Int64("lambda", 0, "degeneracy bound for -cliques (0: compute exactly)")
-		exactF  = flag.Bool("exact", false, "also print the exact count (loads the graph into memory)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		paral   = flag.Int("parallel", 0, "pass-engine workers (0: GOMAXPROCS, 1: sequential; same estimate either way)")
-		timeout = flag.Duration("timeout", 0, "overall deadline (0: none); exceeding it cancels in-flight replays")
-	)
+	var o options
+	flag.StringVar(&o.input, "input", "", "input file (required)")
+	flag.BoolVar(&o.updates, "updates", false, "input is a turnstile update list, not an edge list")
+	flag.StringVar(&o.pat, "pattern", "triangle", "pattern name or comma-separated list: triangle, C<k>, K<r>, S<k>, P<k>, paw, diamond")
+	flag.IntVar(&o.trials, "trials", 0, "parallel sampler instances (0: derive from -eps/-lower)")
+	flag.Float64Var(&o.eps, "eps", 0.1, "target relative error (used when -trials is 0)")
+	flag.Float64Var(&o.lower, "lower", 0, "lower bound on #H (used when -trials is 0)")
+	flag.IntVar(&o.cliques, "cliques", 0, "if r >= 3: use the Theorem 2 low-degeneracy K_r counter")
+	flag.Int64Var(&o.lambda, "lambda", 0, "degeneracy bound for -cliques (0: compute exactly)")
+	flag.BoolVar(&o.exactF, "exact", false, "also print the exact count (loads the graph into memory)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.paral, "parallel", 0, "pass-engine workers (0: GOMAXPROCS, 1: sequential; same estimate either way)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "overall deadline (0: none); exceeding it cancels in-flight replays")
 	flag.Parse()
-	if *input == "" {
+	if o.input == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// All real work happens in run so its deferred cleanups (signal stop,
+	// timeout cancel) execute on every path — a log.Fatal here in main used
+	// to skip them on early errors (go vet -lostcancel territory).
+	os.Exit(run(o))
+}
 
+func run(o options) int {
 	// Context plumbing: Ctrl-C / SIGTERM cancel between update batches of
 	// any in-flight pass; -timeout adds a deadline on top.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *timeout > 0 {
+	if o.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
 
-	st, err := readStream(*input, *updates)
+	st, err := readStream(o.input, o.updates)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
-	if *cliques >= 3 {
-		if !runCliques(ctx, st, *cliques, *lambda, *eps, *lower, *seed, *paral, *exactF) {
-			os.Exit(1)
+	if o.cliques >= 3 {
+		if !runCliques(ctx, st, o.cliques, o.lambda, o.eps, o.lower, o.seed, o.paral, o.exactF) {
+			return 1
 		}
-		return
+		return 0
 	}
 
-	names := splitPatterns(*pat)
+	names := splitPatterns(o.pat)
 	if len(names) == 0 {
-		log.Fatal("no pattern given")
+		log.Print("no pattern given")
+		return 1
 	}
-	if !runPatterns(ctx, st, names, *trials, *eps, *lower, *seed, *paral, *exactF) {
-		os.Exit(1)
+	if !runPatterns(ctx, st, names, o.trials, o.eps, o.lower, o.seed, o.paral, o.exactF) {
+		return 1
 	}
+	return 0
 }
 
 func splitPatterns(s string) []string {

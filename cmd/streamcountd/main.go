@@ -1,0 +1,112 @@
+// Command streamcountd is the streamcount network daemon: an HTTP/JSON
+// service over the long-lived query engine, with live append-only
+// ingestion. Clients create versioned streams, append edge batches at any
+// time, and submit typed queries; concurrent queries share replay passes
+// per admission generation, and each generation pins the stream version
+// current at its barrier, so every response is bit-identical to a
+// standalone run at its reported (seed, stream_version).
+//
+// API (see internal/server and DESIGN.md §7):
+//
+//	POST /v1/streams                   {"name":"web","n":100000}
+//	POST /v1/streams/{name}/edges      {"updates":[{"u":1,"v":2},...]}
+//	POST /v1/queries                   {"stream":"web","kind":"count",
+//	                                    "pattern":"triangle","trials":100000,
+//	                                    "seed":7}   (?wait=false for async)
+//	GET  /v1/queries/{id}              poll an async query
+//	GET  /v1/streams/{name}/stats      version, passes, metadata
+//	GET  /healthz                      liveness (503 while draining)
+//
+// A SIGINT/SIGTERM drains gracefully: new work is rejected with 503,
+// admitted queries finish (bounded by -drain-timeout), then the engine
+// shuts down.
+//
+// Examples:
+//
+//	streamcountd -addr :8470 -window 25ms
+//	streamcountd -segment-dir /var/lib/streamcount -parallel 8
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamcount/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streamcountd: ")
+	var (
+		addr         = flag.String("addr", ":8470", "listen address")
+		window       = flag.Duration("window", 25*time.Millisecond, "admission window: how long an idle engine waits to batch queries into one shared-replay generation")
+		parallel     = flag.Int("parallel", 0, "default pass-engine workers per query (0: GOMAXPROCS)")
+		segmentDir   = flag.String("segment-dir", "", "directory for on-disk stream segments (empty: streams stay in memory)")
+		segmentSize  = flag.Int("segment-size", 0, "updates per stream segment (0: library default)")
+		readTimeout  = flag.Duration("read-header-timeout", 10*time.Second, "HTTP read-header timeout")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for admitted queries before canceling them")
+	)
+	flag.Parse()
+	if err := run(*addr, *window, *parallel, *segmentDir, *segmentSize, *readTimeout, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run owns every resource with a cleanup path, so an error return unwinds
+// them (main's log.Fatal would skip deferred cancels — see the lostcancel
+// audit note in cmd/streamcount).
+func run(addr string, window time.Duration, parallel int, segmentDir string, segmentSize int, readTimeout, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := server.New(server.Options{
+		Window:      window,
+		Parallelism: parallel,
+		SegmentDir:  segmentDir,
+		SegmentSize: segmentSize,
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: readTimeout,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s (admission window %s)", ln.Addr(), window)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop routing (healthz 503), reject new work, let the
+	// HTTP server finish in-flight requests, then wait out async queries.
+	log.Printf("signal received; draining (timeout %s)", drainTimeout)
+	srv.Drain()
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(dctx); err != nil {
+		return err
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -50,6 +50,21 @@
 // Engines also hold a named-stream registry (RegisterStream / DoOn) so one
 // service instance can answer queries over many streams independently.
 //
+// # Live ingestion
+//
+// Streams can grow while being served. An AppendableStream is a versioned
+// append-only edge log: Append publishes a batch and returns the new
+// version, and each admission generation pins the version current at its
+// barrier, so every query runs over one immutable prefix and its Outcome
+// reports that StreamVersion. Results are bit-identical to standalone runs
+// at the pinned (seed, version) regardless of concurrent appends:
+//
+//	app, _ := streamcount.NewAppendableStream(n, streamcount.AppendableOptions{})
+//	e := streamcount.NewEngine(app)
+//	v, _ := e.Append("", updates) // safe while queries are in flight
+//
+// cmd/streamcountd serves this over HTTP/JSON (DESIGN.md §7).
+//
 // # Parallelism and determinism
 //
 // The pass engine is parallel: stream replay is batched, each runner shards

@@ -63,6 +63,11 @@ func (e *Engine) RegisterStream(name string, st Stream) error {
 // stream is the empty name.
 func (e *Engine) Streams() []string { return e.eng.Streams() }
 
+// Lookup returns the stream registered under name, if any. It is how
+// service layers read per-stream metadata (vertex count, insert-only) for
+// stats without keeping a registry of their own.
+func (e *Engine) Lookup(name string) (Stream, bool) { return e.eng.Lookup(name) }
+
 // Submit runs q on the engine's default stream and blocks until the
 // admission generation that adopted it completes (or ctx is done). The
 // untyped Outcome carries the one result field matching the query's kind;
@@ -77,17 +82,20 @@ func (e *Engine) SubmitOn(ctx context.Context, stream string, q Query) (Outcome,
 	if err != nil {
 		return Outcome{Kind: q.Kind()}, err
 	}
-	return q.outcome(h), nil
+	o := q.outcome(h)
+	o.StreamVersion = h.StreamVersion()
+	return o, nil
 }
 
-// submit lowers q to a core job (resolving the stream-length edge-bound
-// default) and rides the core engine.
+// submit lowers q to a core job and rides the core engine. The edge-bound
+// default stays symbolic (core.EdgeBoundStreamLen) so a derived trial
+// budget resolves against the admission generation's pinned stream version,
+// not the length at submission time.
 func (e *Engine) submit(ctx context.Context, name string, q Query) (*core.JobHandle, error) {
-	st, ok := e.eng.Lookup(name)
-	if !ok {
+	if _, ok := e.eng.Lookup(name); !ok {
 		return nil, fmt.Errorf("streamcount: Submit on %q: %w", name, ErrUnknownStream)
 	}
-	j, err := q.job(st.Len())
+	j, err := q.job(core.EdgeBoundStreamLen)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +120,26 @@ func DoOn[R any](ctx context.Context, e *Engine, stream string, q TypedQuery[R])
 		return zero, err
 	}
 	return q.result(h), nil
+}
+
+// Append publishes updates to the named registered stream's append-only
+// log and returns the new stream version. The stream must have been
+// registered as an *AppendableStream (ErrNotAppendable otherwise; the
+// default stream is named ""). Appends may race queries freely: a running
+// generation replays the immutable prefix it pinned at its barrier, and the
+// appended updates are first visible to generations sealed after Append
+// returned.
+func (e *Engine) Append(name string, ups []Update) (int64, error) {
+	return e.eng.Append(name, ups)
+}
+
+// StreamVersion returns the named stream's current version — the
+// append-only log length for appendable streams, the static length
+// otherwise. A query submitted now is served at this version or a later
+// one, depending on admission timing; the authoritative value is the
+// Outcome's StreamVersion.
+func (e *Engine) StreamVersion(name string) (int64, error) {
+	return e.eng.VersionOf(name)
 }
 
 // Passes returns the number of shared passes performed over the default

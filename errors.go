@@ -24,4 +24,7 @@ var (
 	ErrEngineClosed = core.ErrEngineClosed
 	// ErrUnknownStream reports a Submit naming an unregistered stream.
 	ErrUnknownStream = core.ErrUnknownStream
+	// ErrNotAppendable reports an Append against a stream registered as a
+	// static (immutable) stream rather than an AppendableStream.
+	ErrNotAppendable = core.ErrNotAppendable
 )

@@ -49,7 +49,11 @@ type Config struct {
 	LowerBound float64
 	// EdgeBound is an upper bound on m used to derive Trials when Trials is
 	// zero (the paper assumes m-dependent instance counts are spawned up
-	// front; callers usually know the stream length).
+	// front; callers usually know the stream length). The sentinel
+	// EdgeBoundStreamLen defers resolution to job start: the bound becomes
+	// the length of the stream the session replays, which for an Engine
+	// generation is the pinned prefix — so the derived budget depends only
+	// on the pinned (seed, version), never on submission timing.
 	EdgeBound int64
 	// MaxTrials caps derived trial counts (default 1_000_000).
 	MaxTrials int
@@ -61,6 +65,13 @@ type Config struct {
 	// estimate is bit-identical at any Parallelism (DESIGN.md §2).
 	Parallelism int
 }
+
+// EdgeBoundStreamLen is the Config.EdgeBound sentinel meaning "the length
+// of the stream this job runs over, resolved when the job starts". The
+// query API uses it so that a query submitted to an Engine over a live
+// appendable stream derives its trial budget from the generation's pinned
+// version, not from whatever length the stream had at submission time.
+const EdgeBoundStreamLen int64 = -1
 
 // CountResult is the outcome of a counting run. (It was exported from the
 // facade as the confusingly named Result alias before the query API; the

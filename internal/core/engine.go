@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,13 +44,47 @@ type engineJob struct {
 type lane struct {
 	name string
 	st   stream.Stream
-	cnt  *stream.Counter // lane-wide shared pass accounting
+	app  *stream.Appendable // non-nil when st supports live ingestion
 
 	mu    sync.Mutex
 	queue []*engineJob
 	wake  chan struct{} // buffered(1): "queue became non-empty"
 
+	passes      atomic.Int64 // lane-wide shared pass accounting
 	generations atomic.Int64
+}
+
+// countingStream threads the lane's pass counter through whatever stream a
+// generation is served over. Appendable lanes pin a fresh View per
+// generation, so the counter cannot live on any one stream value — it lives
+// on the lane and every pinned view is wrapped on its way into a session.
+type countingStream struct {
+	stream.Stream
+	passes *atomic.Int64
+}
+
+func (c countingStream) ForEach(fn func(stream.Update) error) error {
+	c.passes.Add(1)
+	return c.Stream.ForEach(fn)
+}
+
+func (c countingStream) ForEachBatch(fn func([]stream.Update) error) error {
+	c.passes.Add(1)
+	return c.Stream.ForEachBatch(fn)
+}
+
+// pin snapshots the lane's stream for one generation. Appendable lanes pin
+// the prefix current at the barrier — every job of the generation then sees
+// the identical immutable view no matter how many updates are appended while
+// the generation runs — and static lanes pin the stream itself. The returned
+// version is the pinned prefix length (the static stream's length for static
+// lanes).
+func (l *lane) pin() (stream.Stream, int64) {
+	if l.app == nil {
+		return countingStream{l.st, &l.passes}, l.st.Len()
+	}
+	v := l.app.Snapshot()
+	return countingStream{v, &l.passes}, v.Version()
 }
 
 // An Engine is the long-lived form of the session scheduler: it owns one
@@ -107,7 +142,8 @@ func (e *Engine) Register(name string, st stream.Stream) error {
 	if _, ok := e.lanes[name]; ok {
 		return fmt.Errorf("core: Register(%q): stream already registered: %w", name, ErrBadConfig)
 	}
-	l := &lane{name: name, st: st, cnt: stream.NewCounter(st), wake: make(chan struct{}, 1)}
+	app, _ := st.(*stream.Appendable)
+	l := &lane{name: name, st: st, app: app, wake: make(chan struct{}, 1)}
 	e.lanes[name] = l
 	e.wg.Add(1)
 	go e.serve(l)
@@ -192,7 +228,55 @@ func (e *Engine) PassesOn(name string) int64 {
 	if l == nil {
 		return 0
 	}
-	return l.cnt.Passes()
+	return l.passes.Load()
+}
+
+// Append publishes updates to the named stream's append-only log and
+// returns the new version. It fails with ErrNotAppendable when the stream
+// was registered as a static (immutable) stream. Appends are admitted at any
+// time — a running generation is unaffected, because it replays the
+// immutable view pinned when it was sealed; the appended updates are first
+// seen by generations sealed after Append returned.
+func (e *Engine) Append(name string, ups []stream.Update) (int64, error) {
+	e.mu.Lock()
+	l, ok := e.lanes[name]
+	closed := e.root.Err() != nil
+	e.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("core: Append(%q): %w", name, ErrUnknownStream)
+	}
+	if closed {
+		return 0, fmt.Errorf("core: Append(%q): %w", name, ErrEngineClosed)
+	}
+	if l.app == nil {
+		return 0, fmt.Errorf("core: Append(%q): %w", name, ErrNotAppendable)
+	}
+	v, err := l.app.Append(ups)
+	if err != nil {
+		// Eviction failure is the only post-publication error; everything
+		// else is input validation and must read as a bad request, not a
+		// server fault.
+		if !errors.Is(err, stream.ErrEvictFailed) {
+			err = fmt.Errorf("%w: %w", ErrBadConfig, err)
+		}
+		return v, fmt.Errorf("core: Append(%q): %w", name, err)
+	}
+	return v, nil
+}
+
+// VersionOf returns the named stream's current version: the append-only
+// log length for appendable streams, the static length otherwise.
+func (e *Engine) VersionOf(name string) (int64, error) {
+	e.mu.Lock()
+	l, ok := e.lanes[name]
+	e.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("core: VersionOf(%q): %w", name, ErrUnknownStream)
+	}
+	if l.app != nil {
+		return l.app.Version(), nil
+	}
+	return l.st.Len(), nil
 }
 
 // Generations returns the number of admission generations served so far
@@ -331,7 +415,10 @@ func (e *Engine) fail(batch []*engineJob) {
 }
 
 // runGeneration serves one sealed batch with a fresh shared-replay session
-// over the lane's stream. The generation's context is canceled when the
+// over the lane's stream, pinned at the version current at the barrier:
+// every job of the generation sees the identical prefix, so results are
+// bit-identical to standalone runs at the pinned (seed, version) regardless
+// of concurrent appends. The generation's context is canceled when the
 // engine closes, or as soon as every submitter in the batch has gone away —
 // there is no point finishing a replay nobody is listening to. Job-level
 // results and errors land on each job's handle; Submit surfaces them.
@@ -356,9 +443,11 @@ func (e *Engine) runGeneration(l *lane, batch []*engineJob) {
 		defer stop()
 	}
 
-	s := NewSession(l.cnt)
+	st, version := l.pin()
+	s := NewSession(st)
 	for _, ej := range batch {
 		ej.h = s.SubmitContext(ej.ctx, ej.job)
+		ej.h.version = version
 	}
 	// Per-job errors are read from the handles; the session-level first
 	// error adds nothing here.

@@ -31,6 +31,10 @@ var (
 	// ErrUnknownStream reports a Submit naming a stream that was never
 	// registered with the Engine.
 	ErrUnknownStream = errors.New("streamcount: unknown stream")
+	// ErrNotAppendable reports an Append against a stream that was
+	// registered as a static (immutable) stream rather than an append-only
+	// log.
+	ErrNotAppendable = errors.New("streamcount: stream is not appendable")
 )
 
 // canceled wraps a context error as an ErrCanceled that still matches the

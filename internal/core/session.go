@@ -115,11 +115,19 @@ type JobResult struct {
 // JobHandle tracks one submitted job. Its result accessors are valid once
 // Run has returned.
 type JobHandle struct {
-	job    Job
-	ctx    context.Context // the job's own context (SubmitContext)
-	res    JobResult
-	rounds int64 // rounds served by the scheduler; written under the barrier
+	job     Job
+	ctx     context.Context // the job's own context (SubmitContext)
+	res     JobResult
+	rounds  int64 // rounds served by the scheduler; written under the barrier
+	version int64 // stream version pinned by the Engine generation that served the job
 }
+
+// StreamVersion returns the stream version the job's Engine generation was
+// pinned to: the job ran over exactly that prefix of the stream, and an
+// identical job over the same prefix standalone returns a bit-identical
+// result. It is 0 for jobs served outside an Engine (plain sessions pin
+// nothing — they replay the stream they were given).
+func (h *JobHandle) StreamVersion() int64 { return h.version }
 
 // Job returns the submitted job description.
 func (h *JobHandle) Job() Job { return h.job }
@@ -144,7 +152,15 @@ func (h *JobHandle) Passes() int64 { return h.rounds }
 
 // NewSession creates a session over st. The stream is replayed through a
 // session-owned stream.Counter, so Passes reports the true shared I/O cost.
+//
+// An appendable stream is pinned at its current version: multi-pass jobs
+// must see one consistent prefix, so the session replays the immutable
+// snapshot taken here and ignores updates appended while it runs. (Engine
+// generations pin their own views before reaching this constructor.)
 func NewSession(st stream.Stream) *Session {
+	if a, ok := st.(*stream.Appendable); ok {
+		st = a.Snapshot()
+	}
 	cnt := stream.NewCounter(st)
 	return &Session{st: st, cnt: cnt, bc: stream.NewBroadcaster(cnt)}
 }
@@ -396,6 +412,13 @@ func (s *Session) newRunner(h *JobHandle, rng *rand.Rand, parallelism int) (orac
 // randomness is drawn from the job's private RNG, so results do not depend
 // on the other jobs in the session.
 func (s *Session) execute(h *JobHandle) JobResult {
+	// The EdgeBoundStreamLen sentinel resolves against the stream the
+	// session actually replays — for an Engine generation that is the pinned
+	// view, so engine-served and standalone runs at the same pinned version
+	// derive identical trial budgets.
+	if h.job.Config.EdgeBound == EdgeBoundStreamLen {
+		h.job.Config.EdgeBound = s.st.Len()
+	}
 	switch h.job.Kind {
 	case JobEstimate:
 		est, err := s.runEstimate(h, h.job.Config)

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"streamcount"
+)
+
+// TestE2EGenerationPinningUnderLiveIngestion is the daemon's acceptance
+// test: real HTTP clients race batched appends against concurrent queries,
+// and every response must be bit-identical to a standalone library run over
+// the exact prefix its admission generation pinned.
+//
+// The reconstruction trick: each append response reports the version after
+// the batch, so batch b with response version v occupies log positions
+// [v-len(b), v). Sorting the racing appenders' batches by response version
+// rebuilds the authoritative log, and generation pinning guarantees every
+// query saw some batch-aligned prefix of it.
+func TestE2EGenerationPinningUnderLiveIngestion(t *testing.T) {
+	s := newTestServer(t, Options{Window: 5 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(path string, body any, out any) (int, error) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	const n, m = 80, 600
+	if code, err := post("/v1/streams", createStreamRequest{Name: "live", N: n}, nil); err != nil || code != http.StatusCreated {
+		t.Fatalf("create stream: %d %v", code, err)
+	}
+
+	// A deterministic edge set, split between two racing ingest clients.
+	rng := rand.New(rand.NewSource(99))
+	seen := map[[2]int64]bool{}
+	var edges [][2]int64
+	for len(edges) < m {
+		u, v := rng.Int63n(n), rng.Int63n(n)
+		if u == v || seen[[2]int64{u, v}] || seen[[2]int64{v, u}] {
+			continue
+		}
+		seen[[2]int64{u, v}] = true
+		edges = append(edges, [2]int64{u, v})
+	}
+
+	type placedBatch struct {
+		version int64 // log version after this batch
+		edges   [][2]int64
+	}
+	var (
+		batchMu sync.Mutex
+		batches []placedBatch
+	)
+	appendBatch := func(chunk [][2]int64) error {
+		req := appendRequest{}
+		for _, e := range chunk {
+			req.Updates = append(req.Updates, updateJSON{U: e[0], V: e[1]})
+		}
+		var resp appendResponse
+		code, err := post("/v1/streams/live/edges", req, &resp)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("append: %d %v", code, err)
+		}
+		batchMu.Lock()
+		batches = append(batches, placedBatch{version: resp.Version, edges: chunk})
+		batchMu.Unlock()
+		return nil
+	}
+
+	type obs struct {
+		seed    int64
+		version int64
+		value   float64
+		trials  int
+		mSeen   int64
+	}
+	const chunk = 40
+	var wg sync.WaitGroup
+	results := make(chan obs, 32)
+	errs := make(chan error, 32)
+
+	// Two racing ingest clients, disjoint halves of the edge set.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c * (m / 2); i < (c+1)*(m/2); i += chunk {
+				if err := appendBatch(edges[i:min(i+chunk, (c+1)*(m/2))]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	// Three query clients submitting during the ingestion. One uses a
+	// derived trial budget so the edge-bound default is exercised against
+	// the pinned version, not the submit-time length.
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				req := queryRequest{Stream: "live", Pattern: "triangle", Seed: int64(10*c + k)}
+				if c == 2 {
+					req.Epsilon = 0.8
+					req.LowerBound = 200
+				} else {
+					req.Trials = 500
+				}
+				var resp queryResponse
+				code, err := post("/v1/queries", req, &resp)
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Errorf("query: %d %v", code, err)
+					return
+				}
+				results <- obs{
+					seed:    req.Seed,
+					version: resp.StreamVersion,
+					value:   resp.Count.Value,
+					trials:  resp.Count.Trials,
+					mSeen:   resp.Count.M,
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Rebuild the authoritative log from the racing appenders' receipts.
+	sort.Slice(batches, func(i, j int) bool { return batches[i].version < batches[j].version })
+	var log []streamcount.Update
+	for _, b := range batches {
+		if int64(len(log))+int64(len(b.edges)) != b.version {
+			t.Fatalf("append receipts do not tile the log: %d edges then batch to version %d", len(log), b.version)
+		}
+		for _, e := range b.edges {
+			log = append(log, streamcount.Update{Edge: streamcount.Edge{U: e[0], V: e[1]}, Op: streamcount.Insert})
+		}
+	}
+	if int64(len(log)) != int64(m) {
+		t.Fatalf("reconstructed log has %d updates, want %d", len(log), m)
+	}
+
+	// Every observed result must be the bit-identical standalone run over
+	// its pinned prefix.
+	count := 0
+	for r := range results {
+		if r.version < 0 || r.version > int64(m) {
+			t.Fatalf("impossible pinned version %d", r.version)
+		}
+		if r.mSeen != r.version {
+			t.Errorf("seed %d: saw m=%d but pinned version %d — generation not version-consistent", r.seed, r.mSeen, r.version)
+		}
+		prefix, err := streamcount.NewStream(n, log[:r.version])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := streamcount.PatternByName("triangle")
+		opts := []streamcount.QueryOption{streamcount.WithSeed(r.seed)}
+		if r.trials == 500 {
+			opts = append(opts, streamcount.WithTrials(500))
+		} else {
+			opts = append(opts, streamcount.WithEpsilon(0.8), streamcount.WithLowerBound(200))
+		}
+		want, err := streamcount.Run(context.Background(), prefix, streamcount.CountQuery(p, opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(want.Value) != math.Float64bits(r.value) || want.Trials != r.trials {
+			t.Errorf("seed %d at version %d: server (%v, %d trials) != standalone (%v, %d trials)",
+				r.seed, r.version, r.value, r.trials, want.Value, want.Trials)
+		}
+		count++
+	}
+	if count != 9 {
+		t.Fatalf("observed %d results, want 9", count)
+	}
+
+	// After ingestion settles, identical queries pin the identical final
+	// version and return bit-identical results — the "two clients racing
+	// appends" consistency claim, stated positively.
+	var a, b queryResponse
+	for _, out := range []*queryResponse{&a, &b} {
+		req := queryRequest{Stream: "live", Pattern: "triangle", Trials: 500, Seed: 123}
+		if code, err := post("/v1/queries", req, out); err != nil || code != http.StatusOK {
+			t.Fatalf("settled query: %d %v", code, err)
+		}
+	}
+	if a.StreamVersion != int64(m) || b.StreamVersion != int64(m) {
+		t.Errorf("settled queries pinned %d and %d, want %d", a.StreamVersion, b.StreamVersion, m)
+	}
+	if math.Float64bits(a.Count.Value) != math.Float64bits(b.Count.Value) {
+		t.Errorf("settled queries diverged: %v != %v", a.Count.Value, b.Count.Value)
+	}
+}

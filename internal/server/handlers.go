@@ -1,0 +1,232 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"streamcount"
+	"streamcount/internal/stream"
+)
+
+// maxBodyBytes bounds request bodies. Ingest batches dominate: 1 MiB is
+// ~26k updates per request, and clients simply send more batches.
+const maxBodyBytes = 1 << 20
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+// decodeBody strictly decodes a JSON body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// --- streams ---
+
+type createStreamRequest struct {
+	// Name identifies the stream in later requests. Required.
+	Name string `json:"name"`
+	// N is the vertex count (vertices are 0..n-1). Required.
+	N int64 `json:"n"`
+	// SegmentSize overrides the server's segment size for this stream.
+	SegmentSize int `json:"segment_size,omitempty"`
+}
+
+type streamInfoJSON struct {
+	Name       string `json:"name"`
+	N          int64  `json:"n"`
+	Version    int64  `json:"version"`
+	InsertOnly bool   `json:"insert_only"`
+	Appendable bool   `json:"appendable"`
+	Passes     int64  `json:"passes"`
+}
+
+func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	var req createStreamRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !validStreamName(req.Name) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("stream name %q must be 1-128 chars of [a-zA-Z0-9_-], not starting with '_'", req.Name))
+		return
+	}
+	if req.N <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("vertex count n=%d must be positive", req.N))
+		return
+	}
+	size := req.SegmentSize
+	if size <= 0 {
+		size = s.opts.SegmentSize
+	}
+	st, err := streamcount.NewAppendableStream(req.N, streamcount.AppendableOptions{
+		SegmentSize: size,
+		Dir:         segmentDir(s.opts.SegmentDir, req.Name),
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.eng.RegisterStream(req.Name, st); err != nil {
+		code := http.StatusConflict // duplicate name is the expected failure
+		if s.draining.Load() {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, streamInfoJSON{
+		Name: req.Name, N: req.N, InsertOnly: true, Appendable: true,
+	})
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"streams": s.eng.Streams()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.eng.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("stream %q: %w", name, streamcount.ErrUnknownStream))
+		return
+	}
+	version, err := s.eng.StreamVersion(name)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	_, appendable := st.(*streamcount.AppendableStream)
+	writeJSON(w, http.StatusOK, streamInfoJSON{
+		Name:       name,
+		N:          st.N(),
+		Version:    version,
+		InsertOnly: st.InsertOnly(),
+		Appendable: appendable,
+		Passes:     s.eng.PassesOn(name),
+	})
+}
+
+// --- ingestion ---
+
+type updateJSON struct {
+	// Op is "+"/"insert" (default) or "-"/"delete".
+	Op string `json:"op,omitempty"`
+	U  int64  `json:"u"`
+	V  int64  `json:"v"`
+}
+
+type appendRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+type appendResponse struct {
+	Version  int64 `json:"version"`
+	Appended int   `json:"appended"`
+	// Warning is set when the batch was published but could not be evicted
+	// to the segment directory (disk trouble): the data is safe and
+	// replayable, so the request succeeds, but the operator should look.
+	Warning string `json:"warning,omitempty"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	name := r.PathValue("name")
+	var req appendRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty update batch"))
+		return
+	}
+	ups := make([]streamcount.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		op := streamcount.Insert
+		switch u.Op {
+		case "", "+", "insert":
+		case "-", "delete":
+			op = streamcount.Delete
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("update %d: unknown op %q", i, u.Op))
+			return
+		}
+		ups[i] = streamcount.Update{Edge: streamcount.Edge{U: u.U, V: u.V}, Op: op}
+	}
+	version, err := s.eng.Append(name, ups)
+	if err != nil {
+		// Eviction failure is a disk-backing problem, not a lost batch: the
+		// updates are published, so a retry would double-ingest. Succeed
+		// with a warning instead.
+		if errors.Is(err, stream.ErrEvictFailed) {
+			writeJSON(w, http.StatusOK, appendResponse{Version: version, Appended: len(ups), Warning: err.Error()})
+			return
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, appendResponse{Version: version, Appended: len(ups)})
+}
+
+// validStreamName admits exactly the names that are safe as URL path
+// segments and as directory names under the segment dir: 1-128 chars of
+// [a-zA-Z0-9_-], not starting with '_'. No dots — "." and ".." would
+// collide with or escape the operator-configured segment directory — and
+// the leading underscore is reserved for server-owned streams ("_default"
+// has a segment directory a client-created twin would corrupt).
+func validStreamName(name string) bool {
+	if len(name) == 0 || len(name) > 128 || name[0] == '_' {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// rejectDraining 503s mutating requests while the server drains.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+		return true
+	}
+	return false
+}

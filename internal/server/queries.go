@@ -1,0 +1,271 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"streamcount"
+)
+
+// queryRequest mirrors the facade's typed query constructors and functional
+// options one field per option. Zero values mean "unset" and take the same
+// defaults the Go API does (ε = 0.1, edge bound = the pinned prefix
+// length), so a JSON query and its Go twin derive identical budgets.
+type queryRequest struct {
+	// Stream names the target stream ("" is the default stream).
+	Stream string `json:"stream,omitempty"`
+	// Kind selects the algorithm: "count" (default), "sample", "cliques",
+	// "auto" or "distinguish".
+	Kind string `json:"kind,omitempty"`
+	// Pattern names the target subgraph H for every kind except "cliques":
+	// "triangle", "C5", "K4", "S3", "P4", "paw", "diamond", ...
+	Pattern string `json:"pattern,omitempty"`
+	// R is the clique order for kind "cliques".
+	R int `json:"r,omitempty"`
+	// Threshold is the decision threshold l for kind "distinguish".
+	Threshold float64 `json:"threshold,omitempty"`
+
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	Trials      int     `json:"trials,omitempty"`
+	LowerBound  float64 `json:"lower_bound,omitempty"`
+	EdgeBound   int64   `json:"edge_bound,omitempty"`
+	MaxTrials   int     `json:"max_trials,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Parallelism int     `json:"parallelism,omitempty"`
+	Lambda      int64   `json:"lambda,omitempty"`
+}
+
+// build lowers the request to a facade query.
+func (q queryRequest) build(defaultParallelism int) (streamcount.Query, error) {
+	par := q.Parallelism
+	if par == 0 {
+		par = defaultParallelism
+	}
+	opts := []streamcount.QueryOption{
+		streamcount.WithSeed(q.Seed),
+		streamcount.WithParallelism(par),
+	}
+	if q.Epsilon != 0 {
+		opts = append(opts, streamcount.WithEpsilon(q.Epsilon))
+	}
+	if q.Trials != 0 {
+		opts = append(opts, streamcount.WithTrials(q.Trials))
+	}
+	if q.LowerBound != 0 {
+		opts = append(opts, streamcount.WithLowerBound(q.LowerBound))
+	}
+	if q.EdgeBound != 0 {
+		opts = append(opts, streamcount.WithEdgeBound(q.EdgeBound))
+	}
+	if q.MaxTrials != 0 {
+		opts = append(opts, streamcount.WithMaxTrials(q.MaxTrials))
+	}
+	if q.Lambda != 0 {
+		opts = append(opts, streamcount.WithLambda(q.Lambda))
+	}
+	kind := q.kind()
+	if kind == "cliques" {
+		return streamcount.CliqueQuery(q.R, opts...), nil
+	}
+	// Every remaining kind takes a pattern; resolve it once.
+	if q.Pattern == "" {
+		return nil, fmt.Errorf("query kind %q needs a pattern: %w", kind, streamcount.ErrBadPattern)
+	}
+	p, err := streamcount.PatternByName(q.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", streamcount.ErrBadPattern, err)
+	}
+	switch kind {
+	case "count":
+		return streamcount.CountQuery(p, opts...), nil
+	case "sample":
+		return streamcount.SampleQuery(p, opts...), nil
+	case "auto":
+		return streamcount.AutoQuery(p, opts...), nil
+	case "distinguish":
+		return streamcount.DistinguishQuery(p, q.Threshold, opts...), nil
+	default:
+		return nil, fmt.Errorf("unknown query kind %q: %w", q.Kind, streamcount.ErrBadConfig)
+	}
+}
+
+func (q queryRequest) kind() string {
+	if q.Kind == "" {
+		return "count"
+	}
+	return q.Kind
+}
+
+// --- result DTOs ---
+
+type countJSON struct {
+	Value      float64 `json:"value"`
+	M          int64   `json:"m"`
+	Passes     int64   `json:"passes"`
+	Queries    int64   `json:"queries"`
+	SpaceWords int64   `json:"space_words"`
+	Trials     int     `json:"trials,omitempty"`
+}
+
+type sampleJSON struct {
+	Found    bool       `json:"found"`
+	Vertices []int64    `json:"vertices,omitempty"`
+	Edges    [][2]int64 `json:"edges,omitempty"`
+	Passes   int64      `json:"passes"`
+}
+
+type decisionJSON struct {
+	Above    bool       `json:"above"`
+	Estimate *countJSON `json:"estimate,omitempty"`
+}
+
+// queryResponse is a served query: the kind-matching result field is set.
+type queryResponse struct {
+	Kind string `json:"kind"`
+	// Stream and StreamVersion identify the exact prefix the query ran
+	// over; the result is a pure function of (query, prefix).
+	Stream        string        `json:"stream,omitempty"`
+	StreamVersion int64         `json:"stream_version"`
+	Count         *countJSON    `json:"count,omitempty"`
+	Sample        *sampleJSON   `json:"sample,omitempty"`
+	Decision      *decisionJSON `json:"decision,omitempty"`
+}
+
+func countDTO(c *streamcount.CountResult) *countJSON {
+	if c == nil {
+		return nil
+	}
+	return &countJSON{
+		Value: c.Value, M: c.M, Passes: c.Passes,
+		Queries: c.Queries, SpaceWords: c.SpaceWords, Trials: c.Trials,
+	}
+}
+
+func outcomeDTO(stream string, o streamcount.Outcome) *queryResponse {
+	resp := &queryResponse{Kind: o.Kind, Stream: stream, StreamVersion: o.StreamVersion}
+	switch {
+	case o.Count != nil:
+		resp.Count = countDTO(o.Count)
+	case o.Sample != nil:
+		sj := &sampleJSON{Found: o.Sample.Found, Passes: o.Sample.Passes}
+		if o.Sample.Found {
+			sj.Vertices = o.Sample.Copy.Vertices
+			for _, e := range o.Sample.Copy.Edges {
+				sj.Edges = append(sj.Edges, [2]int64{e.U, e.V})
+			}
+		}
+		resp.Sample = sj
+	case o.Decision != nil:
+		resp.Decision = &decisionJSON{Above: o.Decision.Above, Estimate: countDTO(o.Decision.Estimate)}
+	}
+	return resp
+}
+
+// --- handlers ---
+
+// asyncQuery is one ?wait=false submission. Status moves pending → done /
+// error exactly once, under Server.mu.
+type asyncQuery struct {
+	ID     string         `json:"id"`
+	Status string         `json:"status"`
+	Result *queryResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	var req queryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := req.build(s.opts.Parallelism)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	if r.URL.Query().Get("wait") == "false" {
+		s.submitAsync(w, req, q)
+		return
+	}
+
+	// Sync: the submitter's context is the request's, so a dropped client
+	// abandons the query at its next round boundary.
+	out, err := s.eng.SubmitOn(r.Context(), req.Stream, q)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, outcomeDTO(req.Stream, out))
+}
+
+// submitAsync runs the query on a server-owned context and returns its poll
+// handle immediately. Async queries survive the submitting connection; they
+// are only canceled when Close's deadline expires.
+func (s *Server) submitAsync(w http.ResponseWriter, req queryRequest, q streamcount.Query) {
+	s.mu.Lock()
+	s.nextID++
+	aq := &asyncQuery{ID: fmt.Sprintf("q%06d", s.nextID), Status: "pending"}
+	s.queries[aq.ID] = aq
+	s.queryOrder = append(s.queryOrder, aq.ID)
+	s.evictCompletedLocked()
+	s.mu.Unlock()
+
+	s.jobs.Add(1)
+	go func() {
+		defer s.jobs.Done()
+		out, err := s.eng.SubmitOn(s.jobCtx, req.Stream, q)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			aq.Status = "error"
+			aq.Error = err.Error()
+			return
+		}
+		aq.Status = "done"
+		aq.Result = outcomeDTO(req.Stream, out)
+	}()
+	writeJSON(w, http.StatusAccepted, asyncQuery{ID: aq.ID, Status: "pending"})
+}
+
+// evictCompletedLocked drops the oldest completed async entries while the
+// registry exceeds maxAsyncQueries, so a long-lived daemon's memory does
+// not grow with its lifetime query count. Pending entries are retained
+// unconditionally.
+func (s *Server) evictCompletedLocked() {
+	if len(s.queries) <= maxAsyncQueries {
+		return
+	}
+	kept := s.queryOrder[:0]
+	for _, id := range s.queryOrder {
+		aq := s.queries[id]
+		if aq == nil {
+			continue
+		}
+		if len(s.queries) > maxAsyncQueries && aq.Status != "pending" {
+			delete(s.queries, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.queryOrder = kept
+}
+
+func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	aq, ok := s.queries[id]
+	var snapshot asyncQuery
+	if ok {
+		snapshot = *aq
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query id %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshot)
+}

@@ -1,0 +1,195 @@
+// Package server is the HTTP/JSON service layer over the query engine:
+// streamcountd's request handling, live stream ingestion, sync and async
+// query admission, and graceful drain (DESIGN.md §7).
+//
+// The API is versioned under /v1:
+//
+//	POST /v1/streams                   create an appendable stream
+//	GET  /v1/streams                   list registered streams
+//	POST /v1/streams/{name}/edges      append a batch of updates
+//	GET  /v1/streams/{name}/stats      stream metadata and pass accounting
+//	POST /v1/queries                   run a query (sync; ?wait=false async)
+//	GET  /v1/queries/{id}              poll an async query
+//	GET  /healthz                      liveness (503 while draining)
+//
+// Every query response carries the stream version its admission generation
+// pinned; resubmitting the same query against that prefix reproduces the
+// result bit for bit.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamcount"
+)
+
+// maxAsyncQueries bounds the async-query registry: when a new submission
+// would exceed it, the oldest completed entries are evicted (their poll
+// URLs start returning 404). Still-pending queries are never evicted, so
+// a result can only be lost after it was available for at least the time
+// it took maxAsyncQueries newer submissions to arrive.
+const maxAsyncQueries = 4096
+
+// DefaultStreamN is the vertex-range of the default stream the server
+// creates when no engine is supplied. Clients normally create their own
+// named streams with an exact vertex count; the default stream exists so
+// the engine has a lane from birth.
+const DefaultStreamN = 1 << 20
+
+// Options configures New.
+type Options struct {
+	// Engine, when non-nil, is served as-is (its registered streams become
+	// queryable immediately, and Close leaves it open — the caller owns it).
+	// When nil, New creates an engine over an empty appendable default
+	// stream and Close closes it.
+	Engine *streamcount.Engine
+	// Window is the admission window of the engine New creates. Ignored
+	// when Engine is supplied.
+	Window time.Duration
+	// Parallelism is the per-query pass-engine worker bound applied to
+	// queries that do not set their own. 0 selects GOMAXPROCS.
+	Parallelism int
+	// SegmentDir, when set, file-backs created streams: stream {name}
+	// flushes sealed segments under SegmentDir/{name}.
+	SegmentDir string
+	// SegmentSize overrides the per-stream segment size (0: the stream
+	// package default).
+	SegmentSize int
+}
+
+// Server is the HTTP handler for one engine. Create with New, serve with
+// net/http, stop with Drain (reject new work) followed by Close (wait for
+// async queries, close an owned engine).
+type Server struct {
+	opts      Options
+	eng       *streamcount.Engine
+	ownEngine bool
+	mux       *http.ServeMux
+
+	mu         sync.Mutex
+	queries    map[string]*asyncQuery
+	queryOrder []string // insertion order, for bounded retention
+	nextID     int64
+
+	draining atomic.Bool
+	jobs     sync.WaitGroup
+	jobCtx   context.Context
+	jobStop  context.CancelFunc
+}
+
+// New builds a server over opts.Engine, or over a fresh engine with an
+// empty appendable default stream when none is given.
+func New(opts Options) (*Server, error) {
+	eng := opts.Engine
+	own := false
+	if eng == nil {
+		def, err := streamcount.NewAppendableStream(DefaultStreamN, streamcount.AppendableOptions{
+			SegmentSize: opts.SegmentSize,
+			Dir:         segmentDir(opts.SegmentDir, "_default"),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: default stream: %w", err)
+		}
+		eng = streamcount.NewEngine(def, streamcount.WithAdmissionWindow(opts.Window))
+		own = true
+	}
+	jobCtx, jobStop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		eng:       eng,
+		ownEngine: own,
+		mux:       http.NewServeMux(),
+		queries:   make(map[string]*asyncQuery),
+		jobCtx:    jobCtx,
+		jobStop:   jobStop,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
+	s.mux.HandleFunc("GET /v1/streams", s.handleListStreams)
+	s.mux.HandleFunc("POST /v1/streams/{name}/edges", s.handleAppend)
+	s.mux.HandleFunc("GET /v1/streams/{name}/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/queries", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryStatus)
+	return s, nil
+}
+
+// segmentDir returns the per-stream segment directory, or "" when disk
+// backing is off.
+func segmentDir(base, name string) string {
+	if base == "" {
+		return ""
+	}
+	return filepath.Join(base, name)
+}
+
+// Engine returns the engine the server fronts.
+func (s *Server) Engine() *streamcount.Engine { return s.eng }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain flips the server into drain mode: ingestion and new queries are
+// rejected with 503 (and healthz fails, so load balancers stop routing
+// here) while already-admitted work keeps running. Drain before Close for
+// a graceful stop.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close completes shutdown: it drains (idempotently), waits for in-flight
+// async queries until ctx expires — past the deadline the remaining ones
+// are canceled and fail with ErrCanceled — and closes the engine when the
+// server owns it. In-flight sync requests are the HTTP server's to wait
+// for (http.Server.Shutdown does exactly that); call Close after it
+// returns.
+func (s *Server) Close(ctx context.Context) error {
+	s.Drain()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Abandon the stragglers: cancel their submit contexts so the
+		// engine unwinds them at the next round boundary.
+		s.jobStop()
+		<-done
+		err = fmt.Errorf("server: close deadline exceeded, %w", ctx.Err())
+	}
+	s.jobStop()
+	if s.ownEngine {
+		if cerr := s.eng.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// statusFor maps the library's typed sentinels to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, streamcount.ErrUnknownStream):
+		return http.StatusNotFound
+	case errors.Is(err, streamcount.ErrNotAppendable):
+		return http.StatusConflict
+	case errors.Is(err, streamcount.ErrBadPattern), errors.Is(err, streamcount.ErrBadConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, streamcount.ErrEngineClosed), errors.Is(err, streamcount.ErrCanceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

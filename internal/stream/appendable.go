@@ -1,0 +1,388 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"streamcount/internal/graph"
+)
+
+// DefaultSegmentSize is the number of updates per Appendable segment. A
+// segment is the unit of disk eviction: once full it is sealed (and, when a
+// segment directory is configured, flushed to disk and dropped from memory).
+const DefaultSegmentSize = 1 << 15
+
+// AppendableOptions configures NewAppendable.
+type AppendableOptions struct {
+	// SegmentSize is the number of updates per segment (default
+	// DefaultSegmentSize). Smaller segments bound memory more tightly when a
+	// Dir is set; larger segments amortize the per-segment file overhead.
+	SegmentSize int
+	// Dir, when non-empty, makes the log file-backed: sealed segments are
+	// written to Dir as binary segment files and evicted from memory, so an
+	// Appendable can outgrow RAM the same way a File stream can. The
+	// directory is created if absent. Views replay evicted segments from
+	// disk.
+	Dir string
+}
+
+// segment is one fixed-capacity run of the log. Exactly one of mem/path is
+// live: mem while the segment is open or sealed in memory, path once it has
+// been flushed to disk and evicted. count is the number of updates the
+// segment holds (== SegmentSize for sealed segments).
+type segment struct {
+	start int64
+	mem   []Update
+	path  string
+	count int
+}
+
+// An Appendable is a versioned, append-only graph stream: a growing edge
+// log whose every prefix is a valid Stream. Append publishes new updates
+// and returns the new version (the log length); At(v) returns an immutable
+// View of the length-v prefix that replays identically forever, no matter
+// how much is appended afterwards. That is the substrate for live
+// ingestion: the paper's estimators are pure functions of a stream prefix,
+// so pinning a version pins the result (DESIGN.md §7).
+//
+// The log is segmented. Open and sealed segments live in memory; when a
+// segment directory is configured, sealed segments are flushed to disk and
+// evicted, so memory use is bounded by one segment regardless of log
+// length. Views capture their segment references at creation time and are
+// unaffected by later eviction.
+//
+// An *Appendable is itself a Stream for convenience: each pass pins the
+// version current at that call. Multi-pass algorithms must NOT consume an
+// Appendable directly while it is being appended to — different passes
+// would see different prefixes. Pin a View (or let an engine generation pin
+// one) instead; the core engine does exactly that.
+//
+// Append and At are safe for concurrent use; any number of Views may replay
+// concurrently with appends.
+type Appendable struct {
+	n    int64
+	opts AppendableOptions
+
+	mu          sync.Mutex
+	segs        []*segment
+	version     int64
+	firstDelete int64 // global index of the first Delete; -1 while insert-only
+}
+
+// NewAppendable creates an empty appendable stream over n vertices.
+func NewAppendable(n int64, opts AppendableOptions) (*Appendable, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stream: NewAppendable: vertex count %d must be positive", n)
+	}
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("stream: NewAppendable: %w", err)
+		}
+	}
+	return &Appendable{n: n, opts: opts, firstDelete: -1}, nil
+}
+
+// N returns the number of vertices.
+func (a *Appendable) N() int64 { return a.n }
+
+// Version returns the current log length. Every version ever returned by
+// Append remains addressable through At.
+func (a *Appendable) Version() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.version
+}
+
+// Len implements Stream as the current version.
+func (a *Appendable) Len() int64 { return a.Version() }
+
+// InsertOnly implements Stream for the current version.
+func (a *Appendable) InsertOnly() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.firstDelete < 0
+}
+
+// ForEach implements Stream, pinning the version current at the call.
+func (a *Appendable) ForEach(fn func(Update) error) error {
+	return a.Snapshot().ForEach(fn)
+}
+
+// ForEachBatch implements Stream, pinning the version current at the call.
+func (a *Appendable) ForEachBatch(fn func([]Update) error) error {
+	return a.Snapshot().ForEachBatch(fn)
+}
+
+// ErrEvictFailed reports that appended updates were all published but a
+// full segment could not be flushed to the segment directory. The log is
+// intact and fully replayable (the segment stays in memory); the error
+// only means disk eviction — and its memory bound — is not happening.
+var ErrEvictFailed = errors.New("stream: segment eviction failed")
+
+// Append validates ups and appends them: a validation failure publishes
+// nothing and the log is unchanged; otherwise every update is published
+// and the new version is returned. A non-nil error alongside a published
+// batch wraps ErrEvictFailed — a disk-backing problem, not a log problem —
+// so callers can report it without treating the batch as lost.
+// Append is safe to call concurrently with replays of any View.
+func (a *Appendable) Append(ups []Update) (int64, error) {
+	for i, u := range ups {
+		if u.Edge.IsLoop() {
+			return 0, fmt.Errorf("stream: append update %d is a self-loop %v", i, u.Edge)
+		}
+		if u.Edge.U < 0 || u.Edge.U >= a.n || u.Edge.V < 0 || u.Edge.V >= a.n {
+			return 0, fmt.Errorf("stream: append update %d edge %v out of range [0,%d)", i, u.Edge, a.n)
+		}
+		if u.Op != Insert && u.Op != Delete {
+			return 0, fmt.Errorf("stream: append update %d has invalid op %d", i, u.Op)
+		}
+	}
+	a.mu.Lock()
+	var full []*segment
+	for _, u := range ups {
+		tail := a.tailLocked()
+		// Appends never reallocate: the segment buffer is allocated at full
+		// capacity up front, so Views holding subslices of it stay valid and
+		// race-free (they only read indexes below their captured length).
+		tail.mem = append(tail.mem, u)
+		tail.count = len(tail.mem)
+		if u.Op == Delete && a.firstDelete < 0 {
+			a.firstDelete = a.version
+		}
+		a.version++
+		if tail.count == a.opts.SegmentSize {
+			// This call filled the segment's last slot, so it owns sealing
+			// it — no other Append can see it as its tail again.
+			full = append(full, tail)
+		}
+	}
+	version := a.version
+	a.mu.Unlock()
+	return version, a.seal(full)
+}
+
+// seal flushes full segments to the segment directory and evicts their
+// memory. The file writes happen outside the log mutex — a slow disk must
+// not stall Version/At/Append — which is safe because a full segment's mem
+// is immutable and only the filling Append ever seals it. Without a
+// directory, segments simply stay in memory.
+func (a *Appendable) seal(full []*segment) error {
+	if a.opts.Dir == "" {
+		return nil
+	}
+	var evictErr error
+	for _, s := range full {
+		path := filepath.Join(a.opts.Dir, fmt.Sprintf("seg-%012d.bin", s.start))
+		if err := writeSegment(path, s.mem); err != nil {
+			// Publication already happened — the segment stays readable in
+			// memory; report the disk problem once.
+			if evictErr == nil {
+				evictErr = fmt.Errorf("%w: sealing segment at %d: %w", ErrEvictFailed, s.start, err)
+			}
+			continue
+		}
+		a.mu.Lock()
+		s.path = path
+		s.mem = nil
+		a.mu.Unlock()
+	}
+	return evictErr
+}
+
+// tailLocked returns the open tail segment, creating one if the log is
+// empty or the last segment is sealed.
+func (a *Appendable) tailLocked() *segment {
+	if len(a.segs) > 0 {
+		if t := a.segs[len(a.segs)-1]; t.count < a.opts.SegmentSize {
+			return t
+		}
+	}
+	t := &segment{start: a.version, mem: make([]Update, 0, a.opts.SegmentSize)}
+	a.segs = append(a.segs, t)
+	return t
+}
+
+// viewSeg is one segment reference captured by a View: either an immutable
+// in-memory prefix or a disk segment plus how many of its updates fall
+// inside the view.
+type viewSeg struct {
+	mem   []Update
+	path  string
+	count int
+}
+
+// A View is the immutable length-version prefix of an Appendable. It
+// implements Stream: every pass replays exactly the same updates in the
+// same order, concurrent appends notwithstanding, so multi-pass algorithms
+// and generation pinning can treat it as a static stream.
+type View struct {
+	n          int64
+	version    int64
+	insertOnly bool
+	segs       []viewSeg
+}
+
+// At returns the immutable view of the length-v prefix. v must not exceed
+// the current version.
+func (a *Appendable) At(v int64) (*View, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v < 0 || v > a.version {
+		return nil, fmt.Errorf("stream: At(%d): version out of range [0,%d]", v, a.version)
+	}
+	view := &View{n: a.n, version: v, insertOnly: a.firstDelete < 0 || a.firstDelete >= v}
+	remaining := v
+	for _, s := range a.segs {
+		if remaining <= 0 {
+			break
+		}
+		take := min(int64(s.count), remaining)
+		if s.mem != nil {
+			view.segs = append(view.segs, viewSeg{mem: s.mem[:take:take]})
+		} else {
+			view.segs = append(view.segs, viewSeg{path: s.path, count: int(take)})
+		}
+		remaining -= take
+	}
+	return view, nil
+}
+
+// Snapshot returns the view of the current version.
+func (a *Appendable) Snapshot() *View {
+	v, err := a.At(a.Version())
+	if err != nil {
+		// Unreachable: the version was just read off the log and versions
+		// never shrink.
+		panic(err)
+	}
+	return v
+}
+
+// N implements Stream.
+func (v *View) N() int64 { return v.n }
+
+// Len implements Stream as the pinned version.
+func (v *View) Len() int64 { return v.version }
+
+// Version returns the pinned version (== Len).
+func (v *View) Version() int64 { return v.version }
+
+// InsertOnly implements Stream for the pinned prefix.
+func (v *View) InsertOnly() bool { return v.insertOnly }
+
+// ForEach implements Stream as a thin wrapper over ForEachBatch.
+func (v *View) ForEach(fn func(Update) error) error {
+	return v.ForEachBatch(func(batch []Update) error {
+		for _, u := range batch {
+			if err := fn(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ForEachBatch implements Stream: in-memory segments are served as zero-copy
+// subslices, evicted segments are decoded from their files into a reusable
+// buffer.
+func (v *View) ForEachBatch(fn func([]Update) error) error {
+	var buf []Update
+	for _, s := range v.segs {
+		if s.mem != nil {
+			for i := 0; i < len(s.mem); i += DefaultBatchSize {
+				j := min(i+DefaultBatchSize, len(s.mem))
+				if err := fn(s.mem[i:j]); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if buf == nil {
+			buf = make([]Update, 0, DefaultBatchSize)
+		}
+		if err := readSegment(s.path, s.count, &buf, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Segment files are fixed-width binary records — u and v as little-endian
+// int64 plus one op byte — so a segment's length is checkable from its size
+// and decoding needs no parsing.
+const segRecordSize = 17
+
+// writeSegment writes updates as one segment file, fsyncing before rename
+// is not needed: segments are immutable once written and a crash before the
+// write completes loses only in-memory state anyway.
+func writeSegment(path string, ups []Update) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(fh)
+	var rec [segRecordSize]byte
+	for _, u := range ups {
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(u.Edge.U))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(u.Edge.V))
+		rec[16] = byte(u.Op)
+		if _, err := w.Write(rec[:]); err != nil {
+			fh.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// readSegment streams the first count records of a segment file through fn
+// in DefaultBatchSize batches, reusing *buf as the batch buffer.
+func readSegment(path string, count int, buf *[]Update, fn func([]Update) error) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	r := bufio.NewReaderSize(fh, 1<<16)
+	var rec [segRecordSize]byte
+	batch := (*buf)[:0]
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return fmt.Errorf("stream: segment %s truncated at record %d: %w", path, i, err)
+		}
+		batch = append(batch, Update{
+			Edge: graph.Edge{
+				U: int64(binary.LittleEndian.Uint64(rec[0:8])),
+				V: int64(binary.LittleEndian.Uint64(rec[8:16])),
+			},
+			Op: Op(int8(rec[16])),
+		})
+		if len(batch) == DefaultBatchSize {
+			if err := fn(batch); err != nil {
+				*buf = batch[:0]
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := fn(batch); err != nil {
+			*buf = batch[:0]
+			return err
+		}
+	}
+	*buf = batch[:0]
+	return nil
+}

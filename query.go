@@ -66,6 +66,11 @@ type TypedQuery[R any] interface {
 type Outcome struct {
 	// Kind is the served query's Kind().
 	Kind string
+	// StreamVersion is the stream version the query's admission generation
+	// pinned: the query ran over exactly that prefix of the stream (the full
+	// length for static streams). Resubmitting the same query against the
+	// same prefix returns a bit-identical result.
+	StreamVersion int64
 	// Count is set for count, cliques and auto queries.
 	Count *CountResult
 	// Sample is set for sample queries.
@@ -146,6 +151,10 @@ func resolve(opts []QueryOption) queryOpts {
 }
 
 // config lowers the shared knobs to a core.Config for pattern p.
+// defaultEdgeBound is normally core.EdgeBoundStreamLen — "the length of the
+// stream the job ends up replaying", resolved at job start so that a query
+// over a live appendable stream derives its trial budget from its
+// generation's pinned version, not from the length at submission time.
 func (o queryOpts) config(p *Pattern, defaultEdgeBound int64) core.Config {
 	eb := o.edgeBound
 	if eb == 0 && o.trials == 0 && !o.legacy {
@@ -296,7 +305,7 @@ func (q autoQuery) job(eb int64) (core.Job, error) {
 	if cfg.EdgeBound == 0 && !q.o.legacy {
 		cfg.EdgeBound = eb
 	}
-	if cfg.EdgeBound <= 0 {
+	if cfg.EdgeBound <= 0 && cfg.EdgeBound != core.EdgeBoundStreamLen {
 		return core.Job{}, fmt.Errorf("streamcount: AutoQuery: the geometric search needs an edge bound: %w", ErrBadConfig)
 	}
 	return core.Job{Kind: core.JobAuto, Config: cfg}, nil
@@ -350,7 +359,7 @@ func (q distinguishQuery) outcome(h *core.JobHandle) Outcome {
 // share replays instead of each paying its own passes.
 func Run[R any](ctx context.Context, st Stream, q TypedQuery[R]) (R, error) {
 	var zero R
-	j, err := q.job(st.Len())
+	j, err := q.job(core.EdgeBoundStreamLen)
 	if err != nil {
 		return zero, err
 	}

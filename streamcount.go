@@ -27,6 +27,19 @@ type (
 	Update = stream.Update
 	// Stream is a replayable multi-pass edge stream.
 	Stream = stream.Stream
+	// AppendableStream is a versioned, append-only edge log for live
+	// ingestion: Append publishes updates and returns the new version, and
+	// At(v) returns the immutable length-v prefix as a StreamView. Register
+	// one on an Engine to ingest and query concurrently — each admission
+	// generation pins the version current at its barrier (DESIGN.md §7).
+	AppendableStream = stream.Appendable
+	// AppendableOptions configures NewAppendableStream (segment size,
+	// optional on-disk segment directory).
+	AppendableOptions = stream.AppendableOptions
+	// StreamView is an immutable pinned prefix of an AppendableStream. It is
+	// a Stream: every pass replays the identical update sequence regardless
+	// of concurrent appends.
+	StreamView = stream.View
 	// SampledCopy is a uniformly sampled copy of H.
 	SampledCopy = core.SampledCopy
 )
@@ -121,6 +134,14 @@ func NewPattern(name string, n int, edges [][2]int) (*Pattern, error) {
 
 // NewStream builds an in-memory stream over n vertices, validating updates.
 func NewStream(n int64, updates []Update) (Stream, error) { return stream.NewSlice(n, updates) }
+
+// NewAppendableStream creates an empty versioned append-only stream over n
+// vertices. With AppendableOptions.Dir set, sealed segments are flushed to
+// disk and evicted from memory, so the log can outgrow RAM. Appends, At
+// views and replays are safe to use concurrently.
+func NewAppendableStream(n int64, opts AppendableOptions) (*AppendableStream, error) {
+	return stream.NewAppendable(n, opts)
+}
 
 // StreamFromGraph turns a graph into an insertion-only stream.
 func StreamFromGraph(g *Graph) Stream { return stream.FromGraph(g) }
