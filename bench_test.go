@@ -293,6 +293,51 @@ func BenchmarkEngineSessionRunBackToBack(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineWatchIngestLoop measures the standing-query hot loop:
+// append a batch to a live stream, then wait for the watch event pinned at
+// (or past) the new version — the append→event latency a monitoring client
+// experiences per ingested batch, including version notification, pinned
+// admission, shared replay and typed delivery.
+func BenchmarkEngineWatchIngestLoop(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	g := gen.ErdosRenyiGNM(rng, 2000, 64*(1<<10))
+	sl := stream.FromGraph(g)
+	ups := sl.Updates()
+
+	app, err := streamcount.NewAppendableStream(2000, streamcount.AppendableOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := streamcount.NewEngine(app)
+	defer e.Close()
+	p, _ := streamcount.PatternByName("triangle")
+	sub, err := streamcount.Watch(context.Background(), e, "", streamcount.CountQuery(p,
+		streamcount.WithTrials(64), streamcount.WithSeed(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+
+	const batch = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * batch) % (len(ups) - batch)
+		v, err := e.Append("", ups[start:start+batch])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			ev, ok := <-sub.Events()
+			if !ok || ev.Err != nil {
+				b.Fatalf("watch ended: %v", sub.Err())
+			}
+			if ev.StreamVersion >= v {
+				break
+			}
+		}
+	}
+}
+
 // BenchmarkServerIngestAndQuery measures the whole service layer per
 // operation: one HTTP client creates a live stream, ingests a graph in
 // batched appends, and runs two concurrent count queries — the daemon's

@@ -1,0 +1,438 @@
+// Package client is the Go SDK for streamcountd, the streamcount network
+// daemon. Its Client implements the same streamcount.Querier and
+// streamcount.Watcher interfaces as the in-process *streamcount.Engine, so
+// query code — including the generic streamcount.Do / streamcount.Watch
+// entry points and whole watch-loops — runs unchanged against a local
+// engine or a remote daemon:
+//
+//	c, _ := client.New("http://localhost:8470")
+//	p, _ := streamcount.PatternByName("triangle")
+//	est, err := streamcount.Do(ctx, c, streamcount.CountQuery(p,
+//	    streamcount.WithTrials(100000), streamcount.WithSeed(7)))
+//
+// Results are bit-identical to the same query against a local engine over
+// the same stream prefix: the daemon executes the identical code at the
+// identical (seed, stream_version), and the JSON float encoding
+// round-trips exactly.
+//
+// Standing queries arrive over Server-Sent Events and surface as the same
+// streamcount.Subscription the local engine returns:
+//
+//	sub, _ := streamcount.Watch(ctx, c, "live", streamcount.CountQuery(p,
+//	    streamcount.WithTrials(50000), streamcount.WithSeed(7)))
+//	for ev := range sub.Events() { ... }
+//
+// Errors carry the facade's typed sentinels (streamcount.ErrUnknownStream,
+// ErrBadConfig, ...) rehydrated from the wire, so errors.Is dispatch works
+// across the network boundary.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"streamcount"
+	"streamcount/internal/wire"
+)
+
+// Client is a streamcountd API client. It is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation). Note that a client-wide Timeout would also
+// kill long-lived watch connections; prefer per-request contexts.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8470").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), http: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// apiError reconstructs a typed error from a non-2xx response. The wire
+// error code is authoritative; the HTTP status is the fallback for bodies
+// without one (proxies, old servers).
+func apiError(status int, body []byte) error {
+	var we wire.Error
+	msg := strings.TrimSpace(string(body))
+	if err := json.Unmarshal(body, &we); err == nil && we.Error != "" {
+		msg = we.Error
+	}
+	sentinel := codeSentinel(we.Code)
+	if sentinel == nil && we.Code == "" {
+		// No code at all (plain validation failures, proxies): fall back to
+		// the status. A present-but-unrecognized code (e.g. watch_limit, or
+		// one from a newer server) is deliberately left sentinel-less rather
+		// than mislabeled.
+		switch status {
+		case http.StatusNotFound:
+			sentinel = streamcount.ErrUnknownStream
+		case http.StatusConflict:
+			sentinel = streamcount.ErrNotAppendable
+		case http.StatusBadRequest:
+			sentinel = streamcount.ErrBadConfig
+		case http.StatusServiceUnavailable:
+			sentinel = streamcount.ErrEngineClosed
+		}
+	}
+	if sentinel != nil {
+		return fmt.Errorf("client: server %d: %s: %w", status, msg, sentinel)
+	}
+	return fmt.Errorf("client: server %d: %s", status, msg)
+}
+
+// codeSentinel maps a wire error code to the facade sentinel it names.
+func codeSentinel(code string) error {
+	switch code {
+	case wire.CodeUnknownStream:
+		return streamcount.ErrUnknownStream
+	case wire.CodeNotAppendable:
+		return streamcount.ErrNotAppendable
+	case wire.CodeBadPattern:
+		return streamcount.ErrBadPattern
+	case wire.CodeBadConfig:
+		return streamcount.ErrBadConfig
+	case wire.CodeCanceled:
+		return streamcount.ErrCanceled
+	case wire.CodeEngineClosed:
+		return streamcount.ErrEngineClosed
+	case wire.CodeWatchClosed, wire.CodeDraining:
+		return streamcount.ErrWatchClosed
+	default:
+		return nil
+	}
+}
+
+// doJSON performs one request with a JSON body (when in is non-nil) and
+// decodes a JSON response into out (when non-nil).
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return wrapTransport(ctx, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return wrapTransport(ctx, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp.StatusCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: undecodable response: %w", err)
+		}
+	}
+	return nil
+}
+
+// wrapTransport maps a transport-level failure: a canceled or expired
+// context surfaces as the facade's ErrCanceled (wrapping the context error,
+// so both errors.Is checks work), exactly as a local engine would report
+// it.
+func wrapTransport(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("client: %w: %w", streamcount.ErrCanceled, ctxErr)
+	}
+	return fmt.Errorf("client: %w", err)
+}
+
+// CreateStream creates an appendable stream on the daemon with vertices
+// 0..n-1.
+func (c *Client) CreateStream(ctx context.Context, name string, n int64) error {
+	return c.doJSON(ctx, http.MethodPost, "/v1/streams", wire.CreateStreamRequest{Name: name, N: n}, nil)
+}
+
+// Streams returns the daemon's registered stream names.
+func (c *Client) Streams(ctx context.Context) ([]string, error) {
+	var list wire.StreamsList
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/streams", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Streams, nil
+}
+
+// Append publishes updates to the named stream's append-only log and
+// returns the new stream version — the same contract as
+// streamcount.Engine.Append.
+func (c *Client) Append(ctx context.Context, stream string, ups []streamcount.Update) (int64, error) {
+	req := wire.AppendRequest{Updates: make([]wire.Update, len(ups))}
+	for i, u := range ups {
+		w := wire.Update{U: u.Edge.U, V: u.Edge.V}
+		if u.Op == streamcount.Delete {
+			w.Op = "-"
+		}
+		req.Updates[i] = w
+	}
+	var resp wire.AppendResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/streams/"+url.PathEscape(stream)+"/edges", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// StreamVersion returns the named stream's current version.
+func (c *Client) StreamVersion(ctx context.Context, stream string) (int64, error) {
+	var info wire.StreamInfo
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/streams/"+url.PathEscape(stream)+"/stats", nil, &info); err != nil {
+		return 0, err
+	}
+	return info.Version, nil
+}
+
+// encodeQuery lowers a facade query to its wire form. Every query value the
+// facade constructs marshals itself into exactly the wire.Query shape, so
+// the round trip is the identity on fields; legacy and custom-pattern
+// queries report their encodability error here, before any request is made.
+func encodeQuery(stream string, q streamcount.Query) (wire.Query, error) {
+	data, err := json.Marshal(q)
+	if err != nil {
+		var merr *json.MarshalerError
+		if errors.As(err, &merr) {
+			err = merr.Unwrap()
+		}
+		return wire.Query{}, fmt.Errorf("client: query is not wire-encodable: %w", err)
+	}
+	var wq wire.Query
+	if err := json.Unmarshal(data, &wq); err != nil {
+		return wire.Query{}, fmt.Errorf("client: query round-trip: %w", err)
+	}
+	wq.Stream = stream
+	return wq, nil
+}
+
+// outcomeFromWire rehydrates a served query into the facade's Outcome.
+func outcomeFromWire(r *wire.QueryResult) streamcount.Outcome {
+	o := streamcount.Outcome{Kind: r.Kind, StreamVersion: r.StreamVersion}
+	if r.Count != nil {
+		o.Count = countFromWire(r.Count)
+	}
+	if r.Sample != nil {
+		sr := &streamcount.SampleResult{Found: r.Sample.Found, Passes: r.Sample.Passes}
+		if r.Sample.Found {
+			sr.Copy.Vertices = r.Sample.Vertices
+			for _, e := range r.Sample.Edges {
+				sr.Copy.Edges = append(sr.Copy.Edges, streamcount.Edge{U: e[0], V: e[1]})
+			}
+		}
+		o.Sample = sr
+	}
+	if r.Decision != nil {
+		o.Decision = &streamcount.DistinguishResult{Above: r.Decision.Above, Estimate: countFromWire(r.Decision.Estimate)}
+	}
+	return o
+}
+
+func countFromWire(c *wire.Count) *streamcount.CountResult {
+	if c == nil {
+		return nil
+	}
+	return &streamcount.CountResult{
+		Value: c.Value, M: c.M, Passes: c.Passes,
+		Queries: c.Queries, SpaceWords: c.SpaceWords, Trials: c.Trials,
+	}
+}
+
+// Submit runs q on the daemon's default stream. It implements
+// streamcount.Querier.
+func (c *Client) Submit(ctx context.Context, q streamcount.Query) (streamcount.Outcome, error) {
+	return c.SubmitOn(ctx, "", q)
+}
+
+// SubmitOn is Submit against a named stream. The returned Outcome is
+// bit-identical to a local engine's at the same (seed, stream version);
+// like the local engine, the authoritative version is the Outcome's
+// StreamVersion.
+func (c *Client) SubmitOn(ctx context.Context, stream string, q streamcount.Query) (streamcount.Outcome, error) {
+	fail := streamcount.Outcome{Kind: q.Kind()}
+	wq, err := encodeQuery(stream, q)
+	if err != nil {
+		return fail, err
+	}
+	var resp wire.QueryResult
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/queries", wq, &resp); err != nil {
+		return fail, err
+	}
+	return outcomeFromWire(&resp), nil
+}
+
+// WatchQuery registers q as a standing query on the named stream and
+// returns the untyped subscription, implementing streamcount.Watcher: the
+// daemon holds a Server-Sent-Events connection open and streams one event
+// per evaluation, each bit-identical to a standalone run at its reported
+// (WatchSeedAt(seed, version), version). The subscription ends — with the
+// terminal error on the final event and from Err — when ctx is canceled,
+// Close is called, the connection drops, or the server drains.
+func (c *Client) WatchQuery(ctx context.Context, stream string, q streamcount.Query, opts ...streamcount.WatchOption) (*streamcount.Subscription[streamcount.Outcome], error) {
+	cfg := streamcount.NewWatchConfig(opts...)
+	wq, err := encodeQuery(stream, q)
+	if err != nil {
+		return nil, err
+	}
+	req := wire.WatchRequest{Query: wq, Policy: wire.PolicyLatest}
+	if cfg.EveryVersion {
+		req.Policy = wire.PolicyEvery
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode watch request: %w", err)
+	}
+
+	// The request context must outlive this call: it is the subscription's
+	// connection. It is canceled when the caller's ctx fires or when the
+	// subscription's feed ends (Close or terminal event).
+	reqCtx, cancel := context.WithCancel(ctx)
+	httpReq, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.base+"/v1/watches", bytes.NewReader(data))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		cancel()
+		return nil, wrapTransport(ctx, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		cancel()
+		return nil, apiError(resp.StatusCode, body)
+	}
+
+	sub := streamcount.NewSubscription(cfg.Buffer, func(sctx context.Context, emit func(streamcount.WatchEvent[streamcount.Outcome]) bool) error {
+		defer resp.Body.Close()
+		defer cancel()
+		// Closing the subscription cancels the connection, which unblocks
+		// the blocking reads below.
+		stop := context.AfterFunc(sctx, cancel)
+		defer stop()
+		return c.consumeWatch(ctx, sctx, bufio.NewReader(resp.Body), emit)
+	})
+	return sub, nil
+}
+
+// consumeWatch parses the SSE stream and feeds the subscription, returning
+// its terminal error.
+func (c *Client) consumeWatch(ctx, sctx context.Context, r *bufio.Reader, emit func(streamcount.WatchEvent[streamcount.Outcome]) bool) error {
+	closedErr := func() error {
+		switch {
+		case sctx.Err() != nil: // consumer Close
+			return streamcount.ErrWatchClosed
+		case ctx.Err() != nil: // caller context
+			return fmt.Errorf("client: watch: %w: %w", streamcount.ErrCanceled, context.Cause(ctx))
+		default:
+			return nil
+		}
+	}
+	for {
+		name, data, err := readSSEEvent(r)
+		if err != nil {
+			if cerr := closedErr(); cerr != nil {
+				return cerr
+			}
+			return fmt.Errorf("client: watch connection lost: %w", err)
+		}
+		switch name {
+		case "watch": // registration acknowledgment; nothing to surface
+		case "result":
+			var we wire.WatchEvent
+			if err := json.Unmarshal(data, &we); err != nil || we.Result == nil {
+				return fmt.Errorf("client: undecodable watch event %q: %v", data, err)
+			}
+			o := outcomeFromWire(we.Result)
+			ev := streamcount.WatchEvent[streamcount.Outcome]{
+				Result:        o,
+				StreamVersion: o.StreamVersion,
+				Generation:    we.Generation,
+			}
+			if !emit(ev) {
+				return streamcount.ErrWatchClosed
+			}
+		case "end":
+			var end wire.WatchEnd
+			if err := json.Unmarshal(data, &end); err != nil {
+				return fmt.Errorf("client: undecodable end event %q: %w", data, err)
+			}
+			if sentinel := codeSentinel(end.Code); sentinel != nil {
+				return fmt.Errorf("client: watch ended by server: %s: %w", end.Error, sentinel)
+			}
+			return fmt.Errorf("client: watch ended by server: %s", end.Error)
+		default: // unknown event types are skipped for forward compatibility
+		}
+	}
+}
+
+// readSSEEvent parses one complete server-sent event, skipping heartbeat
+// comments and blank keep-alives.
+func readSSEEvent(r *bufio.Reader) (name string, data []byte, err error) {
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return "", nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if name != "" || len(data) > 0 {
+				return name, data, nil
+			}
+		case strings.HasPrefix(line, ":"): // comment / heartbeat
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		}
+	}
+}
+
+// Compile-time interface symmetry with the local engine.
+var (
+	_ streamcount.Querier = (*Client)(nil)
+	_ streamcount.Watcher = (*Client)(nil)
+	_ streamcount.Querier = (*streamcount.Engine)(nil)
+	_ streamcount.Watcher = (*streamcount.Engine)(nil)
+)

@@ -1,0 +1,57 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"streamcount"
+	"streamcount/client"
+)
+
+func TestNewRejectsBadBaseURLs(t *testing.T) {
+	for _, bad := range []string{"://nope", "ftp://host", ""} {
+		if _, err := client.New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	if _, err := client.New("http://localhost:8470/"); err != nil {
+		t.Errorf("trailing slash rejected: %v", err)
+	}
+}
+
+func TestNonWireQueriesFailBeforeAnyRequest(t *testing.T) {
+	// No server is listening on the base URL: an encodability failure must
+	// surface before any connection is attempted.
+	c, err := client.New("http://127.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Custom (non-catalog) patterns cannot be named on the wire.
+	custom, err := streamcount.NewPattern("bowtie-variant", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, streamcount.CountQuery(custom, streamcount.WithTrials(10))); !errors.Is(err, streamcount.ErrBadPattern) {
+		t.Errorf("custom pattern: %v, want ErrBadPattern", err)
+	}
+
+	// A custom pattern reusing a catalog name but a different structure must
+	// not silently encode as the catalog pattern.
+	impostor, err := streamcount.NewPattern("triangle", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, streamcount.CountQuery(impostor, streamcount.WithTrials(10))); !errors.Is(err, streamcount.ErrBadPattern) {
+		t.Errorf("impostor pattern: %v, want ErrBadPattern", err)
+	}
+
+	// A structurally identical pattern under a catalog name is encodable:
+	// the failure here must be the dead endpoint, not encoding.
+	p, _ := streamcount.PatternByName("triangle")
+	if _, err := c.Submit(ctx, streamcount.CountQuery(p, streamcount.WithTrials(10))); errors.Is(err, streamcount.ErrBadPattern) {
+		t.Errorf("catalog pattern failed to encode: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+package client_test
+
+// The local–remote symmetry contract: one test suite runs over both
+// implementations of streamcount.Querier/Watcher — the in-process Engine
+// and this package's Client fronting a real streamcountd server over
+// httptest — and every observable (typed results, outcome fingerprints,
+// watch event sequences, error sentinels) must match bit for bit. The suite
+// records a transcript per target and the test ends by comparing the two
+// transcripts as strings, so any asymmetry names the exact divergent line.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"streamcount"
+	"streamcount/client"
+	"streamcount/internal/server"
+)
+
+// target is one Querier/Watcher implementation under contract.
+type target struct {
+	w      streamcount.Watcher
+	create func(t *testing.T, name string, n int64)
+	append func(t *testing.T, stream string, ups []streamcount.Update) int64
+}
+
+func localTarget(t *testing.T) target {
+	t.Helper()
+	def, err := streamcount.NewAppendableStream(16, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := streamcount.NewEngine(def)
+	t.Cleanup(func() { eng.Close() })
+	return target{
+		w: eng,
+		create: func(t *testing.T, name string, n int64) {
+			st, err := streamcount.NewAppendableStream(n, streamcount.AppendableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.RegisterStream(name, st); err != nil {
+				t.Fatal(err)
+			}
+		},
+		append: func(t *testing.T, stream string, ups []streamcount.Update) int64 {
+			v, err := eng.Append(stream, ups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		},
+	}
+}
+
+func remoteTarget(t *testing.T) target {
+	t.Helper()
+	srv, err := server.New(server.Options{WatchHeartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return target{
+		w: c,
+		create: func(t *testing.T, name string, n int64) {
+			if err := c.CreateStream(context.Background(), name, n); err != nil {
+				t.Fatal(err)
+			}
+		},
+		append: func(t *testing.T, stream string, ups []streamcount.Update) int64 {
+			v, err := c.Append(context.Background(), stream, ups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		},
+	}
+}
+
+// contractEdges is the deterministic edge set both targets ingest.
+func contractEdges(n int64, m int) []streamcount.Update {
+	rng := rand.New(rand.NewSource(4242))
+	seen := map[[2]int64]bool{}
+	var ups []streamcount.Update
+	for len(ups) < m {
+		u, v := rng.Int63n(n), rng.Int63n(n)
+		if u == v || seen[[2]int64{u, v}] || seen[[2]int64{v, u}] {
+			continue
+		}
+		seen[[2]int64{u, v}] = true
+		ups = append(ups, streamcount.Update{Edge: streamcount.Edge{U: u, V: v}, Op: streamcount.Insert})
+	}
+	return ups
+}
+
+// fpCount renders a count result bit-exactly for the transcript.
+func fpCount(c *streamcount.CountResult) string {
+	return fmt.Sprintf("value=%016x m=%d passes=%d queries=%d space=%d trials=%d",
+		math.Float64bits(c.Value), c.M, c.Passes, c.Queries, c.SpaceWords, c.Trials)
+}
+
+// runContractSuite exercises one target and returns its transcript.
+func runContractSuite(t *testing.T, tg target) []string {
+	t.Helper()
+	ctx := context.Background()
+	var log []string
+	record := func(format string, args ...any) { log = append(log, fmt.Sprintf(format, args...)) }
+
+	const n, m = 60, 300
+	tg.create(t, "s", n)
+	ups := contractEdges(n, m)
+	v := tg.append(t, "s", ups)
+	record("appended to version %d", v)
+
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Typed Do over the Querier interface: identical call, identical bits.
+	est, err := streamcount.DoOn(ctx, tg.w, "s", streamcount.CountQuery(p,
+		streamcount.WithTrials(600), streamcount.WithSeed(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("count: %s", fpCount(est))
+
+	// A derived-budget query exercises the ε/edge-bound defaulting on both
+	// sides of the wire.
+	est2, err := streamcount.DoOn(ctx, tg.w, "s", streamcount.CountQuery(p,
+		streamcount.WithEpsilon(0.8), streamcount.WithLowerBound(100), streamcount.WithSeed(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("derived: %s", fpCount(est2))
+
+	// Untyped SubmitOn carries the pinned version.
+	out, err := tg.w.SubmitOn(ctx, "s", streamcount.DistinguishQuery(p, 50,
+		streamcount.WithTrials(400), streamcount.WithSeed(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("distinguish: kind=%s version=%d above=%v estimate{%s}",
+		out.Kind, out.StreamVersion, out.Decision.Above, fpCount(out.Decision.Estimate))
+
+	// Sampling round-trips the copy's vertices and edges.
+	smp, err := streamcount.DoOn(ctx, tg.w, "s", streamcount.SampleQuery(p,
+		streamcount.WithTrials(2000), streamcount.WithSeed(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("sample: found=%v vertices=%v edges=%v", smp.Found, smp.Copy.Vertices, smp.Copy.Edges)
+
+	// Error symmetry: the same sentinels surface locally and across the
+	// wire.
+	if _, err := tg.w.SubmitOn(ctx, "missing", streamcount.CountQuery(p, streamcount.WithTrials(10))); !errors.Is(err, streamcount.ErrUnknownStream) {
+		t.Errorf("unknown stream: %v, want ErrUnknownStream", err)
+	}
+	record("unknown stream -> ErrUnknownStream")
+	if _, err := tg.w.WatchQuery(ctx, "missing", streamcount.CountQuery(p, streamcount.WithTrials(10))); !errors.Is(err, streamcount.ErrUnknownStream) {
+		t.Errorf("watch unknown stream: %v, want ErrUnknownStream", err)
+	}
+	record("watch unknown stream -> ErrUnknownStream")
+
+	// Standing query: create a fresh stream, watch every version, ingest
+	// two batches, and fingerprint both events.
+	tg.create(t, "w", n)
+	sub, err := streamcount.Watch(ctx, tg.w, "w", streamcount.CountQuery(p,
+		streamcount.WithTrials(500), streamcount.WithSeed(11)), streamcount.WatchEveryVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := tg.append(t, "w", ups[:m/2])
+	v2 := tg.append(t, "w", ups[m/2:])
+	for i, wantV := range []int64{v1, v2} {
+		select {
+		case ev := <-sub.Events():
+			if ev.Err != nil {
+				t.Fatalf("watch event %d failed: %v", i, ev.Err)
+			}
+			record("watch[%d]: gen=%d version=%d %s", i, ev.Generation, ev.StreamVersion, fpCount(ev.Result))
+			if ev.StreamVersion != wantV {
+				t.Errorf("watch event %d at version %d, want %d", i, ev.StreamVersion, wantV)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("no watch event %d", i)
+		}
+	}
+	// Consumer-side teardown: Close ends the stream with ErrWatchClosed.
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.Events(); ok {
+		// A buffered final event is allowed; the channel must close after.
+		if _, ok := <-sub.Events(); ok {
+			t.Error("events still open after Close")
+		}
+	}
+	if err := sub.Err(); !errors.Is(err, streamcount.ErrWatchClosed) {
+		t.Errorf("closed watch Err = %v, want ErrWatchClosed", err)
+	}
+	record("close -> ErrWatchClosed")
+
+	// Caller-context teardown: cancellation is a terminal ErrCanceled.
+	wctx, cancel := context.WithCancel(ctx)
+	sub2, err := streamcount.Watch(wctx, tg.w, "w", streamcount.CountQuery(p,
+		streamcount.WithTrials(500), streamcount.WithSeed(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for range sub2.Events() {
+	}
+	if err := sub2.Err(); !errors.Is(err, streamcount.ErrCanceled) {
+		t.Errorf("canceled watch Err = %v, want ErrCanceled", err)
+	}
+	record("ctx cancel -> ErrCanceled")
+
+	return log
+}
+
+// TestQuerierContract runs the shared suite over both implementations and
+// requires their transcripts — every result bit, every watch event, every
+// error mapping — to be identical.
+func TestQuerierContract(t *testing.T) {
+	transcripts := map[string][]string{}
+	t.Run("local", func(t *testing.T) {
+		transcripts["local"] = runContractSuite(t, localTarget(t))
+	})
+	t.Run("remote", func(t *testing.T) {
+		transcripts["remote"] = runContractSuite(t, remoteTarget(t))
+	})
+	local, remote := transcripts["local"], transcripts["remote"]
+	if len(local) == 0 || len(remote) == 0 {
+		t.Fatal("a suite produced no transcript")
+	}
+	if len(local) != len(remote) {
+		t.Fatalf("transcript lengths differ: local %d, remote %d\nlocal: %v\nremote: %v",
+			len(local), len(remote), local, remote)
+	}
+	for i := range local {
+		if local[i] != remote[i] {
+			t.Errorf("transcript line %d diverges:\n  local:  %s\n  remote: %s", i, local[i], remote[i])
+		}
+	}
+}

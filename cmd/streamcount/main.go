@@ -18,6 +18,16 @@
 // (Ctrl-C) or SIGTERM aborts in-flight replays between update batches; both
 // surface as "canceled" errors in the result table.
 //
+// With -watch the command follows the stream instead of replaying it once:
+// the input is fed into a live appendable stream — the input file in
+// -watch-batch chunks, or update lines from stdin with -input - — and each
+// pattern becomes a standing query that prints one result row per watch
+// event as ingestion advances. By default events coalesce to the newest
+// version (-watch-every evaluates every published version instead). The
+// command exits when the input is exhausted and every watch has reported
+// the final version; a SIGINT exits cleanly through the same graceful
+// cancel path as the one-shot mode.
+//
 // Examples:
 //
 //	streamcount -input graph.txt -pattern triangle -trials 100000
@@ -25,6 +35,8 @@
 //	streamcount -input updates.txt -updates -pattern C5 -trials 500000
 //	streamcount -input graph.txt -cliques 4 -eps 0.3 -lower 50
 //	streamcount -input huge.txt -updates -pattern C5 -timeout 30s
+//	streamcount -watch -input graph.txt -pattern triangle -trials 20000
+//	tail -f updates.txt | streamcount -watch -input - -pattern triangle -trials 20000
 package main
 
 import (
@@ -47,18 +59,21 @@ import (
 
 // options carries the parsed flags into run.
 type options struct {
-	input   string
-	updates bool
-	pat     string
-	trials  int
-	eps     float64
-	lower   float64
-	cliques int
-	lambda  int64
-	exactF  bool
-	seed    int64
-	paral   int
-	timeout time.Duration
+	input      string
+	updates    bool
+	pat        string
+	trials     int
+	eps        float64
+	lower      float64
+	cliques    int
+	lambda     int64
+	exactF     bool
+	seed       int64
+	paral      int
+	timeout    time.Duration
+	watch      bool
+	watchEvery bool
+	watchBatch int
 }
 
 func main() {
@@ -77,9 +92,16 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.paral, "parallel", 0, "pass-engine workers (0: GOMAXPROCS, 1: sequential; same estimate either way)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "overall deadline (0: none); exceeding it cancels in-flight replays")
+	flag.BoolVar(&o.watch, "watch", false, "follow the input as a live stream: standing queries print one row per watch event ('-input -' reads update lines from stdin)")
+	flag.BoolVar(&o.watchEvery, "watch-every", false, "with -watch: evaluate every published version in order instead of coalescing to the newest")
+	flag.IntVar(&o.watchBatch, "watch-batch", 1024, "with -watch on a file input: updates appended per batch (each batch publishes one version)")
 	flag.Parse()
 	if o.input == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if o.input == "-" && !o.watch {
+		log.Print("-input - (stdin) requires -watch")
 		os.Exit(2)
 	}
 	// All real work happens in run so its deferred cleanups (signal stop,
@@ -97,6 +119,14 @@ func run(o options) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
+	}
+
+	if o.watch {
+		if o.cliques >= 3 {
+			log.Print("-watch supports pattern counting only, not -cliques")
+			return 2
+		}
+		return runWatch(ctx, o)
 	}
 
 	st, err := readStream(o.input, o.updates)

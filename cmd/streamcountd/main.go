@@ -14,12 +14,20 @@
 //	                                    "pattern":"triangle","trials":100000,
 //	                                    "seed":7}   (?wait=false for async)
 //	GET  /v1/queries/{id}              poll an async query
+//	POST /v1/watches                   standing query -> SSE event stream
+//	GET  /v1/watches                   list active watches
 //	GET  /v1/streams/{name}/stats      version, passes, metadata
-//	GET  /healthz                      liveness (503 while draining)
+//	GET  /healthz                      liveness + registry stats (503 draining)
+//
+// A watch (POST /v1/watches) holds a Server-Sent-Events response open and
+// streams one "result" event per evaluation as ingestion advances — each
+// bit-identical to a standalone run at its reported stream_version and the
+// derived seed — with heartbeat comments while idle. The client package is
+// the Go SDK for all of the above.
 //
 // A SIGINT/SIGTERM drains gracefully: new work is rejected with 503,
-// admitted queries finish (bounded by -drain-timeout), then the engine
-// shuts down.
+// standing queries end with a terminal "end" event, admitted queries
+// finish (bounded by -drain-timeout), then the engine shuts down.
 //
 // Examples:
 //
@@ -53,9 +61,10 @@ func main() {
 		segmentSize  = flag.Int("segment-size", 0, "updates per stream segment (0: library default)")
 		readTimeout  = flag.Duration("read-header-timeout", 10*time.Second, "HTTP read-header timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for admitted queries before canceling them")
+		heartbeat    = flag.Duration("watch-heartbeat", server.DefaultWatchHeartbeat, "SSE heartbeat interval for standing queries")
 	)
 	flag.Parse()
-	if err := run(*addr, *window, *parallel, *segmentDir, *segmentSize, *readTimeout, *drainTimeout); err != nil {
+	if err := run(*addr, *window, *parallel, *segmentDir, *segmentSize, *readTimeout, *drainTimeout, *heartbeat); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -63,15 +72,16 @@ func main() {
 // run owns every resource with a cleanup path, so an error return unwinds
 // them (main's log.Fatal would skip deferred cancels — see the lostcancel
 // audit note in cmd/streamcount).
-func run(addr string, window time.Duration, parallel int, segmentDir string, segmentSize int, readTimeout, drainTimeout time.Duration) error {
+func run(addr string, window time.Duration, parallel int, segmentDir string, segmentSize int, readTimeout, drainTimeout, heartbeat time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv, err := server.New(server.Options{
-		Window:      window,
-		Parallelism: parallel,
-		SegmentDir:  segmentDir,
-		SegmentSize: segmentSize,
+		Window:         window,
+		Parallelism:    parallel,
+		SegmentDir:     segmentDir,
+		SegmentSize:    segmentSize,
+		WatchHeartbeat: heartbeat,
 	})
 	if err != nil {
 		return err

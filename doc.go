@@ -65,6 +65,34 @@
 //
 // cmd/streamcountd serves this over HTTP/JSON (DESIGN.md §7).
 //
+// # Standing queries
+//
+// For continuous monitoring — "keep the triangle estimate tracking this
+// growing stream" — register a query once with Watch and consume a stream
+// of version-pinned events instead of polling Submit:
+//
+//	sub, _ := streamcount.Watch(ctx, e, "", streamcount.CountQuery(p,
+//	    streamcount.WithTrials(100000), streamcount.WithSeed(7)))
+//	for ev := range sub.Events() {
+//	    if ev.Err != nil { break } // terminal; sub.Err() reports why
+//	    fmt.Println(ev.StreamVersion, ev.Result.Value)
+//	}
+//
+// The watch re-admits the query whenever the stream's version advances: by
+// default it coalesces to the newest version at each evaluation
+// (WatchLatest); WatchEveryVersion evaluates every published version in
+// order. Each event evaluates at the derived seed WatchSeedAt(seed,
+// version), so it is bit-identical to a standalone run over that exact
+// prefix — reproducible from (seed, version) in any process. Subscriptions
+// end with a terminal error (Close → ErrWatchClosed, context cancel →
+// ErrCanceled, engine shutdown → ErrEngineClosed) and never leak
+// goroutines.
+//
+// Do, DoOn and Watch accept the Querier/Watcher interfaces, implemented by
+// both *Engine and the client package's Client (the Go SDK for
+// streamcountd), so the same code — one-shot or watch-loop — runs
+// unchanged in-process or against a remote daemon (DESIGN.md §8).
+//
 // # Parallelism and determinism
 //
 // The pass engine is parallel: stream replay is batched, each runner shards
@@ -92,6 +120,15 @@
 // legacy EstimateAuto path defaulted to 0.2), and the edge bound used to
 // derive trial budgets defaults to the stream length instead of being
 // required.
+//
+// Since the standing-query redesign, Do and DoOn take any Querier rather
+// than the concrete *Engine. Existing call sites compile unchanged (an
+// *Engine is a Querier); code that stored Do's target in a variable of its
+// own can widen the type to Querier and gain the remote client for free.
+// Polling loops over Submit migrate to Watch:
+//
+//	for { out, _ := e.Submit(ctx, q); ... }   ->  sub, _ := streamcount.Watch(ctx, e, "", q)
+//	                                              for ev := range sub.Events() { ... }
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // architecture and the paper-faithfulness notes.

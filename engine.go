@@ -102,24 +102,26 @@ func (e *Engine) submit(ctx context.Context, name string, q Query) (*core.JobHan
 	return e.eng.SubmitTo(ctx, name, j)
 }
 
-// Do runs q on e's default stream and returns its typed result:
+// Do runs q on the querier's default stream and returns its typed result:
 //
 //	est, err := streamcount.Do(ctx, engine, streamcount.CountQuery(p,
 //	    streamcount.WithTrials(100000)))
 //
-// It is Engine.Submit with the result statically typed by the query.
-func Do[R any](ctx context.Context, e *Engine, q TypedQuery[R]) (R, error) {
-	return DoOn(ctx, e, core.DefaultStream, q)
+// It is Querier.Submit with the result statically typed by the query. The
+// querier may be a local *Engine or the client package's remote Client —
+// the call site is identical either way.
+func Do[R any](ctx context.Context, qr Querier, q TypedQuery[R]) (R, error) {
+	return DoOn(ctx, qr, core.DefaultStream, q)
 }
 
-// DoOn is Do against a registered named stream.
-func DoOn[R any](ctx context.Context, e *Engine, stream string, q TypedQuery[R]) (R, error) {
+// DoOn is Do against a named stream.
+func DoOn[R any](ctx context.Context, qr Querier, stream string, q TypedQuery[R]) (R, error) {
 	var zero R
-	h, err := e.submit(ctx, stream, q)
+	o, err := qr.SubmitOn(ctx, stream, q)
 	if err != nil {
 		return zero, err
 	}
-	return q.result(h), nil
+	return q.fromOutcome(o)
 }
 
 // Append publishes updates to the named registered stream's append-only

@@ -27,4 +27,8 @@ var (
 	// ErrNotAppendable reports an Append against a stream registered as a
 	// static (immutable) stream rather than an AppendableStream.
 	ErrNotAppendable = core.ErrNotAppendable
+	// ErrWatchClosed reports a standing query ended deliberately —
+	// Subscription.Close, or a draining server — rather than by a failure.
+	// It is every cleanly closed subscription's terminal error.
+	ErrWatchClosed = core.ErrWatchClosed
 )

@@ -1,0 +1,169 @@
+// Watch: standing queries with local–remote symmetry. One watch-loop
+// function — written once against the streamcount.Watcher interface — runs
+// first over a local Engine ingesting a growing graph, then over the
+// client SDK against a real streamcountd server serving the same updates.
+// Both deliver the identical sequence of version-pinned events: every event
+// is bit-identical to a standalone run over its prefix at the derived seed
+// WatchSeedAt(seed, version), which the local half verifies explicitly.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+
+	"streamcount"
+	"streamcount/client"
+	"streamcount/internal/server"
+)
+
+const (
+	n      = 200
+	m      = 3000
+	trials = 20000
+	seed   = 7
+	chunk  = 750
+)
+
+// follow is the symmetric watch-loop: it works identically for a local
+// *streamcount.Engine and a remote *client.Client because both implement
+// streamcount.Watcher.
+func follow(ctx context.Context, w streamcount.Watcher, stream string, p *streamcount.Pattern, appendChunk func(int) int64) ([]streamcount.WatchEvent[*streamcount.CountResult], error) {
+	sub, err := streamcount.Watch(ctx, w, stream, streamcount.CountQuery(p,
+		streamcount.WithTrials(trials), streamcount.WithSeed(seed)),
+		streamcount.WatchEveryVersion())
+	if err != nil {
+		return nil, err
+	}
+	defer sub.Close()
+
+	var final int64
+	for i := 0; i < m; i += chunk {
+		final = appendChunk(i)
+	}
+	var events []streamcount.WatchEvent[*streamcount.CountResult]
+	for ev := range sub.Events() {
+		if ev.Err != nil {
+			return events, ev.Err
+		}
+		events = append(events, ev)
+		if ev.StreamVersion == final {
+			return events, nil
+		}
+	}
+	return events, sub.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	// A deterministic growing graph, shared by both halves.
+	rng := rand.New(rand.NewSource(99))
+	g := streamcount.ErdosRenyi(rng, n, m)
+	var updates []streamcount.Update
+	for _, e := range g.Edges() {
+		updates = append(updates, streamcount.Update{Edge: e, Op: streamcount.Insert})
+	}
+	p, _ := streamcount.PatternByName("triangle")
+
+	// --- Local: an Engine over an appendable stream. ---
+	app, err := streamcount.NewAppendableStream(n, streamcount.AppendableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := streamcount.NewEngine(app)
+	defer eng.Close()
+
+	fmt.Printf("local engine: watching triangles over %d growing edges\n", m)
+	local, err := follow(ctx, eng, "", p, func(i int) int64 {
+		v, err := eng.Append("", updates[i:min(i+chunk, m)])
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range local {
+		// Reproducibility: each event is a pure function of
+		// (WatchSeedAt(seed, version), version) — rerun it standalone.
+		view, err := app.At(ev.StreamVersion)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := streamcount.Run(ctx, view, streamcount.CountQuery(p,
+			streamcount.WithTrials(trials),
+			streamcount.WithSeed(streamcount.WatchSeedAt(seed, ev.StreamVersion))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := math.Float64bits(ref.Value) == math.Float64bits(ev.Result.Value)
+		fmt.Printf("  version %5d  estimate %10.1f  standalone-identical %v\n",
+			ev.StreamVersion, ev.Result.Value, match)
+		if !match {
+			log.Fatal("watch event diverged from its standalone run")
+		}
+	}
+
+	// --- Remote: the same loop against a real daemon via the SDK. ---
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer func() {
+		srv.Drain()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+		srv.Close(sctx)
+	}()
+
+	c, err := client.New("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.CreateStream(ctx, "live", n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote daemon: same watch-loop over the SDK\n")
+	remote, err := follow(ctx, c, "live", p, func(i int) int64 {
+		v, err := c.Append(ctx, "live", updates[i:min(i+chunk, m)])
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Symmetry: the remote daemon produced the bit-identical event sequence.
+	if len(remote) != len(local) {
+		log.Fatalf("event counts differ: local %d, remote %d", len(local), len(remote))
+	}
+	for i := range remote {
+		l, r := local[i], remote[i]
+		same := l.StreamVersion == r.StreamVersion &&
+			math.Float64bits(l.Result.Value) == math.Float64bits(r.Result.Value)
+		fmt.Printf("  version %5d  estimate %10.1f  local-identical %v\n",
+			r.StreamVersion, r.Result.Value, same)
+		if !same {
+			log.Fatal("remote watch diverged from local")
+		}
+	}
+	exact := streamcount.ExactCount(g, p)
+	fmt.Printf("final estimate %.1f vs exact %d\n", remote[len(remote)-1].Result.Value, exact)
+}

@@ -29,13 +29,21 @@ type EngineOptions struct {
 
 // engineJob is one queued unit of work: the job, the submitter's context,
 // and the channel Submit blocks on until the job's generation completes.
+// pin is the explicit stream version the job must be evaluated at, or
+// pinBarrier for the normal case — "whatever version the admission
+// generation pins at its barrier". Watch evaluations submit pinned jobs so
+// an event's version is decided before its seed is derived.
 type engineJob struct {
 	ctx  context.Context
 	job  Job
+	pin  int64
 	h    *JobHandle // set when the generation ran
 	err  error      // submit-level failure (engine closed before the job ran)
 	done chan struct{}
 }
+
+// pinBarrier is the engineJob.pin sentinel for barrier-pinned jobs.
+const pinBarrier int64 = -1
 
 // lane is the per-stream admission queue plus the goroutine serving it.
 // Generations on one lane run strictly one after another (streams need not
@@ -49,6 +57,9 @@ type lane struct {
 	mu    sync.Mutex
 	queue []*engineJob
 	wake  chan struct{} // buffered(1): "queue became non-empty"
+
+	wmu      sync.Mutex
+	watchers map[*laneWatcher]struct{} // standing queries following this lane
 
 	passes      atomic.Int64 // lane-wide shared pass accounting
 	generations atomic.Int64
@@ -85,6 +96,44 @@ func (l *lane) pin() (stream.Stream, int64) {
 	}
 	v := l.app.Snapshot()
 	return countingStream{v, &l.passes}, v.Version()
+}
+
+// pinAt pins the lane's stream at an explicit version. Only appendable lanes
+// can be pinned (pinned jobs are only produced by the watch scheduler, which
+// rejects static lanes at registration).
+func (l *lane) pinAt(v int64) (stream.Stream, error) {
+	if l.app == nil {
+		return nil, fmt.Errorf("core: pin at version %d on static stream %q: %w", v, l.name, ErrNotAppendable)
+	}
+	view, err := l.app.At(v)
+	if err != nil {
+		return nil, err
+	}
+	return countingStream{view, &l.passes}, nil
+}
+
+// addWatcher registers a standing query's version feed with the lane.
+func (l *lane) addWatcher(lw *laneWatcher) {
+	l.wmu.Lock()
+	l.watchers[lw] = struct{}{}
+	l.wmu.Unlock()
+}
+
+// removeWatcher unregisters a version feed.
+func (l *lane) removeWatcher(lw *laneWatcher) {
+	l.wmu.Lock()
+	delete(l.watchers, lw)
+	l.wmu.Unlock()
+}
+
+// notifyWatchers publishes a new version to every standing query on the
+// lane. Called by Append after the batch is visible in the log.
+func (l *lane) notifyWatchers(v int64) {
+	l.wmu.Lock()
+	for lw := range l.watchers {
+		lw.publish(v)
+	}
+	l.wmu.Unlock()
 }
 
 // An Engine is the long-lived form of the session scheduler: it owns one
@@ -143,7 +192,8 @@ func (e *Engine) Register(name string, st stream.Stream) error {
 		return fmt.Errorf("core: Register(%q): stream already registered: %w", name, ErrBadConfig)
 	}
 	app, _ := st.(*stream.Appendable)
-	l := &lane{name: name, st: st, app: app, wake: make(chan struct{}, 1)}
+	l := &lane{name: name, st: st, app: app, wake: make(chan struct{}, 1),
+		watchers: make(map[*laneWatcher]struct{})}
 	e.lanes[name] = l
 	e.wg.Add(1)
 	go e.serve(l)
@@ -185,6 +235,14 @@ func (e *Engine) Submit(ctx context.Context, j Job) (*JobHandle, error) {
 
 // SubmitTo is Submit against the named registered stream.
 func (e *Engine) SubmitTo(ctx context.Context, name string, j Job) (*JobHandle, error) {
+	return e.submitPinned(ctx, name, j, pinBarrier)
+}
+
+// submitPinned is SubmitTo with an explicit pinned stream version (or
+// pinBarrier for the normal barrier-pinned case). Pinned jobs are grouped by
+// version into their own shared-replay generations, so concurrent standing
+// queries evaluating the same version still share passes.
+func (e *Engine) submitPinned(ctx context.Context, name string, j Job, pin int64) (*JobHandle, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -194,7 +252,7 @@ func (e *Engine) SubmitTo(ctx context.Context, name string, j Job) (*JobHandle, 
 	if !ok {
 		return nil, fmt.Errorf("core: SubmitTo(%q): %w", name, ErrUnknownStream)
 	}
-	ej := &engineJob{ctx: ctx, job: j, done: make(chan struct{})}
+	ej := &engineJob{ctx: ctx, job: j, pin: pin, done: make(chan struct{})}
 	if err := l.enqueue(e.root, ej); err != nil {
 		return nil, err
 	}
@@ -258,9 +316,14 @@ func (e *Engine) Append(name string, ups []stream.Update) (int64, error) {
 		// server fault.
 		if !errors.Is(err, stream.ErrEvictFailed) {
 			err = fmt.Errorf("%w: %w", ErrBadConfig, err)
+			return v, fmt.Errorf("core: Append(%q): %w", name, err)
 		}
+		// The batch is published despite the eviction failure: the new
+		// version is live and standing queries must see it.
+		l.notifyWatchers(v)
 		return v, fmt.Errorf("core: Append(%q): %w", name, err)
 	}
+	l.notifyWatchers(v)
 	return v, nil
 }
 
@@ -311,10 +374,19 @@ func (e *Engine) Pending() int {
 
 // Close shuts the engine down: the running generation (if any) aborts its
 // replay between batches, its jobs and all queued jobs fail with errors
-// wrapping ErrCanceled, and subsequent Submits fail with ErrEngineClosed.
-// Close blocks until every lane has drained and is idempotent.
+// wrapping ErrCanceled, watches end with ErrEngineClosed, and subsequent
+// Submits fail with ErrEngineClosed. Close blocks until every lane and
+// watch scheduler has unwound and is idempotent.
+//
+// The cancel is taken under the registry mutex: Register and Watch check
+// root liveness and wg.Add their goroutine inside the same critical
+// section, so a goroutine can only be added before the cancel (Wait then
+// waits for it) or observe the engine as closed — never race Add against a
+// completing Wait.
 func (e *Engine) Close() error {
+	e.mu.Lock()
 	e.cancel()
+	e.mu.Unlock()
 	e.wg.Wait()
 	return nil
 }
@@ -387,7 +459,7 @@ func (e *Engine) serve(l *lane) {
 			}
 			batch = append(batch, l.take()...)
 		}
-		e.runGeneration(l, batch)
+		e.serveBatch(l, batch)
 		// Serve everything that queued while the generation ran, without
 		// re-opening the window. Stop as soon as the engine closes — the
 		// outer select's drain path owns the ErrEngineClosed handoff.
@@ -396,8 +468,37 @@ func (e *Engine) serve(l *lane) {
 			if len(more) == 0 {
 				break
 			}
-			e.runGeneration(l, more)
+			e.serveBatch(l, more)
 		}
+	}
+}
+
+// serveBatch serves one sealed admission batch as one or more generations.
+// Jobs pinned to an explicit version (standing-query evaluations) are
+// grouped by version and served in ascending version order — chronological,
+// and every watch evaluating the same version rides the same shared replay —
+// then the barrier-pinned jobs form the final generation, pinned at the
+// freshest version.
+func (e *Engine) serveBatch(l *lane, batch []*engineJob) {
+	var barrier []*engineJob
+	var pins []int64
+	byPin := make(map[int64][]*engineJob)
+	for _, ej := range batch {
+		if ej.pin < 0 {
+			barrier = append(barrier, ej)
+			continue
+		}
+		if _, ok := byPin[ej.pin]; !ok {
+			pins = append(pins, ej.pin)
+		}
+		byPin[ej.pin] = append(byPin[ej.pin], ej)
+	}
+	sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
+	for _, v := range pins {
+		e.runGeneration(l, byPin[v], v)
+	}
+	if len(barrier) > 0 {
+		e.runGeneration(l, barrier, pinBarrier)
 	}
 }
 
@@ -415,14 +516,15 @@ func (e *Engine) fail(batch []*engineJob) {
 }
 
 // runGeneration serves one sealed batch with a fresh shared-replay session
-// over the lane's stream, pinned at the version current at the barrier:
-// every job of the generation sees the identical prefix, so results are
-// bit-identical to standalone runs at the pinned (seed, version) regardless
-// of concurrent appends. The generation's context is canceled when the
-// engine closes, or as soon as every submitter in the batch has gone away —
-// there is no point finishing a replay nobody is listening to. Job-level
-// results and errors land on each job's handle; Submit surfaces them.
-func (e *Engine) runGeneration(l *lane, batch []*engineJob) {
+// over the lane's stream, pinned at the version current at the barrier (or
+// at the explicit pin, for standing-query evaluations): every job of the
+// generation sees the identical prefix, so results are bit-identical to
+// standalone runs at the pinned (seed, version) regardless of concurrent
+// appends. The generation's context is canceled when the engine closes, or
+// as soon as every submitter in the batch has gone away — there is no point
+// finishing a replay nobody is listening to. Job-level results and errors
+// land on each job's handle; Submit surfaces them.
+func (e *Engine) runGeneration(l *lane, batch []*engineJob, pin int64) {
 	gctx, gcancel := context.WithCancel(e.root)
 	defer gcancel()
 
@@ -443,7 +545,22 @@ func (e *Engine) runGeneration(l *lane, batch []*engineJob) {
 		defer stop()
 	}
 
-	st, version := l.pin()
+	var st stream.Stream
+	var version int64
+	if pin < 0 {
+		st, version = l.pin()
+	} else {
+		var err error
+		st, err = l.pinAt(pin)
+		if err != nil {
+			for _, ej := range batch {
+				ej.err = fmt.Errorf("core: pinned generation at version %d: %w", pin, err)
+				close(ej.done)
+			}
+			return
+		}
+		version = pin
+	}
 	s := NewSession(st)
 	for _, ej := range batch {
 		ej.h = s.SubmitContext(ej.ctx, ej.job)

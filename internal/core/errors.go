@@ -35,6 +35,11 @@ var (
 	// registered as a static (immutable) stream rather than an append-only
 	// log.
 	ErrNotAppendable = errors.New("streamcount: stream is not appendable")
+	// ErrWatchClosed reports a standing query whose subscription was ended
+	// deliberately — Watch.Close, Subscription.Close, or a server draining —
+	// rather than by a failure. It is the terminal error of every cleanly
+	// closed watch.
+	ErrWatchClosed = errors.New("streamcount: watch closed")
 )
 
 // canceled wraps a context error as an ErrCanceled that still matches the

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"streamcount"
+	"streamcount/internal/wire"
 )
 
 // TestE2EGenerationPinningUnderLiveIngestion is the daemon's acceptance
@@ -52,7 +53,7 @@ func TestE2EGenerationPinningUnderLiveIngestion(t *testing.T) {
 	}
 
 	const n, m = 80, 600
-	if code, err := post("/v1/streams", createStreamRequest{Name: "live", N: n}, nil); err != nil || code != http.StatusCreated {
+	if code, err := post("/v1/streams", wire.CreateStreamRequest{Name: "live", N: n}, nil); err != nil || code != http.StatusCreated {
 		t.Fatalf("create stream: %d %v", code, err)
 	}
 
@@ -78,11 +79,11 @@ func TestE2EGenerationPinningUnderLiveIngestion(t *testing.T) {
 		batches []placedBatch
 	)
 	appendBatch := func(chunk [][2]int64) error {
-		req := appendRequest{}
+		req := wire.AppendRequest{}
 		for _, e := range chunk {
-			req.Updates = append(req.Updates, updateJSON{U: e[0], V: e[1]})
+			req.Updates = append(req.Updates, wire.Update{U: e[0], V: e[1]})
 		}
-		var resp appendResponse
+		var resp wire.AppendResponse
 		code, err := post("/v1/streams/live/edges", req, &resp)
 		if err != nil || code != http.StatusOK {
 			return fmt.Errorf("append: %d %v", code, err)
@@ -126,14 +127,14 @@ func TestE2EGenerationPinningUnderLiveIngestion(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for k := 0; k < 3; k++ {
-				req := queryRequest{Stream: "live", Pattern: "triangle", Seed: int64(10*c + k)}
+				req := wire.Query{Stream: "live", Pattern: "triangle", Seed: int64(10*c + k)}
 				if c == 2 {
 					req.Epsilon = 0.8
 					req.LowerBound = 200
 				} else {
 					req.Trials = 500
 				}
-				var resp queryResponse
+				var resp wire.QueryResult
 				code, err := post("/v1/queries", req, &resp)
 				if err != nil || code != http.StatusOK {
 					errs <- fmt.Errorf("query: %d %v", code, err)
@@ -209,9 +210,9 @@ func TestE2EGenerationPinningUnderLiveIngestion(t *testing.T) {
 	// After ingestion settles, identical queries pin the identical final
 	// version and return bit-identical results — the "two clients racing
 	// appends" consistency claim, stated positively.
-	var a, b queryResponse
-	for _, out := range []*queryResponse{&a, &b} {
-		req := queryRequest{Stream: "live", Pattern: "triangle", Trials: 500, Seed: 123}
+	var a, b wire.QueryResult
+	for _, out := range []*wire.QueryResult{&a, &b} {
+		req := wire.Query{Stream: "live", Pattern: "triangle", Trials: 500, Seed: 123}
 		if code, err := post("/v1/queries", req, out); err != nil || code != http.StatusOK {
 			t.Fatalf("settled query: %d %v", code, err)
 		}

@@ -8,16 +8,12 @@ import (
 
 	"streamcount"
 	"streamcount/internal/stream"
+	"streamcount/internal/wire"
 )
 
 // maxBodyBytes bounds request bodies. Ingest batches dominate: 1 MiB is
 // ~26k updates per request, and clients simply send more batches.
 const maxBodyBytes = 1 << 20
-
-// errorJSON is every non-2xx body.
-type errorJSON struct {
-	Error string `json:"error"`
-}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -28,7 +24,31 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorJSON{Error: err.Error()})
+	writeJSON(w, code, wire.Error{Error: err.Error(), Code: errorCode(err)})
+}
+
+// errorCode names the typed sentinel err wraps, so clients can rehydrate
+// errors.Is semantics from the wire without string matching. Plain
+// validation failures carry no code.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, streamcount.ErrUnknownStream):
+		return wire.CodeUnknownStream
+	case errors.Is(err, streamcount.ErrNotAppendable):
+		return wire.CodeNotAppendable
+	case errors.Is(err, streamcount.ErrBadPattern):
+		return wire.CodeBadPattern
+	case errors.Is(err, streamcount.ErrBadConfig):
+		return wire.CodeBadConfig
+	case errors.Is(err, streamcount.ErrWatchClosed):
+		return wire.CodeWatchClosed
+	case errors.Is(err, streamcount.ErrEngineClosed):
+		return wire.CodeEngineClosed
+	case errors.Is(err, streamcount.ErrCanceled):
+		return wire.CodeCanceled
+	default:
+		return ""
+	}
 }
 
 // decodeBody strictly decodes a JSON body into v.
@@ -41,39 +61,39 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+// registryStats snapshots the async-query and watch registries for the
+// observability surfaces (GET /v1/streams, /healthz).
+func (s *Server) registryStats() (wire.QueryStats, wire.WatchStats) {
+	s.mu.Lock()
+	q := wire.QueryStats{
+		Active:     s.pendingQueries,
+		Registered: len(s.queries),
+		Evicted:    s.evictedQueries,
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	ws := wire.WatchStats{Active: len(s.watches)}
+	s.mu.Unlock()
+	ws.Rejected = s.rejectedWatches.Load()
+	return q, ws
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	q, ws := s.registryStats()
+	h := wire.Health{Status: "ok", Queries: q, Watches: ws}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // --- streams ---
-
-type createStreamRequest struct {
-	// Name identifies the stream in later requests. Required.
-	Name string `json:"name"`
-	// N is the vertex count (vertices are 0..n-1). Required.
-	N int64 `json:"n"`
-	// SegmentSize overrides the server's segment size for this stream.
-	SegmentSize int `json:"segment_size,omitempty"`
-}
-
-type streamInfoJSON struct {
-	Name       string `json:"name"`
-	N          int64  `json:"n"`
-	Version    int64  `json:"version"`
-	InsertOnly bool   `json:"insert_only"`
-	Appendable bool   `json:"appendable"`
-	Passes     int64  `json:"passes"`
-}
 
 func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) {
 		return
 	}
-	var req createStreamRequest
+	var req wire.CreateStreamRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -106,13 +126,18 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, streamInfoJSON{
+	writeJSON(w, http.StatusCreated, wire.StreamInfo{
 		Name: req.Name, N: req.N, InsertOnly: true, Appendable: true,
 	})
 }
 
 func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"streams": s.eng.Streams()})
+	q, ws := s.registryStats()
+	writeJSON(w, http.StatusOK, wire.StreamsList{
+		Streams: s.eng.Streams(),
+		Queries: q,
+		Watches: ws,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -128,7 +153,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, appendable := st.(*streamcount.AppendableStream)
-	writeJSON(w, http.StatusOK, streamInfoJSON{
+	writeJSON(w, http.StatusOK, wire.StreamInfo{
 		Name:       name,
 		N:          st.N(),
 		Version:    version,
@@ -140,32 +165,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // --- ingestion ---
 
-type updateJSON struct {
-	// Op is "+"/"insert" (default) or "-"/"delete".
-	Op string `json:"op,omitempty"`
-	U  int64  `json:"u"`
-	V  int64  `json:"v"`
-}
-
-type appendRequest struct {
-	Updates []updateJSON `json:"updates"`
-}
-
-type appendResponse struct {
-	Version  int64 `json:"version"`
-	Appended int   `json:"appended"`
-	// Warning is set when the batch was published but could not be evicted
-	// to the segment directory (disk trouble): the data is safe and
-	// replayable, so the request succeeds, but the operator should look.
-	Warning string `json:"warning,omitempty"`
-}
-
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) {
 		return
 	}
 	name := r.PathValue("name")
-	var req appendRequest
+	var req wire.AppendRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -193,13 +198,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		// updates are published, so a retry would double-ingest. Succeed
 		// with a warning instead.
 		if errors.Is(err, stream.ErrEvictFailed) {
-			writeJSON(w, http.StatusOK, appendResponse{Version: version, Appended: len(ups), Warning: err.Error()})
+			writeJSON(w, http.StatusOK, wire.AppendResponse{Version: version, Appended: len(ups), Warning: err.Error()})
 			return
 		}
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, appendResponse{Version: version, Appended: len(ups)})
+	writeJSON(w, http.StatusOK, wire.AppendResponse{Version: version, Appended: len(ups)})
 }
 
 // validStreamName admits exactly the names that are safe as URL path

@@ -5,38 +5,13 @@ import (
 	"net/http"
 
 	"streamcount"
+	"streamcount/internal/wire"
 )
 
-// queryRequest mirrors the facade's typed query constructors and functional
-// options one field per option. Zero values mean "unset" and take the same
-// defaults the Go API does (ε = 0.1, edge bound = the pinned prefix
-// length), so a JSON query and its Go twin derive identical budgets.
-type queryRequest struct {
-	// Stream names the target stream ("" is the default stream).
-	Stream string `json:"stream,omitempty"`
-	// Kind selects the algorithm: "count" (default), "sample", "cliques",
-	// "auto" or "distinguish".
-	Kind string `json:"kind,omitempty"`
-	// Pattern names the target subgraph H for every kind except "cliques":
-	// "triangle", "C5", "K4", "S3", "P4", "paw", "diamond", ...
-	Pattern string `json:"pattern,omitempty"`
-	// R is the clique order for kind "cliques".
-	R int `json:"r,omitempty"`
-	// Threshold is the decision threshold l for kind "distinguish".
-	Threshold float64 `json:"threshold,omitempty"`
-
-	Epsilon     float64 `json:"epsilon,omitempty"`
-	Trials      int     `json:"trials,omitempty"`
-	LowerBound  float64 `json:"lower_bound,omitempty"`
-	EdgeBound   int64   `json:"edge_bound,omitempty"`
-	MaxTrials   int     `json:"max_trials,omitempty"`
-	Seed        int64   `json:"seed,omitempty"`
-	Parallelism int     `json:"parallelism,omitempty"`
-	Lambda      int64   `json:"lambda,omitempty"`
-}
-
-// build lowers the request to a facade query.
-func (q queryRequest) build(defaultParallelism int) (streamcount.Query, error) {
+// buildQuery lowers a wire query to a facade query. Zero-valued fields take
+// the same defaults the Go API does (ε = 0.1, edge bound = the pinned
+// prefix length), so a JSON query and its Go twin derive identical budgets.
+func buildQuery(q wire.Query, defaultParallelism int) (streamcount.Query, error) {
 	par := q.Parallelism
 	if par == 0 {
 		par = defaultParallelism
@@ -63,7 +38,10 @@ func (q queryRequest) build(defaultParallelism int) (streamcount.Query, error) {
 	if q.Lambda != 0 {
 		opts = append(opts, streamcount.WithLambda(q.Lambda))
 	}
-	kind := q.kind()
+	kind := q.Kind
+	if kind == "" {
+		kind = "count"
+	}
 	if kind == "cliques" {
 		return streamcount.CliqueQuery(q.R, opts...), nil
 	}
@@ -89,65 +67,25 @@ func (q queryRequest) build(defaultParallelism int) (streamcount.Query, error) {
 	}
 }
 
-func (q queryRequest) kind() string {
-	if q.Kind == "" {
-		return "count"
-	}
-	return q.Kind
-}
-
 // --- result DTOs ---
 
-type countJSON struct {
-	Value      float64 `json:"value"`
-	M          int64   `json:"m"`
-	Passes     int64   `json:"passes"`
-	Queries    int64   `json:"queries"`
-	SpaceWords int64   `json:"space_words"`
-	Trials     int     `json:"trials,omitempty"`
-}
-
-type sampleJSON struct {
-	Found    bool       `json:"found"`
-	Vertices []int64    `json:"vertices,omitempty"`
-	Edges    [][2]int64 `json:"edges,omitempty"`
-	Passes   int64      `json:"passes"`
-}
-
-type decisionJSON struct {
-	Above    bool       `json:"above"`
-	Estimate *countJSON `json:"estimate,omitempty"`
-}
-
-// queryResponse is a served query: the kind-matching result field is set.
-type queryResponse struct {
-	Kind string `json:"kind"`
-	// Stream and StreamVersion identify the exact prefix the query ran
-	// over; the result is a pure function of (query, prefix).
-	Stream        string        `json:"stream,omitempty"`
-	StreamVersion int64         `json:"stream_version"`
-	Count         *countJSON    `json:"count,omitempty"`
-	Sample        *sampleJSON   `json:"sample,omitempty"`
-	Decision      *decisionJSON `json:"decision,omitempty"`
-}
-
-func countDTO(c *streamcount.CountResult) *countJSON {
+func countDTO(c *streamcount.CountResult) *wire.Count {
 	if c == nil {
 		return nil
 	}
-	return &countJSON{
+	return &wire.Count{
 		Value: c.Value, M: c.M, Passes: c.Passes,
 		Queries: c.Queries, SpaceWords: c.SpaceWords, Trials: c.Trials,
 	}
 }
 
-func outcomeDTO(stream string, o streamcount.Outcome) *queryResponse {
-	resp := &queryResponse{Kind: o.Kind, Stream: stream, StreamVersion: o.StreamVersion}
+func outcomeDTO(stream string, o streamcount.Outcome) *wire.QueryResult {
+	resp := &wire.QueryResult{Kind: o.Kind, Stream: stream, StreamVersion: o.StreamVersion}
 	switch {
 	case o.Count != nil:
 		resp.Count = countDTO(o.Count)
 	case o.Sample != nil:
-		sj := &sampleJSON{Found: o.Sample.Found, Passes: o.Sample.Passes}
+		sj := &wire.Sample{Found: o.Sample.Found, Passes: o.Sample.Passes}
 		if o.Sample.Found {
 			sj.Vertices = o.Sample.Copy.Vertices
 			for _, e := range o.Sample.Copy.Edges {
@@ -156,7 +94,7 @@ func outcomeDTO(stream string, o streamcount.Outcome) *queryResponse {
 		}
 		resp.Sample = sj
 	case o.Decision != nil:
-		resp.Decision = &decisionJSON{Above: o.Decision.Above, Estimate: countDTO(o.Decision.Estimate)}
+		resp.Decision = &wire.Decision{Above: o.Decision.Above, Estimate: countDTO(o.Decision.Estimate)}
 	}
 	return resp
 }
@@ -166,22 +104,19 @@ func outcomeDTO(stream string, o streamcount.Outcome) *queryResponse {
 // asyncQuery is one ?wait=false submission. Status moves pending → done /
 // error exactly once, under Server.mu.
 type asyncQuery struct {
-	ID     string         `json:"id"`
-	Status string         `json:"status"`
-	Result *queryResponse `json:"result,omitempty"`
-	Error  string         `json:"error,omitempty"`
+	wire.AsyncQuery
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) {
 		return
 	}
-	var req queryRequest
+	var req wire.Query
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	q, err := req.build(s.opts.Parallelism)
+	q, err := buildQuery(req, s.opts.Parallelism)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -205,12 +140,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // submitAsync runs the query on a server-owned context and returns its poll
 // handle immediately. Async queries survive the submitting connection; they
 // are only canceled when Close's deadline expires.
-func (s *Server) submitAsync(w http.ResponseWriter, req queryRequest, q streamcount.Query) {
+func (s *Server) submitAsync(w http.ResponseWriter, req wire.Query, q streamcount.Query) {
 	s.mu.Lock()
 	s.nextID++
-	aq := &asyncQuery{ID: fmt.Sprintf("q%06d", s.nextID), Status: "pending"}
+	aq := &asyncQuery{wire.AsyncQuery{ID: fmt.Sprintf("q%06d", s.nextID), Status: "pending"}}
 	s.queries[aq.ID] = aq
 	s.queryOrder = append(s.queryOrder, aq.ID)
+	s.pendingQueries++
 	s.evictCompletedLocked()
 	s.mu.Unlock()
 
@@ -220,6 +156,7 @@ func (s *Server) submitAsync(w http.ResponseWriter, req queryRequest, q streamco
 		out, err := s.eng.SubmitOn(s.jobCtx, req.Stream, q)
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		s.pendingQueries--
 		if err != nil {
 			aq.Status = "error"
 			aq.Error = err.Error()
@@ -228,15 +165,17 @@ func (s *Server) submitAsync(w http.ResponseWriter, req queryRequest, q streamco
 		aq.Status = "done"
 		aq.Result = outcomeDTO(req.Stream, out)
 	}()
-	writeJSON(w, http.StatusAccepted, asyncQuery{ID: aq.ID, Status: "pending"})
+	writeJSON(w, http.StatusAccepted, wire.AsyncQuery{ID: aq.ID, Status: "pending"})
 }
 
 // evictCompletedLocked drops the oldest completed async entries while the
-// registry exceeds maxAsyncQueries, so a long-lived daemon's memory does
-// not grow with its lifetime query count. Pending entries are retained
-// unconditionally.
+// registry exceeds the bound, so a long-lived daemon's memory does not grow
+// with its lifetime query count. Pending entries are retained
+// unconditionally. Every eviction is a poll URL that starts returning 404 —
+// a result a client may still have wanted — so they are counted and
+// surfaced in the registry stats.
 func (s *Server) evictCompletedLocked() {
-	if len(s.queries) <= maxAsyncQueries {
+	if len(s.queries) <= s.maxAsync {
 		return
 	}
 	kept := s.queryOrder[:0]
@@ -245,8 +184,9 @@ func (s *Server) evictCompletedLocked() {
 		if aq == nil {
 			continue
 		}
-		if len(s.queries) > maxAsyncQueries && aq.Status != "pending" {
+		if len(s.queries) > s.maxAsync && aq.Status != "pending" {
 			delete(s.queries, id)
+			s.evictedQueries++
 			continue
 		}
 		kept = append(kept, id)
@@ -258,9 +198,9 @@ func (s *Server) handleQueryStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	aq, ok := s.queries[id]
-	var snapshot asyncQuery
+	var snapshot wire.AsyncQuery
 	if ok {
-		snapshot = *aq
+		snapshot = aq.AsyncQuery
 	}
 	s.mu.Unlock()
 	if !ok {

@@ -1,20 +1,25 @@
 // Package server is the HTTP/JSON service layer over the query engine:
 // streamcountd's request handling, live stream ingestion, sync and async
-// query admission, and graceful drain (DESIGN.md §7).
+// query admission, standing queries over Server-Sent Events, and graceful
+// drain (DESIGN.md §7–§8).
 //
 // The API is versioned under /v1:
 //
 //	POST /v1/streams                   create an appendable stream
-//	GET  /v1/streams                   list registered streams
+//	GET  /v1/streams                   list registered streams + registry stats
 //	POST /v1/streams/{name}/edges      append a batch of updates
 //	GET  /v1/streams/{name}/stats      stream metadata and pass accounting
 //	POST /v1/queries                   run a query (sync; ?wait=false async)
 //	GET  /v1/queries/{id}              poll an async query
+//	POST /v1/watches                   standing query -> SSE event stream
+//	GET  /v1/watches                   list active watches
 //	GET  /healthz                      liveness (503 while draining)
 //
 // Every query response carries the stream version its admission generation
 // pinned; resubmitting the same query against that prefix reproduces the
-// result bit for bit.
+// result bit for bit. Watch events additionally derive their seed per
+// version (WatchSeedAt), so each event is reproducible standalone from its
+// (seed, stream_version) alone.
 package server
 
 import (
@@ -34,8 +39,21 @@ import (
 // would exceed it, the oldest completed entries are evicted (their poll
 // URLs start returning 404). Still-pending queries are never evicted, so
 // a result can only be lost after it was available for at least the time
-// it took maxAsyncQueries newer submissions to arrive.
+// it took maxAsyncQueries newer submissions to arrive. Evictions are
+// counted and surfaced in GET /v1/streams and /healthz so operators can
+// see when clients are losing results.
 const maxAsyncQueries = 4096
+
+// maxActiveWatches bounds the standing-query registry. Unlike async
+// queries, an active watch cannot be evicted (its SSE connection is live),
+// so the bound rejects new watches with 503 instead; rejections are
+// counted in the same stats.
+const maxActiveWatches = 1024
+
+// DefaultWatchHeartbeat is the default SSE heartbeat interval: a comment
+// line keeps idle watch connections alive through proxies and lets clients
+// distinguish "no new versions" from a dead connection.
+const DefaultWatchHeartbeat = 15 * time.Second
 
 // DefaultStreamN is the vertex-range of the default stream the server
 // creates when no engine is supplied. Clients normally create their own
@@ -62,26 +80,44 @@ type Options struct {
 	// SegmentSize overrides the per-stream segment size (0: the stream
 	// package default).
 	SegmentSize int
+	// WatchHeartbeat is the SSE heartbeat interval for standing queries
+	// (0: DefaultWatchHeartbeat).
+	WatchHeartbeat time.Duration
 }
 
 // Server is the HTTP handler for one engine. Create with New, serve with
-// net/http, stop with Drain (reject new work) followed by Close (wait for
-// async queries, close an owned engine).
+// net/http, stop with Drain (reject new work, end standing queries with a
+// terminal event) followed by Close (wait for async queries, close an
+// owned engine).
 type Server struct {
 	opts      Options
 	eng       *streamcount.Engine
 	ownEngine bool
 	mux       *http.ServeMux
 
-	mu         sync.Mutex
-	queries    map[string]*asyncQuery
-	queryOrder []string // insertion order, for bounded retention
-	nextID     int64
+	mu             sync.Mutex
+	queries        map[string]*asyncQuery
+	queryOrder     []string // insertion order, for bounded retention
+	nextID         int64
+	pendingQueries int   // async entries still pending
+	evictedQueries int64 // completed entries dropped by the retention bound
+	watches        map[string]*serverWatch
+	nextWatchID    int64
+	maxAsync       int // registry bounds; fields so tests can shrink them
+	maxWatches     int
+
+	rejectedWatches atomic.Int64
 
 	draining atomic.Bool
 	jobs     sync.WaitGroup
 	jobCtx   context.Context
 	jobStop  context.CancelFunc
+
+	// watchCtx ends every active watch with a terminal SSE event the moment
+	// Drain is called — SSE handlers hold their connections open, and
+	// http.Server.Shutdown cannot finish while they do.
+	watchCtx  context.Context
+	watchStop context.CancelFunc
 }
 
 // New builds a server over opts.Engine, or over a fresh engine with an
@@ -101,14 +137,20 @@ func New(opts Options) (*Server, error) {
 		own = true
 	}
 	jobCtx, jobStop := context.WithCancel(context.Background())
+	watchCtx, watchStop := context.WithCancel(context.Background())
 	s := &Server{
-		opts:      opts,
-		eng:       eng,
-		ownEngine: own,
-		mux:       http.NewServeMux(),
-		queries:   make(map[string]*asyncQuery),
-		jobCtx:    jobCtx,
-		jobStop:   jobStop,
+		opts:       opts,
+		eng:        eng,
+		ownEngine:  own,
+		mux:        http.NewServeMux(),
+		queries:    make(map[string]*asyncQuery),
+		watches:    make(map[string]*serverWatch),
+		maxAsync:   maxAsyncQueries,
+		maxWatches: maxActiveWatches,
+		jobCtx:     jobCtx,
+		jobStop:    jobStop,
+		watchCtx:   watchCtx,
+		watchStop:  watchStop,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
@@ -117,6 +159,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/streams/{name}/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/queries", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryStatus)
+	s.mux.HandleFunc("POST /v1/watches", s.handleWatch)
+	s.mux.HandleFunc("GET /v1/watches", s.handleListWatches)
 	return s, nil
 }
 
@@ -139,9 +183,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Drain flips the server into drain mode: ingestion and new queries are
 // rejected with 503 (and healthz fails, so load balancers stop routing
-// here) while already-admitted work keeps running. Drain before Close for
-// a graceful stop.
-func (s *Server) Drain() { s.draining.Store(true) }
+// here) while already-admitted work keeps running, and every standing
+// query is ended with a terminal "draining" event so SSE connections close
+// and http.Server.Shutdown can complete. Drain before Close for a graceful
+// stop.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.watchStop()
+}
 
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -187,7 +236,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, streamcount.ErrBadPattern), errors.Is(err, streamcount.ErrBadConfig):
 		return http.StatusBadRequest
-	case errors.Is(err, streamcount.ErrEngineClosed), errors.Is(err, streamcount.ErrCanceled):
+	case errors.Is(err, streamcount.ErrEngineClosed), errors.Is(err, streamcount.ErrCanceled),
+		errors.Is(err, streamcount.ErrWatchClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"streamcount"
+	"streamcount/internal/wire"
 )
 
 // newTestServer returns a drained-on-cleanup server owning its engine.
@@ -76,7 +77,7 @@ func seedStream(t *testing.T, s *Server, name string, n int64, edges int) int {
 		count++
 	}
 	sb.WriteString(`]}`)
-	var resp appendResponse
+	var resp wire.AppendResponse
 	if code := do(t, s, "POST", "/v1/streams/"+name+"/edges", sb.String(), &resp); code != http.StatusOK {
 		t.Fatalf("append: status %d", code)
 	}
@@ -129,7 +130,7 @@ func TestHandlerErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var e errorJSON
+			var e wire.Error
 			if code := do(t, s, tc.method, tc.target, tc.body, &e); code != tc.want {
 				t.Errorf("status %d, want %d (error %q)", code, tc.want, e.Error)
 			}
@@ -140,7 +141,7 @@ func TestHandlerErrors(t *testing.T) {
 	}
 
 	// Appending to the static default stream is a conflict, not a 404.
-	var e errorJSON
+	var e wire.Error
 	// An empty path segment never reaches the append handler (the mux
 	// redirects the uncleaned path); the named route is the API.
 	if code := do(t, s, "POST", "/v1/streams//edges", `{"updates":[{"u":0,"v":1}]}`, nil); code == http.StatusOK {
@@ -175,7 +176,7 @@ func TestQuerySyncAgainstIngestedStream(t *testing.T) {
 	s := newTestServer(t, Options{})
 	edges := seedStream(t, s, "g", 60, 300)
 
-	var resp queryResponse
+	var resp wire.QueryResult
 	code := do(t, s, "POST", "/v1/queries",
 		`{"stream":"g","pattern":"triangle","trials":800,"seed":7}`, &resp)
 	if code != http.StatusOK {
@@ -195,7 +196,7 @@ func TestQuerySyncAgainstIngestedStream(t *testing.T) {
 	}
 
 	// Same query, same prefix: bit-identical.
-	var again queryResponse
+	var again wire.QueryResult
 	if code := do(t, s, "POST", "/v1/queries",
 		`{"stream":"g","pattern":"triangle","trials":800,"seed":7}`, &again); code != http.StatusOK {
 		t.Fatalf("repeat query: status %d", code)
@@ -205,7 +206,7 @@ func TestQuerySyncAgainstIngestedStream(t *testing.T) {
 	}
 
 	// Stats reflect the ingestion and the served passes.
-	var info streamInfoJSON
+	var info wire.StreamInfo
 	if code := do(t, s, "GET", "/v1/streams/g/stats", "", &info); code != http.StatusOK {
 		t.Fatalf("stats: status %d", code)
 	}
@@ -216,18 +217,18 @@ func TestQuerySyncAgainstIngestedStream(t *testing.T) {
 		t.Errorf("stats passes %d, want >= 3", info.Passes)
 	}
 
-	var list map[string][]string
+	var list wire.StreamsList
 	if code := do(t, s, "GET", "/v1/streams", "", &list); code != http.StatusOK {
 		t.Fatal("list streams failed")
 	}
 	found := false
-	for _, n := range list["streams"] {
+	for _, n := range list.Streams {
 		if n == "g" {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("stream list %v misses g", list["streams"])
+		t.Errorf("stream list %v misses g", list.Streams)
 	}
 }
 
@@ -235,7 +236,7 @@ func TestQueryAsyncLifecycle(t *testing.T) {
 	s := newTestServer(t, Options{})
 	seedStream(t, s, "g", 60, 300)
 
-	var acc asyncQuery
+	var acc wire.AsyncQuery
 	code := do(t, s, "POST", "/v1/queries?wait=false",
 		`{"stream":"g","kind":"distinguish","pattern":"triangle","threshold":1,"trials":400,"seed":3}`, &acc)
 	if code != http.StatusAccepted {
@@ -245,7 +246,7 @@ func TestQueryAsyncLifecycle(t *testing.T) {
 		t.Fatalf("async accept %+v", acc)
 	}
 	deadline := time.Now().Add(30 * time.Second)
-	var aq asyncQuery
+	var aq wire.AsyncQuery
 	for {
 		if code := do(t, s, "GET", "/v1/queries/"+acc.ID, "", &aq); code != http.StatusOK {
 			t.Fatalf("poll: status %d", code)
@@ -287,7 +288,7 @@ func TestDrainRejectsNewWorkAndFinishesAdmitted(t *testing.T) {
 
 	// Admit an async query, then drain immediately: the admitted query must
 	// complete even though the server now rejects everything new.
-	var acc asyncQuery
+	var acc wire.AsyncQuery
 	if code := do(t, s, "POST", "/v1/queries?wait=false",
 		`{"stream":"g","pattern":"triangle","trials":400,"seed":5}`, &acc); code != http.StatusAccepted {
 		t.Fatalf("async submit: status %d", code)
@@ -313,7 +314,7 @@ func TestDrainRejectsNewWorkAndFinishesAdmitted(t *testing.T) {
 	if err := s.Close(ctx); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	var aq asyncQuery
+	var aq wire.AsyncQuery
 	if code := do(t, s, "GET", "/v1/queries/"+acc.ID, "", &aq); code != http.StatusOK {
 		t.Fatalf("poll after close: %d", code)
 	}
@@ -336,11 +337,12 @@ func TestAsyncRegistryBoundedRetention(t *testing.T) {
 		if i == 3 {
 			status = "pending"
 		}
-		s.queries[id] = &asyncQuery{ID: id, Status: status}
+		s.queries[id] = &asyncQuery{wire.AsyncQuery{ID: id, Status: status}}
 		s.queryOrder = append(s.queryOrder, id)
 	}
 	s.evictCompletedLocked()
 	total := len(s.queries)
+	evicted := s.evictedQueries
 	_, pendingKept := s.queries["q000003"]
 	_, oldestEvicted := s.queries["q000000"]
 	s.mu.Unlock()
@@ -353,15 +355,37 @@ func TestAsyncRegistryBoundedRetention(t *testing.T) {
 	if oldestEvicted {
 		t.Error("oldest completed entry survived eviction")
 	}
+	// Evictions are not silent: the counter must account for every dropped
+	// entry, and the stats surfaces must report it.
+	if evicted != 10 {
+		t.Errorf("evictedQueries = %d, want 10", evicted)
+	}
+	var list wire.StreamsList
+	if code := do(t, s, "GET", "/v1/streams", "", &list); code != http.StatusOK {
+		t.Fatal("list streams failed")
+	}
+	if list.Queries.Evicted != 10 {
+		t.Errorf("GET /v1/streams reports %d evictions, want 10", list.Queries.Evicted)
+	}
+	var h wire.Health
+	if code := do(t, s, "GET", "/healthz", "", &h); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if h.Queries.Evicted != 10 {
+		t.Errorf("healthz reports %d evictions, want 10", h.Queries.Evicted)
+	}
 }
 
 func TestHealthz(t *testing.T) {
 	s := newTestServer(t, Options{})
-	var body map[string]string
+	var body wire.Health
 	if code := do(t, s, "GET", "/healthz", "", &body); code != http.StatusOK {
 		t.Fatalf("healthz: %d", code)
 	}
-	if body["status"] != "ok" {
-		t.Errorf("healthz body %v", body)
+	if body.Status != "ok" {
+		t.Errorf("healthz body %+v", body)
+	}
+	if body.Watches.Active != 0 || body.Queries.Active != 0 {
+		t.Errorf("idle server reports active work: %+v", body)
 	}
 }

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"streamcount"
+	"streamcount/internal/wire"
+)
+
+// serverWatch is one active standing query's registry entry. The handler
+// goroutine owns it; the mutable stats are updated under Server.mu so
+// GET /v1/watches reads a consistent snapshot.
+type serverWatch struct {
+	info wire.WatchInfo
+}
+
+// registerWatch admits a watch into the bounded registry, or reports that
+// the registry is full. Unlike async queries, an active watch cannot be
+// evicted — its SSE connection is live — so the bound rejects instead. The
+// rejection is a capacity condition ("retry later"), not any facade
+// sentinel: the handler sends it as 503 with wire.CodeWatchLimit so
+// clients cannot mistake it for a cleanly closed subscription.
+func (s *Server) registerWatch(req wire.WatchRequest, policy string) (*serverWatch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.watches) >= s.maxWatches {
+		s.rejectedWatches.Add(1)
+		return nil, fmt.Errorf("watch registry full (%d active); retry later", len(s.watches))
+	}
+	s.nextWatchID++
+	sw := &serverWatch{info: wire.WatchInfo{
+		ID:      fmt.Sprintf("w%06d", s.nextWatchID),
+		Stream:  req.Stream,
+		Kind:    req.Kind,
+		Pattern: req.Pattern,
+		R:       req.R,
+		Policy:  policy,
+		Seed:    req.Seed,
+	}}
+	if sw.info.Kind == "" {
+		sw.info.Kind = "count"
+	}
+	s.watches[sw.info.ID] = sw
+	return sw, nil
+}
+
+func (s *Server) unregisterWatch(id string) {
+	s.mu.Lock()
+	delete(s.watches, id)
+	s.mu.Unlock()
+}
+
+// recordWatchEvent updates an active watch's registry stats.
+func (s *Server) recordWatchEvent(sw *serverWatch, version int64) {
+	s.mu.Lock()
+	sw.info.Events++
+	sw.info.LastVersion = version
+	s.mu.Unlock()
+}
+
+func (s *Server) watchHeartbeat() time.Duration {
+	if s.opts.WatchHeartbeat > 0 {
+		return s.opts.WatchHeartbeat
+	}
+	return DefaultWatchHeartbeat
+}
+
+// sseWriter serializes one Server-Sent-Events stream: JSON events named by
+// type, comment-line heartbeats, a flush after every write so events reach
+// the client immediately.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (s *sseWriter) event(name string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+func (s *sseWriter) heartbeat() error {
+	if _, err := fmt.Fprint(s.w, ": hb\n\n"); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+// handleWatch establishes a standing query over SSE: one "watch" event with
+// the registry id, then one "result" event per evaluation (version-pinned,
+// seed-derived — bit-identical to a standalone run at the reported
+// (WatchSeedAt(seed, stream_version), stream_version)), heartbeat comments
+// while idle, and exactly one terminal "end" event when the watch ends —
+// client gone, server draining, or a failed evaluation.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	var req wire.WatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := buildQuery(req.Query, s.opts.Parallelism)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	var opts []streamcount.WatchOption
+	policy := req.Policy
+	switch policy {
+	case "", wire.PolicyLatest:
+		policy = wire.PolicyLatest
+		opts = append(opts, streamcount.WatchLatest())
+	case wire.PolicyEvery:
+		opts = append(opts, streamcount.WatchEveryVersion())
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown watch policy %q (want %q or %q): %w",
+			policy, wire.PolicyLatest, wire.PolicyEvery, streamcount.ErrBadConfig))
+		return
+	}
+
+	// The watch lives until the client goes away or the server drains,
+	// whichever first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopDrain := context.AfterFunc(s.watchCtx, cancel)
+	defer stopDrain()
+
+	sub, err := s.eng.WatchQuery(ctx, req.Stream, q, opts...)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer sub.Close()
+
+	sw, err := s.registerWatch(req, policy)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, wire.Error{Error: err.Error(), Code: wire.CodeWatchLimit})
+		return
+	}
+	defer s.unregisterWatch(sw.info.ID)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	sse := &sseWriter{w: w, f: flusher}
+	if err := sse.event("watch", wire.WatchStarted{ID: sw.info.ID, Stream: req.Stream, Policy: policy}); err != nil {
+		return
+	}
+
+	heartbeat := time.NewTicker(s.watchHeartbeat())
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				_ = sse.event("end", s.watchEnd(sub.Err()))
+				return
+			}
+			if ev.Err != nil {
+				_ = sse.event("end", s.watchEnd(ev.Err))
+				return
+			}
+			s.recordWatchEvent(sw, ev.StreamVersion)
+			if err := sse.event("result", wire.WatchEvent{
+				Generation: ev.Generation,
+				Result:     outcomeDTO(req.Stream, ev.Result),
+			}); err != nil {
+				return // client gone; sub.Close unwinds the watch
+			}
+		case <-heartbeat.C:
+			if err := sse.heartbeat(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// watchEnd renders a watch's terminal error for the "end" event. A drain
+// shows up as the drain, not as the context cancellation it is implemented
+// with.
+func (s *Server) watchEnd(err error) wire.WatchEnd {
+	if s.watchCtx.Err() != nil {
+		return wire.WatchEnd{Error: "server is draining", Code: wire.CodeDraining}
+	}
+	if err == nil { // defensive: watches always end for a reason
+		err = streamcount.ErrWatchClosed
+	}
+	code := errorCode(err)
+	if errors.Is(err, streamcount.ErrEngineClosed) {
+		code = wire.CodeEngineClosed
+	}
+	return wire.WatchEnd{Error: err.Error(), Code: code}
+}
+
+func (s *Server) handleListWatches(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := wire.WatchList{Watches: make([]wire.WatchInfo, 0, len(s.watches)), Active: len(s.watches)}
+	for _, sw := range s.watches {
+		list.Watches = append(list.Watches, sw.info)
+	}
+	s.mu.Unlock()
+	sort.Slice(list.Watches, func(i, j int) bool { return list.Watches[i].ID < list.Watches[j].ID })
+	writeJSON(w, http.StatusOK, list)
+}

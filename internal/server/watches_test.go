@@ -1,0 +1,343 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"streamcount"
+	"streamcount/internal/wire"
+)
+
+// createStream creates an empty appendable stream (no seeding).
+func createStream(t *testing.T, s *Server, name string, n int64) {
+	t.Helper()
+	if code := do(t, s, "POST", "/v1/streams", fmt.Sprintf(`{"name":%q,"n":%d}`, name, n), nil); code != http.StatusCreated {
+		t.Fatalf("create stream %q: status %d", name, code)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// readSSE parses one event (or heartbeat comment, which it skips) from the
+// stream.
+func readSSE(t *testing.T, r *bufio.Reader) (sseEvent, error) {
+	t.Helper()
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.name != "" || len(ev.data) > 0 {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = append(ev.data, strings.TrimPrefix(line, "data: ")...)
+		}
+	}
+}
+
+// startWatch opens a watch over a real HTTP connection and returns the
+// buffered body reader positioned after the "watch" event.
+func startWatch(t *testing.T, ts *httptest.Server, body string) (*bufio.Reader, wire.WatchStarted, func()) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/watches", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("watch: status %d body %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch content-type %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	ev, err := readSSE(t, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.name != "watch" {
+		t.Fatalf("first event %q, want watch", ev.name)
+	}
+	var started wire.WatchStarted
+	if err := json.Unmarshal(ev.data, &started); err != nil {
+		t.Fatal(err)
+	}
+	return r, started, func() { resp.Body.Close() }
+}
+
+// TestWatchSSELifecycle drives a watch end to end over real HTTP: establish,
+// ingest, receive version-pinned result events whose payloads are
+// bit-identical to standalone runs at the derived seed, observe it in
+// GET /v1/watches, then drain the server and receive the terminal event.
+func TestWatchSSELifecycle(t *testing.T) {
+	s := newTestServer(t, Options{WatchHeartbeat: 20 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	createStream(t, s, "live", 60)
+
+	r, started, closeBody := startWatch(t, ts,
+		`{"stream":"live","pattern":"triangle","trials":400,"seed":9,"policy":"every"}`)
+	defer closeBody()
+	if started.ID == "" || started.Policy != "every" {
+		t.Fatalf("watch started %+v", started)
+	}
+
+	var versions []int64
+	for _, batch := range []string{
+		`{"updates":[{"u":0,"v":1},{"u":1,"v":2},{"u":0,"v":2},{"u":2,"v":3}]}`,
+		`{"updates":[{"u":3,"v":4},{"u":0,"v":3},{"u":1,"v":3}]}`,
+	} {
+		var resp wire.AppendResponse
+		if code := do(t, s, "POST", "/v1/streams/live/edges", batch, &resp); code != http.StatusOK {
+			t.Fatalf("append: %d", code)
+		}
+		versions = append(versions, resp.Version)
+	}
+
+	for i, wantV := range versions {
+		ev, err := readSSE(t, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.name != "result" {
+			t.Fatalf("event %d is %q, want result", i, ev.name)
+		}
+		var we wire.WatchEvent
+		if err := json.Unmarshal(ev.data, &we); err != nil {
+			t.Fatal(err)
+		}
+		if we.Generation != int64(i) || we.Result == nil || we.Result.StreamVersion != wantV {
+			t.Fatalf("event %d: %+v, want generation %d at version %d", i, we, i, wantV)
+		}
+		// The wire result must be bit-identical to a standalone run over the
+		// same prefix at the derived seed — the client-side reproducibility
+		// recipe, executed server-less.
+		app, _ := s.Engine().Lookup("live")
+		view, err := app.(*streamcount.AppendableStream).At(wantV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := streamcount.PatternByName("triangle")
+		want, err := streamcount.Run(t.Context(), view, streamcount.CountQuery(p,
+			streamcount.WithTrials(400),
+			streamcount.WithSeed(streamcount.WatchSeedAt(9, wantV))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(we.Result.Count.Value) != math.Float64bits(want.Value) {
+			t.Errorf("event at version %d: wire value %v != standalone %v", wantV, we.Result.Count.Value, want.Value)
+		}
+	}
+
+	// The registry lists the active watch with its stats.
+	var list wire.WatchList
+	if code := do(t, s, "GET", "/v1/watches", "", &list); code != http.StatusOK {
+		t.Fatalf("list watches: %d", code)
+	}
+	if list.Active != 1 || len(list.Watches) != 1 {
+		t.Fatalf("watch list %+v, want exactly the active watch", list)
+	}
+	wi := list.Watches[0]
+	if wi.ID != started.ID || wi.Stream != "live" || wi.Kind != "count" || wi.Pattern != "triangle" ||
+		wi.Policy != "every" || wi.Seed != 9 || wi.Events < 1 {
+		t.Errorf("watch info %+v", wi)
+	}
+	var h wire.Health
+	if code := do(t, s, "GET", "/healthz", "", &h); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if h.Watches.Active != 1 {
+		t.Errorf("healthz active watches = %d, want 1", h.Watches.Active)
+	}
+
+	// Drain: the watch ends with a terminal "draining" event and leaves the
+	// registry.
+	s.Drain()
+	for {
+		ev, err := readSSE(t, r)
+		if err != nil {
+			t.Fatalf("stream ended without an end event: %v", err)
+		}
+		if ev.name != "end" {
+			continue // heartbeat already skipped; a late result is fine
+		}
+		var end wire.WatchEnd
+		if err := json.Unmarshal(ev.data, &end); err != nil {
+			t.Fatal(err)
+		}
+		if end.Code != wire.CodeDraining {
+			t.Errorf("end event %+v, want code %q", end, wire.CodeDraining)
+		}
+		break
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := do(t, s, "GET", "/v1/watches", "", &list); code != http.StatusOK {
+			t.Fatal("list watches failed")
+		}
+		if list.Active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch never left the registry: %+v", list)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchSSEHeartbeat: an idle watch emits heartbeat comments so proxies
+// and clients can tell the connection is alive.
+func TestWatchSSEHeartbeat(t *testing.T) {
+	s := newTestServer(t, Options{WatchHeartbeat: 10 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	createStream(t, s, "idle", 20)
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/watches", "application/json",
+		strings.NewReader(`{"stream":"idle","pattern":"triangle","trials":10,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	// First the watch event, then — with no data ever appended — raw
+	// heartbeat comment lines must arrive.
+	deadline := time.Now().Add(10 * time.Second)
+	sawHeartbeat := false
+	for !sawHeartbeat && time.Now().Before(deadline) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended: %v", err)
+		}
+		if strings.HasPrefix(line, ":") {
+			sawHeartbeat = true
+		}
+	}
+	if !sawHeartbeat {
+		t.Error("no heartbeat within deadline")
+	}
+}
+
+// TestWatchValidation: bad policies, unknown streams and non-appendable
+// targets fail before any SSE stream starts, with coded error bodies.
+func TestWatchValidation(t *testing.T) {
+	static, err := streamcount.NewStream(10, []streamcount.Update{
+		{Edge: streamcount.Edge{U: 0, V: 1}, Op: streamcount.Insert},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := streamcount.NewEngine(static)
+	t.Cleanup(func() { eng.Close() })
+	s, err := New(Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name, body string
+		want       int
+		code       string
+	}{
+		{"bad policy", `{"pattern":"triangle","trials":10,"policy":"sometimes"}`, http.StatusBadRequest, wire.CodeBadConfig},
+		{"unknown stream", `{"stream":"nope","pattern":"triangle","trials":10}`, http.StatusNotFound, wire.CodeUnknownStream},
+		{"static stream", `{"pattern":"triangle","trials":10}`, http.StatusConflict, wire.CodeNotAppendable},
+		{"bad pattern", `{"pattern":"heptadecagon","trials":10}`, http.StatusBadRequest, wire.CodeBadPattern},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e wire.Error
+			if code := do(t, s, "POST", "/v1/watches", tc.body, &e); code != tc.want {
+				t.Errorf("status %d, want %d (%q)", code, tc.want, e.Error)
+			}
+			if e.Code != tc.code {
+				t.Errorf("error code %q, want %q", e.Code, tc.code)
+			}
+		})
+	}
+}
+
+// TestWatchRegistryBound: at capacity, new watches are rejected with 503
+// and counted; they are admitted again once an active watch ends.
+func TestWatchRegistryBound(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	createStream(t, s, "b", 20)
+	s.mu.Lock()
+	s.maxWatches = 1
+	s.mu.Unlock()
+
+	_, _, closeFirst := startWatch(t, ts, `{"stream":"b","pattern":"triangle","trials":10,"seed":1}`)
+	defer closeFirst()
+
+	var e wire.Error
+	if code := do(t, s, "POST", "/v1/watches", `{"stream":"b","pattern":"triangle","trials":10}`, &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity watch: status %d, want 503", code)
+	}
+	if e.Code != wire.CodeWatchLimit {
+		t.Errorf("over-capacity code %q, want %q — a capacity rejection must not read as a clean close", e.Code, wire.CodeWatchLimit)
+	}
+	var list wire.StreamsList
+	if code := do(t, s, "GET", "/v1/streams", "", &list); code != http.StatusOK {
+		t.Fatal("list failed")
+	}
+	if list.Watches.Rejected != 1 || list.Watches.Active != 1 {
+		t.Errorf("watch stats %+v, want active 1 rejected 1", list.Watches)
+	}
+}
+
+// TestWatchEndSeparatesFailureFromDrain: a failing evaluation ends the
+// watch with its own coded error, not the drain code.
+func TestWatchEndSeparatesFailureFromDrain(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	createStream(t, s, "f", 20)
+
+	// Derived budget with no lower bound: the first evaluation fails with
+	// ErrBadConfig and the watch must end with that code.
+	r, _, closeBody := startWatch(t, ts, `{"stream":"f","pattern":"triangle","seed":1}`)
+	defer closeBody()
+	if code := do(t, s, "POST", "/v1/streams/f/edges", `{"updates":[{"u":0,"v":1}]}`, nil); code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	for {
+		ev, err := readSSE(t, r)
+		if err != nil {
+			t.Fatalf("stream ended without end event: %v", err)
+		}
+		if ev.name != "end" {
+			continue
+		}
+		var end wire.WatchEnd
+		if err := json.Unmarshal(ev.data, &end); err != nil {
+			t.Fatal(err)
+		}
+		if end.Code != wire.CodeBadConfig {
+			t.Errorf("end %+v, want code %q", end, wire.CodeBadConfig)
+		}
+		return
+	}
+}

@@ -1,0 +1,244 @@
+// Package wire defines the JSON data-transfer types of the streamcountd
+// HTTP API, shared by the three parties that speak it: the facade (queries
+// marshal themselves to their wire form), internal/server (handlers decode
+// requests and encode responses), and the public client package (the Go SDK
+// round-trips the same structs). One definition per message means the
+// local and remote Querier implementations cannot drift apart field by
+// field.
+package wire
+
+// Error is every non-2xx response body. Code carries the typed sentinel the
+// server-side error wrapped, so clients can rehydrate errors.Is semantics
+// without string matching; it is empty for plain validation failures.
+type Error struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Error codes: the wire names of the facade's typed sentinels.
+const (
+	CodeUnknownStream = "unknown_stream"
+	CodeNotAppendable = "not_appendable"
+	CodeBadPattern    = "bad_pattern"
+	CodeBadConfig     = "bad_config"
+	CodeCanceled      = "canceled"
+	CodeEngineClosed  = "engine_closed"
+	CodeWatchClosed   = "watch_closed"
+	CodeDraining      = "draining"
+	// CodeWatchLimit rejects a new watch because the registry is at
+	// capacity: "server busy, retry later" — deliberately NOT a clean-close
+	// code, so clients don't mistake it for a completed subscription.
+	CodeWatchLimit = "watch_limit"
+	CodeInternal   = "internal"
+)
+
+// Update is one stream element.
+type Update struct {
+	// Op is "+"/"insert" (default) or "-"/"delete".
+	Op string `json:"op,omitempty"`
+	U  int64  `json:"u"`
+	V  int64  `json:"v"`
+}
+
+// AppendRequest is the body of POST /v1/streams/{name}/edges.
+type AppendRequest struct {
+	Updates []Update `json:"updates"`
+}
+
+// AppendResponse acknowledges an ingested batch.
+type AppendResponse struct {
+	Version  int64 `json:"version"`
+	Appended int   `json:"appended"`
+	// Warning is set when the batch was published but could not be evicted
+	// to the segment directory (disk trouble): the data is safe and
+	// replayable, so the request succeeds, but the operator should look.
+	Warning string `json:"warning,omitempty"`
+}
+
+// CreateStreamRequest is the body of POST /v1/streams.
+type CreateStreamRequest struct {
+	// Name identifies the stream in later requests. Required.
+	Name string `json:"name"`
+	// N is the vertex count (vertices are 0..n-1). Required.
+	N int64 `json:"n"`
+	// SegmentSize overrides the server's segment size for this stream.
+	SegmentSize int `json:"segment_size,omitempty"`
+}
+
+// StreamInfo describes one stream (create responses and per-stream stats).
+type StreamInfo struct {
+	Name       string `json:"name"`
+	N          int64  `json:"n"`
+	Version    int64  `json:"version"`
+	InsertOnly bool   `json:"insert_only"`
+	Appendable bool   `json:"appendable"`
+	Passes     int64  `json:"passes"`
+}
+
+// QueryStats is the async-query registry's health snapshot.
+type QueryStats struct {
+	// Active counts registry entries that are still pending.
+	Active int `json:"active"`
+	// Registered counts all retained entries (pending + completed).
+	Registered int `json:"registered"`
+	// Evicted counts completed entries dropped by the bounded-registry
+	// policy over the server's lifetime: a nonzero, growing value means
+	// clients are losing poll results to retention pressure.
+	Evicted int64 `json:"evicted"`
+}
+
+// WatchStats is the standing-query registry's health snapshot.
+type WatchStats struct {
+	// Active counts currently connected watches.
+	Active int `json:"active"`
+	// Rejected counts watch requests refused because the registry was at
+	// capacity.
+	Rejected int64 `json:"rejected"`
+}
+
+// StreamsList is the body of GET /v1/streams.
+type StreamsList struct {
+	Streams []string   `json:"streams"`
+	Queries QueryStats `json:"queries"`
+	Watches WatchStats `json:"watches"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status  string     `json:"status"`
+	Queries QueryStats `json:"queries"`
+	Watches WatchStats `json:"watches"`
+}
+
+// Query mirrors the facade's typed query constructors one field per option.
+// Zero values mean "unset" and take the same defaults the Go API does
+// (ε = 0.1, edge bound = the pinned prefix length), so a JSON query and its
+// Go twin derive identical budgets. The facade's query values marshal
+// themselves into exactly this shape (minus Stream, which names the target
+// and belongs to the request, not the query).
+type Query struct {
+	// Stream names the target stream ("" is the default stream).
+	Stream string `json:"stream,omitempty"`
+	// Kind selects the algorithm: "count" (default), "sample", "cliques",
+	// "auto" or "distinguish".
+	Kind string `json:"kind,omitempty"`
+	// Pattern names the target subgraph H for every kind except "cliques":
+	// "triangle", "C5", "K4", "S3", "P4", "paw", "diamond", ...
+	Pattern string `json:"pattern,omitempty"`
+	// R is the clique order for kind "cliques".
+	R int `json:"r,omitempty"`
+	// Threshold is the decision threshold l for kind "distinguish".
+	Threshold float64 `json:"threshold,omitempty"`
+
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	Trials      int     `json:"trials,omitempty"`
+	LowerBound  float64 `json:"lower_bound,omitempty"`
+	EdgeBound   int64   `json:"edge_bound,omitempty"`
+	MaxTrials   int     `json:"max_trials,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Parallelism int     `json:"parallelism,omitempty"`
+	Lambda      int64   `json:"lambda,omitempty"`
+}
+
+// Count is a counting result (count, cliques, auto kinds and the
+// distinguish evidence).
+type Count struct {
+	Value      float64 `json:"value"`
+	M          int64   `json:"m"`
+	Passes     int64   `json:"passes"`
+	Queries    int64   `json:"queries"`
+	SpaceWords int64   `json:"space_words"`
+	Trials     int     `json:"trials,omitempty"`
+}
+
+// Sample is a sampling result.
+type Sample struct {
+	Found    bool       `json:"found"`
+	Vertices []int64    `json:"vertices,omitempty"`
+	Edges    [][2]int64 `json:"edges,omitempty"`
+	Passes   int64      `json:"passes"`
+}
+
+// Decision is a distinguish result.
+type Decision struct {
+	Above    bool   `json:"above"`
+	Estimate *Count `json:"estimate,omitempty"`
+}
+
+// QueryResult is a served query: the kind-matching result field is set.
+type QueryResult struct {
+	Kind string `json:"kind"`
+	// Stream and StreamVersion identify the exact prefix the query ran
+	// over; the result is a pure function of (query, prefix).
+	Stream        string    `json:"stream,omitempty"`
+	StreamVersion int64     `json:"stream_version"`
+	Count         *Count    `json:"count,omitempty"`
+	Sample        *Sample   `json:"sample,omitempty"`
+	Decision      *Decision `json:"decision,omitempty"`
+}
+
+// AsyncQuery is one ?wait=false submission's poll state.
+type AsyncQuery struct {
+	ID     string       `json:"id"`
+	Status string       `json:"status"`
+	Result *QueryResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// Watch policies on the wire.
+const (
+	PolicyLatest = "latest"
+	PolicyEvery  = "every"
+)
+
+// WatchRequest is the body of POST /v1/watches: a query plus the standing
+// parameters.
+type WatchRequest struct {
+	Query
+	// Policy is "latest" (default: skip to the newest version at each
+	// evaluation) or "every" (evaluate every published version in order).
+	Policy string `json:"policy,omitempty"`
+}
+
+// WatchStarted is the first SSE event ("watch") of an established watch.
+type WatchStarted struct {
+	ID     string `json:"id"`
+	Stream string `json:"stream,omitempty"`
+	Policy string `json:"policy"`
+}
+
+// WatchEvent is one SSE "result" event: one evaluation of the standing
+// query. Generation is the evaluation's index within the watch; Result
+// carries the pinned stream version. The result is bit-identical to the
+// same query run standalone over that prefix with its seed replaced by
+// WatchSeedAt(seed, stream_version).
+type WatchEvent struct {
+	Generation int64        `json:"generation"`
+	Result     *QueryResult `json:"result"`
+}
+
+// WatchEnd is the terminal SSE "end" event: every watch ends with one
+// (drain, client cancel, engine shutdown, or a failed evaluation).
+type WatchEnd struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// WatchInfo describes one active watch in GET /v1/watches.
+type WatchInfo struct {
+	ID          string `json:"id"`
+	Stream      string `json:"stream,omitempty"`
+	Kind        string `json:"kind"`
+	Pattern     string `json:"pattern,omitempty"`
+	R           int    `json:"r,omitempty"`
+	Policy      string `json:"policy"`
+	Seed        int64  `json:"seed"`
+	Events      int64  `json:"events"`
+	LastVersion int64  `json:"last_version"`
+}
+
+// WatchList is the body of GET /v1/watches.
+type WatchList struct {
+	Watches []WatchInfo `json:"watches"`
+	Active  int         `json:"active"`
+}

@@ -2,9 +2,11 @@ package streamcount
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"streamcount/internal/core"
+	"streamcount/internal/wire"
 )
 
 // CountResult is the outcome of a counting query (CountQuery, CliqueQuery,
@@ -52,11 +54,15 @@ type Query interface {
 
 // A TypedQuery is a Query whose result type is known statically: CountQuery
 // returns a TypedQuery[*CountResult], SampleQuery a TypedQuery[*SampleResult],
-// and so on. Run and Do return the matching result without any assertion.
+// and so on. Run, Do and Watch return the matching result without any
+// assertion.
 type TypedQuery[R any] interface {
 	Query
 	// result converts a served job handle to the query's typed result.
 	result(h *core.JobHandle) R
+	// fromOutcome recovers the typed result from an untyped Outcome — the
+	// common currency of the Querier interface, local or remote.
+	fromOutcome(o Outcome) (R, error)
 }
 
 // Outcome is the untyped result of Engine.Submit: exactly one of the typed
@@ -175,6 +181,15 @@ func (o queryOpts) config(p *Pattern, defaultEdgeBound int64) core.Config {
 // countResultOf reads the counting outcome off a served handle.
 func countResultOf(h *core.JobHandle) *CountResult { return h.Result().Est }
 
+// countFromOutcome recovers the counting result from an Outcome (count,
+// cliques and auto queries share it).
+func countFromOutcome(o Outcome) (*CountResult, error) {
+	if o.Count == nil {
+		return nil, fmt.Errorf("streamcount: outcome of kind %q carries no count result: %w", o.Kind, ErrBadConfig)
+	}
+	return o.Count, nil
+}
+
 // --- count ---
 
 type countQuery struct {
@@ -201,6 +216,8 @@ func (q countQuery) result(h *core.JobHandle) *CountResult { return countResultO
 func (q countQuery) outcome(h *core.JobHandle) Outcome {
 	return Outcome{Kind: q.Kind(), Count: countResultOf(h)}
 }
+func (q countQuery) fromOutcome(o Outcome) (*CountResult, error) { return countFromOutcome(o) }
+func (q countQuery) MarshalJSON() ([]byte, error)                { return marshalWireQuery(q.Kind(), q.p, 0, 0, q.o) }
 
 // --- sample ---
 
@@ -230,6 +247,13 @@ func (q sampleQuery) result(h *core.JobHandle) *SampleResult {
 func (q sampleQuery) outcome(h *core.JobHandle) Outcome {
 	return Outcome{Kind: q.Kind(), Sample: q.result(h)}
 }
+func (q sampleQuery) fromOutcome(o Outcome) (*SampleResult, error) {
+	if o.Sample == nil {
+		return nil, fmt.Errorf("streamcount: outcome of kind %q carries no sample result: %w", o.Kind, ErrBadConfig)
+	}
+	return o.Sample, nil
+}
+func (q sampleQuery) MarshalJSON() ([]byte, error) { return marshalWireQuery(q.Kind(), q.p, 0, 0, q.o) }
 
 // --- cliques ---
 
@@ -277,6 +301,13 @@ func (q cliqueQuery) result(h *core.JobHandle) *CountResult { return countResult
 func (q cliqueQuery) outcome(h *core.JobHandle) Outcome {
 	return Outcome{Kind: q.Kind(), Count: countResultOf(h)}
 }
+func (q cliqueQuery) fromOutcome(o Outcome) (*CountResult, error) { return countFromOutcome(o) }
+func (q cliqueQuery) MarshalJSON() ([]byte, error) {
+	if q.legacyCfg != nil {
+		return nil, fmt.Errorf("streamcount: legacy clique config is not wire-encodable: %w", ErrBadConfig)
+	}
+	return marshalWireQuery(q.Kind(), nil, q.r, 0, q.o)
+}
 
 // --- auto ---
 
@@ -314,6 +345,8 @@ func (q autoQuery) result(h *core.JobHandle) *CountResult { return countResultOf
 func (q autoQuery) outcome(h *core.JobHandle) Outcome {
 	return Outcome{Kind: q.Kind(), Count: countResultOf(h)}
 }
+func (q autoQuery) fromOutcome(o Outcome) (*CountResult, error) { return countFromOutcome(o) }
+func (q autoQuery) MarshalJSON() ([]byte, error)                { return marshalWireQuery(q.Kind(), q.p, 0, 0, q.o) }
 
 // --- distinguish ---
 
@@ -346,6 +379,67 @@ func (q distinguishQuery) result(h *core.JobHandle) *DistinguishResult {
 }
 func (q distinguishQuery) outcome(h *core.JobHandle) Outcome {
 	return Outcome{Kind: q.Kind(), Decision: q.result(h)}
+}
+func (q distinguishQuery) fromOutcome(o Outcome) (*DistinguishResult, error) {
+	if o.Decision == nil {
+		return nil, fmt.Errorf("streamcount: outcome of kind %q carries no decision: %w", o.Kind, ErrBadConfig)
+	}
+	return o.Decision, nil
+}
+func (q distinguishQuery) MarshalJSON() ([]byte, error) {
+	return marshalWireQuery(q.Kind(), q.p, 0, q.l, q.o)
+}
+
+// marshalWireQuery lowers a query to its service wire form (the JSON body
+// of POST /v1/queries, minus the stream name, which belongs to the request).
+// Every query value is a json.Marshaler through it, which is how the client
+// SDK sends the same immutable query values over the wire that the local
+// Engine executes in-process. Only catalog patterns are encodable — the
+// wire names patterns, it does not carry edge lists — and the legacy
+// deprecated wrappers are not (their defaulting predates the wire's).
+func marshalWireQuery(kind string, p *Pattern, r int, threshold float64, o queryOpts) ([]byte, error) {
+	if o.legacy {
+		return nil, fmt.Errorf("streamcount: legacy %s query is not wire-encodable: %w", kind, ErrBadConfig)
+	}
+	w := wire.Query{
+		Kind:        kind,
+		R:           r,
+		Threshold:   threshold,
+		Epsilon:     o.epsilon,
+		Trials:      o.trials,
+		LowerBound:  o.lowerBound,
+		MaxTrials:   o.maxTrials,
+		Seed:        o.seed,
+		Parallelism: o.parallelism,
+		Lambda:      o.lambda,
+	}
+	if o.edgeBound != 0 && o.edgeBound != core.EdgeBoundStreamLen {
+		w.EdgeBound = o.edgeBound
+	}
+	if p != nil {
+		cat, err := PatternByName(p.Name())
+		if err != nil || !samePattern(cat, p) {
+			return nil, fmt.Errorf("streamcount: pattern %q is not a catalog pattern and cannot be sent over the wire (the wire names patterns; use PatternByName): %w", p.Name(), ErrBadPattern)
+		}
+		w.Pattern = p.Name()
+	}
+	return json.Marshal(w)
+}
+
+// samePattern reports whether two patterns are structurally identical —
+// the guard that keeps a custom NewPattern reusing a catalog name from
+// silently encoding as the catalog's different graph.
+func samePattern(a, b *Pattern) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Run executes one query over st under ctx and returns its typed result:

@@ -1,0 +1,201 @@
+package streamcount_test
+
+// The standing-query half of the cross-process determinism suite: a watch
+// under WatchLatest coalescing, with appends racing evaluation, must
+// deliver events that are bit-identical to standalone runs performed by a
+// *different process* at the reported (seed, stream version) — the
+// derivation being WatchSeedAt. In-process comparisons cannot catch
+// map-iteration-order regressions (each process randomizes map order
+// differently), which is exactly the class of bug that would silently break
+// the watch reproducibility contract (see the core cancel suite for the
+// same technique).
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"streamcount"
+)
+
+const (
+	watchXSeed   = 7
+	watchXTrials = 1500
+)
+
+func watchXQuery(t testing.TB) streamcount.TypedQuery[*streamcount.CountResult] {
+	t.Helper()
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return streamcount.CountQuery(p, streamcount.WithTrials(watchXTrials), streamcount.WithSeed(watchXSeed))
+}
+
+// watchFingerprint renders a CountResult bit-exactly (the float as raw
+// IEEE 754 bits) so two processes can compare without formatting loss.
+func watchFingerprint(r *streamcount.CountResult) string {
+	return fmt.Sprintf("%016x %d %d %d %d %d",
+		math.Float64bits(r.Value), r.M, r.Passes, r.Queries, r.SpaceWords, r.Trials)
+}
+
+// TestWatchDeterminismChild is the cross-process half: given a list of
+// stream versions, it rebuilds the identical appendable log, runs the
+// reference query standalone at each version's derived seed, and prints one
+// bit-exact fingerprint per version. No watch machinery runs in this
+// process at all.
+func TestWatchDeterminismChild(t *testing.T) {
+	spec := os.Getenv("STREAMCOUNT_WATCH_CHILD")
+	if spec == "" {
+		t.Skip("child mode only (driven by TestWatchLatestDeterminismCrossProcess)")
+	}
+	ups := watchUpdates(t)
+	app, err := streamcount.NewAppendableStream(100, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Append(ups); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := streamcount.PatternByName("triangle")
+	for _, field := range strings.Split(spec, ",") {
+		v, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			t.Fatalf("bad version %q: %v", field, err)
+		}
+		view, err := app.At(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := streamcount.Run(context.Background(), view, streamcount.CountQuery(p,
+			streamcount.WithTrials(watchXTrials),
+			streamcount.WithSeed(streamcount.WatchSeedAt(watchXSeed, v))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("WATCHCHILD %d %s\n", v, watchFingerprint(ref))
+	}
+}
+
+// TestWatchLatestDeterminismCrossProcess races many small appends against a
+// latest-wins watch, then asks a pristine child process to reproduce every
+// received event standalone from nothing but (seed, version). Every
+// fingerprint must match bit for bit.
+func TestWatchLatestDeterminismCrossProcess(t *testing.T) {
+	if os.Getenv("STREAMCOUNT_WATCH_CHILD") != "" {
+		t.Skip("already in child mode")
+	}
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short")
+	}
+
+	ups := watchUpdates(t)
+	app, err := streamcount.NewAppendableStream(100, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := streamcount.NewEngine(app)
+	defer e.Close()
+
+	sub, err := streamcount.Watch(context.Background(), e, "", watchXQuery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Appends race evaluation: small batches published as fast as the engine
+	// takes them, while the watch coalesces to whatever is newest each time
+	// it comes up for air.
+	appendErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < len(ups); i += 64 {
+			if _, err := e.Append("", ups[i:min(i+64, len(ups))]); err != nil {
+				appendErr <- err
+				return
+			}
+		}
+		appendErr <- nil
+	}()
+
+	type eventFP struct {
+		version int64
+		fp      string
+	}
+	var events []eventFP
+	final := int64(len(ups))
+	deadline := time.After(60 * time.Second)
+collect:
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok || ev.Err != nil {
+				t.Fatalf("watch ended early: %v (Err %v)", ev.Err, sub.Err())
+			}
+			if len(events) > 0 && ev.StreamVersion <= events[len(events)-1].version {
+				t.Fatalf("versions not increasing: %d after %d", ev.StreamVersion, events[len(events)-1].version)
+			}
+			events = append(events, eventFP{ev.StreamVersion, watchFingerprint(ev.Result)})
+			if ev.StreamVersion == final {
+				break collect
+			}
+		case <-deadline:
+			t.Fatal("watch never reached the final version")
+		}
+	}
+	if err := <-appendErr; err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events collected")
+	}
+
+	// A pristine process reproduces every event from (seed, version) alone.
+	versions := make([]string, len(events))
+	for i, ev := range events {
+		versions[i] = strconv.FormatInt(ev.version, 10)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestWatchDeterminismChild$", "-test.v")
+	cmd.Env = append(os.Environ(), "STREAMCOUNT_WATCH_CHILD="+strings.Join(versions, ","))
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+	theirs := map[int64]string{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		rest, ok := strings.CutPrefix(sc.Text(), "WATCHCHILD ")
+		if !ok {
+			continue
+		}
+		vStr, fp, ok := strings.Cut(rest, " ")
+		if !ok {
+			t.Fatalf("malformed child line %q", sc.Text())
+		}
+		v, err := strconv.ParseInt(vStr, 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		theirs[v] = fp
+	}
+	if len(theirs) != len(events) {
+		t.Fatalf("child reproduced %d versions, want %d:\n%s", len(theirs), len(events), out)
+	}
+	for _, ev := range events {
+		if theirs[ev.version] != ev.fp {
+			t.Errorf("cross-process mismatch at version %d:\n  watch event:   %s\n  child process: %s",
+				ev.version, ev.fp, theirs[ev.version])
+		}
+	}
+	t.Logf("verified %d coalesced watch events against a pristine process", len(events))
+}
