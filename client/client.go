@@ -38,15 +38,25 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"streamcount"
 	"streamcount/internal/wire"
 )
 
 // Client is a streamcountd API client. It is safe for concurrent use.
+//
+// The client is self-healing by default: retryable failures — transport
+// errors, 429/502/503/504, the daemon's "recovering" window after a restart
+// — are retried with exponential backoff and jitter (DefaultRetryPolicy),
+// honoring Retry-After. Append attaches an Idempotency-Key so retries can
+// never double-ingest a batch, and dropped watch connections reconnect and
+// resume from the last delivered stream version, keeping the event
+// transcript gap-free. Configure or disable with WithRetry.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // Option configures New.
@@ -69,7 +79,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if u.Scheme != "http" && u.Scheme != "https" {
 		return nil, fmt.Errorf("client: base URL %q must be http(s)", baseURL)
 	}
-	c := &Client{base: strings.TrimRight(u.String(), "/"), http: http.DefaultClient}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), http: http.DefaultClient, retry: DefaultRetryPolicy()}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -130,23 +140,63 @@ func codeSentinel(code string) error {
 	}
 }
 
-// doJSON performs one request with a JSON body (when in is non-nil) and
-// decodes a JSON response into out (when non-nil).
+// doJSON performs a request with a JSON body (when in is non-nil), retrying
+// retryable failures under the client's policy, and decodes a JSON response
+// into out (when non-nil).
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	return c.doRetry(ctx, method, path, nil, in, out)
+}
+
+// doRetry is doJSON with extra headers: the body is marshaled once and every
+// attempt sends the identical bytes (and headers — in particular the same
+// Idempotency-Key), so a retry is a true replay.
+func (c *Client) doRetry(ctx context.Context, method, path string, hdr http.Header, in, out any) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	attempts := c.retry.attempts()
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, hdr, data, out)
+		if err == nil {
+			return nil
+		}
+		retry, serverDelay := retryDecision(err)
+		if !retry || attempt+1 >= attempts || ctx.Err() != nil {
+			return err
+		}
+		delay := c.retry.delay(attempt)
+		if serverDelay > delay {
+			delay = serverDelay
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return wrapTransport(ctx, ctx.Err())
+		}
+	}
+}
+
+// doOnce is a single request attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Header, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -158,7 +208,11 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 		return wrapTransport(ctx, err)
 	}
 	if resp.StatusCode/100 != 2 {
-		return apiError(resp.StatusCode, data)
+		return &apiStatusError{
+			status:     resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header),
+			err:        apiError(resp.StatusCode, data),
+		}
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -197,6 +251,11 @@ func (c *Client) Streams(ctx context.Context) ([]string, error) {
 // Append publishes updates to the named stream's append-only log and
 // returns the new stream version — the same contract as
 // streamcount.Engine.Append.
+//
+// Every call carries a fresh Idempotency-Key that is reused across its
+// retries, so a retried append — including one whose first attempt was
+// acknowledged by a server that died before the response arrived — can
+// never be applied twice: the server replays the original receipt instead.
 func (c *Client) Append(ctx context.Context, stream string, ups []streamcount.Update) (int64, error) {
 	req := wire.AppendRequest{Updates: make([]wire.Update, len(ups))}
 	for i, u := range ups {
@@ -206,8 +265,9 @@ func (c *Client) Append(ctx context.Context, stream string, ups []streamcount.Up
 		}
 		req.Updates[i] = w
 	}
+	hdr := http.Header{"Idempotency-Key": []string{newIdempotencyKey()}}
 	var resp wire.AppendResponse
-	if err := c.doJSON(ctx, http.MethodPost, "/v1/streams/"+url.PathEscape(stream)+"/edges", req, &resp); err != nil {
+	if err := c.doRetry(ctx, http.MethodPost, "/v1/streams/"+url.PathEscape(stream)+"/edges", hdr, req, &resp); err != nil {
 		return 0, err
 	}
 	return resp.Version, nil
@@ -298,13 +358,96 @@ func (c *Client) SubmitOn(ctx context.Context, stream string, q streamcount.Quer
 	return outcomeFromWire(&resp), nil
 }
 
+// watchConn is one live SSE connection of a (possibly reconnecting) watch.
+type watchConn struct {
+	cancel context.CancelFunc
+	body   io.ReadCloser
+	r      *bufio.Reader
+}
+
+func (wc *watchConn) close() {
+	wc.cancel()
+	wc.body.Close()
+}
+
+// dialWatch performs one watch-connection attempt. The connection's request
+// context derives from ctx and is additionally cancelable via the returned
+// conn, so the subscription can sever a connection it is done with.
+func (c *Client) dialWatch(ctx context.Context, body []byte) (*watchConn, error) {
+	reqCtx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.base+"/v1/watches", bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		cancel()
+		return nil, wrapTransport(ctx, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		cancel()
+		return nil, &apiStatusError{
+			status:     resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header),
+			err:        apiError(resp.StatusCode, data),
+		}
+	}
+	return &watchConn{cancel: cancel, body: resp.Body, r: bufio.NewReader(resp.Body)}, nil
+}
+
+// openWatch dials a watch, retrying retryable failures under the client's
+// policy — so establishing (or re-establishing) a watch against a daemon
+// mid-restart waits the restart out instead of failing.
+func (c *Client) openWatch(ctx context.Context, req wire.WatchRequest) (*watchConn, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode watch request: %w", err)
+	}
+	attempts := c.retry.attempts()
+	for attempt := 0; ; attempt++ {
+		conn, err := c.dialWatch(ctx, data)
+		if err == nil {
+			return conn, nil
+		}
+		retry, serverDelay := retryDecision(err)
+		if !retry || attempt+1 >= attempts || ctx.Err() != nil {
+			return nil, err
+		}
+		delay := c.retry.delay(attempt)
+		if serverDelay > delay {
+			delay = serverDelay
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, wrapTransport(ctx, ctx.Err())
+		}
+	}
+}
+
 // WatchQuery registers q as a standing query on the named stream and
 // returns the untyped subscription, implementing streamcount.Watcher: the
 // daemon holds a Server-Sent-Events connection open and streams one event
 // per evaluation, each bit-identical to a standalone run at its reported
-// (WatchSeedAt(seed, version), version). The subscription ends — with the
-// terminal error on the final event and from Err — when ctx is canceled,
-// Close is called, the connection drops, or the server drains.
+// (WatchSeedAt(seed, version), version).
+//
+// The subscription is self-healing: when the connection drops or the
+// server restarts (drain, crash, recovery window), the client reconnects
+// under its retry policy and resumes from the last delivered stream
+// version, so the subscription's transcript stays gap- and duplicate-free
+// across server restarts — identical to the transcript of an uninterrupted
+// watch. Event generations are numbered by the client and stay contiguous
+// across reconnects. The subscription ends — with the terminal error on
+// the final event and from Err — when ctx is canceled, Close is called, a
+// reconnect exhausts the retry policy, or the server reports a
+// non-retryable end.
 func (c *Client) WatchQuery(ctx context.Context, stream string, q streamcount.Query, opts ...streamcount.WatchOption) (*streamcount.Subscription[streamcount.Outcome], error) {
 	cfg := streamcount.NewWatchConfig(opts...)
 	wq, err := encodeQuery(stream, q)
@@ -315,49 +458,65 @@ func (c *Client) WatchQuery(ctx context.Context, stream string, q streamcount.Qu
 	if cfg.EveryVersion {
 		req.Policy = wire.PolicyEvery
 	}
-	data, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("client: encode watch request: %w", err)
+	if cfg.AfterVersion > 0 {
+		req.After = cfg.AfterVersion
 	}
 
-	// The request context must outlive this call: it is the subscription's
-	// connection. It is canceled when the caller's ctx fires or when the
-	// subscription's feed ends (Close or terminal event).
-	reqCtx, cancel := context.WithCancel(ctx)
-	httpReq, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.base+"/v1/watches", bytes.NewReader(data))
+	// The first connection is established synchronously, so misconfigured
+	// watches (bad pattern, unknown stream) fail the call itself, exactly
+	// like the local engine's WatchQuery.
+	conn, err := c.openWatch(ctx, req)
 	if err != nil {
-		cancel()
 		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	httpReq.Header.Set("Accept", "text/event-stream")
-	resp, err := c.http.Do(httpReq)
-	if err != nil {
-		cancel()
-		return nil, wrapTransport(ctx, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		resp.Body.Close()
-		cancel()
-		return nil, apiError(resp.StatusCode, body)
 	}
 
 	sub := streamcount.NewSubscription(cfg.Buffer, func(sctx context.Context, emit func(streamcount.WatchEvent[streamcount.Outcome]) bool) error {
-		defer resp.Body.Close()
-		defer cancel()
-		// Closing the subscription cancels the connection, which unblocks
-		// the blocking reads below.
-		stop := context.AfterFunc(sctx, cancel)
-		defer stop()
-		return c.consumeWatch(ctx, sctx, bufio.NewReader(resp.Body), emit)
+		last := req.After
+		var gen int64
+		for {
+			// Closing the subscription severs the live connection, which
+			// unblocks the blocking reads below.
+			stop := context.AfterFunc(sctx, conn.cancel)
+			done, err := c.consumeWatch(ctx, sctx, conn.r, emit, &last, &gen)
+			stop()
+			conn.close()
+			if done {
+				return err
+			}
+			// Retryable interruption: reconnect and resume past the last
+			// delivered version. openWatch waits out restarts; if it cannot
+			// get a connection, the watch ends with the dial error.
+			rreq := req
+			rreq.After = last
+			if conn, err = c.openWatch(ctx, rreq); err != nil {
+				if sctx.Err() != nil {
+					return streamcount.ErrWatchClosed
+				}
+				return fmt.Errorf("client: watch could not reconnect: %w", err)
+			}
+		}
 	})
 	return sub, nil
 }
 
-// consumeWatch parses the SSE stream and feeds the subscription, returning
-// its terminal error.
-func (c *Client) consumeWatch(ctx, sctx context.Context, r *bufio.Reader, emit func(streamcount.WatchEvent[streamcount.Outcome]) bool) error {
+// retryableEndCode reports whether a server-sent terminal event names a
+// condition a reconnect resolves: a draining or recovering server (a
+// restart in progress), a closed engine (ditto), or this client having been
+// cut as a slow consumer (resume picks up where it left off).
+func retryableEndCode(code string) bool {
+	switch code {
+	case wire.CodeDraining, wire.CodeRecovering, wire.CodeEngineClosed, wire.CodeSlowConsumer:
+		return true
+	}
+	return false
+}
+
+// consumeWatch parses one SSE connection and feeds the subscription,
+// tracking the last delivered stream version in *last and the client-local
+// generation counter in *gen. It returns done=true with the subscription's
+// terminal error, or done=false when the connection was lost (or ended) in
+// a way a resuming reconnect heals.
+func (c *Client) consumeWatch(ctx, sctx context.Context, r *bufio.Reader, emit func(streamcount.WatchEvent[streamcount.Outcome]) bool, last, gen *int64) (bool, error) {
 	closedErr := func() error {
 		switch {
 		case sctx.Err() != nil: // consumer Close
@@ -372,35 +531,43 @@ func (c *Client) consumeWatch(ctx, sctx context.Context, r *bufio.Reader, emit f
 		name, data, err := readSSEEvent(r)
 		if err != nil {
 			if cerr := closedErr(); cerr != nil {
-				return cerr
+				return true, cerr
 			}
-			return fmt.Errorf("client: watch connection lost: %w", err)
+			return false, fmt.Errorf("client: watch connection lost: %w", err)
 		}
 		switch name {
 		case "watch": // registration acknowledgment; nothing to surface
 		case "result":
 			var we wire.WatchEvent
 			if err := json.Unmarshal(data, &we); err != nil || we.Result == nil {
-				return fmt.Errorf("client: undecodable watch event %q: %v", data, err)
+				return true, fmt.Errorf("client: undecodable watch event %q: %v", data, err)
 			}
 			o := outcomeFromWire(we.Result)
+			*last = o.StreamVersion
 			ev := streamcount.WatchEvent[streamcount.Outcome]{
 				Result:        o,
 				StreamVersion: o.StreamVersion,
-				Generation:    we.Generation,
+				Generation:    *gen, // client-local: contiguous across reconnects
 			}
+			*gen++
 			if !emit(ev) {
-				return streamcount.ErrWatchClosed
+				return true, streamcount.ErrWatchClosed
 			}
 		case "end":
 			var end wire.WatchEnd
 			if err := json.Unmarshal(data, &end); err != nil {
-				return fmt.Errorf("client: undecodable end event %q: %w", data, err)
+				return true, fmt.Errorf("client: undecodable end event %q: %w", data, err)
+			}
+			if retryableEndCode(end.Code) {
+				if cerr := closedErr(); cerr != nil {
+					return true, cerr
+				}
+				return false, fmt.Errorf("client: watch ended by server: %s", end.Error)
 			}
 			if sentinel := codeSentinel(end.Code); sentinel != nil {
-				return fmt.Errorf("client: watch ended by server: %s: %w", end.Error, sentinel)
+				return true, fmt.Errorf("client: watch ended by server: %s: %w", end.Error, sentinel)
 			}
-			return fmt.Errorf("client: watch ended by server: %s", end.Error)
+			return true, fmt.Errorf("client: watch ended by server: %s", end.Error)
 		default: // unknown event types are skipped for forward compatibility
 		}
 	}

@@ -22,8 +22,10 @@ func TestNewRejectsBadBaseURLs(t *testing.T) {
 
 func TestNonWireQueriesFailBeforeAnyRequest(t *testing.T) {
 	// No server is listening on the base URL: an encodability failure must
-	// surface before any connection is attempted.
-	c, err := client.New("http://127.0.0.1:1")
+	// surface before any connection is attempted. Retries are disabled so
+	// the dead-endpoint control check below fails fast.
+	c, err := client.New("http://127.0.0.1:1",
+		client.WithRetry(client.RetryPolicy{MaxAttempts: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,316 @@
+package client_test
+
+// The durability acceptance test: a real daemon process is SIGKILLed
+// mid-ingestion and restarted on the same segment directory while a
+// self-healing client keeps appending and watching. After each restart the
+// recovered version must equal the last acknowledged append receipt,
+// pinned queries must reproduce their pre-crash results bit for bit, and a
+// watch spanning both restarts must deliver the exact event transcript of
+// an uninterrupted local engine over the same updates.
+//
+// The daemon runs as a helper process (this test binary re-executed with
+// STREAMCOUNT_E2E_DAEMON=1), so the kill is a genuine process death: no
+// deferred cleanup, no flushes — only what Append had already made durable
+// survives.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"streamcount"
+	"streamcount/client"
+	"streamcount/internal/server"
+)
+
+// TestDaemonHelper is not a test: it is the daemon half of the kill-restart
+// e2e, run in a child process.
+func TestDaemonHelper(t *testing.T) {
+	if os.Getenv("STREAMCOUNT_E2E_DAEMON") != "1" {
+		t.Skip("helper process for TestKillRestartE2E")
+	}
+	addr := os.Getenv("STREAMCOUNT_E2E_ADDR")
+	dir := os.Getenv("STREAMCOUNT_E2E_DIR")
+	srv, err := server.New(server.Options{
+		SegmentDir:     dir,
+		SegmentSize:    16,
+		Window:         5 * time.Millisecond,
+		WatchHeartbeat: 50 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Printf("DAEMON_ERROR %v\n", err)
+		os.Exit(1)
+	}
+	// The previous incarnation's socket may linger briefly after SIGKILL.
+	var ln net.Listener
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		fmt.Printf("DAEMON_ERROR %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("DAEMON_LISTENING %s\n", ln.Addr())
+	_ = http.Serve(ln, srv) // runs until SIGKILL
+}
+
+// daemon manages one helper-process incarnation.
+type daemon struct {
+	cmd *exec.Cmd
+}
+
+func startDaemon(t *testing.T, addr, dir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestDaemonHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"STREAMCOUNT_E2E_DAEMON=1",
+		"STREAMCOUNT_E2E_ADDR="+addr,
+		"STREAMCOUNT_E2E_DIR="+dir,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	ready := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "DAEMON_LISTENING ") || strings.HasPrefix(line, "DAEMON_ERROR ") {
+				ready <- line
+				// Keep draining so the child never blocks on a full pipe.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		ready <- "DAEMON_ERROR stdout closed before listening"
+	}()
+	select {
+	case line := <-ready:
+		if !strings.HasPrefix(line, "DAEMON_LISTENING ") {
+			cmd.Process.Kill()
+			t.Fatalf("daemon failed to start: %s", line)
+		}
+	case <-deadline:
+		cmd.Process.Kill()
+		t.Fatal("daemon did not report listening within 30s")
+	}
+	return &daemon{cmd: cmd}
+}
+
+// kill SIGKILLs the daemon — the machine-crash stand-in. No shutdown hook
+// in the server runs.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.cmd.Wait() // reap; the kill error code is expected
+}
+
+func TestKillRestartE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon processes")
+	}
+	dir := t.TempDir()
+
+	// Pick a free port and release it for the daemon to claim.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	d := startDaemon(t, addr, dir)
+	alive := true
+	defer func() {
+		if alive {
+			d.kill(t)
+		}
+	}()
+
+	// A patient retry policy: outage windows here are daemon restarts
+	// (~1-2s), and short max delays keep the recovery detection snappy.
+	c, err := client.New("http://"+addr, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 40,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Jitter:      0.2,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const n, m = 60, 200
+	if err := c.CreateStream(ctx, "live", n); err != nil {
+		t.Fatal(err)
+	}
+
+	// The uninterrupted control: a local engine fed the identical updates.
+	// Its watch transcript is the ground truth the remote watch — which
+	// will span two daemon crashes — must reproduce exactly.
+	mirror, err := streamcount.NewAppendableStream(n, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdef, err := streamcount.NewAppendableStream(8, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := streamcount.NewEngine(mdef)
+	defer eng.Close()
+	if err := eng.RegisterStream("live", mirror); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	watchQ := streamcount.CountQuery(p, streamcount.WithTrials(300), streamcount.WithSeed(11))
+	remoteSub, err := streamcount.Watch(ctx, c, "live", watchQ, streamcount.WatchEveryVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remoteSub.Close()
+	localSub, err := streamcount.Watch(ctx, eng, "live", watchQ, streamcount.WatchEveryVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer localSub.Close()
+
+	ups := contractEdges(n, m)
+	const batch = 40
+	var remoteLog, localLog []string
+	nextEvent := func(sub *streamcount.Subscription[*streamcount.CountResult], log *[]string, wantV int64, side string) {
+		t.Helper()
+		select {
+		case ev := <-sub.Events():
+			if ev.Err != nil {
+				t.Fatalf("%s watch failed at version %d: %v", side, wantV, ev.Err)
+			}
+			if ev.StreamVersion != wantV {
+				t.Fatalf("%s watch event at version %d, want %d", side, ev.StreamVersion, wantV)
+			}
+			*log = append(*log, fmt.Sprintf("gen=%d version=%d %s", ev.Generation, ev.StreamVersion, fpCount(ev.Result)))
+		case <-time.After(60 * time.Second):
+			t.Fatalf("%s watch: no event for version %d", side, wantV)
+		}
+	}
+	ingest := func(i int) int64 {
+		t.Helper()
+		chunk := ups[i*batch : (i+1)*batch]
+		v, err := c.Append(ctx, "live", chunk)
+		if err != nil {
+			t.Fatalf("append batch %d: %v", i, err)
+		}
+		lv, err := eng.Append("live", chunk)
+		if err != nil {
+			t.Fatalf("mirror append batch %d: %v", i, err)
+		}
+		if v != lv {
+			t.Fatalf("batch %d: remote version %d, local %d", i, v, lv)
+		}
+		nextEvent(remoteSub, &remoteLog, v, "remote")
+		nextEvent(localSub, &localLog, v, "local")
+		return v
+	}
+
+	// Phase 1: three batches, fully acknowledged and observed by both
+	// watches, then a pinned query whose result the restarted daemon must
+	// reproduce.
+	var acked int64
+	for i := 0; i < 3; i++ {
+		acked = ingest(i)
+	}
+	pinnedQ := streamcount.CountQuery(p, streamcount.WithTrials(400), streamcount.WithSeed(99))
+	before, err := c.SubmitOn(ctx, "live", pinnedQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.StreamVersion != acked {
+		t.Fatalf("pinned query at version %d, want %d", before.StreamVersion, acked)
+	}
+
+	// Crash 1: SIGKILL, restart on the same directory. Everything
+	// acknowledged must be back, bit for bit.
+	d.kill(t)
+	d = startDaemon(t, addr, dir)
+
+	v, err := c.StreamVersion(ctx, "live")
+	if err != nil {
+		t.Fatalf("version after restart: %v", err)
+	}
+	if v != acked {
+		t.Fatalf("recovered version %d, want last acked %d", v, acked)
+	}
+	after, err := c.SubmitOn(ctx, "live", pinnedQ)
+	if err != nil {
+		t.Fatalf("pinned query after restart: %v", err)
+	}
+	if after.StreamVersion != before.StreamVersion ||
+		fpCount(after.Count) != fpCount(before.Count) {
+		t.Fatalf("pinned query diverged across restart:\n before %s @%d\n after  %s @%d",
+			fpCount(before.Count), before.StreamVersion, fpCount(after.Count), after.StreamVersion)
+	}
+
+	// Crash 2: kill again and issue the next append while the daemon is
+	// down — the client must ride the outage out and land the batch exactly
+	// once on the restarted daemon.
+	d.kill(t)
+	appended := make(chan error, 1)
+	go func() {
+		chunk := ups[3*batch : 4*batch]
+		v, err := c.Append(ctx, "live", chunk)
+		if err == nil && v != int64(4*batch) {
+			err = fmt.Errorf("mid-outage append acked version %d, want %d", v, 4*batch)
+		}
+		appended <- err
+	}()
+	time.Sleep(300 * time.Millisecond) // let the append start failing
+	d = startDaemon(t, addr, dir)
+	if err := <-appended; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Append("live", ups[3*batch:4*batch]); err != nil {
+		t.Fatal(err)
+	}
+	nextEvent(remoteSub, &remoteLog, int64(4*batch), "remote")
+	nextEvent(localSub, &localLog, int64(4*batch), "local")
+
+	// Phase 3: a final batch after full recovery.
+	ingest(4)
+
+	// The remote transcript — spanning two daemon crashes — must be
+	// line-identical to the uninterrupted local engine's: same versions,
+	// same generations, same result bits. That is the self-healing watch
+	// contract: reconnection is invisible in the data.
+	if len(remoteLog) != len(localLog) {
+		t.Fatalf("transcript lengths differ: remote %d local %d\nremote %v\nlocal %v",
+			len(remoteLog), len(localLog), remoteLog, localLog)
+	}
+	for i := range remoteLog {
+		if remoteLog[i] != localLog[i] {
+			t.Errorf("watch transcript line %d diverges across restarts:\n remote %s\n local  %s",
+				i, remoteLog[i], localLog[i])
+		}
+	}
+}

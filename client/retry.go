@@ -1,0 +1,153 @@
+package client
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RetryPolicy controls the client's self-healing behavior: how many times a
+// retryable request (transport failure, 429, 502, 503, 504) is attempted
+// and how the delay between attempts grows. Retries are safe on every
+// endpoint the client retries: queries and reads are pure, and Append
+// attaches an Idempotency-Key so a replay of an already-applied batch
+// returns the original receipt instead of double-ingesting.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts (first try included). Values < 1
+	// mean one attempt — no retries.
+	MaxAttempts int
+	// BaseDelay is the delay after the first failed attempt; it doubles
+	// each retry up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0: uncapped).
+	MaxDelay time.Duration
+	// Jitter spreads each delay uniformly over ±Jitter·delay so a fleet of
+	// retrying clients does not stampede a recovering server. 0 disables.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the policy New installs: 8 attempts, 100ms base
+// delay doubling to a 2s cap, ±20% jitter — a client span of roughly seven
+// seconds, enough to ride out a daemon restart.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.2}
+}
+
+// WithRetry replaces the client's retry policy. RetryPolicy{MaxAttempts: 1}
+// disables retries entirely.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// jitterMu guards the shared jitter source. math/rand's global source would
+// do, but a private one keeps the client's behavior independent of callers
+// reseeding the global.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = mrand.New(mrand.NewSource(time.Now().UnixNano()))
+)
+
+// delay returns the backoff before attempt+2 (i.e. after the attempt-th
+// try, 0-based) under the policy.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	if attempt > 0 {
+		if attempt > 20 { // avoid overflowing the shift
+			attempt = 20
+		}
+		d <<= attempt
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		jitterMu.Lock()
+		f := 1 + p.Jitter*(2*jitterRng.Float64()-1)
+		jitterMu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// apiStatusError decorates an API error with the HTTP status and the
+// server's Retry-After hint, so the retry loop can honor both without
+// string matching. Unwrap preserves the typed sentinel chain.
+type apiStatusError struct {
+	status     int
+	retryAfter time.Duration
+	err        error
+}
+
+func (e *apiStatusError) Error() string { return e.err.Error() }
+func (e *apiStatusError) Unwrap() error { return e.err }
+
+// retryableStatus reports whether a response status is worth retrying:
+// overload and gateway conditions, plus 503 — which streamcountd sends for
+// "recovering" and "draining", both of which a restart resolves.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryDecision inspects an attempt's error: whether to retry, and the
+// minimum delay the server asked for (0 when it didn't).
+func retryDecision(err error) (retry bool, serverDelay time.Duration) {
+	var se *apiStatusError
+	if errors.As(err, &se) {
+		return retryableStatus(se.status), se.retryAfter
+	}
+	// Anything that never produced a status line is a transport failure —
+	// connection refused mid-restart, a dropped connection — and retryable.
+	// Context expiry is handled by the retry loop itself.
+	return true, 0
+}
+
+// parseRetryAfter reads a Retry-After header (delta-seconds form; the HTTP
+// date form is rare enough to ignore — the backoff still applies).
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs <= 0 || secs > math.MaxInt32 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// newIdempotencyKey returns a fresh random key for one logical Append. The
+// same key is sent on every retry of that append, so the server can
+// recognize a replay of a batch it already applied.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// the jitter source rather than panicking in a client library.
+		jitterMu.Lock()
+		jitterRng.Read(b[:])
+		jitterMu.Unlock()
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// attempts normalizes MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}

@@ -29,10 +29,18 @@
 // standing queries end with a terminal "end" event, admitted queries
 // finish (bounded by -drain-timeout), then the engine shuts down.
 //
+// With -segment-dir, streams are durable (DESIGN.md §9): appends persist to
+// checksummed segments under a per-stream manifest, and a restart — clean or
+// after a crash — rebuilds every stream from disk before serving, truncating
+// torn tails and refusing corrupt manifests. During recovery, mutating
+// endpoints answer 503 with Retry-After and /healthz reports "recovering".
+// -sync additionally fsyncs sealed writes for durability against power loss.
+//
 // Examples:
 //
 //	streamcountd -addr :8470 -window 25ms
 //	streamcountd -segment-dir /var/lib/streamcount -parallel 8
+//	streamcountd -segment-dir /var/lib/streamcount -sync
 package main
 
 import (
@@ -59,12 +67,23 @@ func main() {
 		parallel     = flag.Int("parallel", 0, "default pass-engine workers per query (0: GOMAXPROCS)")
 		segmentDir   = flag.String("segment-dir", "", "directory for on-disk stream segments (empty: streams stay in memory)")
 		segmentSize  = flag.Int("segment-size", 0, "updates per stream segment (0: library default)")
+		syncWrites   = flag.Bool("sync", false, "fsync stream segments on every sealed write (durable against power loss, not just process crash)")
 		readTimeout  = flag.Duration("read-header-timeout", 10*time.Second, "HTTP read-header timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for admitted queries before canceling them")
 		heartbeat    = flag.Duration("watch-heartbeat", server.DefaultWatchHeartbeat, "SSE heartbeat interval for standing queries")
+		writeTimeout = flag.Duration("watch-write-timeout", server.DefaultWatchWriteTimeout, "per-event SSE write deadline; a watch that cannot accept an event within this ends with a slow_consumer terminal event (<=0: no deadline)")
 	)
 	flag.Parse()
-	if err := run(*addr, *window, *parallel, *segmentDir, *segmentSize, *readTimeout, *drainTimeout, *heartbeat); err != nil {
+	opts := server.Options{
+		Window:            *window,
+		Parallelism:       *parallel,
+		SegmentDir:        *segmentDir,
+		SegmentSize:       *segmentSize,
+		Sync:              *syncWrites,
+		WatchHeartbeat:    *heartbeat,
+		WatchWriteTimeout: *writeTimeout,
+	}
+	if err := run(*addr, *readTimeout, *drainTimeout, opts); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -72,17 +91,11 @@ func main() {
 // run owns every resource with a cleanup path, so an error return unwinds
 // them (main's log.Fatal would skip deferred cancels — see the lostcancel
 // audit note in cmd/streamcount).
-func run(addr string, window time.Duration, parallel int, segmentDir string, segmentSize int, readTimeout, drainTimeout, heartbeat time.Duration) error {
+func run(addr string, readTimeout, drainTimeout time.Duration, opts server.Options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := server.New(server.Options{
-		Window:         window,
-		Parallelism:    parallel,
-		SegmentDir:     segmentDir,
-		SegmentSize:    segmentSize,
-		WatchHeartbeat: heartbeat,
-	})
+	srv, err := server.New(opts)
 	if err != nil {
 		return err
 	}
@@ -94,7 +107,21 @@ func run(addr string, window time.Duration, parallel int, segmentDir string, seg
 	if err != nil {
 		return err
 	}
-	log.Printf("listening on %s (admission window %s)", ln.Addr(), window)
+	log.Printf("listening on %s (admission window %s)", ln.Addr(), opts.Window)
+
+	// Recovery from -segment-dir runs in the background; until it finishes
+	// the server answers mutations with 503 + Retry-After and /healthz says
+	// "recovering". Surface the outcome in the log either way.
+	if opts.SegmentDir != "" {
+		log.Printf("recovering streams from %s", opts.SegmentDir)
+		go func() {
+			if err := srv.WaitReady(ctx); err != nil {
+				log.Printf("RECOVERY FAILED: %v (persisted streams unavailable; fix %s and restart)", err, opts.SegmentDir)
+				return
+			}
+			log.Printf("recovery complete; serving")
+		}()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

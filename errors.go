@@ -1,6 +1,9 @@
 package streamcount
 
-import "streamcount/internal/core"
+import (
+	"streamcount/internal/core"
+	"streamcount/internal/stream"
+)
 
 // Typed sentinel errors. Every error returned by Run, Engine.Submit / Do
 // and the legacy wrappers wraps exactly one of these; dispatch with
@@ -31,4 +34,17 @@ var (
 	// Subscription.Close, or a draining server — rather than by a failure.
 	// It is every cleanly closed subscription's terminal error.
 	ErrWatchClosed = core.ErrWatchClosed
+	// ErrManifestCorrupt reports a durable stream directory whose MANIFEST
+	// fails its checksum or structural validation. OpenAppendableStream
+	// refuses such a directory outright rather than guessing at its
+	// contents.
+	ErrManifestCorrupt = stream.ErrManifestCorrupt
+	// ErrSegmentCorrupt reports a sealed segment file whose header, size, or
+	// record checksums contradict the manifest — surfaced by
+	// OpenAppendableStream or by replaying a view over the damaged region.
+	ErrSegmentCorrupt = stream.ErrSegmentCorrupt
+	// ErrEvictFailed reports an append that was published but could not be
+	// made (fully) durable — a failing disk under the segment directory. The
+	// log remains intact and queryable; later appends retry the flush.
+	ErrEvictFailed = stream.ErrEvictFailed
 )

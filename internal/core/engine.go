@@ -60,6 +60,7 @@ type lane struct {
 
 	wmu      sync.Mutex
 	watchers map[*laneWatcher]struct{} // standing queries following this lane
+	receipts []int64                   // ring of recently published versions, for watch resumption
 
 	passes      atomic.Int64 // lane-wide shared pass accounting
 	generations atomic.Int64
@@ -112,10 +113,26 @@ func (l *lane) pinAt(v int64) (stream.Stream, error) {
 	return countingStream{view, &l.passes}, nil
 }
 
-// addWatcher registers a standing query's version feed with the lane.
-func (l *lane) addWatcher(lw *laneWatcher) {
+// laneReceiptRing bounds the published-version ring each lane keeps for
+// watch resumption. A resuming watch older than the ring still sees the
+// current version (published at registration); only the intermediate
+// every-version receipts beyond the ring are coalesced away.
+const laneReceiptRing = 4096
+
+// addWatcher registers a standing query's version feed with the lane,
+// backfilling every remembered receipt newer than after so a resuming
+// every-version watch re-observes the versions it missed while detached.
+// Registration, backfill, and the lane's receipt recording are one critical
+// section: a version published concurrently with registration is seen
+// exactly once (either in the backfill or as a live notification).
+func (l *lane) addWatcher(lw *laneWatcher, after int64) {
 	l.wmu.Lock()
 	l.watchers[lw] = struct{}{}
+	for _, v := range l.receipts {
+		if v > after {
+			lw.publish(v)
+		}
+	}
 	l.wmu.Unlock()
 }
 
@@ -127,9 +144,15 @@ func (l *lane) removeWatcher(lw *laneWatcher) {
 }
 
 // notifyWatchers publishes a new version to every standing query on the
-// lane. Called by Append after the batch is visible in the log.
+// lane and records it in the resumption ring. Called by Append after the
+// batch is visible in the log.
 func (l *lane) notifyWatchers(v int64) {
 	l.wmu.Lock()
+	l.receipts = append(l.receipts, v)
+	if len(l.receipts) >= 2*laneReceiptRing {
+		copy(l.receipts, l.receipts[len(l.receipts)-laneReceiptRing:])
+		l.receipts = l.receipts[:laneReceiptRing]
+	}
 	for lw := range l.watchers {
 		lw.publish(v)
 	}

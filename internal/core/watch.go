@@ -24,6 +24,15 @@ type WatchOptions struct {
 	// evaluation, which under latest-wins coalescing is exactly what skips
 	// intermediate versions.
 	Buffer int
+	// AfterVersion resumes the watch past an already-observed version: no
+	// version <= AfterVersion is evaluated, and in every-version mode the
+	// lane backfills the receipts it still remembers (a bounded ring) above
+	// it. A watch that reconnects with AfterVersion = its last delivered
+	// version therefore continues the same transcript — each evaluation is
+	// still seeded WatchSeedAt(seed, v), so the merged event stream is
+	// bit-identical to one uninterrupted watch. 0 (the default) watches from
+	// the beginning; negative values are treated as 0.
+	AfterVersion int64
 }
 
 // WatchEvent is one evaluation of a standing query: the served job handle,
@@ -203,13 +212,19 @@ func (e *Engine) Watch(ctx context.Context, name string, j Job, o WatchOptions) 
 		buffer = 0
 	}
 
+	after := o.AfterVersion
+	if after < 0 {
+		after = 0
+	}
+
 	wctx, wcancel := context.WithCancel(e.root)
 	stop := context.AfterFunc(ctx, wcancel)
 	w := &Watch{events: make(chan WatchEvent, buffer), cancel: wcancel, done: make(chan struct{})}
 	lw := newLaneWatcher(o.EveryVersion)
-	l.addWatcher(lw)
+	l.addWatcher(lw, after)
 	// Seed the feed with the version current at registration so the watch
-	// evaluates the existing prefix before waiting for appends.
+	// evaluates the existing prefix (or, when resuming, whatever advanced
+	// past AfterVersion while detached) before waiting for appends.
 	lw.publish(l.app.Version())
 
 	// Liveness check and wg.Add are one critical section against Close's
@@ -233,14 +248,14 @@ func (e *Engine) Watch(ctx context.Context, name string, j Job, o WatchOptions) 
 		defer close(w.events)
 		defer stop()
 		defer l.removeWatcher(lw)
-		w.err = e.watchLoop(wctx, ctx, l, j, lw, w)
+		w.err = e.watchLoop(wctx, ctx, l, j, lw, w, after)
 	}()
 	return w, nil
 }
 
 // watchLoop is the per-watch scheduler: drain the version feed, evaluate,
 // deliver, repeat. It returns the watch's terminal error.
-func (e *Engine) watchLoop(wctx, callerCtx context.Context, l *lane, j Job, lw *laneWatcher, w *Watch) error {
+func (e *Engine) watchLoop(wctx, callerCtx context.Context, l *lane, j Job, lw *laneWatcher, w *Watch, after int64) error {
 	terminal := func() error {
 		switch {
 		case callerCtx.Err() != nil:
@@ -251,7 +266,7 @@ func (e *Engine) watchLoop(wctx, callerCtx context.Context, l *lane, j Job, lw *
 			return fmt.Errorf("core: watch on %q: %w", l.name, ErrWatchClosed)
 		}
 	}
-	last := int64(0) // version 0 (the empty prefix) is never evaluated
+	last := after // version 0 (the empty prefix) is never evaluated
 	seq := int64(0)
 	for {
 		v, ok := lw.next(last)

@@ -76,13 +76,32 @@ func (s *Server) registryStats() (wire.QueryStats, wire.WatchStats) {
 	return q, ws
 }
 
+// evictFailures sums the durability-failure counters of every appendable
+// stream the engine serves.
+func (s *Server) evictFailures() int64 {
+	var total int64
+	for _, name := range s.eng.Streams() {
+		if st, ok := s.eng.Lookup(name); ok {
+			if app, ok := st.(*streamcount.AppendableStream); ok {
+				total += app.EvictFailures()
+			}
+		}
+	}
+	return total
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	q, ws := s.registryStats()
-	h := wire.Health{Status: "ok", Queries: q, Watches: ws}
+	h := wire.Health{Status: "ready", Queries: q, Watches: ws, EvictFailures: s.evictFailures()}
 	code := http.StatusOK
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		h.Status = "draining"
 		code = http.StatusServiceUnavailable
+	case s.recovering.Load():
+		h.Status = "recovering"
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, code, h)
 }
@@ -90,7 +109,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // --- streams ---
 
 func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectRecovering(w) {
 		return
 	}
 	var req wire.CreateStreamRequest
@@ -106,6 +125,13 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("vertex count n=%d must be positive", req.N))
 		return
 	}
+	// Duplicate names must conflict before any disk work: with a segment
+	// dir configured, NewAppendableStream would otherwise refuse the
+	// existing directory first and misreport the duplicate as a bad request.
+	if _, ok := s.eng.Lookup(req.Name); ok {
+		writeError(w, http.StatusConflict, fmt.Errorf("stream %q already exists", req.Name))
+		return
+	}
 	size := req.SegmentSize
 	if size <= 0 {
 		size = s.opts.SegmentSize
@@ -113,6 +139,7 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 	st, err := streamcount.NewAppendableStream(req.N, streamcount.AppendableOptions{
 		SegmentSize: size,
 		Dir:         segmentDir(s.opts.SegmentDir, req.Name),
+		Sync:        s.opts.Sync,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -141,6 +168,11 @@ func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Gated even though it is a read: until recovery registers every durable
+	// stream, a lookup here would 404 a stream that exists on disk.
+	if s.rejectRecovering(w) {
+		return
+	}
 	name := r.PathValue("name")
 	st, ok := s.eng.Lookup(name)
 	if !ok {
@@ -152,21 +184,77 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	_, appendable := st.(*streamcount.AppendableStream)
-	writeJSON(w, http.StatusOK, wire.StreamInfo{
+	info := wire.StreamInfo{
 		Name:       name,
 		N:          st.N(),
 		Version:    version,
 		InsertOnly: st.InsertOnly(),
-		Appendable: appendable,
 		Passes:     s.eng.PassesOn(name),
-	})
+	}
+	if app, ok := st.(*streamcount.AppendableStream); ok {
+		info.Appendable = true
+		info.EvictFailures = app.EvictFailures()
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // --- ingestion ---
 
+// appendDedup is one Idempotency-Key receipt. done closes when the owning
+// request finishes; ok reports whether resp holds a recorded success (a
+// failed attempt deletes its entry instead, so a retry can claim the key).
+type appendDedup struct {
+	done chan struct{}
+	resp wire.AppendResponse
+	ok   bool
+}
+
+// claimAppend registers an Idempotency-Key, returning (entry, true) when the
+// caller became its owner and must finish it, or (entry, false) when another
+// request holds the key — wait on entry.done and replay entry.resp.
+func (s *Server) claimAppend(key string) (*appendDedup, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.appends[key]; ok {
+		return d, false
+	}
+	d := &appendDedup{done: make(chan struct{})}
+	s.appends[key] = d
+	s.appendOrder = append(s.appendOrder, key)
+	// Bounded retention: evict the oldest completed receipts past the cap.
+	// Stop at the first in-flight entry (its owner still needs it).
+evict:
+	for len(s.appends) > maxAppendDedup && len(s.appendOrder) > 0 {
+		victim := s.appendOrder[0]
+		if v, ok := s.appends[victim]; ok {
+			select {
+			case <-v.done:
+			default:
+				break evict
+			}
+			delete(s.appends, victim)
+		}
+		s.appendOrder = s.appendOrder[1:]
+	}
+	return d, true
+}
+
+// finishAppend completes an owned Idempotency-Key entry: a success records
+// the receipt for replay, a failure deletes the entry so the key can be
+// retried.
+func (s *Server) finishAppend(key string, d *appendDedup, resp wire.AppendResponse, ok bool) {
+	s.mu.Lock()
+	if ok {
+		d.resp, d.ok = resp, true
+	} else {
+		delete(s.appends, key)
+	}
+	s.mu.Unlock()
+	close(d.done)
+}
+
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectRecovering(w) {
 		return
 	}
 	name := r.PathValue("name")
@@ -175,9 +263,53 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(req.Updates) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty update batch"))
+	// Idempotency: a retried request carrying the same Idempotency-Key as an
+	// append the server already applied gets that append's receipt back
+	// instead of double-publishing the batch. Keys are scoped per stream.
+	var dedup *appendDedup
+	var dedupKey string
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		dedupKey = name + "\x00" + key
+		for {
+			d, owner := s.claimAppend(dedupKey)
+			if owner {
+				dedup = d
+				break
+			}
+			select {
+			case <-d.done:
+			case <-r.Context().Done():
+				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("canceled while waiting for concurrent append with the same idempotency key"))
+				return
+			}
+			if d.ok {
+				resp := d.resp
+				resp.Deduped = true
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			// The recorded attempt failed and removed itself; claim the key
+			// and run the append for real.
+		}
+	}
+	resp, code, err := s.doAppend(name, req)
+	if dedup != nil {
+		s.finishAppend(dedupKey, dedup, resp, err == nil)
+	}
+	if err != nil {
+		writeError(w, code, err)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// doAppend validates and applies one append batch. A nil error means the
+// batch is published (including the evict-failure warning case, where the
+// data is safe in memory and the disk flush retries later); the returned
+// response is the receipt an Idempotency-Key replay must reproduce.
+func (s *Server) doAppend(name string, req wire.AppendRequest) (wire.AppendResponse, int, error) {
+	if len(req.Updates) == 0 {
+		return wire.AppendResponse{}, http.StatusBadRequest, fmt.Errorf("empty update batch")
 	}
 	ups := make([]streamcount.Update, len(req.Updates))
 	for i, u := range req.Updates {
@@ -187,8 +319,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		case "-", "delete":
 			op = streamcount.Delete
 		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("update %d: unknown op %q", i, u.Op))
-			return
+			return wire.AppendResponse{}, http.StatusBadRequest, fmt.Errorf("update %d: unknown op %q", i, u.Op)
 		}
 		ups[i] = streamcount.Update{Edge: streamcount.Edge{U: u.U, V: u.V}, Op: op}
 	}
@@ -198,13 +329,11 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		// updates are published, so a retry would double-ingest. Succeed
 		// with a warning instead.
 		if errors.Is(err, stream.ErrEvictFailed) {
-			writeJSON(w, http.StatusOK, wire.AppendResponse{Version: version, Appended: len(ups), Warning: err.Error()})
-			return
+			return wire.AppendResponse{Version: version, Appended: len(ups), Warning: err.Error()}, http.StatusOK, nil
 		}
-		writeError(w, statusFor(err), err)
-		return
+		return wire.AppendResponse{}, statusFor(err), err
 	}
-	writeJSON(w, http.StatusOK, wire.AppendResponse{Version: version, Appended: len(ups)})
+	return wire.AppendResponse{Version: version, Appended: len(ups)}, http.StatusOK, nil
 }
 
 // validStreamName admits exactly the names that are safe as URL path
@@ -231,6 +360,23 @@ func validStreamName(name string) bool {
 func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+		return true
+	}
+	return false
+}
+
+// rejectRecovering 503s requests that touch stream state until every
+// durable stream has been rebuilt from its segment directory (stream reads
+// included: a not-yet-recovered stream must not 404). The Retry-After tells
+// well-behaved clients exactly what to do; the typed code lets them retry
+// the identical request safely.
+func (s *Server) rejectRecovering(w http.ResponseWriter) bool {
+	if s.recovering.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, wire.Error{
+			Error: "server is recovering durable streams; retry shortly",
+			Code:  wire.CodeRecovering,
+		})
 		return true
 	}
 	return false

@@ -108,7 +108,7 @@ type asyncQuery struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectRecovering(w) {
 		return
 	}
 	var req wire.Query

@@ -1,0 +1,409 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"streamcount"
+	"streamcount/internal/stream"
+	"streamcount/internal/wire"
+)
+
+// doKeyed is do with an Idempotency-Key header.
+func doKeyed(t *testing.T, s *Server, method, target, body, key string, out any) int {
+	t.Helper()
+	r := httptest.NewRequest(method, target, strings.NewReader(body))
+	r.Header.Set("Idempotency-Key", key)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: undecodable response %q: %v", method, target, w.Body.String(), err)
+		}
+	}
+	return w.Code
+}
+
+// TestServerRecoversStreamsAfterRestart is the service-level crash-recovery
+// contract: a server pointed at the segment directory of a previous
+// (closed) server rebuilds every named stream before serving — same
+// version, and a pinned query over the recovered log is bit-identical to
+// the same query served by the first server.
+func TestServerRecoversStreamsAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentDir: dir, SegmentSize: 16}
+	query := `{"stream":"live","pattern":"triangle","trials":200,"seed":7}`
+
+	a, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitReady(context.Background()); err != nil {
+		t.Fatalf("server A recovery: %v", err)
+	}
+	edges := seedStream(t, a, "live", 48, 100)
+
+	var before wire.QueryResult
+	if code := do(t, a, "POST", "/v1/queries", query, &before); code != http.StatusOK {
+		t.Fatalf("query before restart: %d", code)
+	}
+	if before.StreamVersion != int64(edges) {
+		t.Fatalf("query pinned version %d, want %d", before.StreamVersion, edges)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.Close(ctx); err != nil {
+		t.Fatalf("close server A: %v", err)
+	}
+
+	b := newTestServer(t, opts)
+	if err := b.WaitReady(context.Background()); err != nil {
+		t.Fatalf("server B recovery: %v", err)
+	}
+	var h wire.Health
+	if code := do(t, b, "GET", "/healthz", "", &h); code != http.StatusOK || h.Status != "ready" {
+		t.Fatalf("healthz after recovery: code %d, %+v", code, h)
+	}
+	var info wire.StreamInfo
+	if code := do(t, b, "GET", "/v1/streams/live/stats", "", &info); code != http.StatusOK {
+		t.Fatalf("stats after recovery: %d", code)
+	}
+	if info.Version != int64(edges) || !info.Appendable {
+		t.Fatalf("recovered stream %+v, want version %d", info, edges)
+	}
+	var after wire.QueryResult
+	if code := do(t, b, "POST", "/v1/queries", query, &after); code != http.StatusOK {
+		t.Fatalf("query after restart: %d", code)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("recovered query diverged:\n before %+v\n after  %+v", before, after)
+	}
+
+	// The recovered stream keeps ingesting: re-create must conflict, append
+	// must extend the recovered version.
+	if code := do(t, b, "POST", "/v1/streams", `{"name":"live","n":48}`, nil); code != http.StatusConflict {
+		t.Errorf("re-creating recovered stream: code %d, want conflict", code)
+	}
+	var resp wire.AppendResponse
+	if code := do(t, b, "POST", "/v1/streams/live/edges", `{"updates":[{"u":0,"v":1}]}`, &resp); code != http.StatusOK {
+		t.Fatalf("append after recovery: %d", code)
+	}
+	if resp.Version != int64(edges)+1 {
+		t.Errorf("append after recovery version %d, want %d", resp.Version, edges+1)
+	}
+}
+
+// TestRecoveringGate: while durable streams are being rebuilt, every
+// endpoint that touches stream state answers 503 + Retry-After with the
+// typed "recovering" code, and healthz reports the state; once ready, the
+// same requests pass.
+func TestRecoveringGate(t *testing.T) {
+	s := newTestServer(t, Options{})
+	createStream(t, s, "live", 16)
+	s.recovering.Store(true)
+
+	for _, tc := range []struct{ method, target, body string }{
+		{"POST", "/v1/streams", `{"name":"x","n":8}`},
+		{"POST", "/v1/streams/live/edges", `{"updates":[{"u":0,"v":1}]}`},
+		{"POST", "/v1/queries", `{"stream":"live","pattern":"triangle"}`},
+		{"POST", "/v1/watches", `{"stream":"live","pattern":"triangle"}`},
+		// Stream reads are gated too: before recovery registers a stream,
+		// stats would 404 it — a lie, and one clients would not retry.
+		{"GET", "/v1/streams/live/stats", ""},
+	} {
+		r := httptest.NewRequest(tc.method, tc.target, strings.NewReader(tc.body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s while recovering: code %d, want 503", tc.method, tc.target, w.Code)
+		}
+		if ra := w.Header().Get("Retry-After"); ra == "" {
+			t.Errorf("%s %s while recovering: no Retry-After header", tc.method, tc.target)
+		}
+		var e wire.Error
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Code != wire.CodeRecovering {
+			t.Errorf("%s %s while recovering: body %s, want code %q", tc.method, tc.target, w.Body.String(), wire.CodeRecovering)
+		}
+	}
+	var h wire.Health
+	if code := do(t, s, "GET", "/healthz", "", &h); code != http.StatusServiceUnavailable || h.Status != "recovering" {
+		t.Errorf("healthz while recovering: code %d status %q", code, h.Status)
+	}
+
+	s.recovering.Store(false)
+	if code := do(t, s, "GET", "/healthz", "", &h); code != http.StatusOK || h.Status != "ready" {
+		t.Errorf("healthz after recovery: code %d status %q", code, h.Status)
+	}
+	var resp wire.AppendResponse
+	if code := do(t, s, "POST", "/v1/streams/live/edges", `{"updates":[{"u":0,"v":1}]}`, &resp); code != http.StatusOK {
+		t.Errorf("append after recovery: code %d", code)
+	}
+}
+
+// TestAppendIdempotency: replaying an append with the same Idempotency-Key
+// returns the original receipt (marked deduped) without double-publishing;
+// a fresh key appends; a failed attempt does not burn its key.
+func TestAppendIdempotency(t *testing.T) {
+	s := newTestServer(t, Options{})
+	createStream(t, s, "idem", 16)
+	batch := `{"updates":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":3}]}`
+
+	var first wire.AppendResponse
+	if code := doKeyed(t, s, "POST", "/v1/streams/idem/edges", batch, "k1", &first); code != http.StatusOK {
+		t.Fatalf("first append: %d", code)
+	}
+	if first.Version != 3 || first.Deduped {
+		t.Fatalf("first append %+v, want version 3, not deduped", first)
+	}
+
+	var replay wire.AppendResponse
+	if code := doKeyed(t, s, "POST", "/v1/streams/idem/edges", batch, "k1", &replay); code != http.StatusOK {
+		t.Fatalf("replay: %d", code)
+	}
+	if !replay.Deduped || replay.Version != 3 || replay.Appended != 3 {
+		t.Fatalf("replay %+v, want deduped receipt version 3", replay)
+	}
+	var info wire.StreamInfo
+	if code := do(t, s, "GET", "/v1/streams/idem/stats", "", &info); code != http.StatusOK || info.Version != 3 {
+		t.Fatalf("after replay: stream at version %d, want 3 (no double publish)", info.Version)
+	}
+
+	// A different key is a different append.
+	var second wire.AppendResponse
+	if code := doKeyed(t, s, "POST", "/v1/streams/idem/edges", batch, "k2", &second); code != http.StatusOK {
+		t.Fatalf("second key: %d", code)
+	}
+	if second.Deduped || second.Version != 6 {
+		t.Fatalf("second key %+v, want fresh append to version 6", second)
+	}
+
+	// Keys are scoped per stream: the same key on another stream appends.
+	createStream(t, s, "other", 16)
+	var cross wire.AppendResponse
+	if code := doKeyed(t, s, "POST", "/v1/streams/other/edges", batch, "k1", &cross); code != http.StatusOK {
+		t.Fatalf("cross-stream key: %d", code)
+	}
+	if cross.Deduped || cross.Version != 3 {
+		t.Fatalf("cross-stream key %+v, want fresh append", cross)
+	}
+
+	// A failed attempt must not burn the key: the bad batch 400s, then the
+	// corrected batch under the same key applies for real.
+	if code := doKeyed(t, s, "POST", "/v1/streams/idem/edges", `{"updates":[{"op":"?","u":0,"v":1}]}`, "k3", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad batch: code %d, want 400", code)
+	}
+	var retry wire.AppendResponse
+	if code := doKeyed(t, s, "POST", "/v1/streams/idem/edges", batch, "k3", &retry); code != http.StatusOK {
+		t.Fatalf("retry after failure: %d", code)
+	}
+	if retry.Deduped || retry.Version != 9 {
+		t.Fatalf("retry after failure %+v, want fresh append to version 9", retry)
+	}
+}
+
+// TestEvictFailuresSurfaced: a stream whose segment directory starts
+// failing keeps acknowledging appends (200 + warning) and the failure
+// count shows up in both the per-stream stats and /healthz.
+func TestEvictFailuresSurfaced(t *testing.T) {
+	ffs := stream.NewFaultFS(stream.OSFS())
+	flaky, err := stream.NewAppendable(32, stream.AppendableOptions{
+		SegmentSize: 1 << 12, Dir: t.TempDir(), FS: ffs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := streamcount.NewAppendableStream(8, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := streamcount.NewEngine(def)
+	defer eng.Close()
+	if err := eng.RegisterStream("flaky", flaky); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Options{Engine: eng})
+
+	ffs.FailWrites(1, nil, false)
+	var resp wire.AppendResponse
+	if code := do(t, s, "POST", "/v1/streams/flaky/edges", `{"updates":[{"u":0,"v":1},{"u":1,"v":2}]}`, &resp); code != http.StatusOK {
+		t.Fatalf("append during disk failure: code %d, want 200 + warning", code)
+	}
+	if resp.Warning == "" || resp.Version != 2 {
+		t.Fatalf("append during disk failure %+v, want warning and version 2", resp)
+	}
+
+	var info wire.StreamInfo
+	if code := do(t, s, "GET", "/v1/streams/flaky/stats", "", &info); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if info.EvictFailures == 0 {
+		t.Errorf("stats report no evict failures after injected fault: %+v", info)
+	}
+	var h wire.Health
+	if code := do(t, s, "GET", "/healthz", "", &h); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if h.EvictFailures == 0 {
+		t.Errorf("healthz reports no evict failures after injected fault: %+v", h)
+	}
+
+	// Disk heals: the next append retries the flush and succeeds cleanly.
+	ffs.Heal()
+	var healed wire.AppendResponse
+	if code := do(t, s, "POST", "/v1/streams/flaky/edges", `{"updates":[{"u":2,"v":3}]}`, &healed); code != http.StatusOK {
+		t.Fatalf("append after heal: %d", code)
+	}
+	if healed.Warning != "" {
+		t.Errorf("append after heal still warns: %+v", healed)
+	}
+}
+
+// TestWatchResumeAfterVersion: a watch opened with after_version skips
+// every version the client already observed and backfills the remembered
+// versions it missed while detached — the resumed transcript continues
+// gap- and duplicate-free.
+func TestWatchResumeAfterVersion(t *testing.T) {
+	s := newTestServer(t, Options{WatchHeartbeat: 20 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	createStream(t, s, "live", 60)
+
+	// Two batches before the watch exists: versions 4 and 7.
+	for _, batch := range []string{
+		`{"updates":[{"u":0,"v":1},{"u":1,"v":2},{"u":0,"v":2},{"u":2,"v":3}]}`,
+		`{"updates":[{"u":3,"v":4},{"u":0,"v":3},{"u":1,"v":3}]}`,
+	} {
+		if code := do(t, s, "POST", "/v1/streams/live/edges", batch, nil); code != http.StatusOK {
+			t.Fatalf("append: %d", code)
+		}
+	}
+
+	// Resume past version 4: the backfilled version 7 must arrive, version 4
+	// must not.
+	r, _, closeBody := startWatch(t, ts,
+		`{"stream":"live","pattern":"triangle","trials":200,"seed":3,"policy":"every","after_version":4}`)
+	defer closeBody()
+
+	readResult := func() wire.WatchEvent {
+		t.Helper()
+		ev, err := readSSE(t, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.name != "result" {
+			t.Fatalf("event %q (%s), want result", ev.name, ev.data)
+		}
+		var we wire.WatchEvent
+		if err := json.Unmarshal(ev.data, &we); err != nil {
+			t.Fatal(err)
+		}
+		return we
+	}
+
+	first := readResult()
+	if first.Result.StreamVersion != 7 {
+		t.Fatalf("resumed watch first event at version %d, want 7", first.Result.StreamVersion)
+	}
+	if code := do(t, s, "POST", "/v1/streams/live/edges", `{"updates":[{"u":4,"v":5},{"u":2,"v":4},{"u":1,"v":4}]}`, nil); code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	second := readResult()
+	if second.Result.StreamVersion != 10 {
+		t.Fatalf("resumed watch second event at version %d, want 10", second.Result.StreamVersion)
+	}
+
+	// Bad after_version is a validation error, not a silent clamp.
+	var e wire.Error
+	resp, err := ts.Client().Post(ts.URL+"/v1/watches", "application/json",
+		strings.NewReader(`{"stream":"live","pattern":"triangle","after_version":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative after_version: status %d, want 400", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Code != wire.CodeBadConfig {
+		t.Fatalf("negative after_version: body code %q, want %q", e.Code, wire.CodeBadConfig)
+	}
+}
+
+// TestWatchWriteTimeoutResolution pins the Options contract: zero selects
+// the default, negative disables, positive passes through.
+func TestWatchWriteTimeoutResolution(t *testing.T) {
+	for _, tc := range []struct {
+		opt  time.Duration
+		want time.Duration
+	}{
+		{0, DefaultWatchWriteTimeout},
+		{-1, 0},
+		{3 * time.Second, 3 * time.Second},
+	} {
+		s := &Server{opts: Options{WatchWriteTimeout: tc.opt}}
+		if got := s.watchWriteTimeout(); got != tc.want {
+			t.Errorf("watchWriteTimeout(%v) = %v, want %v", tc.opt, got, tc.want)
+		}
+	}
+}
+
+// TestSSEWriterDeadlineUnsupported: deadlines degrade gracefully on
+// transports that cannot set them (httptest recorders) — events still flow.
+func TestSSEWriterDeadlineUnsupported(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sse := newSSEWriter(rec, rec, time.Second)
+	if err := sse.event("watch", wire.WatchStarted{ID: "w1"}); err != nil {
+		t.Fatalf("event over deadline-free transport: %v", err)
+	}
+	if err := sse.heartbeat(); err != nil {
+		t.Fatalf("heartbeat over deadline-free transport: %v", err)
+	}
+	if !strings.Contains(rec.Body.String(), "event: watch") {
+		t.Fatalf("sse output %q", rec.Body.String())
+	}
+}
+
+// TestSlowConsumerEndsWatch: when an event write fails, the handler emits a
+// best-effort terminal slow_consumer event rather than leaving the watch
+// silently dead.
+func TestSlowConsumerEndsWatch(t *testing.T) {
+	w := &failingResponseWriter{failAfter: 2} // watch event + 1 result, then fail
+	sse := newSSEWriter(w, w, 0)
+	if err := sse.event("watch", wire.WatchStarted{ID: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sse.event("result", wire.WatchEvent{Generation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sse.event("result", wire.WatchEvent{Generation: 2}); err == nil {
+		t.Fatal("third write should fail")
+	}
+	// The handler's recovery: a best-effort end event (also failing here —
+	// the writer is dead — but it must not panic or block).
+	_ = sse.event("end", wire.WatchEnd{Code: wire.CodeSlowConsumer})
+}
+
+// failingResponseWriter accepts failAfter writes and then fails.
+type failingResponseWriter struct {
+	httptest.ResponseRecorder
+	writes    int
+	failAfter int
+}
+
+func (f *failingResponseWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.failAfter {
+		return 0, fmt.Errorf("connection gone")
+	}
+	return len(p), nil
+}
+
+func (f *failingResponseWriter) Header() http.Header { return http.Header{} }
+
+func (f *failingResponseWriter) Flush() {}

@@ -26,7 +26,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -54,6 +56,17 @@ const maxActiveWatches = 1024
 // line keeps idle watch connections alive through proxies and lets clients
 // distinguish "no new versions" from a dead connection.
 const DefaultWatchHeartbeat = 15 * time.Second
+
+// DefaultWatchWriteTimeout is the default per-write deadline on SSE watch
+// streams: a connection that cannot accept an event within it is treated as
+// dead and the watch is ended with a terminal "slow_consumer" event, so one
+// stuck client cannot pin a watch goroutine (and a registry slot) forever.
+const DefaultWatchWriteTimeout = 15 * time.Second
+
+// maxAppendDedup bounds the idempotency-key registry. Completed receipts
+// are evicted oldest-first past the bound; in-flight entries are never
+// evicted.
+const maxAppendDedup = 1 << 16
 
 // DefaultStreamN is the vertex-range of the default stream the server
 // creates when no engine is supplied. Clients normally create their own
@@ -83,6 +96,13 @@ type Options struct {
 	// WatchHeartbeat is the SSE heartbeat interval for standing queries
 	// (0: DefaultWatchHeartbeat).
 	WatchHeartbeat time.Duration
+	// WatchWriteTimeout is the per-write deadline on SSE watch streams
+	// (0: DefaultWatchWriteTimeout). Negative disables the deadline.
+	WatchWriteTimeout time.Duration
+	// Sync makes durable streams fsync the tail segment file on every
+	// append, hardening acknowledged appends against machine crashes (not
+	// just process kills) at a large throughput cost.
+	Sync bool
 }
 
 // Server is the HTTP handler for one engine. Create with New, serve with
@@ -108,6 +128,19 @@ type Server struct {
 
 	rejectedWatches atomic.Int64
 
+	// appends is the Idempotency-Key dedup registry: stream+key -> receipt.
+	// Guarded by mu; appendOrder tracks insertion for bounded retention.
+	appends     map[string]*appendDedup
+	appendOrder []string
+
+	// recovering is true from New until every durable stream found under
+	// SegmentDir has been rebuilt and registered; POSTs are rejected with
+	// 503 + Retry-After until then. ready closes when recovery finishes
+	// (recoveryErr then holds any failures).
+	recovering  atomic.Bool
+	ready       chan struct{}
+	recoveryErr error
+
 	draining atomic.Bool
 	jobs     sync.WaitGroup
 	jobCtx   context.Context
@@ -121,15 +154,16 @@ type Server struct {
 }
 
 // New builds a server over opts.Engine, or over a fresh engine with an
-// empty appendable default stream when none is given.
+// empty appendable default stream when none is given. With SegmentDir set,
+// streams a previous (possibly killed) process persisted there are
+// recovered: the default stream synchronously, named streams on a
+// background goroutine — the server answers /healthz as "recovering" and
+// rejects POSTs with 503 + Retry-After until WaitReady would return.
 func New(opts Options) (*Server, error) {
 	eng := opts.Engine
 	own := false
 	if eng == nil {
-		def, err := streamcount.NewAppendableStream(DefaultStreamN, streamcount.AppendableOptions{
-			SegmentSize: opts.SegmentSize,
-			Dir:         segmentDir(opts.SegmentDir, "_default"),
-		})
+		def, err := openOrCreateStream(opts, "_default", DefaultStreamN, opts.SegmentSize)
 		if err != nil {
 			return nil, fmt.Errorf("server: default stream: %w", err)
 		}
@@ -145,12 +179,20 @@ func New(opts Options) (*Server, error) {
 		mux:        http.NewServeMux(),
 		queries:    make(map[string]*asyncQuery),
 		watches:    make(map[string]*serverWatch),
+		appends:    make(map[string]*appendDedup),
 		maxAsync:   maxAsyncQueries,
 		maxWatches: maxActiveWatches,
+		ready:      make(chan struct{}),
 		jobCtx:     jobCtx,
 		jobStop:    jobStop,
 		watchCtx:   watchCtx,
 		watchStop:  watchStop,
+	}
+	if opts.SegmentDir != "" {
+		s.recovering.Store(true)
+		go s.recoverStreams()
+	} else {
+		close(s.ready) // nothing durable: born ready
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/streams", s.handleCreateStream)
@@ -171,6 +213,84 @@ func segmentDir(base, name string) string {
 		return ""
 	}
 	return filepath.Join(base, name)
+}
+
+// openOrCreateStream recovers the named stream from its segment directory
+// when one exists there, and creates a fresh stream otherwise. A directory
+// that exists but fails recovery (corrupt manifest, contradicted segments)
+// is a hard error — serving a fresh empty stream over damaged data would
+// silently lose it.
+func openOrCreateStream(opts Options, name string, n int64, size int) (*streamcount.AppendableStream, error) {
+	dir := segmentDir(opts.SegmentDir, name)
+	if dir != "" {
+		st, err := streamcount.OpenAppendableStream(dir, streamcount.AppendableOptions{Sync: opts.Sync})
+		if err == nil {
+			return st, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+	}
+	return streamcount.NewAppendableStream(n, streamcount.AppendableOptions{
+		SegmentSize: size,
+		Dir:         dir,
+		Sync:        opts.Sync,
+	})
+}
+
+// recoverStreams rebuilds every named stream persisted under SegmentDir and
+// flips the server ready. Runs once, on its own goroutine, from New.
+func (s *Server) recoverStreams() {
+	defer func() {
+		s.recovering.Store(false)
+		close(s.ready)
+	}()
+	if s.opts.SegmentDir == "" {
+		return
+	}
+	entries, err := os.ReadDir(s.opts.SegmentDir)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.recoveryErr = fmt.Errorf("server: recovery: %w", err)
+		}
+		return
+	}
+	var errs []error
+	registered := make(map[string]bool)
+	for _, name := range s.eng.Streams() {
+		registered[name] = true
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		// Only directories that are valid stream names can have been written
+		// by a previous server; "_default" was recovered synchronously in New.
+		if !ent.IsDir() || !validStreamName(name) || registered[name] {
+			continue
+		}
+		st, err := streamcount.OpenAppendableStream(segmentDir(s.opts.SegmentDir, name), streamcount.AppendableOptions{Sync: s.opts.Sync})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: recovering stream %q: %w", name, err))
+			continue
+		}
+		if err := s.eng.RegisterStream(name, st); err != nil {
+			errs = append(errs, fmt.Errorf("server: recovering stream %q: %w", name, err))
+		}
+	}
+	s.recoveryErr = errors.Join(errs...)
+}
+
+// WaitReady blocks until recovery has finished (every durable stream found
+// under SegmentDir rebuilt and registered) or ctx expires. It returns the
+// recovery failures, if any: a non-nil error means some persisted stream
+// could NOT be rebuilt — the server still serves the healthy ones, and the
+// caller decides whether that is fatal.
+func (s *Server) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return s.recoveryErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Engine returns the engine the server fronts.

@@ -382,7 +382,7 @@ func TestHealthz(t *testing.T) {
 	if code := do(t, s, "GET", "/healthz", "", &body); code != http.StatusOK {
 		t.Fatalf("healthz: %d", code)
 	}
-	if body.Status != "ok" {
+	if body.Status != "ready" {
 		t.Errorf("healthz body %+v", body)
 	}
 	if body.Watches.Active != 0 || body.Queries.Active != 0 {

@@ -71,12 +71,45 @@ func (s *Server) watchHeartbeat() time.Duration {
 	return DefaultWatchHeartbeat
 }
 
+// watchWriteTimeout resolves the per-write SSE deadline (0 selects the
+// default; negative disables deadlines).
+func (s *Server) watchWriteTimeout() time.Duration {
+	switch {
+	case s.opts.WatchWriteTimeout > 0:
+		return s.opts.WatchWriteTimeout
+	case s.opts.WatchWriteTimeout < 0:
+		return 0
+	default:
+		return DefaultWatchWriteTimeout
+	}
+}
+
 // sseWriter serializes one Server-Sent-Events stream: JSON events named by
 // type, comment-line heartbeats, a flush after every write so events reach
-// the client immediately.
+// the client immediately. With a timeout set, every write carries a
+// deadline: a connection that cannot drain an event within it fails the
+// write instead of blocking the watch goroutine forever.
 type sseWriter struct {
-	w http.ResponseWriter
-	f http.Flusher
+	w       http.ResponseWriter
+	f       http.Flusher
+	rc      *http.ResponseController
+	timeout time.Duration
+}
+
+func newSSEWriter(w http.ResponseWriter, f http.Flusher, timeout time.Duration) *sseWriter {
+	return &sseWriter{w: w, f: f, rc: http.NewResponseController(w), timeout: timeout}
+}
+
+// armDeadline sets the write deadline for the next write. Transports that
+// do not support deadlines (test recorders) are left deadline-free.
+func (s *sseWriter) armDeadline() {
+	if s.timeout <= 0 {
+		return
+	}
+	if err := s.rc.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		// Nothing actionable: the next write surfaces any real failure.
+		_ = err
+	}
 }
 
 func (s *sseWriter) event(name string, v any) error {
@@ -84,6 +117,7 @@ func (s *sseWriter) event(name string, v any) error {
 	if err != nil {
 		return err
 	}
+	s.armDeadline()
 	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
 		return err
 	}
@@ -92,6 +126,7 @@ func (s *sseWriter) event(name string, v any) error {
 }
 
 func (s *sseWriter) heartbeat() error {
+	s.armDeadline()
 	if _, err := fmt.Fprint(s.w, ": hb\n\n"); err != nil {
 		return err
 	}
@@ -106,7 +141,7 @@ func (s *sseWriter) heartbeat() error {
 // while idle, and exactly one terminal "end" event when the watch ends —
 // client gone, server draining, or a failed evaluation.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectRecovering(w) {
 		return
 	}
 	flusher, ok := w.(http.Flusher)
@@ -137,6 +172,16 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			policy, wire.PolicyLatest, wire.PolicyEvery, streamcount.ErrBadConfig))
 		return
 	}
+	if req.After < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("after_version %d must be non-negative: %w",
+			req.After, streamcount.ErrBadConfig))
+		return
+	}
+	if req.After > 0 {
+		// Resumption: a reconnecting client skips every version it already
+		// observed, so the combined transcript stays gap- and duplicate-free.
+		opts = append(opts, streamcount.WatchAfter(req.After))
+	}
 
 	// The watch lives until the client goes away or the server drains,
 	// whichever first.
@@ -164,7 +209,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
 	w.WriteHeader(http.StatusOK)
-	sse := &sseWriter{w: w, f: flusher}
+	sse := newSSEWriter(w, flusher, s.watchWriteTimeout())
 	if err := sse.event("watch", wire.WatchStarted{ID: sw.info.ID, Stream: req.Stream, Policy: policy}); err != nil {
 		return
 	}
@@ -187,7 +232,15 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 				Generation: ev.Generation,
 				Result:     outcomeDTO(req.Stream, ev.Result),
 			}); err != nil {
-				return // client gone; sub.Close unwinds the watch
+				// The client is gone or too slow to drain events within the
+				// write deadline. Cut the watch; a best-effort terminal event
+				// (fresh deadline — the socket may merely be congested) tells
+				// a live-but-slow client to reconnect with after_version.
+				_ = sse.event("end", wire.WatchEnd{
+					Error: "event write failed or timed out; resume with after_version",
+					Code:  wire.CodeSlowConsumer,
+				})
+				return // sub.Close unwinds the watch
 			}
 		case <-heartbeat.C:
 			if err := sse.heartbeat(); err != nil {

@@ -5,10 +5,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"streamcount/internal/graph"
 )
@@ -18,18 +21,29 @@ import (
 // segment directory is configured, flushed to disk and dropped from memory).
 const DefaultSegmentSize = 1 << 15
 
-// AppendableOptions configures NewAppendable.
+// AppendableOptions configures NewAppendable and OpenAppendable.
 type AppendableOptions struct {
 	// SegmentSize is the number of updates per segment (default
 	// DefaultSegmentSize). Smaller segments bound memory more tightly when a
 	// Dir is set; larger segments amortize the per-segment file overhead.
+	// Ignored by OpenAppendable, which takes the size from the manifest.
 	SegmentSize int
-	// Dir, when non-empty, makes the log file-backed: sealed segments are
-	// written to Dir as binary segment files and evicted from memory, so an
-	// Appendable can outgrow RAM the same way a File stream can. The
-	// directory is created if absent. Views replay evicted segments from
-	// disk.
+	// Dir, when non-empty, makes the log durable: every Append is written
+	// to the current tail segment file before it is acknowledged, sealed
+	// segments are completed, fsynced and evicted from memory, and a
+	// checksummed MANIFEST tracks the sealed prefix — so the log both
+	// outgrows RAM and survives a process kill (OpenAppendable rebuilds it).
+	// The directory is created if absent. Ignored by OpenAppendable, which
+	// is given the directory explicitly.
 	Dir string
+	// Sync, when set, fsyncs the tail segment file on every Append, making
+	// acknowledged appends survive a machine crash, not just a process
+	// kill. Off by default: completed write syscalls already survive
+	// SIGKILL, and sealing always fsyncs.
+	Sync bool
+	// FS substitutes the filesystem (nil: the real one). The seam exists
+	// for the fault-injection harness; production code leaves it nil.
+	FS FS
 }
 
 // segment is one fixed-capacity run of the log. Exactly one of mem/path is
@@ -41,6 +55,18 @@ type segment struct {
 	mem   []Update
 	path  string
 	count int
+}
+
+// pendingSeal is a full segment whose file has not yet been completed and
+// fsynced: it keeps its memory until the seal succeeds — retried on every
+// subsequent Append — so the log stays replayable through disk trouble.
+// fh/durable carry the tail file's incremental write state into the seal;
+// after a failed incremental completion fh is nil and the retry rewrites
+// the whole file.
+type pendingSeal struct {
+	seg     *segment
+	fh      FileHandle
+	durable int
 }
 
 // An Appendable is a versioned, append-only graph stream: a growing edge
@@ -57,6 +83,14 @@ type segment struct {
 // length. Views capture their segment references at creation time and are
 // unaffected by later eviction.
 //
+// With a directory the log is also durable (DESIGN.md §9): each Append's
+// records are written — CRC32C-checksummed — to the tail segment file
+// before Append returns, and a checksummed MANIFEST commits the sealed
+// prefix atomically on every seal. A cleanly acknowledged Append (nil
+// error) is therefore recoverable after a process kill via OpenAppendable;
+// an Append acknowledged with ErrEvictFailed is published in memory but its
+// durability is degraded until a later Append's retry catches the disk up.
+//
 // An *Appendable is itself a Stream for convenience: each pass pins the
 // version current at that call. Multi-pass algorithms must NOT consume an
 // Appendable directly while it is being appended to — different passes
@@ -68,6 +102,22 @@ type segment struct {
 type Appendable struct {
 	n    int64
 	opts AppendableOptions
+	fs   FS
+
+	// wmu serializes appenders and owns all disk state: the tail file
+	// handle and its durable-record watermark, the pending-seal queue, and
+	// the manifest version. Memory publication (under mu) happens inside
+	// the wmu critical section, so disk order always matches log order.
+	wmu         sync.Mutex
+	tailFile    FileHandle
+	tailStart   int64
+	tailDurable int
+	pending     []*pendingSeal
+	manifestVer int64
+
+	// evictFailures counts failed seal / tail-write / manifest operations:
+	// each one left data RAM-pinned or non-durable until a later retry.
+	evictFailures atomic.Int64
 
 	mu          sync.Mutex
 	segs        []*segment
@@ -75,7 +125,9 @@ type Appendable struct {
 	firstDelete int64 // global index of the first Delete; -1 while insert-only
 }
 
-// NewAppendable creates an empty appendable stream over n vertices.
+// NewAppendable creates an empty appendable stream over n vertices. With
+// Dir set, the directory must not already hold a stream manifest — reopen
+// an existing log with OpenAppendable instead of silently clobbering it.
 func NewAppendable(n int64, opts AppendableOptions) (*Appendable, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("stream: NewAppendable: vertex count %d must be positive", n)
@@ -83,12 +135,138 @@ func NewAppendable(n int64, opts AppendableOptions) (*Appendable, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
 	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	a := &Appendable{n: n, opts: opts, fs: fsys, firstDelete: -1}
 	if opts.Dir != "" {
-		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(opts.Dir); err != nil {
 			return nil, fmt.Errorf("stream: NewAppendable: %w", err)
 		}
+		if _, err := readManifest(fsys, opts.Dir); err == nil {
+			return nil, fmt.Errorf("stream: NewAppendable: %s already holds a stream (recover it with OpenAppendable)", opts.Dir)
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("stream: NewAppendable: %s: %w", opts.Dir, err)
+		}
+		if err := writeManifest(fsys, opts.Dir, &manifest{N: n, SegmentSize: opts.SegmentSize, FirstDelete: -1}); err != nil {
+			return nil, fmt.Errorf("stream: NewAppendable: initial manifest: %w", err)
+		}
 	}
-	return &Appendable{n: n, opts: opts, firstDelete: -1}, nil
+	return a, nil
+}
+
+// OpenAppendable rebuilds an Appendable from a segment directory written by
+// a previous (possibly killed) process: it verifies the checksummed
+// manifest (ErrManifestCorrupt on mismatch), validates the sealed segments
+// it lists (ErrSegmentCorrupt on a size contradiction), forward-scans past
+// the watermark for segments whose data was fully written but whose
+// manifest commit was lost, and truncates a torn tail segment to its
+// longest CRC-valid record prefix rather than failing. The recovered log
+// resumes appending exactly where the durable prefix ends.
+//
+// opts.SegmentSize and opts.Dir are taken from the manifest/argument;
+// opts.Sync and opts.FS apply as in NewAppendable.
+func OpenAppendable(dir string, opts AppendableOptions) (*Appendable, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("stream: OpenAppendable: empty directory")
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	m, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("stream: OpenAppendable(%s): %w", dir, err)
+	}
+	opts.SegmentSize = m.SegmentSize
+	opts.Dir = dir
+	a := &Appendable{n: m.N, opts: opts, fs: fsys, firstDelete: -1}
+	if m.FirstDelete >= 0 {
+		a.firstDelete = m.FirstDelete
+	}
+	// Sealed prefix: cheap size validation here; records are CRC-verified
+	// on every replay.
+	v := int64(0)
+	for _, ms := range m.Segments {
+		path := a.segPath(ms.Start)
+		size, err := fsys.Size(path)
+		if err != nil {
+			return nil, fmt.Errorf("stream: OpenAppendable(%s): sealed segment at %d: %w: %v", dir, ms.Start, ErrSegmentCorrupt, err)
+		}
+		if want := int64(segHeaderSize) + int64(ms.Count)*segRecordSize; size != want {
+			return nil, fmt.Errorf("stream: OpenAppendable(%s): sealed segment at %d is %d bytes, want %d: %w", dir, ms.Start, size, want, ErrSegmentCorrupt)
+		}
+		a.segs = append(a.segs, &segment{start: ms.Start, path: path, count: ms.Count})
+		v += int64(ms.Count)
+	}
+	a.manifestVer = v
+	// Forward scan past the watermark: first any segments whose records all
+	// made it to disk before the kill (their manifest commit didn't), then
+	// the torn tail, truncated to its longest valid record prefix.
+	for {
+		recs, complete, err := scanSegment(fsys, a.segPath(v), m.SegmentSize)
+		if errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stream: OpenAppendable(%s): scanning segment at %d: %w", dir, v, err)
+		}
+		if a.firstDelete < 0 {
+			for i, u := range recs {
+				if u.Op == Delete {
+					a.firstDelete = v + int64(i)
+					break
+				}
+			}
+		}
+		if complete {
+			a.segs = append(a.segs, &segment{start: v, path: a.segPath(v), count: m.SegmentSize})
+			v += int64(m.SegmentSize)
+			continue
+		}
+		// The torn tail. Reload it into memory and reopen its file for
+		// incremental appends, cut back to the valid prefix.
+		mem := make([]Update, 0, m.SegmentSize)
+		mem = append(mem, recs...)
+		seg := &segment{start: v, mem: mem, count: len(recs)}
+		fh, err := a.reopenTail(v, len(recs))
+		if err != nil {
+			return nil, fmt.Errorf("stream: OpenAppendable(%s): truncating torn tail at %d: %w", dir, v, err)
+		}
+		a.segs = append(a.segs, seg)
+		a.tailFile, a.tailStart, a.tailDurable = fh, v, len(recs)
+		v += int64(len(recs))
+		break
+	}
+	a.version = v
+	// Commit forward-scanned sealed segments into the manifest so the next
+	// recovery starts from the full watermark.
+	if mm := a.currentManifest(); mm.Version > a.manifestVer {
+		if err := writeManifest(fsys, dir, mm); err != nil {
+			return nil, fmt.Errorf("stream: OpenAppendable(%s): manifest update: %w", dir, err)
+		}
+		a.manifestVer = mm.Version
+	}
+	return a, nil
+}
+
+// reopenTail reopens a recovered tail segment file truncated to its valid
+// count-record prefix. A tail with no valid records (or no valid header) is
+// recreated from scratch.
+func (a *Appendable) reopenTail(start int64, count int) (FileHandle, error) {
+	if count == 0 {
+		return a.createTail(start)
+	}
+	fh, err := a.fs.OpenFile(a.segPath(start), os.O_RDWR)
+	if err != nil {
+		return nil, err
+	}
+	if err := fh.Truncate(int64(segHeaderSize) + int64(count)*segRecordSize); err != nil {
+		fh.Close()
+		return nil, err
+	}
+	return fh, nil
 }
 
 // N returns the number of vertices.
@@ -112,6 +290,40 @@ func (a *Appendable) InsertOnly() bool {
 	return a.firstDelete < 0
 }
 
+// EvictFailures returns the number of failed durability operations (tail
+// writes, segment seals, manifest commits) so far. A nonzero growing value
+// means published data is RAM-pinned or not yet durable; the counter stops
+// growing once a later Append's retry catches the disk up.
+func (a *Appendable) EvictFailures() int64 { return a.evictFailures.Load() }
+
+// Close flushes and closes the tail segment file. The log remains readable
+// (Views stay valid) but must not be appended to afterwards. Close is safe
+// alongside replays and idempotent; without a directory it is a no-op.
+func (a *Appendable) Close() error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	var first error
+	for _, p := range a.pending {
+		if p.fh != nil {
+			if err := p.fh.Close(); err != nil && first == nil {
+				first = err
+			}
+			p.fh = nil
+		}
+	}
+	if a.tailFile != nil {
+		if err := a.tailFile.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := a.tailFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		a.tailFile = nil
+		a.tailDurable = 0
+	}
+	return first
+}
+
 // ForEach implements Stream, pinning the version current at the call.
 func (a *Appendable) ForEach(fn func(Update) error) error {
 	return a.Snapshot().ForEach(fn)
@@ -122,17 +334,23 @@ func (a *Appendable) ForEachBatch(fn func([]Update) error) error {
 	return a.Snapshot().ForEachBatch(fn)
 }
 
-// ErrEvictFailed reports that appended updates were all published but a
-// full segment could not be flushed to the segment directory. The log is
-// intact and fully replayable (the segment stays in memory); the error
-// only means disk eviction — and its memory bound — is not happening.
+// ErrEvictFailed reports that appended updates were all published but could
+// not be made (fully) durable: a tail write, segment seal, or manifest
+// commit failed. The log is intact and fully replayable — affected segments
+// stay in memory — and every subsequent Append retries the failed work, so
+// the condition heals with the disk. Until it does, the EvictFailures
+// counter grows, memory is not being reclaimed, and a process kill would
+// lose the batches acknowledged with this error (and only those).
 var ErrEvictFailed = errors.New("stream: segment eviction failed")
 
 // Append validates ups and appends them: a validation failure publishes
 // nothing and the log is unchanged; otherwise every update is published
-// and the new version is returned. A non-nil error alongside a published
-// batch wraps ErrEvictFailed — a disk-backing problem, not a log problem —
-// so callers can report it without treating the batch as lost.
+// and the new version is returned. With a segment directory, the batch is
+// also written to the tail segment file (and any filled segments sealed and
+// evicted) before returning: a nil error means the batch is durable against
+// a process kill. A non-nil error alongside a published batch wraps
+// ErrEvictFailed — a disk-backing problem, not a log problem — so callers
+// can report it without treating the batch as lost.
 // Append is safe to call concurrently with replays of any View.
 func (a *Appendable) Append(ups []Update) (int64, error) {
 	for i, u := range ups {
@@ -146,7 +364,23 @@ func (a *Appendable) Append(ups []Update) (int64, error) {
 			return 0, fmt.Errorf("stream: append update %d has invalid op %d", i, u.Op)
 		}
 	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	version, full := a.publish(ups)
+	if a.opts.Dir == "" {
+		return version, nil
+	}
+	if err := a.persist(full); err != nil {
+		return version, err
+	}
+	return version, nil
+}
+
+// publish appends the validated batch to the in-memory log and returns the
+// new version plus any segments the batch filled.
+func (a *Appendable) publish(ups []Update) (int64, []*segment) {
 	a.mu.Lock()
+	defer a.mu.Unlock()
 	var full []*segment
 	for _, u := range ups {
 		tail := a.tailLocked()
@@ -165,37 +399,167 @@ func (a *Appendable) Append(ups []Update) (int64, error) {
 			full = append(full, tail)
 		}
 	}
-	version := a.version
-	a.mu.Unlock()
-	return version, a.seal(full)
+	return a.version, full
 }
 
-// seal flushes full segments to the segment directory and evicts their
-// memory. The file writes happen outside the log mutex — a slow disk must
-// not stall Version/At/Append — which is safe because a full segment's mem
-// is immutable and only the filling Append ever seals it. Without a
-// directory, segments simply stay in memory.
-func (a *Appendable) seal(full []*segment) error {
-	if a.opts.Dir == "" {
-		return nil
-	}
-	var evictErr error
+// persist makes the published batch durable, in log order: retry and
+// complete pending seals (oldest first), commit the sealed watermark to the
+// manifest, then write the open tail's new records to its file. Any failure
+// is reported as ErrEvictFailed — the batch stays published and replayable
+// from memory — and the failed work is retried by the next Append. After a
+// failed seal the tail write is skipped so the on-disk image stays a
+// contiguous prefix of the log.
+func (a *Appendable) persist(full []*segment) error {
 	for _, s := range full {
-		path := filepath.Join(a.opts.Dir, fmt.Sprintf("seg-%012d.bin", s.start))
-		if err := writeSegment(path, s.mem); err != nil {
-			// Publication already happened — the segment stays readable in
-			// memory; report the disk problem once.
-			if evictErr == nil {
-				evictErr = fmt.Errorf("%w: sealing segment at %d: %w", ErrEvictFailed, s.start, err)
-			}
-			continue
+		p := &pendingSeal{seg: s}
+		if a.tailFile != nil && a.tailStart == s.start {
+			p.fh, p.durable = a.tailFile, a.tailDurable
+			a.tailFile, a.tailDurable = nil, 0
 		}
+		a.pending = append(a.pending, p)
+	}
+	var firstErr, sealErr error
+	for len(a.pending) > 0 {
+		p := a.pending[0]
+		if err := a.completeSeal(p); err != nil {
+			a.evictFailures.Add(1)
+			sealErr = err
+			firstErr = fmt.Errorf("%w: sealing segment at %d: %w", ErrEvictFailed, p.seg.start, err)
+			break
+		}
+		a.pending = a.pending[1:]
 		a.mu.Lock()
-		s.path = path
-		s.mem = nil
+		p.seg.path = a.segPath(p.seg.start)
+		p.seg.mem = nil
 		a.mu.Unlock()
 	}
-	return evictErr
+	if m := a.currentManifest(); m.Version > a.manifestVer {
+		if err := writeManifest(a.fs, a.opts.Dir, m); err != nil {
+			// The sealed files themselves are durable and fsynced — recovery
+			// finds them by forward scan — so the eviction above stands; the
+			// watermark commit is retried on the next seal.
+			a.evictFailures.Add(1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: manifest commit: %w", ErrEvictFailed, err)
+			}
+		} else {
+			a.manifestVer = m.Version
+		}
+	}
+	// Tail catch-up — skipped only after a failed seal: the failed segment
+	// precedes the tail, and the on-disk image must stay a contiguous prefix
+	// of the log. A failed manifest commit alone does not break contiguity
+	// (the sealed files are on disk; recovery forward-scans past the stale
+	// watermark), so the tail still gets written.
+	if sealErr == nil {
+		if err := a.syncTail(); err != nil {
+			a.evictFailures.Add(1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: tail segment at %d: %w", ErrEvictFailed, a.tailStart, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// completeSeal writes the remainder of a full segment's file, fsyncs and
+// closes it. With no usable incremental handle the whole file is rewritten.
+func (a *Appendable) completeSeal(p *pendingSeal) error {
+	if p.fh == nil {
+		return writeSegment(a.fs, a.segPath(p.seg.start), p.seg.mem)
+	}
+	if err := writeRecords(p.fh, p.seg.mem, &p.durable); err != nil {
+		p.fh.Close()
+		p.fh = nil
+		return err
+	}
+	if err := p.fh.Sync(); err != nil {
+		p.fh.Close()
+		p.fh = nil
+		return err
+	}
+	err := p.fh.Close()
+	p.fh = nil
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncTail writes the open tail segment's not-yet-durable records to its
+// file, creating the file (header included) when the tail is new.
+func (a *Appendable) syncTail() error {
+	a.mu.Lock()
+	var tail *segment
+	if len(a.segs) > 0 {
+		if t := a.segs[len(a.segs)-1]; t.mem != nil && t.count < a.opts.SegmentSize {
+			tail = t
+		}
+	}
+	var mem []Update
+	if tail != nil {
+		mem = tail.mem[:tail.count]
+	}
+	a.mu.Unlock()
+	if tail == nil {
+		return nil
+	}
+	if a.tailFile == nil || a.tailStart != tail.start {
+		if a.tailFile != nil {
+			a.tailFile.Close()
+			a.tailFile = nil
+		}
+		fh, err := a.createTail(tail.start)
+		if err != nil {
+			return err
+		}
+		a.tailFile, a.tailStart, a.tailDurable = fh, tail.start, 0
+	}
+	if err := writeRecords(a.tailFile, mem, &a.tailDurable); err != nil {
+		return err
+	}
+	if a.opts.Sync {
+		return a.tailFile.Sync()
+	}
+	return nil
+}
+
+// createTail creates (or truncates) a fresh tail segment file and writes
+// its header.
+func (a *Appendable) createTail(start int64) (FileHandle, error) {
+	fh, err := a.fs.OpenFile(a.segPath(start), os.O_CREATE|os.O_TRUNC|os.O_RDWR)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fh.WriteAt(segFileHeader[:], 0); err != nil {
+		fh.Close()
+		return nil, err
+	}
+	return fh, nil
+}
+
+// currentManifest snapshots the manifest describing the log's contiguous
+// sealed-and-evicted prefix.
+func (a *Appendable) currentManifest() *manifest {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := &manifest{N: a.n, SegmentSize: a.opts.SegmentSize, FirstDelete: -1}
+	for _, s := range a.segs {
+		if s.path == "" {
+			break
+		}
+		m.Segments = append(m.Segments, manifestSegment{Start: s.start, Count: s.count})
+		m.Version += int64(s.count)
+	}
+	if a.firstDelete >= 0 && a.firstDelete < m.Version {
+		m.FirstDelete = a.firstDelete
+	}
+	return m
+}
+
+// segPath names the segment file whose first update has global index start.
+func (a *Appendable) segPath(start int64) string {
+	return filepath.Join(a.opts.Dir, fmt.Sprintf("seg-%012d.bin", start))
 }
 
 // tailLocked returns the open tail segment, creating one if the log is
@@ -228,6 +592,7 @@ type View struct {
 	n          int64
 	version    int64
 	insertOnly bool
+	fs         FS
 	segs       []viewSeg
 }
 
@@ -239,7 +604,7 @@ func (a *Appendable) At(v int64) (*View, error) {
 	if v < 0 || v > a.version {
 		return nil, fmt.Errorf("stream: At(%d): version out of range [0,%d]", v, a.version)
 	}
-	view := &View{n: a.n, version: v, insertOnly: a.firstDelete < 0 || a.firstDelete >= v}
+	view := &View{n: a.n, version: v, insertOnly: a.firstDelete < 0 || a.firstDelete >= v, fs: a.fs}
 	remaining := v
 	for _, s := range a.segs {
 		if remaining <= 0 {
@@ -295,6 +660,10 @@ func (v *View) ForEach(fn func(Update) error) error {
 // subslices, evicted segments are decoded from their files into a reusable
 // buffer.
 func (v *View) ForEachBatch(fn func([]Update) error) error {
+	fsys := v.fs
+	if fsys == nil {
+		fsys = osFS{}
+	}
 	var buf []Update
 	for _, s := range v.segs {
 		if s.mem != nil {
@@ -309,38 +678,89 @@ func (v *View) ForEachBatch(fn func([]Update) error) error {
 		if buf == nil {
 			buf = make([]Update, 0, DefaultBatchSize)
 		}
-		if err := readSegment(s.path, s.count, &buf, fn); err != nil {
+		if err := readSegment(fsys, s.path, s.count, &buf, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Segment files are fixed-width binary records — u and v as little-endian
-// int64 plus one op byte — so a segment's length is checkable from its size
-// and decoding needs no parsing.
-const segRecordSize = 17
+// Segment file format v1: an 8-byte header (magic "SCSG", format version,
+// padding) followed by fixed-width records — u and v as little-endian
+// int64, one op byte, and a CRC32C over those 17 payload bytes — so a
+// segment's length is checkable from its size, decoding needs no parsing,
+// and every record is individually verifiable. The checksum is what makes
+// torn-tail truncation sound: the longest valid record prefix is exactly
+// the data whose writes completed.
+const (
+	segHeaderSize  = 8
+	segPayloadSize = 17
+	segRecordSize  = segPayloadSize + 4
+)
 
-// writeSegment writes updates as one segment file, fsyncing before rename
-// is not needed: segments are immutable once written and a crash before the
-// write completes loses only in-memory state anyway.
-func writeSegment(path string, ups []Update) error {
-	fh, err := os.Create(path)
+// segFileHeader is the fixed segment file header: magic plus format version.
+var segFileHeader = [segHeaderSize]byte{'S', 'C', 'S', 'G', 1, 0, 0, 0}
+
+// appendRecord encodes one update (payload + CRC32C) onto buf.
+func appendRecord(buf []byte, u Update) []byte {
+	var rec [segRecordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(u.Edge.U))
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(u.Edge.V))
+	rec[16] = byte(u.Op)
+	binary.LittleEndian.PutUint32(rec[segPayloadSize:], crc32.Checksum(rec[:segPayloadSize], crcTable))
+	return append(buf, rec[:]...)
+}
+
+// decodeRecord decodes one record, reporting whether its checksum holds.
+func decodeRecord(rec []byte) (Update, bool) {
+	if binary.LittleEndian.Uint32(rec[segPayloadSize:segRecordSize]) != crc32.Checksum(rec[:segPayloadSize], crcTable) {
+		return Update{}, false
+	}
+	return Update{
+		Edge: graph.Edge{
+			U: int64(binary.LittleEndian.Uint64(rec[0:8])),
+			V: int64(binary.LittleEndian.Uint64(rec[8:16])),
+		},
+		Op: Op(int8(rec[16])),
+	}, true
+}
+
+// writeRecords writes mem's records from *durable onward at their exact
+// file offset, advancing *durable past every fully persisted record. On a
+// short write the partially written record is NOT counted — the next
+// attempt overwrites it at the same record-aligned offset, and a kill
+// before that leaves a torn tail the recovery scan truncates.
+func writeRecords(fh FileHandle, mem []Update, durable *int) error {
+	count := len(mem)
+	if *durable >= count {
+		return nil
+	}
+	buf := make([]byte, 0, (count-*durable)*segRecordSize)
+	for _, u := range mem[*durable:count] {
+		buf = appendRecord(buf, u)
+	}
+	n, err := fh.WriteAt(buf, int64(segHeaderSize)+int64(*durable)*segRecordSize)
+	*durable += n / segRecordSize
+	return err
+}
+
+// writeSegment writes updates as one complete segment file — header,
+// checksummed records, fsync — replacing whatever was at path.
+func writeSegment(fsys FS, path string, ups []Update) error {
+	fh, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(fh)
-	var rec [segRecordSize]byte
+	buf := make([]byte, 0, segHeaderSize+len(ups)*segRecordSize)
+	buf = append(buf, segFileHeader[:]...)
 	for _, u := range ups {
-		binary.LittleEndian.PutUint64(rec[0:8], uint64(u.Edge.U))
-		binary.LittleEndian.PutUint64(rec[8:16], uint64(u.Edge.V))
-		rec[16] = byte(u.Op)
-		if _, err := w.Write(rec[:]); err != nil {
-			fh.Close()
-			return err
-		}
+		buf = appendRecord(buf, u)
 	}
-	if err := w.Flush(); err != nil {
+	if _, err := fh.Write(buf); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Sync(); err != nil {
 		fh.Close()
 		return err
 	}
@@ -348,27 +768,36 @@ func writeSegment(path string, ups []Update) error {
 }
 
 // readSegment streams the first count records of a segment file through fn
-// in DefaultBatchSize batches, reusing *buf as the batch buffer.
-func readSegment(path string, count int, buf *[]Update, fn func([]Update) error) error {
-	fh, err := os.Open(path)
+// in DefaultBatchSize batches, reusing *buf as the batch buffer. Header or
+// checksum contradictions wrap ErrSegmentCorrupt: replayed segments were
+// sealed and fsynced, so a bad byte is corruption, not an in-flight write.
+func readSegment(fsys FS, path string, count int, buf *[]Update, fn func([]Update) error) error {
+	fh, err := fsys.OpenFile(path, os.O_RDONLY)
 	if err != nil {
-		return err
+		return fmt.Errorf("stream: segment %s: %w", path, err)
 	}
 	defer fh.Close()
 	r := bufio.NewReaderSize(fh, 1<<16)
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("stream: segment %s: missing header: %w", path, ErrSegmentCorrupt)
+	}
+	if hdr != segFileHeader {
+		return fmt.Errorf("stream: segment %s: bad header %x: %w", path, hdr, ErrSegmentCorrupt)
+	}
 	var rec [segRecordSize]byte
 	batch := (*buf)[:0]
 	for i := 0; i < count; i++ {
 		if _, err := io.ReadFull(r, rec[:]); err != nil {
-			return fmt.Errorf("stream: segment %s truncated at record %d: %w", path, i, err)
+			*buf = batch[:0]
+			return fmt.Errorf("stream: segment %s truncated at record %d: %w", path, i, ErrSegmentCorrupt)
 		}
-		batch = append(batch, Update{
-			Edge: graph.Edge{
-				U: int64(binary.LittleEndian.Uint64(rec[0:8])),
-				V: int64(binary.LittleEndian.Uint64(rec[8:16])),
-			},
-			Op: Op(int8(rec[16])),
-		})
+		u, ok := decodeRecord(rec[:])
+		if !ok {
+			*buf = batch[:0]
+			return fmt.Errorf("stream: segment %s record %d fails its checksum: %w", path, i, ErrSegmentCorrupt)
+		}
+		batch = append(batch, u)
 		if len(batch) == DefaultBatchSize {
 			if err := fn(batch); err != nil {
 				*buf = batch[:0]
@@ -385,4 +814,32 @@ func readSegment(path string, count int, buf *[]Update, fn func([]Update) error)
 	}
 	*buf = batch[:0]
 	return nil
+}
+
+// scanSegment reads a segment file beyond the manifest watermark during
+// recovery, returning its longest valid record prefix and whether the file
+// is a complete sealed segment. A missing file reports fs.ErrNotExist; a
+// file with a torn or invalid header has an empty valid prefix.
+func scanSegment(fsys FS, path string, segSize int) ([]Update, bool, error) {
+	fh, err := fsys.OpenFile(path, os.O_RDONLY)
+	if err != nil {
+		return nil, false, err
+	}
+	defer fh.Close()
+	data, err := io.ReadAll(io.LimitReader(fh, int64(segHeaderSize)+int64(segSize+1)*segRecordSize))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) < segHeaderSize || [segHeaderSize]byte(data[:segHeaderSize]) != segFileHeader {
+		return nil, false, nil
+	}
+	var recs []Update
+	for off := segHeaderSize; off+segRecordSize <= len(data) && len(recs) < segSize; off += segRecordSize {
+		u, ok := decodeRecord(data[off : off+segRecordSize])
+		if !ok {
+			break
+		}
+		recs = append(recs, u)
+	}
+	return recs, len(recs) == segSize, nil
 }

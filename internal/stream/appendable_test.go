@@ -100,14 +100,14 @@ func TestAppendableFileBackedSegments(t *testing.T) {
 	if _, err := a.Append(all); err != nil {
 		t.Fatal(err)
 	}
-	// 100 updates at segment size 16: 6 sealed segments on disk, 4 updates
-	// in the open tail.
+	// 100 updates at segment size 16: 6 sealed segments on disk plus the
+	// durable tail file holding the 4 open-tail updates.
 	files, err := filepath.Glob(filepath.Join(dir, "seg-*.bin"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != 6 {
-		t.Fatalf("got %d segment files, want 6", len(files))
+	if len(files) != 7 {
+		t.Fatalf("got %d segment files, want 7", len(files))
 	}
 	got := collectView(t, a.Snapshot())
 	if !reflect.DeepEqual(got, all) {
@@ -258,19 +258,19 @@ func TestAppendableSegmentFileRoundTrip(t *testing.T) {
 		{Edge: graph.Edge{U: 9, V: 5}, Op: Delete},
 	}
 	path := filepath.Join(dir, "seg-test.bin")
-	if err := writeSegment(path, ups); err != nil {
+	if err := writeSegment(osFS{}, path, ups); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Size() != int64(len(ups)*segRecordSize) {
-		t.Fatalf("segment size %d, want %d", info.Size(), len(ups)*segRecordSize)
+	if want := int64(segHeaderSize + len(ups)*segRecordSize); info.Size() != want {
+		t.Fatalf("segment size %d, want %d", info.Size(), want)
 	}
 	var buf []Update
 	var got []Update
-	if err := readSegment(path, len(ups), &buf, func(batch []Update) error {
+	if err := readSegment(osFS{}, path, len(ups), &buf, func(batch []Update) error {
 		got = append(got, batch...)
 		return nil
 	}); err != nil {
@@ -280,8 +280,8 @@ func TestAppendableSegmentFileRoundTrip(t *testing.T) {
 		t.Fatalf("round trip mismatch: %v != %v", got, ups)
 	}
 	// A truncated read (count beyond the file) reports the corruption.
-	if err := readSegment(path, len(ups)+1, &buf, func([]Update) error { return nil }); err == nil {
-		t.Fatal("reading past the segment end should fail")
+	if err := readSegment(osFS{}, path, len(ups)+1, &buf, func([]Update) error { return nil }); !errors.Is(err, ErrSegmentCorrupt) {
+		t.Fatalf("reading past the segment end: %v, want ErrSegmentCorrupt", err)
 	}
 }
 

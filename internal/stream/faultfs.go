@@ -1,0 +1,263 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrFaultInjected is the error FaultFS injects when no specific error was
+// configured for a fault.
+var ErrFaultInjected = errors.New("stream: injected fault")
+
+// FaultFS wraps an FS and injects failures for the crash-recovery test
+// suite: short writes, write errors after a countdown (ENOSPC mid-seal),
+// failed renames (torn manifest replacement), and a full "crash" mode in
+// which every subsequent operation — including the truncations the error
+// paths use to clean up — fails, leaving the directory exactly as a killed
+// process would. Configure the faults, drive an Appendable, then reopen the
+// directory with a clean FS and assert on what recovery rebuilds.
+//
+// All methods are safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// ops counts every FS/file operation (open, write, rename, remove,
+	// truncate, sync) performed so far.
+	ops int64
+	// crashAfter, when >= 0, flips the FS into crash mode once ops reaches
+	// it: every later operation fails with crashErr.
+	crashAfter int64
+	crashed    bool
+	crashErr   error
+	// failWrites, when > 0, makes the next failWrites write operations
+	// fail with writeErr; shortWrite makes each such write persist half its
+	// buffer first (a torn write instead of a clean failure).
+	failWrites int
+	writeErr   error
+	shortWrite bool
+	// failRenames, when > 0, makes the next failRenames renames fail.
+	failRenames int
+	renameErr   error
+	// failSyncs, when > 0, makes the next failSyncs Sync calls fail.
+	failSyncs int
+	syncErr   error
+}
+
+// NewFaultFS wraps inner (nil: the real filesystem) with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = osFS{}
+	}
+	return &FaultFS{inner: inner, crashAfter: -1}
+}
+
+// Ops returns the number of filesystem operations performed so far.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// CrashAfter arms crash mode: once n more operations have completed, every
+// subsequent operation fails with err (ErrFaultInjected when nil). n = 0
+// crashes immediately. This models SIGKILL: no cleanup code gets to run
+// against the directory either.
+func (f *FaultFS) CrashAfter(n int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrFaultInjected
+	}
+	f.crashAfter = f.ops + n
+	f.crashErr = err
+}
+
+// FailWrites makes the next n write operations fail with err
+// (ErrFaultInjected when nil). With short set, each failing write persists
+// the first half of its buffer before reporting the error — a torn write.
+func (f *FaultFS) FailWrites(n int, err error, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrFaultInjected
+	}
+	f.failWrites = n
+	f.writeErr = err
+	f.shortWrite = short
+}
+
+// FailRenames makes the next n renames fail with err (ErrFaultInjected when
+// nil): a torn manifest replacement.
+func (f *FaultFS) FailRenames(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrFaultInjected
+	}
+	f.failRenames = n
+	f.renameErr = err
+}
+
+// FailSyncs makes the next n Sync calls fail with err (ErrFaultInjected
+// when nil).
+func (f *FaultFS) FailSyncs(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrFaultInjected
+	}
+	f.failSyncs = n
+	f.syncErr = err
+}
+
+// Heal clears every armed fault (crash mode included).
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAfter = -1
+	f.crashed = false
+	f.failWrites = 0
+	f.failRenames = 0
+	f.failSyncs = 0
+	f.shortWrite = false
+}
+
+// op accounts one operation and reports whether crash mode rejects it.
+func (f *FaultFS) op() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed || (f.crashAfter >= 0 && f.ops >= f.crashAfter) {
+		f.crashed = true
+		return f.crashErr
+	}
+	f.ops++
+	return nil
+}
+
+// writeFault consumes one armed write fault, returning the injected error
+// and how many bytes of an n-byte buffer should be persisted first.
+func (f *FaultFS) writeFault(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failWrites <= 0 {
+		return n, nil
+	}
+	f.failWrites--
+	if f.shortWrite {
+		return n / 2, f.writeErr
+	}
+	return 0, f.writeErr
+}
+
+func (f *FaultFS) MkdirAll(path string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int) (FileHandle, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	fh, err := f.inner.OpenFile(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: fh}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.failRenames > 0 {
+		f.failRenames--
+		err := f.renameErr
+		f.mu.Unlock()
+		return err
+	}
+	f.mu.Unlock()
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Size(name string) (int64, error) {
+	if err := f.op(); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(name)
+}
+
+// faultFile threads file operations back through the FaultFS fault state.
+type faultFile struct {
+	fs    *FaultFS
+	inner FileHandle
+}
+
+func (h *faultFile) Read(p []byte) (int, error) {
+	if err := h.fs.op(); err != nil {
+		return 0, err
+	}
+	return h.inner.Read(p)
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	if err := h.fs.op(); err != nil {
+		return 0, err
+	}
+	keep, ferr := h.fs.writeFault(len(p))
+	if ferr != nil {
+		n, _ := h.inner.Write(p[:keep])
+		return n, ferr
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := h.fs.op(); err != nil {
+		return 0, err
+	}
+	keep, ferr := h.fs.writeFault(len(p))
+	if ferr != nil {
+		n, _ := h.inner.WriteAt(p[:keep], off)
+		return n, ferr
+	}
+	return h.inner.WriteAt(p, off)
+}
+
+func (h *faultFile) Close() error {
+	// Close is allowed in crash mode (the kernel closes descriptors of a
+	// killed process too); it is not counted as an operation.
+	return h.inner.Close()
+}
+
+func (h *faultFile) Sync() error {
+	if err := h.fs.op(); err != nil {
+		return err
+	}
+	h.fs.mu.Lock()
+	if h.fs.failSyncs > 0 {
+		h.fs.failSyncs--
+		err := h.fs.syncErr
+		h.fs.mu.Unlock()
+		return err
+	}
+	h.fs.mu.Unlock()
+	return h.inner.Sync()
+}
+
+func (h *faultFile) Truncate(size int64) error {
+	if err := h.fs.op(); err != nil {
+		return err
+	}
+	return h.inner.Truncate(size)
+}

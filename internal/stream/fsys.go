@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam of the durable log: every byte an Appendable
+// reads or writes goes through one. Production uses osFS; the
+// fault-injection harness (FaultFS) wraps it to inject short writes, torn
+// renames, ENOSPC and full crashes, so recovery code is tested against the
+// exact operation sequence the real log performs.
+type FS interface {
+	// MkdirAll creates a directory (and parents) if absent.
+	MkdirAll(path string) error
+	// OpenFile opens a file with the given os.O_* flags.
+	OpenFile(name string, flag int) (FileHandle, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Size returns the file's size in bytes; missing files report an error
+	// wrapping fs.ErrNotExist.
+	Size(name string) (int64, error)
+}
+
+// FileHandle is the handle interface segment and manifest IO needs.
+type FileHandle interface {
+	io.Reader
+	io.Writer
+	io.WriterAt
+	io.Closer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+}
+
+// OSFS returns the real filesystem — the FS an Appendable uses when none is
+// injected. Exported so fault-injection harnesses outside this package can
+// wrap it (NewFaultFS(stream.OSFS())).
+func OSFS() FS { return osFS{} }
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) OpenFile(name string, flag int) (FileHandle, error) {
+	f, err := os.OpenFile(name, flag, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Size(name string) (int64, error) {
+	info, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

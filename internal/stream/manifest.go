@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the per-stream manifest file inside a segment directory:
+// a checksummed header line plus a JSON body describing the durable log —
+// vertex count, segment size, the sealed-segment list and the version
+// watermark they cover, and where the first delete sits (the insert-only
+// frontier). It is rewritten atomically (write-temp, fsync, rename) on
+// every seal, so at any kill point the directory holds either the old or
+// the new manifest, never a torn one.
+const ManifestName = "MANIFEST"
+
+// manifestFormatVersion is the manifest header format version.
+const manifestFormatVersion = 1
+
+// crcTable is the CRC32C (Castagnoli) table used by both the manifest
+// header and segment records.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrManifestCorrupt reports a manifest that fails its checksum or
+// structural validation. Recovery refuses such a directory outright rather
+// than guessing: a bad manifest means the metadata — not just a torn tail —
+// is untrustworthy.
+var ErrManifestCorrupt = errors.New("stream: manifest corrupt")
+
+// ErrSegmentCorrupt reports a segment file whose header, length, or record
+// checksums contradict the manifest. Sealed segments are immutable once
+// listed, so this is real corruption (or a foreign file), never an
+// in-flight write.
+var ErrSegmentCorrupt = errors.New("stream: segment corrupt")
+
+// manifestSegment is one sealed segment's manifest entry.
+type manifestSegment struct {
+	// Start is the global index of the segment's first update.
+	Start int64 `json:"start"`
+	// Count is the number of records (always the segment size for sealed
+	// segments; kept explicit so validation has no implicit arithmetic).
+	Count int `json:"count"`
+}
+
+// manifest is the JSON body of the MANIFEST file.
+type manifest struct {
+	// N is the vertex count the log validates against.
+	N int64 `json:"n"`
+	// SegmentSize is the records-per-segment capacity.
+	SegmentSize int `json:"segment_size"`
+	// Version is the durable sealed watermark: the sum of the sealed
+	// segments' counts. Records beyond it live in the tail segment file and
+	// are recovered by scanning.
+	Version int64 `json:"version"`
+	// FirstDelete is the global index of the first delete within the sealed
+	// prefix, or -1 while it is insert-only. Deletes beyond the watermark
+	// are rediscovered by the tail scan.
+	FirstDelete int64 `json:"first_delete"`
+	// Segments lists the sealed segments in order.
+	Segments []manifestSegment `json:"segments"`
+}
+
+// encodeManifest renders the header line + JSON body.
+func encodeManifest(m *manifest) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "streamcount-manifest v%d crc32c=%08x\n", manifestFormatVersion, crc32.Checksum(body, crcTable))
+	buf.Write(body)
+	return buf.Bytes(), nil
+}
+
+// decodeManifest parses and verifies a manifest file's contents.
+func decodeManifest(data []byte) (*manifest, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: missing header line", ErrManifestCorrupt)
+	}
+	header, body := string(data[:nl]), data[nl+1:]
+	var version int
+	var sum uint32
+	if _, err := fmt.Sscanf(header, "streamcount-manifest v%d crc32c=%08x", &version, &sum); err != nil {
+		return nil, fmt.Errorf("%w: unrecognized header %q", ErrManifestCorrupt, header)
+	}
+	if version != manifestFormatVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)", ErrManifestCorrupt, version, manifestFormatVersion)
+	}
+	if got := crc32.Checksum(body, crcTable); got != sum {
+		return nil, fmt.Errorf("%w: body checksum %08x does not match header %08x", ErrManifestCorrupt, got, sum)
+	}
+	var m manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrManifestCorrupt, err)
+	}
+	if m.N <= 0 || m.SegmentSize <= 0 {
+		return nil, fmt.Errorf("%w: n=%d segment_size=%d", ErrManifestCorrupt, m.N, m.SegmentSize)
+	}
+	var v int64
+	for i, seg := range m.Segments {
+		if seg.Start != v || seg.Count != m.SegmentSize {
+			return nil, fmt.Errorf("%w: segment %d start=%d count=%d (want start=%d count=%d)",
+				ErrManifestCorrupt, i, seg.Start, seg.Count, v, m.SegmentSize)
+		}
+		v += int64(seg.Count)
+	}
+	if v != m.Version {
+		return nil, fmt.Errorf("%w: watermark %d does not cover segments (%d)", ErrManifestCorrupt, m.Version, v)
+	}
+	return &m, nil
+}
+
+// writeManifest atomically replaces dir/MANIFEST: write to a temp file,
+// sync it, rename over the old one. A crash at any point leaves either the
+// previous manifest or the new one — the rename is the commit point.
+func writeManifest(fsys FS, dir string, m *manifest) error {
+	data, err := encodeManifest(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	fh, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.Write(data); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, filepath.Join(dir, ManifestName))
+}
+
+// readManifest loads and verifies dir/MANIFEST. A missing file reports an
+// error wrapping fs.ErrNotExist; anything unparsable or checksum-failing
+// wraps ErrManifestCorrupt.
+func readManifest(fsys FS, dir string) (*manifest, error) {
+	fh, err := fsys.OpenFile(filepath.Join(dir, ManifestName), os.O_RDONLY)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	data, err := io.ReadAll(io.LimitReader(fh, 1<<26))
+	if err != nil {
+		return nil, err
+	}
+	return decodeManifest(data)
+}

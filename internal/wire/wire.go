@@ -29,7 +29,17 @@ const (
 	// capacity: "server busy, retry later" — deliberately NOT a clean-close
 	// code, so clients don't mistake it for a completed subscription.
 	CodeWatchLimit = "watch_limit"
-	CodeInternal   = "internal"
+	// CodeRecovering rejects a mutating request while the server is still
+	// rebuilding durable streams after a restart. Sent with 503 +
+	// Retry-After; retry the same request (Append retries are idempotent
+	// under their Idempotency-Key).
+	CodeRecovering = "recovering"
+	// CodeSlowConsumer ends a watch whose connection could not accept an
+	// event within the server's write deadline: the subscription is dead
+	// weight and is cut rather than blocking its goroutine forever.
+	// Reconnect with after_version to resume the transcript.
+	CodeSlowConsumer = "slow_consumer"
+	CodeInternal     = "internal"
 )
 
 // Update is one stream element.
@@ -53,6 +63,10 @@ type AppendResponse struct {
 	// to the segment directory (disk trouble): the data is safe and
 	// replayable, so the request succeeds, but the operator should look.
 	Warning string `json:"warning,omitempty"`
+	// Deduped marks a replay of an already-applied append: the request
+	// carried an Idempotency-Key the server had seen, so the recorded
+	// receipt is returned instead of double-publishing the batch.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // CreateStreamRequest is the body of POST /v1/streams.
@@ -73,6 +87,12 @@ type StreamInfo struct {
 	InsertOnly bool   `json:"insert_only"`
 	Appendable bool   `json:"appendable"`
 	Passes     int64  `json:"passes"`
+	// EvictFailures counts failed durability operations (segment seals,
+	// tail writes, manifest commits) on the stream's segment directory. A
+	// growing value means published data is RAM-pinned or not yet durable;
+	// it stops growing once the disk heals and a later append's retry
+	// catches up.
+	EvictFailures int64 `json:"evict_failures,omitempty"`
 }
 
 // QueryStats is the async-query registry's health snapshot.
@@ -103,11 +123,16 @@ type StreamsList struct {
 	Watches WatchStats `json:"watches"`
 }
 
-// Health is the body of GET /healthz.
+// Health is the body of GET /healthz. Status is "ready" (200),
+// "recovering" (503 + Retry-After, durable streams still rebuilding), or
+// "draining" (503, shutting down).
 type Health struct {
 	Status  string     `json:"status"`
 	Queries QueryStats `json:"queries"`
 	Watches WatchStats `json:"watches"`
+	// EvictFailures sums the per-stream durability failure counters; see
+	// StreamInfo.EvictFailures.
+	EvictFailures int64 `json:"evict_failures,omitempty"`
 }
 
 // Query mirrors the facade's typed query constructors one field per option.
@@ -198,6 +223,11 @@ type WatchRequest struct {
 	// Policy is "latest" (default: skip to the newest version at each
 	// evaluation) or "every" (evaluate every published version in order).
 	Policy string `json:"policy,omitempty"`
+	// After resumes the watch past an already-observed stream version: no
+	// version <= After is evaluated, so a client reconnecting after a
+	// dropped connection continues its transcript without gaps or
+	// duplicates. 0 watches from the beginning.
+	After int64 `json:"after_version,omitempty"`
 }
 
 // WatchStarted is the first SSE event ("watch") of an established watch.

@@ -136,11 +136,26 @@ func NewPattern(name string, n int, edges [][2]int) (*Pattern, error) {
 func NewStream(n int64, updates []Update) (Stream, error) { return stream.NewSlice(n, updates) }
 
 // NewAppendableStream creates an empty versioned append-only stream over n
-// vertices. With AppendableOptions.Dir set, sealed segments are flushed to
-// disk and evicted from memory, so the log can outgrow RAM. Appends, At
+// vertices. With AppendableOptions.Dir set the log is durable: every
+// acknowledged append is written to the tail segment file first, sealed
+// segments are flushed to disk and evicted from memory (so the log can
+// outgrow RAM), and a checksummed manifest tracks the sealed prefix —
+// reopen the directory after a crash with OpenAppendableStream. Appends, At
 // views and replays are safe to use concurrently.
 func NewAppendableStream(n int64, opts AppendableOptions) (*AppendableStream, error) {
 	return stream.NewAppendable(n, opts)
+}
+
+// OpenAppendableStream rebuilds a durable appendable stream from the
+// segment directory a previous (possibly killed) process wrote: the
+// checksummed manifest is verified (ErrManifestCorrupt on mismatch), sealed
+// segments are validated (ErrSegmentCorrupt on contradiction), fully
+// written segments missing from the manifest are recovered by a forward
+// scan, and a torn tail is truncated to its last valid record. Every
+// version the recovered log reports replays bit-identically to the prefix
+// the previous process served at that version.
+func OpenAppendableStream(dir string, opts AppendableOptions) (*AppendableStream, error) {
+	return stream.OpenAppendable(dir, opts)
 }
 
 // StreamFromGraph turns a graph into an insertion-only stream.

@@ -41,6 +41,12 @@ type WatchConfig struct {
 	EveryVersion bool
 	// Buffer is the subscription's event channel capacity.
 	Buffer int
+	// AfterVersion resumes the watch past an already-observed stream
+	// version: no version <= AfterVersion is evaluated. Because every
+	// evaluation is seeded WatchSeedAt(seed, version), a watch resumed at
+	// the last delivered StreamVersion continues the exact transcript the
+	// dropped one was producing.
+	AfterVersion int64
 }
 
 // WatchOption configures a standing query.
@@ -82,6 +88,16 @@ func WatchLatest() WatchOption {
 // WatchLatest a smaller one coalesces harder.
 func WithWatchBuffer(n int) WatchOption {
 	return func(c *WatchConfig) { c.Buffer = n }
+}
+
+// WatchAfter resumes a standing query past an already-observed stream
+// version: versions <= v are never evaluated. Use it to continue a dropped
+// watch without re-observing (or gapping) its transcript — each event is
+// still seeded WatchSeedAt(seed, version), so the resumed events are
+// bit-identical to the ones the uninterrupted watch would have produced.
+// The client SDK applies this automatically when it reconnects a watch.
+func WatchAfter(v int64) WatchOption {
+	return func(c *WatchConfig) { c.AfterVersion = v }
 }
 
 // WatchEvent is one evaluation of a standing query. Events are delivered in
@@ -216,6 +232,7 @@ func (e *Engine) WatchQuery(ctx context.Context, stream string, q Query, opts ..
 	cw, err := e.eng.Watch(ctx, stream, j, core.WatchOptions{
 		EveryVersion: cfg.EveryVersion,
 		Buffer:       cfg.Buffer,
+		AfterVersion: cfg.AfterVersion,
 	})
 	if err != nil {
 		return nil, err
