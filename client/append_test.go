@@ -1,0 +1,100 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"streamcount"
+	"streamcount/client"
+)
+
+// TestAppendSurfacesDegradedDurability: a 200 acknowledgment carrying a
+// warning (published, but the server's disk is failing) must reach the
+// remote caller the same way the local engine reports it — the real new
+// version alongside an error wrapping streamcount.ErrEvictFailed — not as
+// silent success.
+func TestAppendSurfacesDegradedDurability(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"version":5,"appended":2,"warning":"stream: segment eviction failed"}`))
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Append(context.Background(), "live", []streamcount.Update{
+		{Edge: streamcount.Edge{U: 0, V: 1}},
+		{Edge: streamcount.Edge{U: 1, V: 2}},
+	})
+	if !errors.Is(err, streamcount.ErrEvictFailed) {
+		t.Fatalf("append with warning: err %v, want ErrEvictFailed", err)
+	}
+	if v != 5 {
+		t.Fatalf("append with warning: version %d, want the published 5", v)
+	}
+}
+
+// TestAppendRetriesReceiptFailure: a keyed append the server rejects with
+// 503/receipt_failed (its receipt journal could not be written; nothing was
+// published) is retried automatically under the SAME Idempotency-Key, and
+// the sentinel is rehydrated for callers when retries run out.
+func TestAppendRetriesReceiptFailure(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	fails := 2
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		n, limit := len(keys), fails
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if n <= limit {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"stream: append receipt write failed","code":"receipt_failed"}`))
+			return
+		}
+		w.Write([]byte(`{"version":3,"appended":3}`))
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []streamcount.Update{
+		{Edge: streamcount.Edge{U: 0, V: 1}},
+		{Edge: streamcount.Edge{U: 1, V: 2}},
+		{Edge: streamcount.Edge{U: 2, V: 3}},
+	}
+	v, err := c.Append(context.Background(), "live", ups)
+	if err != nil || v != 3 {
+		t.Fatalf("append through receipt failures: version %d err %v", v, err)
+	}
+	mu.Lock()
+	if len(keys) != fails+1 {
+		mu.Unlock()
+		t.Fatalf("%d attempts, want %d", len(keys), fails+1)
+	}
+	for i, k := range keys {
+		if k == "" || k != keys[0] {
+			mu.Unlock()
+			t.Fatalf("attempt %d key %q, want the first attempt's %q on every retry", i, k, keys[0])
+		}
+	}
+	// When retries run out, the typed sentinel survives to the caller.
+	fails = 1 << 30
+	keys = nil
+	mu.Unlock()
+	c2, err := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Append(context.Background(), "live", ups); !errors.Is(err, streamcount.ErrReceiptFailed) {
+		t.Fatalf("exhausted retries: err %v, want ErrReceiptFailed", err)
+	}
+}

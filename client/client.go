@@ -135,6 +135,8 @@ func codeSentinel(code string) error {
 		return streamcount.ErrEngineClosed
 	case wire.CodeWatchClosed, wire.CodeDraining:
 		return streamcount.ErrWatchClosed
+	case wire.CodeReceiptFailed:
+		return streamcount.ErrReceiptFailed
 	default:
 		return nil
 	}
@@ -250,12 +252,19 @@ func (c *Client) Streams(ctx context.Context) ([]string, error) {
 
 // Append publishes updates to the named stream's append-only log and
 // returns the new stream version — the same contract as
-// streamcount.Engine.Append.
+// streamcount.Engine.Append, degraded-durability signaling included: when
+// the server acknowledges the batch as published but not (fully) durable (a
+// failing disk under its segment directory), Append returns the new version
+// alongside an error wrapping streamcount.ErrEvictFailed, exactly as a
+// local engine would. Callers that need durability must treat that as "at
+// risk until the disk heals"; callers that only need publication can
+// errors.Is-filter it.
 //
 // Every call carries a fresh Idempotency-Key that is reused across its
 // retries, so a retried append — including one whose first attempt was
-// acknowledged by a server that died before the response arrived — can
-// never be applied twice: the server replays the original receipt instead.
+// durably applied by a server that died before the response arrived — is
+// never applied twice: the server replays the original receipt, which
+// durable streams journal with the log and rebuild on recovery.
 func (c *Client) Append(ctx context.Context, stream string, ups []streamcount.Update) (int64, error) {
 	req := wire.AppendRequest{Updates: make([]wire.Update, len(ups))}
 	for i, u := range ups {
@@ -269,6 +278,12 @@ func (c *Client) Append(ctx context.Context, stream string, ups []streamcount.Up
 	var resp wire.AppendResponse
 	if err := c.doRetry(ctx, http.MethodPost, "/v1/streams/"+url.PathEscape(stream)+"/edges", hdr, req, &resp); err != nil {
 		return 0, err
+	}
+	if resp.Warning != "" {
+		// The batch is published (the version is real and must be returned),
+		// but acknowledged durability is degraded until the server's disk
+		// heals — surface it instead of reporting plain success.
+		return resp.Version, fmt.Errorf("client: append published with degraded durability: %s: %w", resp.Warning, streamcount.ErrEvictFailed)
 	}
 	return resp.Version, nil
 }

@@ -135,6 +135,16 @@ func (e *Engine) Append(name string, ups []Update) (int64, error) {
 	return e.eng.Append(name, ups)
 }
 
+// AppendKeyed is Append under an idempotency key. For durable streams the
+// key and the batch's log range are recorded in the stream's receipt log
+// before the batch's data, so a restarted process can rebuild which
+// acknowledged keyed appends survived (AppendableStream.Receipts) and
+// replay their receipts to retries instead of double-publishing. An empty
+// key is a plain Append.
+func (e *Engine) AppendKeyed(name, key string, ups []Update) (int64, error) {
+	return e.eng.AppendKeyed(name, key, ups)
+}
+
 // StreamVersion returns the named stream's current version — the
 // append-only log length for appendable streams, the static length
 // otherwise. A query submitted now is served at this version or a later

@@ -47,4 +47,9 @@ var (
 	// made (fully) durable — a failing disk under the segment directory. The
 	// log remains intact and queryable; later appends retry the flush.
 	ErrEvictFailed = stream.ErrEvictFailed
+	// ErrReceiptFailed reports a keyed append rejected because its
+	// idempotency receipt could not be journaled. Nothing was published — the
+	// log is unchanged — so retrying the same key and batch is safe once the
+	// disk recovers.
+	ErrReceiptFailed = stream.ErrReceiptFailed
 )

@@ -319,6 +319,14 @@ func (e *Engine) PassesOn(name string) int64 {
 // immutable view pinned when it was sealed; the appended updates are first
 // seen by generations sealed after Append returned.
 func (e *Engine) Append(name string, ups []stream.Update) (int64, error) {
+	return e.AppendKeyed(name, "", ups)
+}
+
+// AppendKeyed is Append under an idempotency key: for durable streams the
+// key is recorded in the stream's receipt log before the batch's data, so a
+// recovered engine can tell retried appends from new ones (see
+// stream.Appendable.AppendKeyed). An empty key is a plain Append.
+func (e *Engine) AppendKeyed(name, key string, ups []stream.Update) (int64, error) {
 	e.mu.Lock()
 	l, ok := e.lanes[name]
 	closed := e.root.Err() != nil
@@ -332,18 +340,21 @@ func (e *Engine) Append(name string, ups []stream.Update) (int64, error) {
 	if l.app == nil {
 		return 0, fmt.Errorf("core: Append(%q): %w", name, ErrNotAppendable)
 	}
-	v, err := l.app.Append(ups)
+	v, err := l.app.AppendKeyed(key, ups)
 	if err != nil {
-		// Eviction failure is the only post-publication error; everything
-		// else is input validation and must read as a bad request, not a
-		// server fault.
-		if !errors.Is(err, stream.ErrEvictFailed) {
+		switch {
+		case errors.Is(err, stream.ErrEvictFailed):
+			// The batch is published despite the eviction failure: the new
+			// version is live and standing queries must see it.
+			l.notifyWatchers(v)
+		case errors.Is(err, stream.ErrReceiptFailed):
+			// Nothing was published — the receipt journal rejected the batch
+			// before publication. A server fault, and safe to retry as-is.
+		default:
+			// Everything else is input validation and must read as a bad
+			// request, not a server fault.
 			err = fmt.Errorf("%w: %w", ErrBadConfig, err)
-			return v, fmt.Errorf("core: Append(%q): %w", name, err)
 		}
-		// The batch is published despite the eviction failure: the new
-		// version is live and standing queries must see it.
-		l.notifyWatchers(v)
 		return v, fmt.Errorf("core: Append(%q): %w", name, err)
 	}
 	l.notifyWatchers(v)

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"streamcount/internal/stream"
+	"streamcount/internal/wire"
+)
+
+// TestAppendDedupSurvivesRestart is the exactly-once-across-restart
+// contract at the service level: an Idempotency-Key append acknowledged by
+// one server process is replayed — not re-applied — when the same request
+// hits a new process recovering the same segment directory, because the
+// dedup registry is reseeded from the receipts journaled with the log.
+func TestAppendDedupSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentDir: dir, SegmentSize: 16}
+	batch := `{"updates":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":3}]}`
+
+	a, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	createStream(t, a, "live", 16)
+	var first wire.AppendResponse
+	if code := doKeyed(t, a, "POST", "/v1/streams/live/edges", batch, "k1", &first); code != http.StatusOK {
+		t.Fatalf("first append: %d", code)
+	}
+	if first.Version != 3 || first.Deduped {
+		t.Fatalf("first append %+v, want fresh version 3", first)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newTestServer(t, opts)
+	if err := b.WaitReady(context.Background()); err != nil {
+		t.Fatalf("server B recovery: %v", err)
+	}
+	// The client's retry of the acknowledged append reaches the new process:
+	// it must get the original receipt back, not a second publication.
+	var replay wire.AppendResponse
+	if code := doKeyed(t, b, "POST", "/v1/streams/live/edges", batch, "k1", &replay); code != http.StatusOK {
+		t.Fatalf("replay after restart: %d", code)
+	}
+	if !replay.Deduped || replay.Version != 3 || replay.Appended != 3 {
+		t.Fatalf("replay after restart %+v, want deduped receipt version 3", replay)
+	}
+	var info wire.StreamInfo
+	if code := do(t, b, "GET", "/v1/streams/live/stats", "", &info); code != http.StatusOK || info.Version != 3 {
+		t.Fatalf("after replay: stream at version %d, want 3 (no double publish)", info.Version)
+	}
+	// A genuinely new key still appends.
+	var second wire.AppendResponse
+	if code := doKeyed(t, b, "POST", "/v1/streams/live/edges", batch, "k2", &second); code != http.StatusOK {
+		t.Fatalf("new key after restart: %d", code)
+	}
+	if second.Deduped || second.Version != 6 {
+		t.Fatalf("new key after restart %+v, want fresh append to version 6", second)
+	}
+}
+
+// TestCreateStreamConcurrentDuplicates: racing creates of one name must
+// produce exactly one stream — one 201, the rest 409 — never two handlers
+// initializing the same segment directory.
+func TestCreateStreamConcurrentDuplicates(t *testing.T) {
+	s := newTestServer(t, Options{SegmentDir: t.TempDir(), SegmentSize: 16})
+	if err := s.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const racers = 8
+	codes := make([]int, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = do(t, s, "POST", "/v1/streams", `{"name":"contested","n":16}`, nil)
+		}(i)
+	}
+	wg.Wait()
+	created, conflicted := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusCreated:
+			created++
+		case http.StatusConflict:
+			conflicted++
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	if created != 1 || conflicted != racers-1 {
+		t.Fatalf("%d created, %d conflicted, want 1 and %d", created, conflicted, racers-1)
+	}
+	var info wire.StreamInfo
+	if code := do(t, s, "GET", "/v1/streams/contested/stats", "", &info); code != http.StatusOK {
+		t.Fatalf("winner not serving: %d", code)
+	}
+}
+
+// TestCreateStreamLeftoverDirConflict: a segment directory that already
+// holds a stream the engine does not know about (e.g. dropped from a moved
+// deployment) is a conflict with existing state, not a bad request.
+func TestCreateStreamLeftoverDirConflict(t *testing.T) {
+	base := t.TempDir()
+	s := newTestServer(t, Options{SegmentDir: base, SegmentSize: 16})
+	if err := s.WaitReady(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the leftover after the server's recovery scan so it is not
+	// registered as a stream.
+	left, err := stream.NewAppendable(8, stream.AppendableOptions{Dir: filepath.Join(base, "leftover")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	left.Close()
+	var e wire.Error
+	if code := do(t, s, "POST", "/v1/streams", `{"name":"leftover","n":8}`, &e); code != http.StatusConflict {
+		t.Fatalf("create over leftover dir: %d, want 409", code)
+	}
+}
+
+// TestAppendDedupEvictionSkipsStaleEntries is the bounded-retention
+// white-box test: an order slot whose registration was replaced (failed
+// attempt, then retry) is stale and must be skipped — it may neither evict
+// the newer receipt nor stall eviction.
+func TestAppendDedupEvictionSkipsStaleEntries(t *testing.T) {
+	s := newTestServer(t, Options{})
+	s.maxDedup = 1
+
+	// A failed attempt burns its registration but leaves its order slot.
+	d1, owner := s.claimAppend("live\x00a")
+	if !owner {
+		t.Fatal("first claim not owner")
+	}
+	s.finishAppend("live\x00a", d1, wire.AppendResponse{}, false)
+	// The retry re-registers the key with a new entry and completes.
+	d2, owner := s.claimAppend("live\x00a")
+	if !owner {
+		t.Fatal("retry claim not owner")
+	}
+	if d2 == d1 {
+		t.Fatal("retry reused the failed entry")
+	}
+	s.finishAppend("live\x00a", d2, wire.AppendResponse{Version: 3, Appended: 3}, true)
+
+	// Claiming a second key pushes the registry past the cap: eviction must
+	// skip the stale {a, d1} slot, evict the completed {a, d2}, and keep b.
+	d3, owner := s.claimAppend("live\x00b")
+	if !owner {
+		t.Fatal("second key claim not owner")
+	}
+	s.mu.Lock()
+	_, aLive := s.appends["live\x00a"]
+	got, bLive := s.appends["live\x00b"]
+	order := len(s.appendOrder)
+	s.mu.Unlock()
+	if aLive {
+		t.Fatal("completed receipt a not evicted past the cap")
+	}
+	if !bLive || got != d3 {
+		t.Fatal("in-flight entry b lost")
+	}
+	if order != 1 {
+		t.Fatalf("appendOrder holds %d entries, want 1", order)
+	}
+
+	// An in-flight entry is never evicted, even past the cap.
+	d4, owner := s.claimAppend("live\x00c")
+	if !owner {
+		t.Fatal("third key claim not owner")
+	}
+	s.mu.Lock()
+	_, bStill := s.appends["live\x00b"]
+	s.mu.Unlock()
+	if !bStill {
+		t.Fatal("in-flight entry b evicted")
+	}
+	s.finishAppend("live\x00b", d3, wire.AppendResponse{Version: 6}, true)
+	s.finishAppend("live\x00c", d4, wire.AppendResponse{Version: 9}, true)
+}

@@ -46,6 +46,8 @@ func errorCode(err error) string {
 		return wire.CodeEngineClosed
 	case errors.Is(err, streamcount.ErrCanceled):
 		return wire.CodeCanceled
+	case errors.Is(err, streamcount.ErrReceiptFailed):
+		return wire.CodeReceiptFailed
 	default:
 		return ""
 	}
@@ -125,6 +127,13 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("vertex count n=%d must be positive", req.N))
 		return
 	}
+	// createMu serializes the lookup-create-register sequence: without it,
+	// two concurrent creates of the same name could both pass the Lookup
+	// check and race NewAppendableStream on the same segment directory —
+	// the loser could clobber the winner's initial MANIFEST with a
+	// different configuration.
+	s.createMu.Lock()
+	defer s.createMu.Unlock()
 	// Duplicate names must conflict before any disk work: with a segment
 	// dir configured, NewAppendableStream would otherwise refuse the
 	// existing directory first and misreport the duplicate as a bad request.
@@ -142,7 +151,14 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		Sync:        s.opts.Sync,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// A segment directory that already holds a stream is a conflict with
+		// existing state (e.g. a leftover directory whose recovery failed),
+		// not a malformed request.
+		code := http.StatusBadRequest
+		if errors.Is(err, stream.ErrDirInUse) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
 		return
 	}
 	if err := s.eng.RegisterStream(req.Name, st); err != nil {
@@ -209,6 +225,15 @@ type appendDedup struct {
 	ok   bool
 }
 
+// appendOrderEntry is one appendOrder slot. The pointer identifies the
+// registration the slot was created for: a key whose failed attempt deleted
+// its map entry and whose retry re-registered it has a NEWER pointer in the
+// map, and the stale slot must not evict (or block eviction on) the retry.
+type appendOrderEntry struct {
+	key string
+	d   *appendDedup
+}
+
 // claimAppend registers an Idempotency-Key, returning (entry, true) when the
 // caller became its owner and must finish it, or (entry, false) when another
 // request holds the key — wait on entry.done and replay entry.resp.
@@ -220,23 +245,28 @@ func (s *Server) claimAppend(key string) (*appendDedup, bool) {
 	}
 	d := &appendDedup{done: make(chan struct{})}
 	s.appends[key] = d
-	s.appendOrder = append(s.appendOrder, key)
-	// Bounded retention: evict the oldest completed receipts past the cap.
-	// Stop at the first in-flight entry (its owner still needs it).
-evict:
-	for len(s.appends) > maxAppendDedup && len(s.appendOrder) > 0 {
-		victim := s.appendOrder[0]
-		if v, ok := s.appends[victim]; ok {
+	s.appendOrder = append(s.appendOrder, appendOrderEntry{key: key, d: d})
+	s.evictAppendsLocked()
+	return d, true
+}
+
+// evictAppendsLocked enforces bounded retention: evict the oldest completed
+// receipts past the cap, skipping stale order entries whose registration was
+// replaced, and stopping at the first in-flight entry (its owner still
+// needs it). Caller holds s.mu.
+func (s *Server) evictAppendsLocked() {
+	for len(s.appends) > s.maxDedup && len(s.appendOrder) > 0 {
+		ent := s.appendOrder[0]
+		if v, ok := s.appends[ent.key]; ok && v == ent.d {
 			select {
 			case <-v.done:
 			default:
-				break evict
+				return
 			}
-			delete(s.appends, victim)
+			delete(s.appends, ent.key)
 		}
 		s.appendOrder = s.appendOrder[1:]
 	}
-	return d, true
 }
 
 // finishAppend completes an owned Idempotency-Key entry: a success records
@@ -265,10 +295,18 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	// Idempotency: a retried request carrying the same Idempotency-Key as an
 	// append the server already applied gets that append's receipt back
-	// instead of double-publishing the batch. Keys are scoped per stream.
+	// instead of double-publishing the batch — across restarts too, because
+	// durable streams journal each keyed append's receipt with the log and
+	// recovery reseeds this registry from the survivors. Keys are scoped per
+	// stream.
 	var dedup *appendDedup
 	var dedupKey string
-	if key := r.Header.Get("Idempotency-Key"); key != "" {
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > stream.MaxReceiptKeyLen {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("Idempotency-Key is %d bytes, max %d", len(key), stream.MaxReceiptKeyLen))
+		return
+	}
+	if key != "" {
 		dedupKey = name + "\x00" + key
 		for {
 			d, owner := s.claimAppend(dedupKey)
@@ -292,7 +330,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 			// and run the append for real.
 		}
 	}
-	resp, code, err := s.doAppend(name, req)
+	resp, code, err := s.doAppend(name, key, req)
 	if dedup != nil {
 		s.finishAppend(dedupKey, dedup, resp, err == nil)
 	}
@@ -303,11 +341,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// doAppend validates and applies one append batch. A nil error means the
-// batch is published (including the evict-failure warning case, where the
-// data is safe in memory and the disk flush retries later); the returned
-// response is the receipt an Idempotency-Key replay must reproduce.
-func (s *Server) doAppend(name string, req wire.AppendRequest) (wire.AppendResponse, int, error) {
+// doAppend validates and applies one append batch under key (empty: no
+// idempotency). A nil error means the batch is published (including the
+// evict-failure warning case, where the data is safe in memory and the disk
+// flush retries later); the returned response is the receipt an
+// Idempotency-Key replay must reproduce.
+func (s *Server) doAppend(name, key string, req wire.AppendRequest) (wire.AppendResponse, int, error) {
 	if len(req.Updates) == 0 {
 		return wire.AppendResponse{}, http.StatusBadRequest, fmt.Errorf("empty update batch")
 	}
@@ -323,7 +362,7 @@ func (s *Server) doAppend(name string, req wire.AppendRequest) (wire.AppendRespo
 		}
 		ups[i] = streamcount.Update{Edge: streamcount.Edge{U: u.U, V: u.V}, Op: op}
 	}
-	version, err := s.eng.Append(name, ups)
+	version, err := s.eng.AppendKeyed(name, key, ups)
 	if err != nil {
 		// Eviction failure is a disk-backing problem, not a lost batch: the
 		// updates are published, so a retry would double-ingest. Succeed

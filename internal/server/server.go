@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"streamcount"
+	"streamcount/internal/wire"
 )
 
 // maxAsyncQueries bounds the async-query registry: when a new submission
@@ -128,10 +129,18 @@ type Server struct {
 
 	rejectedWatches atomic.Int64
 
+	// createMu serializes stream creation (lookup, disk init, register), so
+	// two concurrent creates of one name cannot both touch its segment
+	// directory.
+	createMu sync.Mutex
+
 	// appends is the Idempotency-Key dedup registry: stream+key -> receipt.
-	// Guarded by mu; appendOrder tracks insertion for bounded retention.
+	// Seeded from durable streams' recovered receipts on restart. Guarded by
+	// mu; appendOrder tracks insertion for bounded retention (maxDedup is a
+	// field so tests can shrink it).
 	appends     map[string]*appendDedup
-	appendOrder []string
+	appendOrder []appendOrderEntry
+	maxDedup    int
 
 	// recovering is true from New until every durable stream found under
 	// SegmentDir has been rebuilt and registered; POSTs are rejected with
@@ -182,6 +191,7 @@ func New(opts Options) (*Server, error) {
 		appends:    make(map[string]*appendDedup),
 		maxAsync:   maxAsyncQueries,
 		maxWatches: maxActiveWatches,
+		maxDedup:   maxAppendDedup,
 		ready:      make(chan struct{}),
 		jobCtx:     jobCtx,
 		jobStop:    jobStop,
@@ -274,9 +284,37 @@ func (s *Server) recoverStreams() {
 		}
 		if err := s.eng.RegisterStream(name, st); err != nil {
 			errs = append(errs, fmt.Errorf("server: recovering stream %q: %w", name, err))
+			continue
 		}
+		s.seedReceipts(name, st)
 	}
 	s.recoveryErr = errors.Join(errs...)
+}
+
+// seedReceipts preloads the Idempotency-Key registry with the receipts a
+// recovered stream journaled alongside its log: exactly the keyed appends
+// whose batches survived the kill. A client retrying an append that a dead
+// process acknowledged (or durably applied without managing to answer) gets
+// the original receipt back instead of double-ingesting the batch.
+func (s *Server) seedReceipts(name string, st *streamcount.AppendableStream) {
+	recs := st.Receipts()
+	if len(recs) == 0 {
+		return
+	}
+	done := make(chan struct{})
+	close(done) // recovered receipts are completed by construction
+	s.mu.Lock()
+	for _, r := range recs {
+		key := name + "\x00" + r.Key
+		d := &appendDedup{done: done, resp: wire.AppendResponse{Version: r.Version, Appended: r.Count}, ok: true}
+		// A key can recur in the journal (a retry after a rolled-back partial
+		// batch): the latest receipt wins, and the superseded order entry is
+		// skipped by eviction's pointer check.
+		s.appends[key] = d
+		s.appendOrder = append(s.appendOrder, appendOrderEntry{key: key, d: d})
+	}
+	s.evictAppendsLocked()
+	s.mu.Unlock()
 }
 
 // WaitReady blocks until recovery has finished (every durable stream found
@@ -357,7 +395,7 @@ func statusFor(err error) int {
 	case errors.Is(err, streamcount.ErrBadPattern), errors.Is(err, streamcount.ErrBadConfig):
 		return http.StatusBadRequest
 	case errors.Is(err, streamcount.ErrEngineClosed), errors.Is(err, streamcount.ErrCanceled),
-		errors.Is(err, streamcount.ErrWatchClosed):
+		errors.Is(err, streamcount.ErrWatchClosed), errors.Is(err, streamcount.ErrReceiptFailed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -115,6 +115,14 @@ type Appendable struct {
 	pending     []*pendingSeal
 	manifestVer int64
 
+	// receiptFile/receiptOff are the idempotency-receipt log's write state
+	// (also owned by wmu): the current RECEIPTS file and the byte offset of
+	// its next record. recovered holds the receipts OpenAppendable
+	// reconciled against the recovered prefix; immutable afterwards.
+	receiptFile FileHandle
+	receiptOff  int64
+	recovered   []Receipt
+
 	// evictFailures counts failed seal / tail-write / manifest operations:
 	// each one left data RAM-pinned or non-durable until a later retry.
 	evictFailures atomic.Int64
@@ -125,9 +133,15 @@ type Appendable struct {
 	firstDelete int64 // global index of the first Delete; -1 while insert-only
 }
 
+// ErrDirInUse reports NewAppendable pointed at a directory that already
+// holds a stream. Recover the existing stream with OpenAppendable instead
+// of clobbering it.
+var ErrDirInUse = errors.New("stream: directory already holds a stream")
+
 // NewAppendable creates an empty appendable stream over n vertices. With
-// Dir set, the directory must not already hold a stream manifest — reopen
-// an existing log with OpenAppendable instead of silently clobbering it.
+// Dir set, the directory must not already hold a stream manifest
+// (ErrDirInUse otherwise) — reopen an existing log with OpenAppendable
+// instead of silently clobbering it.
 func NewAppendable(n int64, opts AppendableOptions) (*Appendable, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("stream: NewAppendable: vertex count %d must be positive", n)
@@ -145,12 +159,20 @@ func NewAppendable(n int64, opts AppendableOptions) (*Appendable, error) {
 			return nil, fmt.Errorf("stream: NewAppendable: %w", err)
 		}
 		if _, err := readManifest(fsys, opts.Dir); err == nil {
-			return nil, fmt.Errorf("stream: NewAppendable: %s already holds a stream (recover it with OpenAppendable)", opts.Dir)
+			return nil, fmt.Errorf("stream: NewAppendable: %s: %w (recover it with OpenAppendable)", opts.Dir, ErrDirInUse)
 		} else if !errors.Is(err, fs.ErrNotExist) {
 			return nil, fmt.Errorf("stream: NewAppendable: %s: %w", opts.Dir, err)
 		}
 		if err := writeManifest(fsys, opts.Dir, &manifest{N: n, SegmentSize: opts.SegmentSize, FirstDelete: -1}); err != nil {
 			return nil, fmt.Errorf("stream: NewAppendable: initial manifest: %w", err)
+		}
+		// A receipt log without a manifest is a leftover from a partially
+		// removed directory; replaying its receipts against a fresh log would
+		// wrongly dedup new appends.
+		for _, name := range []string{ReceiptsName, receiptsOldName} {
+			if err := fsys.Remove(filepath.Join(opts.Dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("stream: NewAppendable: removing stale receipts: %w", err)
+			}
 		}
 	}
 	return a, nil
@@ -240,9 +262,36 @@ func OpenAppendable(dir string, opts AppendableOptions) (*Appendable, error) {
 		break
 	}
 	a.version = v
-	// Commit forward-scanned sealed segments into the manifest so the next
-	// recovery starts from the full watermark.
-	if mm := a.currentManifest(); mm.Version > a.manifestVer {
+	// Reconcile the idempotency receipts against the recovered prefix. A
+	// receipt is written before its batch's data and the disk image is
+	// always a contiguous log prefix, so three cases cover every kill point:
+	// the batch is fully durable (replay the receipt to retries), not
+	// durable at all (drop the receipt; the retry applies for real), or
+	// partially durable — in which case the log is rolled back to the batch
+	// start so the retry cannot duplicate the surviving prefix.
+	recs, validLen, err := readReceiptLogs(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("stream: OpenAppendable(%s): receipts: %w", dir, err)
+	}
+	for _, r := range recs {
+		switch {
+		case r.start < 0 || r.end <= r.start:
+			// Structurally impossible range: ignore rather than guess.
+		case r.end <= a.version:
+			a.recovered = append(a.recovered, Receipt{Key: r.key, Version: r.end, Count: int(r.end - r.start)})
+		case r.start >= a.version:
+			// Nothing of the batch survived; the retry re-appends it.
+		default:
+			if err := a.rollbackTo(r.start); err != nil {
+				return nil, fmt.Errorf("stream: OpenAppendable(%s): rolling back partial keyed batch at %d: %w", dir, r.start, err)
+			}
+		}
+	}
+	a.receiptOff = validLen
+	// Commit the reconciled segment list to the manifest — forward-scanned
+	// seals grow the watermark, a rollback shrinks it — so the next recovery
+	// starts from a manifest that matches the directory.
+	if mm := a.currentManifest(); mm.Version != a.manifestVer {
 		if err := writeManifest(fsys, dir, mm); err != nil {
 			return nil, fmt.Errorf("stream: OpenAppendable(%s): manifest update: %w", dir, err)
 		}
@@ -250,6 +299,64 @@ func OpenAppendable(dir string, opts AppendableOptions) (*Appendable, error) {
 	}
 	return a, nil
 }
+
+// rollbackTo cuts the recovered log back to version t during OpenAppendable:
+// segments wholly past t are deleted, the segment t lands in is truncated to
+// its pre-t records and reloaded as the open tail. Only recovery calls this,
+// and only for a partially durable keyed batch — whose receipt guarantees
+// nothing after t was acknowledged durable.
+func (a *Appendable) rollbackTo(t int64) error {
+	if a.tailFile != nil {
+		// The torn tail (if any) ends at the recovered version, which is
+		// inside the rolled-back batch, so its segment is never kept as-is.
+		a.tailFile.Close()
+		a.tailFile, a.tailDurable = nil, 0
+	}
+	keep := a.segs[:0]
+	for _, s := range a.segs {
+		switch {
+		case s.start+int64(s.count) <= t:
+			keep = append(keep, s)
+		case s.start >= t:
+			if err := a.fs.Remove(a.segPath(s.start)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return err
+			}
+		default:
+			// t lands inside s: cut the file back to t-start records and
+			// reload them as the open tail.
+			count := int(t - s.start)
+			recs, _, err := scanSegment(a.fs, a.segPath(s.start), a.opts.SegmentSize)
+			if err != nil {
+				return err
+			}
+			if len(recs) < count {
+				return fmt.Errorf("segment at %d holds %d valid records, rollback needs %d: %w", s.start, len(recs), count, ErrSegmentCorrupt)
+			}
+			mem := make([]Update, 0, a.opts.SegmentSize)
+			mem = append(mem, recs[:count]...)
+			fh, err := a.reopenTail(s.start, count)
+			if err != nil {
+				return err
+			}
+			keep = append(keep, &segment{start: s.start, mem: mem, count: count})
+			a.tailFile, a.tailStart, a.tailDurable = fh, s.start, count
+		}
+	}
+	a.segs = keep
+	a.version = t
+	if a.firstDelete >= t {
+		a.firstDelete = -1
+	}
+	return nil
+}
+
+// Receipts returns the idempotency-key receipts OpenAppendable recovered:
+// exactly the keyed appends whose batches are present in the recovered log.
+// A server rebuilds its Idempotency-Key registry from them, so a client
+// retrying an append acknowledged by a killed process gets the original
+// receipt back instead of double-publishing. Nil for streams created with
+// NewAppendable.
+func (a *Appendable) Receipts() []Receipt { return a.recovered }
 
 // reopenTail reopens a recovered tail segment file truncated to its valid
 // count-record prefix. A tail with no valid records (or no valid header) is
@@ -321,6 +428,12 @@ func (a *Appendable) Close() error {
 		a.tailFile = nil
 		a.tailDurable = 0
 	}
+	if a.receiptFile != nil {
+		if err := a.receiptFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		a.receiptFile = nil
+	}
 	return first
 }
 
@@ -353,6 +466,27 @@ var ErrEvictFailed = errors.New("stream: segment eviction failed")
 // can report it without treating the batch as lost.
 // Append is safe to call concurrently with replays of any View.
 func (a *Appendable) Append(ups []Update) (int64, error) {
+	return a.AppendKeyed("", ups)
+}
+
+// ErrReceiptFailed reports a keyed append rejected because its idempotency
+// receipt could not be journaled. Nothing was published — the log is
+// unchanged — so the caller can safely retry the same key and batch once the
+// disk recovers; the retry rewrites the receipt at the same offset.
+var ErrReceiptFailed = errors.New("stream: append receipt write failed")
+
+// AppendKeyed is Append under an idempotency key. With a segment directory
+// and a non-empty key, a receipt {key, batch range} is written to the
+// stream's receipt log before the batch's data, so recovery (OpenAppendable)
+// can reconstruct which acknowledged keyed appends survived a process kill —
+// see Receipts. An empty key is a plain Append. A receipt-log write failure
+// rejects the batch before publication (ErrReceiptFailed): an acknowledged
+// keyed append is never left without replay protection, and the rejected
+// batch is safe to retry under the same key.
+func (a *Appendable) AppendKeyed(key string, ups []Update) (int64, error) {
+	if len(key) > MaxReceiptKeyLen {
+		return 0, fmt.Errorf("stream: append idempotency key is %d bytes, max %d", len(key), MaxReceiptKeyLen)
+	}
 	for i, u := range ups {
 		if u.Edge.IsLoop() {
 			return 0, fmt.Errorf("stream: append update %d is a self-loop %v", i, u.Edge)
@@ -366,14 +500,55 @@ func (a *Appendable) Append(ups []Update) (int64, error) {
 	}
 	a.wmu.Lock()
 	defer a.wmu.Unlock()
+	if a.opts.Dir != "" && key != "" && len(ups) > 0 {
+		// The receipt must hit the disk before any of the batch's records:
+		// recovery decides "replay or re-apply" from receipt-then-data order.
+		// If it can't, reject the whole batch — publishing without a receipt
+		// would hand back an ack whose replay protection dies with the process.
+		start := a.Version() // stable: wmu excludes other appenders
+		if err := a.writeReceiptLocked(key, start, start+int64(len(ups))); err != nil {
+			a.evictFailures.Add(1)
+			return start, fmt.Errorf("%w: key %q: %w", ErrReceiptFailed, key, err)
+		}
+	}
 	version, full := a.publish(ups)
 	if a.opts.Dir == "" {
 		return version, nil
 	}
-	if err := a.persist(full); err != nil {
-		return version, err
+	return version, a.persist(full)
+}
+
+// writeReceiptLocked appends one receipt record to the stream's receipt
+// log, rotating the file past its size bound. Caller holds wmu. On failure
+// the write offset does not advance, so the next receipt overwrites any
+// torn bytes.
+func (a *Appendable) writeReceiptLocked(key string, start, end int64) error {
+	rec := appendReceiptRec(nil, receiptRec{key: key, start: start, end: end})
+	if a.receiptOff > 0 && a.receiptOff+int64(len(rec)) > maxReceiptLogBytes {
+		if a.receiptFile != nil {
+			a.receiptFile.Close()
+			a.receiptFile = nil
+		}
+		if err := a.fs.Rename(filepath.Join(a.opts.Dir, ReceiptsName), filepath.Join(a.opts.Dir, receiptsOldName)); err != nil {
+			return err
+		}
+		a.receiptOff = 0
 	}
-	return version, nil
+	if a.receiptFile == nil {
+		fh, err := a.fs.OpenFile(filepath.Join(a.opts.Dir, ReceiptsName), os.O_CREATE|os.O_RDWR)
+		if err != nil {
+			return err
+		}
+		a.receiptFile = fh
+	}
+	if _, err := a.receiptFile.WriteAt(rec, a.receiptOff); err != nil {
+		return err
+	}
+	a.receiptOff += int64(len(rec))
+	if a.opts.Sync {
+		return a.receiptFile.Sync()
+	}
+	return nil
 }
 
 // publish appends the validated batch to the in-memory log and returns the

@@ -1,0 +1,143 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ReceiptsName is the per-stream append receipt log inside a segment
+// directory: one checksummed record per idempotency-keyed append, written
+// BEFORE the batch's data records. Together with the log's invariant that
+// the on-disk image is always a contiguous prefix of the log, that ordering
+// makes recovery exactly-once (DESIGN.md §9): a receipt whose batch is
+// fully durable is replayed to retries, a receipt whose batch never hit the
+// disk is dropped (the retry applies for real), and a receipt whose batch
+// is only partially durable rolls the log back to the batch start so the
+// retry applies cleanly instead of duplicating the partial prefix.
+const ReceiptsName = "RECEIPTS"
+
+// receiptsOldName is the rotated-out previous receipt log. Recovery reads
+// it before the current one, so rotation never shrinks the replay-protection
+// horizon below one full file.
+const receiptsOldName = "RECEIPTS.old"
+
+// maxReceiptLogBytes rotates the receipt log: when the current file would
+// exceed it, the file is renamed to RECEIPTS.old (replacing the previous
+// rotation) and a fresh one is started. Retention is therefore bounded —
+// between one and two files of recent receipts — which is the disk analogue
+// of the server's bounded in-memory registry: replay protection covers the
+// retry window, not forever.
+const maxReceiptLogBytes = 1 << 22
+
+// MaxReceiptKeyLen bounds an idempotency key's length in bytes. Appends
+// with longer keys fail validation before anything is published.
+const MaxReceiptKeyLen = 256
+
+// A Receipt is one recovered idempotency-key receipt: the key and the
+// acknowledgment AppendKeyed returned for it. OpenAppendable returns, via
+// Receipts, exactly the receipts whose batches survived — so replaying
+// Version/Count to a retried append can never acknowledge lost data.
+type Receipt struct {
+	// Key is the idempotency key the batch was appended under.
+	Key string
+	// Version is the log version after the batch — the value AppendKeyed
+	// returned.
+	Version int64
+	// Count is the number of updates in the batch.
+	Count int
+}
+
+// receiptRec is one on-disk receipt record: the key plus the half-open
+// global index range [Start, End) its batch occupies in the log.
+type receiptRec struct {
+	key   string
+	start int64
+	end   int64
+}
+
+// Receipt record layout: keyLen uint16, start int64, end int64, key bytes,
+// CRC32C uint32 over everything before it. Fixed header + checksum means a
+// torn record (and anything after it) is detected and ignored, exactly like
+// a torn segment tail.
+const receiptHeaderSize = 2 + 8 + 8
+
+// appendReceiptRec encodes one receipt record onto buf.
+func appendReceiptRec(buf []byte, r receiptRec) []byte {
+	var hdr [receiptHeaderSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], uint16(len(r.key)))
+	binary.LittleEndian.PutUint64(hdr[2:10], uint64(r.start))
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(r.end))
+	start := len(buf)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, r.key...)
+	sum := crc32.Checksum(buf[start:], crcTable)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	return append(buf, crc[:]...)
+}
+
+// decodeReceiptRecs parses data's longest valid record prefix, returning
+// the records and the byte length of that prefix. Anything after the first
+// torn or checksum-failing record is ignored: receipts are written before
+// their data, so a torn receipt's batch never became durable either.
+func decodeReceiptRecs(data []byte) ([]receiptRec, int64) {
+	var recs []receiptRec
+	off := 0
+	for off+receiptHeaderSize+4 <= len(data) {
+		keyLen := int(binary.LittleEndian.Uint16(data[off : off+2]))
+		end := off + receiptHeaderSize + keyLen
+		if keyLen > MaxReceiptKeyLen || end+4 > len(data) {
+			break
+		}
+		if binary.LittleEndian.Uint32(data[end:end+4]) != crc32.Checksum(data[off:end], crcTable) {
+			break
+		}
+		recs = append(recs, receiptRec{
+			key:   string(data[off+receiptHeaderSize : end]),
+			start: int64(binary.LittleEndian.Uint64(data[off+2 : off+10])),
+			end:   int64(binary.LittleEndian.Uint64(data[off+10 : off+18])),
+		})
+		off = end + 4
+	}
+	return recs, int64(off)
+}
+
+// readReceiptLog loads one receipt file's valid record prefix. A missing
+// file is an empty log.
+func readReceiptLog(fsys FS, path string) ([]receiptRec, int64, error) {
+	fh, err := fsys.OpenFile(path, os.O_RDONLY)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer fh.Close()
+	data, err := io.ReadAll(io.LimitReader(fh, 4*maxReceiptLogBytes))
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, n := decodeReceiptRecs(data)
+	return recs, n, nil
+}
+
+// readReceiptLogs loads the rotated-out receipt log followed by the current
+// one (recovery order = write order), plus the current file's valid byte
+// length so appends resume exactly past the last valid record, overwriting
+// any torn bytes a kill left behind.
+func readReceiptLogs(fsys FS, dir string) ([]receiptRec, int64, error) {
+	old, _, err := readReceiptLog(fsys, filepath.Join(dir, receiptsOldName))
+	if err != nil {
+		return nil, 0, err
+	}
+	cur, n, err := readReceiptLog(fsys, filepath.Join(dir, ReceiptsName))
+	if err != nil {
+		return nil, 0, err
+	}
+	return append(old, cur...), n, nil
+}

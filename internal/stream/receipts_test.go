@@ -1,0 +1,439 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReceiptCodecRoundTrip(t *testing.T) {
+	want := []receiptRec{
+		{key: "a", start: 0, end: 3},
+		{key: "retry-0123456789abcdef", start: 3, end: 4},
+		{key: "", start: 4, end: 100},
+	}
+	var buf []byte
+	for _, r := range want {
+		buf = appendReceiptRec(buf, r)
+	}
+	recs, n := decodeReceiptRecs(buf)
+	if n != int64(len(buf)) {
+		t.Fatalf("valid prefix %d bytes, want %d", n, len(buf))
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+
+	// A torn final record (and everything after it) is ignored; the valid
+	// prefix ends exactly where the last complete record does.
+	prefixLen := len(buf) - (receiptHeaderSize + len(want[2].key) + 4)
+	recs, n = decodeReceiptRecs(buf[:len(buf)-3])
+	if len(recs) != 2 || n != int64(prefixLen) {
+		t.Fatalf("torn decode: %d records, prefix %d, want 2 records, prefix %d", len(recs), n, prefixLen)
+	}
+
+	// A flipped byte fails the checksum and truncates the prefix there.
+	buf[prefixLen+5] ^= 0x01
+	recs, n = decodeReceiptRecs(buf)
+	if len(recs) != 2 || n != int64(prefixLen) {
+		t.Fatalf("corrupt decode: %d records, prefix %d, want 2 records, prefix %d", len(recs), n, prefixLen)
+	}
+}
+
+func TestAppendKeyedRecoversReceipts(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewAppendable(32, AppendableOptions{SegmentSize: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := mixedUpdates(32, 9, 41)
+	if v, err := a.AppendKeyed("k1", all[:3]); err != nil || v != 3 {
+		t.Fatalf("k1: version %d err %v", v, err)
+	}
+	if v, err := a.AppendKeyed("k2", all[3:5]); err != nil || v != 5 {
+		t.Fatalf("k2: version %d err %v", v, err)
+	}
+	// Unkeyed appends leave no receipt but stay part of the log.
+	if v, err := a.Append(all[5:9]); err != nil || v != 9 {
+		t.Fatalf("unkeyed: version %d err %v", v, err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenAppendable(dir, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version() != 9 {
+		t.Fatalf("recovered version %d, want 9", b.Version())
+	}
+	want := []Receipt{{Key: "k1", Version: 3, Count: 3}, {Key: "k2", Version: 5, Count: 2}}
+	got := b.Receipts()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d receipts, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("receipt %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if tr := collectView(t, b.Snapshot()); !updatesEqual(tr, all) {
+		t.Fatal("recovered replay mismatch")
+	}
+	// The recovered log keeps journaling: a new keyed append lands after the
+	// recovered receipts and survives the next recovery.
+	extra := mixedUpdates(32, 2, 42)
+	if v, err := b.AppendKeyed("k3", extra); err != nil || v != 11 {
+		t.Fatalf("k3: version %d err %v", v, err)
+	}
+	b.Close()
+	c, err := OpenAppendable(dir, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if n := len(c.Receipts()); n != 3 {
+		t.Fatalf("after reopen: %d receipts, want 3: %+v", n, c.Receipts())
+	}
+	if last := c.Receipts()[2]; last != (Receipt{Key: "k3", Version: 11, Count: 2}) {
+		t.Fatalf("k3 receipt = %+v", last)
+	}
+}
+
+func TestAppendKeyedRejectsOversizedKey(t *testing.T) {
+	a, err := NewAppendable(8, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := make([]byte, MaxReceiptKeyLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err := a.AppendKeyed(string(long), mkUpdates(8, 1, 1)); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if a.Version() != 0 {
+		t.Fatalf("rejected append published: version %d", a.Version())
+	}
+}
+
+func TestNewAppendableRemovesStaleReceipts(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewAppendable(16, AppendableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AppendKeyed("k1", mkUpdates(16, 2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	// A live directory is refused outright.
+	if _, err := NewAppendable(16, AppendableOptions{Dir: dir}); !errors.Is(err, ErrDirInUse) {
+		t.Fatalf("NewAppendable on live dir: %v, want ErrDirInUse", err)
+	}
+
+	// A half-removed directory (receipts without a manifest) must not leak
+	// its receipts into a fresh stream: they would dedup new appends.
+	for _, name := range []string{ManifestName, "seg-000000000000.bin"} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := NewAppendable(16, AppendableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := os.Stat(filepath.Join(dir, ReceiptsName)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("stale RECEIPTS survived NewAppendable: %v", err)
+	}
+	if n := len(b.Receipts()); n != 0 {
+		t.Fatalf("fresh stream has %d receipts", n)
+	}
+}
+
+func TestReceiptLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewAppendable(32, AppendableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := mixedUpdates(32, 4, 43)
+	if _, err := a.AppendKeyed("k1", all[:2]); err != nil {
+		t.Fatal(err)
+	}
+	// Pretend the current file is at the size bound; the next receipt must
+	// rotate it out rather than grow it forever.
+	a.receiptOff = maxReceiptLogBytes
+	if _, err := a.AppendKeyed("k2", all[2:4]); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := os.Stat(filepath.Join(dir, receiptsOldName)); err != nil {
+		t.Fatalf("rotation left no %s: %v", receiptsOldName, err)
+	}
+	// Recovery reads the rotated file first, so both receipts survive.
+	b, err := OpenAppendable(dir, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got := b.Receipts()
+	if len(got) != 2 || got[0].Key != "k1" || got[1].Key != "k2" {
+		t.Fatalf("recovered receipts after rotation: %+v", got)
+	}
+}
+
+// TestReceiptFailedRejectsBatch is the fail-closed contract: when the
+// receipt journal cannot be written, the keyed batch is rejected before
+// publication — never acknowledged without replay protection — and a retry
+// under the same key succeeds once the disk recovers.
+func TestReceiptFailedRejectsBatch(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	a, err := NewAppendable(32, AppendableOptions{SegmentSize: 4, Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := mixedUpdates(32, 3, 44)
+	ffs.FailWrites(1, fmt.Errorf("no space left on device"), false)
+	if _, err := a.AppendKeyed("k1", batch); !errors.Is(err, ErrReceiptFailed) {
+		t.Fatalf("append with failing receipt write: %v, want ErrReceiptFailed", err)
+	}
+	if a.Version() != 0 {
+		t.Fatalf("rejected batch was published: version %d", a.Version())
+	}
+	if a.EvictFailures() == 0 {
+		t.Fatal("receipt failure not counted")
+	}
+	// The disk heals; the identical retry applies exactly once.
+	if v, err := a.AppendKeyed("k1", batch); err != nil || v != 3 {
+		t.Fatalf("retry: version %d err %v", v, err)
+	}
+	a.Close()
+	b, err := OpenAppendable(dir, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if got := b.Receipts(); len(got) != 1 || got[0] != (Receipt{Key: "k1", Version: 3, Count: 3}) {
+		t.Fatalf("recovered receipts: %+v", got)
+	}
+	if tr := collectView(t, b.Snapshot()); !updatesEqual(tr, batch) {
+		t.Fatal("recovered replay mismatch")
+	}
+}
+
+// TestPartialKeyedBatchRollsBack pins the rollback arm of receipt
+// reconciliation: a kill that leaves a keyed batch only partially durable
+// must roll the log back to the batch start, so the batch's retry cannot
+// duplicate the surviving prefix.
+func TestPartialKeyedBatchRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewAppendable(32, AppendableOptions{SegmentSize: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := mixedUpdates(32, 3, 45)
+	b2 := mixedUpdates(32, 3, 46)
+	if _, err := a.AppendKeyed("k1", b1); err != nil {
+		t.Fatal(err)
+	}
+	// b2 spans the seal at version 4: records 3 land in seg-0, records 4-5 in
+	// seg-4.
+	if v, err := a.AppendKeyed("k2", b2); err != nil || v != 6 {
+		t.Fatalf("k2: version %d err %v", v, err)
+	}
+	a.Close()
+	// Tear b2's tail: keep only its first record in seg-4, leaving the batch
+	// partially durable (version 5 of an acked 6).
+	if err := os.Truncate(filepath.Join(dir, "seg-000000000004.bin"), segHeaderSize+1*segRecordSize); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenAppendable(dir, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version() != 3 {
+		t.Fatalf("recovered version %d, want rollback to 3", b.Version())
+	}
+	if got := b.Receipts(); len(got) != 1 || got[0] != (Receipt{Key: "k1", Version: 3, Count: 3}) {
+		t.Fatalf("recovered receipts: %+v", got)
+	}
+	if tr := collectView(t, b.Snapshot()); !updatesEqual(tr, b1) {
+		t.Fatal("rolled-back replay is not exactly b1")
+	}
+	// The retry applies the whole batch cleanly.
+	if v, err := b.AppendKeyed("k2", b2); err != nil || v != 6 {
+		t.Fatalf("k2 retry: version %d err %v", v, err)
+	}
+	b.Close()
+	// The rollback committed a consistent manifest: a second recovery sees
+	// the retried log, both receipts, and no duplicates.
+	c, err := OpenAppendable(dir, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != 6 {
+		t.Fatalf("re-recovered version %d, want 6", c.Version())
+	}
+	if got := c.Receipts(); len(got) < 2 || got[len(got)-1] != (Receipt{Key: "k2", Version: 6, Count: 3}) {
+		t.Fatalf("re-recovered receipts: %+v", got)
+	}
+	if tr := collectView(t, c.Snapshot()); !updatesEqual(tr, append(append([]Update(nil), b1...), b2...)) {
+		t.Fatal("re-recovered replay mismatch")
+	}
+}
+
+// TestKeyedBatchNeverDurableDropsReceipt pins the drop arm: a receipt whose
+// batch never reached the disk (kill between receipt write and data write)
+// is discarded, so the retry applies for real instead of being deduped into
+// data loss.
+func TestKeyedBatchNeverDurableDropsReceipt(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewAppendable(32, AppendableOptions{SegmentSize: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := mixedUpdates(32, 3, 47)
+	b2 := mixedUpdates(32, 2, 48)
+	if _, err := a.AppendKeyed("k1", b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AppendKeyed("k2", b2); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	// Simulate a kill after k2's receipt write but before its data write:
+	// cut the tail back to b1's records, and tear k2's receipt mid-record.
+	if err := os.Truncate(filepath.Join(dir, "seg-000000000000.bin"), segHeaderSize+3*segRecordSize); err != nil {
+		t.Fatal(err)
+	}
+	rpath := filepath.Join(dir, ReceiptsName)
+	fi, err := os.Stat(rpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(rpath, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenAppendable(dir, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version() != 3 {
+		t.Fatalf("recovered version %d, want 3", b.Version())
+	}
+	if got := b.Receipts(); len(got) != 1 || got[0].Key != "k1" {
+		t.Fatalf("recovered receipts: %+v", got)
+	}
+	// The retry applies; its receipt overwrites the torn bytes, so the next
+	// recovery sees a clean two-receipt log.
+	if v, err := b.AppendKeyed("k2", b2); err != nil || v != 5 {
+		t.Fatalf("k2 retry: version %d err %v", v, err)
+	}
+	b.Close()
+	c, err := OpenAppendable(dir, AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Receipts(); len(got) != 2 || got[1] != (Receipt{Key: "k2", Version: 5, Count: 2}) {
+		t.Fatalf("re-recovered receipts: %+v", got)
+	}
+	if tr := collectView(t, c.Snapshot()); !updatesEqual(tr, append(append([]Update(nil), b1...), b2...)) {
+		t.Fatal("re-recovered replay mismatch")
+	}
+}
+
+// TestKeyedCrashRecoveryExactlyOnceSweep kills the keyed-append workload at
+// every filesystem operation and drives the full retry protocol after each
+// recovery: batches whose receipts survived are not re-sent, the rest are
+// retried under their original keys. Whatever the kill point, the final
+// replay must be the workload exactly once — no batch lost, none duplicated.
+func TestKeyedCrashRecoveryExactlyOnceSweep(t *testing.T) {
+	const n, segSize, batch = 48, 4, 3
+	all := mixedUpdates(n, 30, 51)
+	keyFor := func(i int) string { return fmt.Sprintf("key-%03d", i) }
+
+	// One clean run to learn the operation count.
+	probe := NewFaultFS(nil)
+	total := func() int64 {
+		dir := filepath.Join(t.TempDir(), "probe")
+		a, err := NewAppendable(n, AppendableOptions{SegmentSize: segSize, Dir: dir, FS: probe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(all); i += batch {
+			if _, err := a.AppendKeyed(keyFor(i), all[i:min(i+batch, len(all))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return probe.Ops()
+	}()
+
+	base := t.TempDir()
+	for k := int64(0); k <= total; k++ {
+		dir := filepath.Join(base, fmt.Sprintf("crash-%04d", k))
+		ffs := NewFaultFS(nil)
+		ffs.CrashAfter(k, nil)
+		func() {
+			a, err := NewAppendable(n, AppendableOptions{SegmentSize: segSize, Dir: dir, FS: ffs})
+			if err != nil {
+				return
+			}
+			for i := 0; i < len(all); i += batch {
+				j := min(i+batch, len(all))
+				if _, err := a.AppendKeyed(keyFor(i), all[i:j]); err != nil {
+					return // the process "died" mid-append
+				}
+			}
+			a.Close()
+		}()
+		b, err := OpenAppendable(dir, AppendableOptions{})
+		if err != nil {
+			if _, statErr := os.Stat(filepath.Join(dir, ManifestName)); errors.Is(statErr, fs.ErrNotExist) {
+				continue // creation never committed a manifest; nothing was promised
+			}
+			t.Fatalf("crash %d: recovery failed: %v", k, err)
+		}
+		recovered := make(map[string]Receipt, len(b.Receipts()))
+		for _, r := range b.Receipts() {
+			recovered[r.Key] = r
+		}
+		// The retry protocol: replayed receipts must carry the original ack;
+		// everything else is re-sent under its original key.
+		for i := 0; i < len(all); i += batch {
+			j := min(i+batch, len(all))
+			if r, ok := recovered[keyFor(i)]; ok {
+				if r.Version != int64(j) || r.Count != j-i {
+					t.Fatalf("crash %d: receipt %s = %+v, want version %d count %d", k, keyFor(i), r, j, j-i)
+				}
+				continue
+			}
+			if v, err := b.AppendKeyed(keyFor(i), all[i:j]); err != nil || v != int64(j) {
+				t.Fatalf("crash %d: retry %s: version %d err %v", k, keyFor(i), v, err)
+			}
+		}
+		if got := collectView(t, b.Snapshot()); !updatesEqual(got, all) {
+			t.Fatalf("crash %d: final replay is not the workload exactly once (len %d, want %d)", k, len(got), len(all))
+		}
+		b.Close()
+	}
+}

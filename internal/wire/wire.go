@@ -25,6 +25,10 @@ const (
 	CodeEngineClosed  = "engine_closed"
 	CodeWatchClosed   = "watch_closed"
 	CodeDraining      = "draining"
+	// CodeReceiptFailed rejects a keyed append whose idempotency receipt
+	// could not be journaled. Nothing was published; sent with 503 so clients
+	// retry the identical request under the same key.
+	CodeReceiptFailed = "receipt_failed"
 	// CodeWatchLimit rejects a new watch because the registry is at
 	// capacity: "server busy, retry later" — deliberately NOT a clean-close
 	// code, so clients don't mistake it for a completed subscription.

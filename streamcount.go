@@ -40,6 +40,12 @@ type (
 	// a Stream: every pass replays the identical update sequence regardless
 	// of concurrent appends.
 	StreamView = stream.View
+	// AppendReceipt is one recovered idempotency-key receipt of a durable
+	// AppendableStream: the key plus the acknowledgment its AppendKeyed
+	// returned. OpenAppendableStream surfaces, via Receipts, exactly the
+	// keyed appends whose batches survived the kill, so a server can rebuild
+	// its dedup registry and replay receipts to retried ingests.
+	AppendReceipt = stream.Receipt
 	// SampledCopy is a uniformly sampled copy of H.
 	SampledCopy = core.SampledCopy
 )
