@@ -1,0 +1,237 @@
+package streamcount_test
+
+// The incremental-evaluation half of the cross-process determinism suite
+// (DESIGN.md §10): a watch served from the checkpoint cache — including
+// events produced *after* the cache evicted and rebuilt the lane's index
+// mid-stream — must deliver results bit-identical to standalone runs
+// performed by a pristine process at the reported (seed, stream version).
+// The cache is sized so two lanes cannot both stay resident, forcing LRU
+// churn; if the fast path leaked any state across versions, seeds, or
+// rebuilds, the child's fingerprints would diverge.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"streamcount"
+)
+
+const (
+	ckptXSeed   = 7
+	ckptXTrials = 600
+	ckptXNodes  = 2000
+	ckptXEdges  = 8000 // one lane's index ~0.8 MiB: fits a 1 MiB cache alone, not twice
+)
+
+// ckptUpdates returns lane's deterministic insertion sequence. The two
+// lanes get different graphs so a resident index can never accidentally
+// serve the other lane.
+func ckptUpdates(t testing.TB, lane string) []streamcount.Update {
+	t.Helper()
+	seed := int64(43)
+	if lane == "b" {
+		seed = 44
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := streamcount.ErdosRenyi(rng, ckptXNodes, ckptXEdges)
+	var ups []streamcount.Update
+	for _, e := range g.Edges() {
+		ups = append(ups, streamcount.Update{Edge: e, Op: streamcount.Insert})
+	}
+	return ups
+}
+
+func ckptLaneStream(t testing.TB, lane string) *streamcount.AppendableStream {
+	t.Helper()
+	app, err := streamcount.NewAppendableStream(ckptXNodes, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// TestWatchCheckpointDeterminismChild rebuilds each lane's log and runs the
+// reference query standalone at every requested (lane, version), printing
+// one bit-exact fingerprint per entry. No engine, watch, or checkpoint
+// machinery runs in this process.
+func TestWatchCheckpointDeterminismChild(t *testing.T) {
+	spec := os.Getenv("STREAMCOUNT_CKPT_CHILD")
+	if spec == "" {
+		t.Skip("child mode only (driven by TestWatchCheckpointDeterminismCrossProcess)")
+	}
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := map[string]*streamcount.AppendableStream{}
+	for _, lane := range []string{"a", "b"} {
+		app := ckptLaneStream(t, lane)
+		if _, err := app.Append(ckptUpdates(t, lane)); err != nil {
+			t.Fatal(err)
+		}
+		apps[lane] = app
+	}
+	for _, field := range strings.Split(spec, ",") {
+		lane, vStr, ok := strings.Cut(field, ":")
+		if !ok || apps[lane] == nil {
+			t.Fatalf("bad spec entry %q", field)
+		}
+		v, err := strconv.ParseInt(vStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bad version in %q: %v", field, err)
+		}
+		view, err := apps[lane].At(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := streamcount.Run(context.Background(), view, streamcount.CountQuery(p,
+			streamcount.WithTrials(ckptXTrials),
+			streamcount.WithSeed(streamcount.WatchSeedAt(ckptXSeed, v))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("CKPTCHILD %s:%d %s\n", lane, v, watchFingerprint(ref))
+	}
+}
+
+// TestWatchCheckpointDeterminismCrossProcess drives two every-version
+// watches over two lanes through a deliberately undersized checkpoint
+// cache, proves the cache actually churned (each lane rebuilt after being
+// evicted by the other), and then asks a pristine child process to
+// reproduce every delivered event from nothing but (lane, version).
+func TestWatchCheckpointDeterminismCrossProcess(t *testing.T) {
+	if os.Getenv("STREAMCOUNT_CKPT_CHILD") != "" {
+		t.Skip("already in child mode")
+	}
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short")
+	}
+
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := streamcount.CountQuery(p, streamcount.WithTrials(ckptXTrials), streamcount.WithSeed(ckptXSeed))
+
+	appA := ckptLaneStream(t, "a")
+	e := streamcount.NewEngine(appA, streamcount.WithWatchCheckpointMB(1))
+	defer e.Close()
+	appB := ckptLaneStream(t, "b")
+	if err := e.RegisterStream("b", appB); err != nil {
+		t.Fatal(err)
+	}
+
+	subs := map[string]*streamcount.Subscription[*streamcount.CountResult]{}
+	for _, lane := range []string{"", "b"} {
+		sub, err := streamcount.Watch(context.Background(), e, lane, q, streamcount.WatchEveryVersion())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		key := lane
+		if key == "" {
+			key = "a"
+		}
+		subs[key] = sub
+	}
+
+	ups := map[string][]streamcount.Update{"a": ckptUpdates(t, "a"), "b": ckptUpdates(t, "b")}
+	lanes := map[string]string{"a": "", "b": "b"} // sub key -> engine stream name
+
+	// Front-load most of each stream so both indexes sit near full size
+	// from the first event, then alternate small appends: every evaluation
+	// of one lane evicts the other's index, so later events exercise the
+	// evict → rebuild → extend path, not just warm hits.
+	type fpEntry struct {
+		lane string
+		v    int64
+		fp   string
+	}
+	var events []fpEntry
+	n := len(ups["a"])
+	cuts := []int{4 * n / 5, 17 * n / 20, 9 * n / 10, 19 * n / 20, n}
+	prev := 0
+	for _, cut := range cuts {
+		for _, lane := range []string{"a", "b"} {
+			v, err := e.Append(lanes[lane], ups[lane][prev:cut])
+			if err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case ev, ok := <-subs[lane].Events():
+				if !ok || ev.Err != nil {
+					t.Fatalf("lane %s watch ended early: %v (Err %v)", lane, subs[lane].Err(), ev.Err)
+				}
+				if ev.StreamVersion != v {
+					t.Fatalf("lane %s event at version %d, want %d", lane, ev.StreamVersion, v)
+				}
+				events = append(events, fpEntry{lane, v, watchFingerprint(ev.Result)})
+			case <-time.After(60 * time.Second):
+				t.Fatalf("lane %s: timed out waiting for version %d", lane, v)
+			}
+		}
+		prev = cut
+	}
+
+	// The churn must be real: each lane rebuilt at least once after being
+	// evicted, and nothing fell back to the cold shared-replay path.
+	if st := e.WatchCheckpointStats(); st.Evictions == 0 {
+		t.Errorf("no evictions; cache stats %+v (capacity too large for this workload?)", st)
+	}
+	for lane, sub := range subs {
+		st := sub.CheckpointStats()
+		if st.CheckpointMisses < 2 {
+			t.Errorf("lane %s misses = %d, want >= 2 (initial build plus post-eviction rebuild)", lane, st.CheckpointMisses)
+		}
+		if st.ColdReplays != 0 {
+			t.Errorf("lane %s cold replays = %d, want 0", lane, st.ColdReplays)
+		}
+	}
+
+	// A pristine process reproduces every event from (lane, version) alone.
+	spec := make([]string, len(events))
+	for i, ev := range events {
+		spec[i] = fmt.Sprintf("%s:%d", ev.lane, ev.v)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestWatchCheckpointDeterminismChild$", "-test.v")
+	cmd.Env = append(os.Environ(), "STREAMCOUNT_CKPT_CHILD="+strings.Join(spec, ","))
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+	theirs := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		rest, ok := strings.CutPrefix(sc.Text(), "CKPTCHILD ")
+		if !ok {
+			continue
+		}
+		key, fp, ok := strings.Cut(rest, " ")
+		if !ok {
+			t.Fatalf("malformed child line %q", sc.Text())
+		}
+		theirs[key] = fp
+	}
+	if len(theirs) != len(events) {
+		t.Fatalf("child reproduced %d entries, want %d:\n%s", len(theirs), len(events), out)
+	}
+	for _, ev := range events {
+		key := fmt.Sprintf("%s:%d", ev.lane, ev.v)
+		if theirs[key] != ev.fp {
+			t.Errorf("cross-process mismatch at %s:\n  watch event:   %s\n  child process: %s", key, ev.fp, theirs[key])
+		}
+	}
+	t.Logf("verified %d checkpoint-served watch events (with mid-stream eviction) against a pristine process", len(events))
+}

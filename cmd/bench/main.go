@@ -19,6 +19,7 @@
 //
 //	bench                         # core set -> BENCH_core.json
 //	bench -bench 'BenchmarkFGP.*' # custom selection
+//	bench -filter 'WatchIngest'   # core set restricted to matching names
 //	bench -benchtime 5s -out perf.json
 //	bench -short -out /tmp/smoke.json  # CI smoke: one fast iteration each
 //	bench -compare BENCH_core.json -tolerance 0.25   # CI regression gate
@@ -33,6 +34,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -65,8 +67,22 @@ func main() {
 		tolerance   = flag.Float64("tolerance", 0.25, "allowed relative allocs/op regression (with -compare)")
 		nsTolerance = flag.Float64("ns-tolerance", 0, "allowed relative ns/op regression (0: same as -tolerance); set looser when the baseline was measured on different hardware")
 		noiseFloor  = flag.Float64("noise-floor", 1e6, "baseline ns/op below which timing is not gated (with -compare)")
+		filterRe    = flag.String("filter", "", "regexp restricting the run to matching benchmark names; with -compare, only baseline entries matching it are required to be present")
 	)
 	flag.Parse()
+	var filter *regexp.Regexp
+	if *filterRe != "" {
+		re, err := regexp.Compile(*filterRe)
+		if err != nil {
+			log.Fatalf("bad -filter regexp %q: %v", *filterRe, err)
+		}
+		filter = re
+		if *benchRe == coreSet {
+			// -filter narrows the default set; an explicit -bench keeps its
+			// own selection and -filter only scopes the baseline gate.
+			*benchRe = *filterRe
+		}
+	}
 	if *short && *benchtime == "1s" {
 		// One iteration per benchmark: enough to prove every benchmark still
 		// builds and runs; the resulting numbers are not comparable.
@@ -117,7 +133,7 @@ func main() {
 		if *nsTolerance == 0 {
 			*nsTolerance = *tolerance
 		}
-		regressions := compareBaseline(*compare, results, *tolerance, *nsTolerance, *noiseFloor)
+		regressions := compareBaseline(*compare, results, *tolerance, *nsTolerance, *noiseFloor, filter)
 		if regressions > 0 {
 			log.Fatalf("%d regression(s) past tolerance (allocs %.0f%%, ns %.0f%%) vs %s",
 				regressions, *tolerance*100, *nsTolerance*100, *compare)
@@ -131,7 +147,9 @@ func main() {
 // number of regressions. allocs/op is gated for every benchmark at
 // tolerance; ns/op at nsTolerance, and only where the baseline is at or
 // above noiseFloor. Gains and sub-floor timing moves are informational.
-func compareBaseline(path string, results map[string]Measurement, tolerance, nsTolerance, noiseFloor float64) int {
+// With a filter, baseline entries not matching it are skipped entirely —
+// a filtered run deliberately omits them, which must not read as deletion.
+func compareBaseline(path string, results map[string]Measurement, tolerance, nsTolerance, noiseFloor float64, filter *regexp.Regexp) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatalf("read baseline: %v", err)
@@ -153,6 +171,9 @@ func compareBaseline(path string, results map[string]Measurement, tolerance, nsT
 			name, metric, baseV, curV, 100*(curV-baseV)/baseV)
 	}
 	for _, name := range names {
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
 		b := base[name]
 		cur, ok := results[name]
 		if !ok {

@@ -72,6 +72,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for admitted queries before canceling them")
 		heartbeat    = flag.Duration("watch-heartbeat", server.DefaultWatchHeartbeat, "SSE heartbeat interval for standing queries")
 		writeTimeout = flag.Duration("watch-write-timeout", server.DefaultWatchWriteTimeout, "per-event SSE write deadline; a watch that cannot accept an event within this ends with a slow_consumer terminal event (<=0: no deadline)")
+		checkpointMB = flag.Int("watch-checkpoint-mb", server.DefaultWatchCheckpointMB, "watch checkpoint cache bound in MiB: resident per-stream indexes serving standing queries incrementally (negative or absurd values are rejected at startup)")
 	)
 	flag.Parse()
 	opts := server.Options{
@@ -82,6 +83,7 @@ func main() {
 		Sync:              *syncWrites,
 		WatchHeartbeat:    *heartbeat,
 		WatchWriteTimeout: *writeTimeout,
+		WatchCheckpointMB: *checkpointMB,
 	}
 	if err := run(*addr, *readTimeout, *drainTimeout, opts); err != nil {
 		log.Fatal(err)

@@ -42,6 +42,51 @@ func WithAdmissionWindow(d time.Duration) EngineOption {
 	return func(o *core.EngineOptions) { o.Window = d }
 }
 
+// WithWatchCheckpointMB bounds the engine's watch checkpoint cache — the
+// resident per-stream indexes behind the standing queries' O(Δ) fast path
+// (DESIGN.md §10) — to mb mebibytes. 0 keeps the default (64 MiB); a
+// negative value disables the cache, making every watch evaluation replay
+// its full pinned prefix. Events are bit-identical either way; the cache
+// only changes how fast they arrive.
+func WithWatchCheckpointMB(mb int) EngineOption {
+	return func(o *core.EngineOptions) {
+		if mb < 0 {
+			o.WatchCheckpointBytes = -1
+		} else {
+			o.WatchCheckpointBytes = int64(mb) << 20
+		}
+	}
+}
+
+// WatchCheckpointStats is the engine-wide health of the watch checkpoint
+// cache (DESIGN.md §10).
+type WatchCheckpointStats struct {
+	// Hits counts watch evaluations served incrementally from a resident
+	// index — the O(Δ) fast path.
+	Hits int64
+	// Misses counts evaluations that first had to (re)build a stream's index
+	// from a full replay (cold cache or post-eviction).
+	Misses int64
+	// Evictions counts resident indexes dropped by the capacity bound.
+	Evictions int64
+	// ResidentBytes is the accounted size of all resident indexes.
+	ResidentBytes int64
+	// CapacityBytes is the configured bound; 0 when the cache is disabled.
+	CapacityBytes int64
+}
+
+// WatchCheckpointStats reports the checkpoint cache's aggregate counters.
+func (e *Engine) WatchCheckpointStats() WatchCheckpointStats {
+	s := e.eng.WatchCheckpointStats()
+	return WatchCheckpointStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Evictions:     s.Evictions,
+		ResidentBytes: s.ResidentBytes,
+		CapacityBytes: s.CapacityBytes,
+	}
+}
+
 // NewEngine creates an engine over st and starts serving immediately.
 // Register more streams with RegisterStream; stop the engine with Close.
 func NewEngine(st Stream, opts ...EngineOption) *Engine {

@@ -25,6 +25,11 @@ type EngineOptions struct {
 	// moot — every query arriving while a generation is being served is
 	// admitted into the next one, so batching is automatic.
 	Window time.Duration
+	// WatchCheckpointBytes bounds the watch checkpoint cache backing the
+	// standing queries' O(Δ) fast path (DESIGN.md §10). 0 means
+	// DefaultWatchCheckpointBytes; a negative value disables the cache, so
+	// every watch evaluation cold-replays its pinned prefix.
+	WatchCheckpointBytes int64
 }
 
 // engineJob is one queued unit of work: the job, the submitter's context,
@@ -187,12 +192,18 @@ type Engine struct {
 
 	mu    sync.Mutex
 	lanes map[string]*lane
+
+	ckpt *watchCheckpoints
 }
 
 // NewEngine creates an engine over st and starts serving immediately.
 func NewEngine(st stream.Stream, opts EngineOptions) *Engine {
 	root, cancel := context.WithCancel(context.Background())
-	e := &Engine{opts: opts, root: root, cancel: cancel, lanes: make(map[string]*lane)}
+	capacity := opts.WatchCheckpointBytes
+	if capacity == 0 {
+		capacity = DefaultWatchCheckpointBytes
+	}
+	e := &Engine{opts: opts, root: root, cancel: cancel, lanes: make(map[string]*lane), ckpt: newWatchCheckpoints(capacity)}
 	if err := e.Register(DefaultStream, st); err != nil {
 		panic(err) // unreachable: the engine is empty and open
 	}

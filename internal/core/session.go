@@ -3,11 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 
-	"streamcount/internal/ers"
-	"streamcount/internal/fgp"
 	"streamcount/internal/oracle"
 	"streamcount/internal/stream"
 	"streamcount/internal/transform"
@@ -258,9 +255,10 @@ func (s *Session) RunContext(ctx context.Context) error {
 	}
 	s.reqCh = make(chan *roundReq)
 	doneCh := make(chan struct{})
+	ex := s.exec()
 	for _, h := range s.jobs {
 		go func(h *JobHandle) {
-			h.res = s.execute(h)
+			h.res = ex.execute(h)
 			doneCh <- struct{}{}
 		}(h)
 	}
@@ -408,184 +406,13 @@ func (s *Session) newRunner(h *JobHandle, rng *rand.Rand, parallelism int) (orac
 	return &sessionRunner{inner: inner, h: h, sess: s, reqCh: s.reqCh}, nil
 }
 
-// execute runs one job to completion on the job's own goroutine. All
-// randomness is drawn from the job's private RNG, so results do not depend
-// on the other jobs in the session.
-func (s *Session) execute(h *JobHandle) JobResult {
-	// The EdgeBoundStreamLen sentinel resolves against the stream the
-	// session actually replays — for an Engine generation that is the pinned
-	// view, so engine-served and standalone runs at the same pinned version
-	// derive identical trial budgets.
-	if h.job.Config.EdgeBound == EdgeBoundStreamLen {
-		h.job.Config.EdgeBound = s.st.Len()
+// exec builds the job executor bound to this session's stream and runner
+// factory. The algorithms themselves live on executor (executor.go), shared
+// with the watch fast path's replay-free runner.
+func (s *Session) exec() *executor {
+	return &executor{
+		length:     s.st.Len(),
+		insertOnly: s.st.InsertOnly(),
+		newRunner:  s.newRunner,
 	}
-	switch h.job.Kind {
-	case JobEstimate:
-		est, err := s.runEstimate(h, h.job.Config)
-		return JobResult{Est: est, Err: err}
-	case JobSample:
-		cp, found, err := s.runSample(h, h.job.Config)
-		return JobResult{Copy: cp, Found: found, Err: err}
-	case JobCliques:
-		est, err := s.runCliques(h, h.job.Clique)
-		return JobResult{Est: est, Err: err}
-	case JobAuto:
-		est, err := s.runAuto(h, h.job.Config)
-		return JobResult{Est: est, Err: err}
-	case JobDistinguish:
-		above, est, err := s.runDistinguish(h, h.job.Config, h.job.Threshold)
-		return JobResult{Est: est, Above: above, Err: err}
-	default:
-		return JobResult{Err: fmt.Errorf("core: unknown job kind %d: %w", h.job.Kind, ErrBadConfig)}
-	}
-}
-
-// runEstimate is the 3-pass FGP counting job (Theorem 17 insertion-only,
-// Theorem 1 turnstile).
-func (s *Session) runEstimate(h *JobHandle, cfg Config) (*CountResult, error) {
-	if cfg.Pattern == nil {
-		return nil, fmt.Errorf("core: Pattern must be set: %w", ErrBadPattern)
-	}
-	trials, err := cfg.trials()
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pl, err := fgp.NewPlan(cfg.Pattern)
-	if err != nil {
-		return nil, err
-	}
-	r, err := s.newRunner(h, rng, cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	res, err := fgp.CountParallel(r, pl, trials, rng, cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	return &CountResult{
-		Value:      res.Estimate,
-		M:          res.M,
-		Passes:     h.rounds, // cumulative: Auto guesses reuse the handle
-		Queries:    r.Queries(),
-		SpaceWords: r.SpaceWords(),
-		Trials:     trials,
-	}, nil
-}
-
-// runSample is the 3-pass uniform sampler job (Lemma 16/18).
-func (s *Session) runSample(h *JobHandle, cfg Config) (SampledCopy, bool, error) {
-	if cfg.Pattern == nil {
-		return SampledCopy{}, false, fmt.Errorf("core: Pattern must be set: %w", ErrBadPattern)
-	}
-	trials, err := cfg.trials()
-	if err != nil {
-		return SampledCopy{}, false, err
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pl, err := fgp.NewPlan(cfg.Pattern)
-	if err != nil {
-		return SampledCopy{}, false, err
-	}
-	r, err := s.newRunner(h, rng, cfg.Parallelism)
-	if err != nil {
-		return SampledCopy{}, false, err
-	}
-	sr, ok, err := fgp.SampleParallel(r, pl, trials, rng, cfg.Parallelism)
-	if err != nil || !ok {
-		return SampledCopy{}, false, err
-	}
-	return SampledCopy{Edges: sr.Edges, Vertices: sr.Vertices}, true, nil
-}
-
-// runCliques is the 5r-pass ERS clique counting job (Theorem 2).
-func (s *Session) runCliques(h *JobHandle, cfg CliqueConfig) (*CountResult, error) {
-	if !s.st.InsertOnly() {
-		return nil, fmt.Errorf("core: EstimateCliques requires an insertion-only stream (Theorem 2): %w", ErrBadConfig)
-	}
-	p := cfg.Params
-	p.R = cfg.R
-	p.Lambda = cfg.Lambda
-	p.Eps = cfg.Epsilon
-	p.L = cfg.LowerBound
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	r, err := s.newRunner(h, rng, cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	res, err := ers.Count(r, p, rng)
-	if err != nil {
-		return nil, err
-	}
-	if h.rounds > int64(5*cfg.R) {
-		return nil, fmt.Errorf("core: internal error: %d passes exceeds Theorem 2's 5r = %d", h.rounds, 5*cfg.R)
-	}
-	return &CountResult{
-		Value:      res.Estimate,
-		M:          res.M,
-		Passes:     h.rounds,
-		Queries:    r.Queries(),
-		SpaceWords: r.SpaceWords(),
-	}, nil
-}
-
-// runAuto is the geometric search over lower-bound guesses (cf. Lemma 21):
-// the 3-pass counter runs at the trial budget for each guess until the
-// estimate validates the guess. Every guess re-seeds from cfg.Seed (so each
-// guess is the exact run a standalone EstimateSubgraphs at that lower bound
-// would produce), and pass/query/space accounting is cumulative across
-// guesses — the handle's round count ticks once per served round, so Passes
-// reports the total the search consumed, not the final guess's share.
-func (s *Session) runAuto(h *JobHandle, cfg Config) (*CountResult, error) {
-	if cfg.Pattern == nil {
-		return nil, fmt.Errorf("core: Pattern must be set: %w", ErrBadPattern)
-	}
-	if cfg.Epsilon <= 0 {
-		cfg.Epsilon = 0.2
-	}
-	if cfg.EdgeBound <= 0 {
-		return nil, fmt.Errorf("core: EdgeBound must be set for the geometric search: %w", ErrBadConfig)
-	}
-	rho := cfg.Pattern.Rho()
-	// Start from the AGM upper bound #H <= m^ρ and halve.
-	start := math.Pow(float64(cfg.EdgeBound), rho)
-	var last *CountResult
-	for l := start; l >= 0.5; l /= 2 {
-		sub := cfg
-		sub.LowerBound = l
-		sub.Trials = 0
-		est, err := s.runEstimate(h, sub)
-		if err != nil {
-			return nil, err
-		}
-		if last != nil {
-			est.Queries += last.Queries
-			est.SpaceWords += last.SpaceWords
-		}
-		last = est
-		if est.Value >= l {
-			return est, nil
-		}
-	}
-	return last, nil
-}
-
-// runDistinguish is the decision job (§1.1): is #H at least (1+eps)·l or at
-// most l, decided at the midpoint of an eps/2-accurate estimate.
-func (s *Session) runDistinguish(h *JobHandle, cfg Config, l float64) (bool, *CountResult, error) {
-	if l <= 0 {
-		return false, nil, fmt.Errorf("core: threshold l must be positive: %w", ErrBadConfig)
-	}
-	if cfg.Epsilon <= 0 {
-		cfg.Epsilon = 0.1
-	}
-	cfg.LowerBound = l
-	if cfg.Trials == 0 && cfg.EdgeBound <= 0 {
-		return false, nil, fmt.Errorf("core: either Trials or EdgeBound must be set: %w", ErrBadConfig)
-	}
-	est, err := s.runEstimate(h, cfg)
-	if err != nil {
-		return false, nil, err
-	}
-	return est.Value >= (1+cfg.Epsilon/2)*l, est, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // WatchOptions configures Engine.Watch.
@@ -62,6 +63,35 @@ type Watch struct {
 	err    error // terminal reason; written before done closes
 
 	closeOnce sync.Once
+
+	// Checkpoint-cache counters for this watch's evaluations (DESIGN.md §10).
+	ckptHits   atomic.Int64
+	ckptMisses atomic.Int64
+	ckptCold   atomic.Int64
+}
+
+// WatchEvalStats reports how one watch's evaluations were served.
+type WatchEvalStats struct {
+	// CheckpointHits counts evaluations served incrementally from a resident
+	// checkpoint index — the O(Δ) fast path.
+	CheckpointHits int64
+	// CheckpointMisses counts evaluations that rebuilt the lane's index from
+	// a full replay first (cold cache or post-eviction).
+	CheckpointMisses int64
+	// ColdReplays counts evaluations that bypassed the cache entirely and
+	// ran as shared-replay generations (turnstile lanes, disabled lanes, or
+	// a disabled cache).
+	ColdReplays int64
+}
+
+// CheckpointStats reports how this watch's evaluations were served. Safe to
+// call concurrently with event delivery.
+func (w *Watch) CheckpointStats() WatchEvalStats {
+	return WatchEvalStats{
+		CheckpointHits:   w.ckptHits.Load(),
+		CheckpointMisses: w.ckptMisses.Load(),
+		ColdReplays:      w.ckptCold.Load(),
+	}
 }
 
 // Events returns the watch's event stream. It is closed when the watch
@@ -281,7 +311,15 @@ func (e *Engine) watchLoop(wctx, callerCtx context.Context, l *lane, j Job, lw *
 		jj := j
 		jj.Config.Seed = WatchSeedAt(j.Config.Seed, v)
 		jj.Clique.Seed = WatchSeedAt(j.Clique.Seed, v)
-		h, err := e.submitPinned(wctx, l.name, jj, v)
+		// O(Δ) fast path: serve the evaluation from the lane's checkpointed
+		// prefix index when one is available (insertion-only lanes, cache
+		// enabled). The result is bit-identical to a cold pinned submission,
+		// so which path served an event is unobservable in the transcript.
+		h, err, served := e.evaluateIndexed(wctx, l, jj, v, w)
+		if !served {
+			w.ckptCold.Add(1)
+			h, err = e.submitPinned(wctx, l.name, jj, v)
+		}
 		if err != nil {
 			if wctx.Err() != nil {
 				return terminal()

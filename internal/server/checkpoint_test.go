@@ -1,0 +1,127 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"streamcount"
+	"streamcount/internal/wire"
+)
+
+// TestWatchCheckpointObservability: the checkpoint cache behind standing
+// queries is visible end to end — per-watch counters in GET /v1/watches,
+// engine-wide aggregates in /healthz and GET /v1/streams — and the served
+// events come from the fast path (hits after the initial build).
+func TestWatchCheckpointObservability(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	createStream(t, s, "live", 60)
+
+	r, started, closeBody := startWatch(t, ts,
+		`{"stream":"live","pattern":"triangle","trials":300,"seed":3,"policy":"every"}`)
+	defer closeBody()
+	if started.ID == "" {
+		t.Fatal("no watch id")
+	}
+
+	batches := []string{
+		`{"updates":[{"u":0,"v":1},{"u":1,"v":2},{"u":0,"v":2},{"u":2,"v":3}]}`,
+		`{"updates":[{"u":3,"v":4},{"u":0,"v":3},{"u":1,"v":3}]}`,
+		`{"updates":[{"u":2,"v":4},{"u":0,"v":4}]}`,
+	}
+	for _, batch := range batches {
+		if code := do(t, s, "POST", "/v1/streams/live/edges", batch, nil); code != http.StatusOK {
+			t.Fatalf("append: %d", code)
+		}
+		for {
+			ev, err := readSSE(t, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.name == "result" {
+				break
+			}
+		}
+	}
+
+	var list wire.WatchList
+	if code := do(t, s, "GET", "/v1/watches", "", &list); code != http.StatusOK {
+		t.Fatalf("list watches: %d", code)
+	}
+	if len(list.Watches) != 1 {
+		t.Fatalf("watch list %+v, want exactly one", list)
+	}
+	wi := list.Watches[0]
+	if wi.CheckpointMisses != 1 {
+		t.Errorf("watch checkpoint_misses = %d, want 1 (initial index build)", wi.CheckpointMisses)
+	}
+	if want := int64(len(batches) - 1); wi.CheckpointHits != want {
+		t.Errorf("watch checkpoint_hits = %d, want %d", wi.CheckpointHits, want)
+	}
+	if wi.ColdReplays != 0 {
+		t.Errorf("watch cold_replays = %d, want 0 on an insertion-only stream", wi.ColdReplays)
+	}
+
+	var h wire.Health
+	if code := do(t, s, "GET", "/healthz", "", &h); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	ck := h.Watches.Checkpoints
+	if ck.Hits != wi.CheckpointHits || ck.Misses != wi.CheckpointMisses {
+		t.Errorf("healthz checkpoint stats %+v disagree with the watch's (%d hits, %d misses)",
+			ck, wi.CheckpointHits, wi.CheckpointMisses)
+	}
+	if ck.CapacityBytes != int64(DefaultWatchCheckpointMB)<<20 {
+		t.Errorf("capacity_bytes = %d, want default %d MiB", ck.CapacityBytes, DefaultWatchCheckpointMB)
+	}
+	if ck.ResidentBytes <= 0 {
+		t.Errorf("resident_bytes = %d, want > 0 with a live index", ck.ResidentBytes)
+	}
+
+	var sl wire.StreamsList
+	if code := do(t, s, "GET", "/v1/streams", "", &sl); code != http.StatusOK {
+		t.Fatal("list streams failed")
+	}
+	if sl.Watches.Checkpoints != ck {
+		t.Errorf("streams-list checkpoint stats %+v != healthz %+v", sl.Watches.Checkpoints, ck)
+	}
+}
+
+// TestOptionsWatchCheckpointValidation: nonsensical cache bounds are
+// rejected at startup instead of being clamped into silent surprises.
+func TestOptionsWatchCheckpointValidation(t *testing.T) {
+	if _, err := New(Options{WatchCheckpointMB: -1}); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Errorf("New(WatchCheckpointMB: -1) = %v, want a negative-value error", err)
+	}
+	if _, err := New(Options{WatchCheckpointMB: maxWatchCheckpointMB + 1}); err == nil || !strings.Contains(err.Error(), "sanity bound") {
+		t.Errorf("New(WatchCheckpointMB: %d) = %v, want a sanity-bound error", maxWatchCheckpointMB+1, err)
+	}
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New with default checkpoint option: %v", err)
+	}
+	defer s.Close(t.Context())
+	if got := s.Engine().WatchCheckpointStats().CapacityBytes; got != int64(DefaultWatchCheckpointMB)<<20 {
+		t.Errorf("default capacity = %d bytes, want %d MiB", got, DefaultWatchCheckpointMB)
+	}
+
+	// A caller-supplied engine keeps its own cache configuration; the MB
+	// option is documented as ignored in that case, not validated against.
+	app, err := streamcount.NewAppendableStream(8, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := streamcount.NewEngine(app, streamcount.WithWatchCheckpointMB(2))
+	defer eng.Close()
+	s2, err := New(Options{Engine: eng})
+	if err != nil {
+		t.Fatalf("New with engine: %v", err)
+	}
+	defer s2.Close(t.Context())
+	if got := s2.Engine().WatchCheckpointStats().CapacityBytes; got != 2<<20 {
+		t.Errorf("engine-supplied capacity = %d, want %d", got, int64(2)<<20)
+	}
+}

@@ -75,6 +75,14 @@ func (s *Server) registryStats() (wire.QueryStats, wire.WatchStats) {
 	ws := wire.WatchStats{Active: len(s.watches)}
 	s.mu.Unlock()
 	ws.Rejected = s.rejectedWatches.Load()
+	cs := s.eng.WatchCheckpointStats()
+	ws.Checkpoints = wire.CheckpointStats{
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Evictions:     cs.Evictions,
+		ResidentBytes: cs.ResidentBytes,
+		CapacityBytes: cs.CapacityBytes,
+	}
 	return q, ws
 }
 

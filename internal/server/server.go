@@ -69,6 +69,17 @@ const DefaultWatchWriteTimeout = 15 * time.Second
 // evicted.
 const maxAppendDedup = 1 << 16
 
+// DefaultWatchCheckpointMB is the default bound, in MiB, on the engine's
+// watch checkpoint cache — the resident per-stream indexes behind the
+// standing queries' O(Δ) incremental evaluation (DESIGN.md §10).
+const DefaultWatchCheckpointMB = 64
+
+// maxWatchCheckpointMB rejects absurd cache bounds at startup (1 TiB; far
+// beyond any deployment this daemon targets), so a mistyped flag fails
+// loudly instead of silently committing the process to an impossible
+// budget.
+const maxWatchCheckpointMB = 1 << 20
+
 // DefaultStreamN is the vertex-range of the default stream the server
 // creates when no engine is supplied. Clients normally create their own
 // named streams with an exact vertex count; the default stream exists so
@@ -100,6 +111,12 @@ type Options struct {
 	// WatchWriteTimeout is the per-write deadline on SSE watch streams
 	// (0: DefaultWatchWriteTimeout). Negative disables the deadline.
 	WatchWriteTimeout time.Duration
+	// WatchCheckpointMB bounds the engine's watch checkpoint cache in MiB
+	// (0: DefaultWatchCheckpointMB). Applied to the engine New creates;
+	// ignored when Engine is supplied (configure that engine with
+	// streamcount.WithWatchCheckpointMB instead). New rejects negative or
+	// absurdly large values instead of clamping them.
+	WatchCheckpointMB int
 	// Sync makes durable streams fsync the tail segment file on every
 	// append, hardening acknowledged appends against machine crashes (not
 	// just process kills) at a large throughput cost.
@@ -169,6 +186,18 @@ type Server struct {
 // background goroutine — the server answers /healthz as "recovering" and
 // rejects POSTs with 503 + Retry-After until WaitReady would return.
 func New(opts Options) (*Server, error) {
+	// Validate before any engine or disk work: a nonsensical checkpoint
+	// bound is an operator error and must fail startup, not be clamped into
+	// a configuration nobody asked for.
+	ckptMB := opts.WatchCheckpointMB
+	switch {
+	case ckptMB < 0:
+		return nil, fmt.Errorf("server: WatchCheckpointMB %d is negative; the checkpoint cache bound must be positive (0 selects the default %d MiB)", ckptMB, DefaultWatchCheckpointMB)
+	case ckptMB > maxWatchCheckpointMB:
+		return nil, fmt.Errorf("server: WatchCheckpointMB %d exceeds the %d MiB (1 TiB) sanity bound", ckptMB, maxWatchCheckpointMB)
+	case ckptMB == 0:
+		ckptMB = DefaultWatchCheckpointMB
+	}
 	eng := opts.Engine
 	own := false
 	if eng == nil {
@@ -176,7 +205,9 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: default stream: %w", err)
 		}
-		eng = streamcount.NewEngine(def, streamcount.WithAdmissionWindow(opts.Window))
+		eng = streamcount.NewEngine(def,
+			streamcount.WithAdmissionWindow(opts.Window),
+			streamcount.WithWatchCheckpointMB(ckptMB))
 		own = true
 	}
 	jobCtx, jobStop := context.WithCancel(context.Background())

@@ -18,6 +18,9 @@ import (
 // GET /v1/watches reads a consistent snapshot.
 type serverWatch struct {
 	info wire.WatchInfo
+	// sub reads the live checkpoint counters for GET /v1/watches; the
+	// counters are atomics, so reading them outside Server.mu is safe.
+	sub *streamcount.Subscription[streamcount.Outcome]
 }
 
 // registerWatch admits a watch into the bounded registry, or reports that
@@ -26,7 +29,7 @@ type serverWatch struct {
 // rejection is a capacity condition ("retry later"), not any facade
 // sentinel: the handler sends it as 503 with wire.CodeWatchLimit so
 // clients cannot mistake it for a cleanly closed subscription.
-func (s *Server) registerWatch(req wire.WatchRequest, policy string) (*serverWatch, error) {
+func (s *Server) registerWatch(req wire.WatchRequest, policy string, sub *streamcount.Subscription[streamcount.Outcome]) (*serverWatch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.watches) >= s.maxWatches {
@@ -34,7 +37,7 @@ func (s *Server) registerWatch(req wire.WatchRequest, policy string) (*serverWat
 		return nil, fmt.Errorf("watch registry full (%d active); retry later", len(s.watches))
 	}
 	s.nextWatchID++
-	sw := &serverWatch{info: wire.WatchInfo{
+	sw := &serverWatch{sub: sub, info: wire.WatchInfo{
 		ID:      fmt.Sprintf("w%06d", s.nextWatchID),
 		Stream:  req.Stream,
 		Kind:    req.Kind,
@@ -197,7 +200,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sub.Close()
 
-	sw, err := s.registerWatch(req, policy)
+	sw, err := s.registerWatch(req, policy, sub)
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, wire.Error{Error: err.Error(), Code: wire.CodeWatchLimit})
 		return
@@ -271,7 +274,14 @@ func (s *Server) handleListWatches(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	list := wire.WatchList{Watches: make([]wire.WatchInfo, 0, len(s.watches)), Active: len(s.watches)}
 	for _, sw := range s.watches {
-		list.Watches = append(list.Watches, sw.info)
+		info := sw.info
+		if sw.sub != nil {
+			cs := sw.sub.CheckpointStats()
+			info.CheckpointHits = cs.CheckpointHits
+			info.CheckpointMisses = cs.CheckpointMisses
+			info.ColdReplays = cs.ColdReplays
+		}
+		list.Watches = append(list.Watches, info)
 	}
 	s.mu.Unlock()
 	sort.Slice(list.Watches, func(i, j int) bool { return list.Watches[i].ID < list.Watches[j].ID })

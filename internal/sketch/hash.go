@@ -43,6 +43,10 @@ func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
 // Seed implements rand.Source.
 func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
 
+// Clone returns an independent source that continues from the same state:
+// both copies produce the identical remaining sequence.
+func (s *SplitMix64) Clone() *SplitMix64 { c := *s; return &c }
+
 // mersenne61 is the Mersenne prime 2^61 - 1, the fingerprint field modulus.
 const mersenne61 = (1 << 61) - 1
 

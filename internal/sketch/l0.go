@@ -99,6 +99,19 @@ func NewL0SamplerWithBase(seed, z uint64, cfg L0Config) *L0Sampler {
 	return s
 }
 
+// Clone returns an independent deep copy: the sampler is a pure linear
+// sketch (stateless hashing over a cell array), so the copy and the
+// original answer identically given identical further updates.
+func (s *L0Sampler) Clone() *L0Sampler {
+	c := *s
+	c.cells = make([]l0cell, len(s.cells))
+	copy(c.cells, s.cells)
+	return &c
+}
+
+// CellBytes approximates the sampler's resident cell-array size in bytes.
+func (s *L0Sampler) CellBytes() int64 { return int64(len(s.cells)) * 24 }
+
 // RandomFieldBase draws a fingerprint evaluation point from the hash of the
 // given seed, suitable for NewL0SamplerWithBase.
 func RandomFieldBase(seed uint64) uint64 {

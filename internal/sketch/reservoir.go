@@ -15,6 +15,7 @@ import (
 // uniform U), costing O(log m) random draws per stream instead of O(m).
 type Reservoir struct {
 	rng   *rand.Rand
+	src   *SplitMix64 // non-nil iff built by NewReservoirSeeded (cloneable)
 	item  uint64
 	count int64
 	next  int64 // index (1-based) of the next item to accept
@@ -23,6 +24,28 @@ type Reservoir struct {
 // NewReservoir returns an empty reservoir drawing randomness from rng.
 func NewReservoir(rng *rand.Rand) *Reservoir {
 	return &Reservoir{rng: rng, next: 1}
+}
+
+// NewReservoirSeeded returns an empty reservoir over a private splitmix64
+// source seeded with seed. It draws the same accept sequence as
+// NewReservoir(rand.New(NewSplitMix64(seed))), but retains the source so
+// the reservoir is cloneable mid-stream (see Clone).
+func NewReservoirSeeded(seed uint64) *Reservoir {
+	src := NewSplitMix64(seed)
+	return &Reservoir{rng: rand.New(src), src: src, next: 1}
+}
+
+// Clone returns an independent deep copy of the reservoir: both copies
+// continue from the identical RNG state, so offering the same items to each
+// yields bit-identical samples. Only reservoirs built by NewReservoirSeeded
+// are cloneable (ok reports false otherwise — an external *rand.Rand cannot
+// be duplicated).
+func (r *Reservoir) Clone() (*Reservoir, bool) {
+	if r.src == nil {
+		return nil, false
+	}
+	src := r.src.Clone()
+	return &Reservoir{rng: rand.New(src), src: src, item: r.item, count: r.count, next: r.next}, true
 }
 
 // Offer presents the next stream item to the reservoir.

@@ -860,6 +860,55 @@ func (v *View) ForEachBatch(fn func([]Update) error) error {
 	return nil
 }
 
+// ForEachBatchFrom replays only the suffix [lo, Len()) of the view, in the
+// same order and batch geometry a full replay would produce past lo.
+// In-memory segments are served as zero-copy subslices; evicted segments
+// seek past their skipped fixed-width records without decoding them. This
+// is the primitive behind incremental watch evaluation: a consumer that
+// already holds state for the prefix [0, lo) pays only O(Len()-lo) to
+// catch up (DESIGN.md §10).
+func (v *View) ForEachBatchFrom(lo int64, fn func([]Update) error) error {
+	if lo < 0 || lo > v.version {
+		return fmt.Errorf("stream: ForEachBatchFrom(%d): offset out of range [0,%d]", lo, v.version)
+	}
+	if lo == 0 {
+		return v.ForEachBatch(fn)
+	}
+	fsys := v.fs
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	var buf []Update
+	skip := lo
+	for _, s := range v.segs {
+		count := int64(len(s.mem))
+		if s.mem == nil {
+			count = int64(s.count)
+		}
+		if skip >= count {
+			skip -= count
+			continue
+		}
+		if s.mem != nil {
+			for i := skip; i < count; i += DefaultBatchSize {
+				j := min(i+DefaultBatchSize, count)
+				if err := fn(s.mem[i:j]); err != nil {
+					return err
+				}
+			}
+		} else {
+			if buf == nil {
+				buf = make([]Update, 0, DefaultBatchSize)
+			}
+			if err := readSegmentFrom(fsys, s.path, int(skip), s.count, &buf, fn); err != nil {
+				return err
+			}
+		}
+		skip = 0
+	}
+	return nil
+}
+
 // Segment file format v1: an 8-byte header (magic "SCSG", format version,
 // padding) followed by fixed-width records — u and v as little-endian
 // int64, one op byte, and a CRC32C over those 17 payload bytes — so a
@@ -947,6 +996,13 @@ func writeSegment(fsys FS, path string, ups []Update) error {
 // checksum contradictions wrap ErrSegmentCorrupt: replayed segments were
 // sealed and fsynced, so a bad byte is corruption, not an in-flight write.
 func readSegment(fsys FS, path string, count int, buf *[]Update, fn func([]Update) error) error {
+	return readSegmentFrom(fsys, path, 0, count, buf, fn)
+}
+
+// readSegmentFrom is readSegment starting at record index from: the skipped
+// records are seeked over (fixed-width format, no decode), the rest stream
+// through fn as usual.
+func readSegmentFrom(fsys FS, path string, from, count int, buf *[]Update, fn func([]Update) error) error {
 	fh, err := fsys.OpenFile(path, os.O_RDONLY)
 	if err != nil {
 		return fmt.Errorf("stream: segment %s: %w", path, err)
@@ -960,9 +1016,14 @@ func readSegment(fsys FS, path string, count int, buf *[]Update, fn func([]Updat
 	if hdr != segFileHeader {
 		return fmt.Errorf("stream: segment %s: bad header %x: %w", path, hdr, ErrSegmentCorrupt)
 	}
+	if from > 0 {
+		if _, err := io.CopyN(io.Discard, r, int64(from)*segRecordSize); err != nil {
+			return fmt.Errorf("stream: segment %s truncated before record %d: %w", path, from, ErrSegmentCorrupt)
+		}
+	}
 	var rec [segRecordSize]byte
 	batch := (*buf)[:0]
-	for i := 0; i < count; i++ {
+	for i := from; i < count; i++ {
 		if _, err := io.ReadFull(r, rec[:]); err != nil {
 			*buf = batch[:0]
 			return fmt.Errorf("stream: segment %s truncated at record %d: %w", path, i, ErrSegmentCorrupt)

@@ -1,0 +1,320 @@
+package transform
+
+import (
+	"fmt"
+	"sync"
+
+	"streamcount/internal/oracle"
+	"streamcount/internal/sketch"
+)
+
+// Round checkpoint/resume for the two pass runners (oracle.PassRunner's
+// SnapshotRound/ResumeRound): an in-flight round's per-query state is deep
+// copied at a batch boundary, and a later runner restores it and consumes
+// only the stream suffix past the snapshot position. The contract, enforced
+// by TestSnapshotResumeLinearity*, is exact linearity:
+//
+//	BeginRound + feed [0,end) + EndRound
+//	  ≡ BeginRound + feed [0,v) + SnapshotRound on runner A,
+//	    ResumeRound + feed [v,end) + EndRound on runner B
+//
+// bit for bit — answers, Rounds, Queries and SpaceWords. ResumeRound also
+// discards exactly the RNG draws BeginRound would have made, so a resumed
+// runner's later rounds (the FGP pipeline schedules three) stay in seed
+// lockstep with a cold runner's.
+//
+// Snapshots are immutable: one snapshot can seed many resumptions, and
+// further consumption on the snapshotted runner never leaks into it.
+
+// feedScratchPool recycles the scratch feed buffers SnapshotRound uses to
+// flush buffered sampler feeds into snapshot clones without touching the
+// live round's entries.
+var feedScratchPool = sync.Pool{
+	New: func() any {
+		s := make([]feedEntry, 0, 4096)
+		return &s
+	},
+}
+
+// ---- InsertionRunner ----
+
+// insCheckpoint is InsertionRunner's RoundCheckpoint: the sharded
+// reservoir/counter/watch state at stream position m.
+type insCheckpoint struct {
+	queries []oracle.Query
+	p       int
+	m       int64
+	shards  []*insShard
+	bytes   int64
+}
+
+func (c *insCheckpoint) CheckpointVersion() int64 { return c.m }
+func (c *insCheckpoint) CheckpointBytes() int64   { return c.bytes }
+
+// copyInsShard deep-copies src's round state into dst (whose maps must
+// exist; they are cleared first), returning an estimate of the copied
+// bytes. Reservoirs are cloned with their RNG position, neighbor watches by
+// value, so the copy's future evolution is bit-identical to the source's.
+func copyInsShard(dst, src *insShard) (int64, error) {
+	bytes := int64(0)
+	dst.res = dst.res[:0]
+	for _, rs := range src.res {
+		c, ok := rs.Clone()
+		if !ok {
+			return 0, fmt.Errorf("transform: SnapshotRound: reservoir has an external RNG and cannot be cloned")
+		}
+		dst.res = append(dst.res, c)
+		bytes += 64
+	}
+	dst.resIdx = append(dst.resIdx[:0], src.resIdx...)
+	clear(dst.deg)
+	for k, v := range src.deg {
+		dst.deg[k] = v
+		bytes += 48
+	}
+	clear(dst.adj)
+	for k, v := range src.adj {
+		dst.adj[k] = v
+		bytes += 48
+	}
+	clear(dst.nbr)
+	for u, ws := range src.nbr {
+		nws := make([]*neighborWatch, len(ws))
+		for i, w := range ws {
+			cw := *w
+			nws[i] = &cw
+		}
+		dst.nbr[u] = nws
+		bytes += 48 + int64(len(ws))*56
+	}
+	return bytes, nil
+}
+
+// SnapshotRound implements oracle.PassRunner.
+func (r *InsertionRunner) SnapshotRound() (oracle.RoundCheckpoint, error) {
+	if !r.inRound {
+		return nil, fmt.Errorf("transform: SnapshotRound outside a round")
+	}
+	cp := &insCheckpoint{
+		queries: append([]oracle.Query(nil), r.curQueries...),
+		p:       r.curP,
+		m:       r.curM,
+		shards:  make([]*insShard, len(r.shards)),
+	}
+	cp.bytes = int64(len(cp.queries)) * 32
+	for i, sh := range r.shards {
+		ns := &insShard{
+			deg: make(map[int64]int64, len(sh.deg)),
+			nbr: make(map[int64][]*neighborWatch, len(sh.nbr)),
+			adj: make(map[uint64]bool, len(sh.adj)),
+		}
+		b, err := copyInsShard(ns, sh)
+		if err != nil {
+			return nil, err
+		}
+		cp.shards[i] = ns
+		cp.bytes += b
+	}
+	return cp, nil
+}
+
+// ResumeRound implements oracle.PassRunner: it restores cp as this runner's
+// in-flight round, positioned to consume the stream suffix from fromVersion
+// on. The runner's scratch shards are reused as the restore target, so a
+// hot resume loop allocates only the per-watch copies.
+func (r *InsertionRunner) ResumeRound(cp oracle.RoundCheckpoint, fromVersion int64) error {
+	c, ok := cp.(*insCheckpoint)
+	if !ok {
+		return fmt.Errorf("transform: ResumeRound: %T is not an insertion-round checkpoint", cp)
+	}
+	if fromVersion != c.m {
+		return fmt.Errorf("transform: ResumeRound: fromVersion %d != checkpoint position %d", fromVersion, c.m)
+	}
+	r.rounds++
+	r.queries += int64(len(c.queries))
+	// Mirror BeginRound's space accounting and RNG draws (one reservoir
+	// seed per RandomEdge), so a resumed runner reports the same budgets
+	// and stays in seed lockstep for subsequent rounds.
+	for _, q := range c.queries {
+		switch q.Type {
+		case oracle.CountEdges, oracle.Degree, oracle.Adjacent:
+			r.space++
+		case oracle.RandomEdge:
+			r.rng.Uint64()
+			r.space += 2
+		case oracle.Neighbor:
+			r.space += 2
+		}
+	}
+	r.inRound = true
+	r.curQueries = c.queries
+	r.curM = c.m
+	r.curP = c.p
+	r.ensureShards(c.p)
+	for i, src := range c.shards {
+		if _, err := copyInsShard(r.shards[i], src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- TurnstileRunner ----
+
+// turnCheckpoint is TurnstileRunner's RoundCheckpoint. The ℓ0-sketches are
+// linear, so the buffered sampler feeds are flushed into the snapshot's
+// sampler clones at capture time: the checkpoint size is O(query state),
+// independent of how much stream the round has consumed, and feeding the
+// suffix later lands on exactly the cells a single full feed would.
+type turnCheckpoint struct {
+	queries  []oracle.Query
+	p        int
+	consumed int64 // updates consumed (stream position)
+	m        int64 // net edge count at that position
+	base     uint64
+	edge     []*sketch.L0Sampler
+	edgeIdx  []int
+	nbrVerts []int64
+	nbr      map[int64][]*sketch.L0Sampler
+	nbrIdx   map[int64][]int
+	deg      map[int64]int64
+	adj      map[uint64]int64
+	bytes    int64
+}
+
+func (c *turnCheckpoint) CheckpointVersion() int64 { return c.consumed }
+func (c *turnCheckpoint) CheckpointBytes() int64   { return c.bytes }
+
+// flushInto clones s and applies the term-filled feed to the clone.
+func flushInto(s *sketch.L0Sampler, feed []feedEntry) *sketch.L0Sampler {
+	c := s.Clone()
+	for _, b := range feed {
+		c.UpdateTerm(b.key, b.delta, b.term)
+	}
+	return c
+}
+
+// SnapshotRound implements oracle.PassRunner.
+func (r *TurnstileRunner) SnapshotRound() (oracle.RoundCheckpoint, error) {
+	if !r.inRound {
+		return nil, fmt.Errorf("transform: SnapshotRound outside a round")
+	}
+	cp := &turnCheckpoint{
+		queries:  append([]oracle.Query(nil), r.curQueries...),
+		p:        r.curP,
+		consumed: r.curConsumed,
+		m:        r.curM,
+		base:     r.curBase,
+		edgeIdx:  append([]int(nil), r.edgeSampIdx...),
+		nbrVerts: append([]int64(nil), r.nbrVerts...),
+		nbr:      make(map[int64][]*sketch.L0Sampler, len(r.nbrSamplers)),
+		nbrIdx:   make(map[int64][]int, len(r.nbrSampIdx)),
+		deg:      make(map[int64]int64),
+		adj:      make(map[uint64]int64),
+	}
+	cp.bytes = int64(len(cp.queries)) * 32
+	scratch := feedScratchPool.Get().(*[]feedEntry)
+	feed := *scratch
+	// Edge-matrix samplers: flush the buffered pass feed into the clones
+	// through a pooled scratch copy (terms are filled on the copy so the
+	// live round's buffer is untouched).
+	if len(r.edgeSamplers) > 0 {
+		feed = append(feed[:0], r.edgeFeed...)
+		fillTerms(r.curP, r.curBase, feed)
+		for _, s := range r.edgeSamplers {
+			c := flushInto(s, feed)
+			cp.edge = append(cp.edge, c)
+			cp.bytes += c.CellBytes()
+		}
+	}
+	for _, v := range cp.nbrVerts {
+		sh := r.shards[shardOfVertex(v, r.curP)]
+		feed = append(feed[:0], sh.nbrFeed[v]...)
+		fillTerms(r.curP, r.curBase, feed)
+		for _, s := range r.nbrSamplers[v] {
+			c := flushInto(s, feed)
+			cp.nbr[v] = append(cp.nbr[v], c)
+			cp.bytes += c.CellBytes()
+		}
+		cp.nbrIdx[v] = append([]int(nil), r.nbrSampIdx[v]...)
+	}
+	*scratch = feed[:0]
+	feedScratchPool.Put(scratch)
+	// Counters: shards own disjoint keys, so a flat merge loses nothing.
+	for _, sh := range r.shards {
+		for k, v := range sh.deg {
+			cp.deg[k] = v
+			cp.bytes += 48
+		}
+		for k, v := range sh.adj {
+			cp.adj[k] = v
+			cp.bytes += 48
+		}
+	}
+	return cp, nil
+}
+
+// ResumeRound implements oracle.PassRunner: it restores cp as this runner's
+// in-flight round. The restored samplers already contain the prefix
+// [0, fromVersion); the round's remaining feeds start empty, so EndRound
+// sweeps only the suffix — O(Δ) sampler work.
+func (r *TurnstileRunner) ResumeRound(cp oracle.RoundCheckpoint, fromVersion int64) error {
+	c, ok := cp.(*turnCheckpoint)
+	if !ok {
+		return fmt.Errorf("transform: ResumeRound: %T is not a turnstile-round checkpoint", cp)
+	}
+	if fromVersion != c.consumed {
+		return fmt.Errorf("transform: ResumeRound: fromVersion %d != checkpoint position %d", fromVersion, c.consumed)
+	}
+	r.rounds++
+	r.queries += int64(len(c.queries))
+	// Mirror BeginRound's RNG draws (fingerprint base, then one seed per
+	// sampler query) so later rounds stay in seed lockstep with a cold
+	// runner's; mirror its space accounting likewise.
+	r.rng.Uint64()
+	for _, q := range c.queries {
+		switch q.Type {
+		case oracle.CountEdges, oracle.Degree, oracle.Adjacent:
+			r.space++
+		case oracle.RandomEdge, oracle.RandomNeighbor:
+			r.rng.Uint64()
+		}
+	}
+	r.inRound = true
+	r.curQueries = c.queries
+	r.curP = c.p
+	r.curM = c.m
+	r.curConsumed = c.consumed
+	r.curBase = c.base
+	r.ensureShards(c.p)
+	r.edgeFeed = r.edgeFeed[:0]
+	r.edgeSamplers = r.edgeSamplers[:0]
+	for _, s := range c.edge {
+		cl := s.Clone()
+		r.edgeSamplers = append(r.edgeSamplers, cl)
+		r.space += cl.SpaceWords()
+	}
+	r.edgeSampIdx = append(r.edgeSampIdx[:0], c.edgeIdx...)
+	r.nbrSamplers = make(map[int64][]*sketch.L0Sampler, len(c.nbr))
+	r.nbrSampIdx = make(map[int64][]int, len(c.nbrIdx))
+	r.nbrVerts = append([]int64(nil), c.nbrVerts...)
+	for _, v := range r.nbrVerts {
+		for _, s := range c.nbr[v] {
+			cl := s.Clone()
+			r.nbrSamplers[v] = append(r.nbrSamplers[v], cl)
+			r.space += cl.SpaceWords()
+		}
+		r.nbrSampIdx[v] = append([]int(nil), c.nbrIdx[v]...)
+		sh := r.shards[shardOfVertex(v, c.p)]
+		if _, ok := sh.nbrFeed[v]; !ok {
+			sh.nbrFeed[v] = []feedEntry{}
+		}
+	}
+	for k, v := range c.deg {
+		r.shards[shardOfVertex(k, c.p)].deg[k] = v
+	}
+	for k, v := range c.adj {
+		r.shards[shardOfKey(k, c.p)].adj[k] = v
+	}
+	return nil
+}

@@ -40,6 +40,7 @@ type InsertionRunner struct {
 	space   int64
 
 	// In-flight round state (BeginRound .. EndRound).
+	inRound    bool
 	curQueries []oracle.Query
 	curP       int
 	curM       int64
@@ -201,6 +202,7 @@ func (r *InsertionRunner) RoundContext(ctx context.Context, queries []oracle.Que
 func (r *InsertionRunner) BeginRound(queries []oracle.Query) error {
 	r.rounds++
 	r.queries += int64(len(queries))
+	r.inRound = true
 	r.curQueries = queries
 	r.curM = 0
 	n := r.st.N()
@@ -216,8 +218,10 @@ func (r *InsertionRunner) BeginRound(queries []oracle.Query) error {
 		case oracle.RandomEdge:
 			// Each reservoir owns a private deterministic RNG: seeds are
 			// drawn sequentially here, so the accept sequence is independent
-			// of which worker replays it.
-			rs := sketch.NewReservoir(rand.New(sketch.NewSplitMix64(r.rng.Uint64())))
+			// of which worker replays it. The seeded constructor draws the
+			// identical accept sequence and keeps the reservoir cloneable
+			// for SnapshotRound.
+			rs := sketch.NewReservoirSeeded(r.rng.Uint64())
 			sh := r.shards[nres%p]
 			sh.res = append(sh.res, rs)
 			sh.resIdx = append(sh.resIdx, i)
@@ -320,6 +324,7 @@ func (r *InsertionRunner) EndRound() ([]oracle.Answer, error) {
 		}
 	}
 	r.curQueries = nil
+	r.inRound = false
 	return answers, nil
 }
 

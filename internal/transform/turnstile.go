@@ -44,9 +44,11 @@ type TurnstileRunner struct {
 	space   int64
 
 	// In-flight round state (BeginRound .. EndRound).
+	inRound      bool
 	curQueries   []oracle.Query
 	curP         int
-	curM         int64
+	curM         int64 // net edge count (insertions minus deletions)
+	curConsumed  int64 // updates consumed, the round's stream position
 	curBase      uint64
 	edgeSamplers []*sketch.L0Sampler // for RandomEdge queries
 	edgeSampIdx  []int
@@ -212,8 +214,10 @@ func (r *TurnstileRunner) RoundContext(ctx context.Context, queries []oracle.Que
 func (r *TurnstileRunner) BeginRound(queries []oracle.Query) error {
 	r.rounds++
 	r.queries += int64(len(queries))
+	r.inRound = true
 	r.curQueries = queries
 	r.curM = 0
+	r.curConsumed = 0
 	n := r.st.N()
 	p := par.Workers(r.paral)
 	r.curP = p
@@ -295,6 +299,7 @@ func (r *TurnstileRunner) ConsumeBatch(batch []stream.Update) error {
 		deltas = append(deltas, delta)
 	}
 	r.batchEdges, r.batchKeys, r.batchDelta = edges, keys, deltas
+	r.curConsumed += int64(len(batch))
 	var wg sync.WaitGroup
 	if p > 1 {
 		for _, sh := range r.shards {
@@ -402,5 +407,6 @@ func (r *TurnstileRunner) EndRound() ([]oracle.Answer, error) {
 	}
 	r.curQueries = nil
 	r.nbrSamplers, r.nbrSampIdx, r.nbrVerts = nil, nil, nil
+	r.inRound = false
 	return answers, nil
 }

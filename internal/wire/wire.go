@@ -118,6 +118,26 @@ type WatchStats struct {
 	// Rejected counts watch requests refused because the registry was at
 	// capacity.
 	Rejected int64 `json:"rejected"`
+	// Checkpoints is the engine-wide checkpoint cache behind the watches'
+	// O(Δ) incremental evaluation.
+	Checkpoints CheckpointStats `json:"checkpoints"`
+}
+
+// CheckpointStats is the watch checkpoint cache's aggregate health: how
+// standing-query evaluations were served and how much index state is
+// resident.
+type CheckpointStats struct {
+	// Hits counts evaluations served incrementally from a resident index.
+	Hits int64 `json:"hits"`
+	// Misses counts evaluations that first rebuilt a stream's index from a
+	// full replay (cold cache or post-eviction).
+	Misses int64 `json:"misses"`
+	// Evictions counts resident indexes dropped by the capacity bound.
+	Evictions int64 `json:"evictions"`
+	// ResidentBytes is the accounted size of all resident indexes.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// CapacityBytes is the configured cache bound; 0 means disabled.
+	CapacityBytes int64 `json:"capacity_bytes"`
 }
 
 // StreamsList is the body of GET /v1/streams.
@@ -269,6 +289,13 @@ type WatchInfo struct {
 	Seed        int64  `json:"seed"`
 	Events      int64  `json:"events"`
 	LastVersion int64  `json:"last_version"`
+	// CheckpointHits / CheckpointMisses / ColdReplays report how this watch's
+	// evaluations were served: incrementally from a resident checkpoint
+	// index, by rebuilding the index first, or by a full cold replay outside
+	// the cache (turnstile streams or a disabled cache).
+	CheckpointHits   int64 `json:"checkpoint_hits"`
+	CheckpointMisses int64 `json:"checkpoint_misses"`
+	ColdReplays      int64 `json:"cold_replays"`
 }
 
 // WatchList is the body of GET /v1/watches.

@@ -133,6 +133,35 @@ type Subscription[R any] struct {
 	err    error // terminal reason; written before done closes
 
 	closeOnce sync.Once
+
+	// stats reads the live checkpoint counters of the underlying engine
+	// watch; nil for subscriptions without one (e.g. remote).
+	stats func() SubscriptionStats
+}
+
+// SubscriptionStats reports how a subscription's evaluations were served
+// by the engine's watch checkpoint cache (DESIGN.md §10).
+type SubscriptionStats struct {
+	// CheckpointHits counts evaluations served incrementally from a resident
+	// index — the O(Δ) fast path.
+	CheckpointHits int64
+	// CheckpointMisses counts evaluations that first rebuilt the stream's
+	// index from a full replay (cold cache or post-eviction).
+	CheckpointMisses int64
+	// ColdReplays counts evaluations that bypassed the cache entirely and
+	// ran as shared-replay generations (turnstile streams, streams whose
+	// index exceeds the cache, or a disabled cache).
+	ColdReplays int64
+}
+
+// CheckpointStats reports how this subscription's evaluations were served.
+// Subscriptions not backed by a local engine watch report zeros. Safe to
+// call concurrently with event consumption.
+func (s *Subscription[R]) CheckpointStats() SubscriptionStats {
+	if s.stats == nil {
+		return SubscriptionStats{}
+	}
+	return s.stats()
 }
 
 // NewSubscription assembles a subscription from a feed function and is the
@@ -237,7 +266,7 @@ func (e *Engine) WatchQuery(ctx context.Context, stream string, q Query, opts ..
 	if err != nil {
 		return nil, err
 	}
-	return NewSubscription(cfg.Buffer, func(sctx context.Context, emit func(WatchEvent[Outcome]) bool) error {
+	sub := NewSubscription(cfg.Buffer, func(sctx context.Context, emit func(WatchEvent[Outcome]) bool) error {
 		defer cw.Close()
 		for {
 			select {
@@ -254,7 +283,16 @@ func (e *Engine) WatchQuery(ctx context.Context, stream string, q Query, opts ..
 				return fmt.Errorf("streamcount: watch on %q: %w", stream, ErrWatchClosed)
 			}
 		}
-	}), nil
+	})
+	sub.stats = func() SubscriptionStats {
+		st := cw.CheckpointStats()
+		return SubscriptionStats{
+			CheckpointHits:   st.CheckpointHits,
+			CheckpointMisses: st.CheckpointMisses,
+			ColdReplays:      st.ColdReplays,
+		}
+	}
+	return sub, nil
 }
 
 // Watch registers a standing query and returns its typed subscription:
@@ -279,7 +317,7 @@ func Watch[R any](ctx context.Context, w Watcher, stream string, q TypedQuery[R]
 	if err != nil {
 		return nil, err
 	}
-	return NewSubscription(cfg.Buffer, func(sctx context.Context, emit func(WatchEvent[R]) bool) error {
+	sub := NewSubscription(cfg.Buffer, func(sctx context.Context, emit func(WatchEvent[R]) bool) error {
 		defer inner.Close()
 		for {
 			select {
@@ -303,5 +341,7 @@ func Watch[R any](ctx context.Context, w Watcher, stream string, q TypedQuery[R]
 				return fmt.Errorf("streamcount: watch on %q: %w", stream, ErrWatchClosed)
 			}
 		}
-	}), nil
+	})
+	sub.stats = inner.stats
+	return sub, nil
 }
