@@ -12,12 +12,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"streamcount"
+	"streamcount/client"
 	"streamcount/internal/exact"
 	"streamcount/internal/experiments"
 	"streamcount/internal/fgp"
@@ -28,6 +31,7 @@ import (
 	"streamcount/internal/sketch"
 	"streamcount/internal/stream"
 	"streamcount/internal/transform"
+	"streamcount/internal/wire"
 )
 
 //lint:file-ignore SA1019 the session benchmarks keep the deprecated one-shot path as the baseline the engine is measured against.
@@ -477,5 +481,103 @@ func BenchmarkStreamPassPerUpdate(b *testing.B) {
 		if err := st.ForEach(func(stream.Update) error { cnt++; return nil }); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchClusterNodes starts n in-process cluster nodes over real HTTP
+// listeners and returns their seed URLs. The swap indirection exists
+// because peer addresses must be known before the servers can be built.
+func benchClusterNodes(b *testing.B, n int) []string {
+	b.Helper()
+	type swap struct{ h atomic.Value }
+	serve := func(sw *swap, w http.ResponseWriter, r *http.Request) {
+		if h, _ := sw.h.Load().(http.Handler); h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		http.Error(w, "node not up yet", http.StatusServiceUnavailable)
+	}
+	seeds := make([]string, 0, n)
+	peers := make([]wire.ClusterNode, n)
+	swaps := make([]*swap, n)
+	for i := range peers {
+		sw := &swap{}
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { serve(sw, w, r) }))
+		b.Cleanup(ts.Close)
+		swaps[i] = sw
+		peers[i] = wire.ClusterNode{ID: fmt.Sprintf("n%d", i+1), Addr: ts.URL}
+		seeds = append(seeds, ts.URL)
+	}
+	for i := range peers {
+		srv, err := server.New(server.Options{
+			Window:       time.Millisecond,
+			ClusterNode:  peers[i].ID,
+			ClusterPeers: peers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		swaps[i].h.Store(http.Handler(srv))
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Close(ctx); err != nil {
+				b.Error(err)
+			}
+		})
+	}
+	return seeds
+}
+
+// BenchmarkClusterRoutedIngestAndQuery is BenchmarkServerIngestAndQuery
+// through the cluster routing layer: a 3-node in-process cluster and a
+// map-caching client that sends every create, append and query to the
+// stream's owner. The delta over the single-server benchmark is the price
+// of routing (map lookups, per-node connection reuse, idempotency keys) —
+// wrong-node redirects cost extra and don't occur on the steady-state path.
+func BenchmarkClusterRoutedIngestAndQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := gen.ErdosRenyiGNM(rng, 200, 3000)
+	var updates []streamcount.Update
+	stream.FromGraph(g).ForEach(func(u stream.Update) error {
+		updates = append(updates, streamcount.Update{
+			Edge: streamcount.Edge{U: u.Edge.U, V: u.Edge.V},
+			Op:   streamcount.Insert,
+		})
+		return nil
+	})
+
+	seeds := benchClusterNodes(b, 3)
+	cl, err := client.NewCluster(seeds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("s%d", i)
+		if err := cl.CreateStream(ctx, name, 200); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Append(ctx, name, updates); err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for q := 0; q < 2; q++ {
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				if _, err := streamcount.DoOn(ctx, cl, name, streamcount.CountQuery(p,
+					streamcount.WithTrials(2000), streamcount.WithSeed(int64(q)))); err != nil {
+					b.Error(err)
+				}
+			}(q)
+		}
+		wg.Wait()
 	}
 }

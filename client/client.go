@@ -86,16 +86,39 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
+// ErrWrongNode reports that the addressed cluster node does not own the
+// requested stream (HTTP 421 with code "wrong_node"). The error's wire
+// body names the owner; Cluster re-routes there automatically, so plain
+// Client users only see this when talking to a single node of a sharded
+// deployment directly.
+var ErrWrongNode = errors.New("wrong node for stream")
+
+// statusError builds the typed error for one non-2xx response: status and
+// Retry-After for the retry loop, the decoded wire body for the routing
+// layer, and the rehydrated sentinel chain for callers.
+func statusError(status int, h http.Header, body []byte) *apiStatusError {
+	var we wire.Error
+	_ = json.Unmarshal(body, &we)
+	return &apiStatusError{
+		status:     status,
+		retryAfter: parseRetryAfter(h),
+		api:        we,
+		err:        apiError(status, we, body),
+	}
+}
+
 // apiError reconstructs a typed error from a non-2xx response. The wire
 // error code is authoritative; the HTTP status is the fallback for bodies
 // without one (proxies, old servers).
-func apiError(status int, body []byte) error {
-	var we wire.Error
+func apiError(status int, we wire.Error, body []byte) error {
 	msg := strings.TrimSpace(string(body))
-	if err := json.Unmarshal(body, &we); err == nil && we.Error != "" {
+	if we.Error != "" {
 		msg = we.Error
 	}
 	sentinel := codeSentinel(we.Code)
+	if sentinel == nil && we.Code == wire.CodeWrongNode {
+		sentinel = ErrWrongNode
+	}
 	if sentinel == nil && we.Code == "" {
 		// No code at all (plain validation failures, proxies): fall back to
 		// the status. A present-but-unrecognized code (e.g. watch_limit, or
@@ -210,11 +233,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Heade
 		return wrapTransport(ctx, err)
 	}
 	if resp.StatusCode/100 != 2 {
-		return &apiStatusError{
-			status:     resp.StatusCode,
-			retryAfter: parseRetryAfter(resp.Header),
-			err:        apiError(resp.StatusCode, data),
-		}
+		return statusError(resp.StatusCode, resp.Header, data)
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
@@ -266,6 +285,15 @@ func (c *Client) Streams(ctx context.Context) ([]string, error) {
 // never applied twice: the server replays the original receipt, which
 // durable streams journal with the log and rebuild on recovery.
 func (c *Client) Append(ctx context.Context, stream string, ups []streamcount.Update) (int64, error) {
+	return c.appendKeyed(ctx, stream, newIdempotencyKey(), ups)
+}
+
+// appendKeyed is Append with a caller-supplied Idempotency-Key. Cluster
+// routes through it so one logical append keeps one key across every hop
+// of a wrong_node redirect as well as across retries — a batch applied by
+// the old owner just before the ownership flip is recognized as a replay
+// by the new owner, whose receipt journal shipped with the segments.
+func (c *Client) appendKeyed(ctx context.Context, stream, key string, ups []streamcount.Update) (int64, error) {
 	req := wire.AppendRequest{Updates: make([]wire.Update, len(ups))}
 	for i, u := range ups {
 		w := wire.Update{U: u.Edge.U, V: u.Edge.V}
@@ -274,7 +302,7 @@ func (c *Client) Append(ctx context.Context, stream string, ups []streamcount.Up
 		}
 		req.Updates[i] = w
 	}
-	hdr := http.Header{"Idempotency-Key": []string{newIdempotencyKey()}}
+	hdr := http.Header{"Idempotency-Key": []string{key}}
 	var resp wire.AppendResponse
 	if err := c.doRetry(ctx, http.MethodPost, "/v1/streams/"+url.PathEscape(stream)+"/edges", hdr, req, &resp); err != nil {
 		return 0, err
@@ -406,11 +434,7 @@ func (c *Client) dialWatch(ctx context.Context, body []byte) (*watchConn, error)
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 		cancel()
-		return nil, &apiStatusError{
-			status:     resp.StatusCode,
-			retryAfter: parseRetryAfter(resp.Header),
-			err:        apiError(resp.StatusCode, data),
-		}
+		return nil, statusError(resp.StatusCode, resp.Header, data)
 	}
 	return &watchConn{cancel: cancel, body: resp.Body, r: bufio.NewReader(resp.Body)}, nil
 }
@@ -516,11 +540,14 @@ func (c *Client) WatchQuery(ctx context.Context, stream string, q streamcount.Qu
 
 // retryableEndCode reports whether a server-sent terminal event names a
 // condition a reconnect resolves: a draining or recovering server (a
-// restart in progress), a closed engine (ditto), or this client having been
-// cut as a slow consumer (resume picks up where it left off).
+// restart in progress), a closed engine (ditto), this client having been
+// cut as a slow consumer, or the stream shipping to another cluster node
+// (resume picks up where it left off — against whichever node owns the
+// stream by then).
 func retryableEndCode(code string) bool {
 	switch code {
-	case wire.CodeDraining, wire.CodeRecovering, wire.CodeEngineClosed, wire.CodeSlowConsumer:
+	case wire.CodeDraining, wire.CodeRecovering, wire.CodeEngineClosed,
+		wire.CodeSlowConsumer, wire.CodeTransferring:
 		return true
 	}
 	return false

@@ -1,0 +1,267 @@
+package client_test
+
+// End-to-end cluster tests through the routing SDK: the full Querier/
+// Watcher contract suite runs against a 3-node cluster and must produce a
+// transcript bit-identical to the single local engine, and a standing query
+// must survive a live ownership transfer of its stream with no gap and no
+// duplicate in its event transcript.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamcount"
+	"streamcount/client"
+	"streamcount/internal/cluster"
+	"streamcount/internal/server"
+	"streamcount/internal/wire"
+)
+
+// clusterSwap lets the httptest listeners exist before the servers behind
+// them: peer addresses must be known to configure the servers.
+type clusterSwap struct{ h atomic.Value }
+
+func (cs *clusterSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, _ := cs.h.Load().(http.Handler); h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "node not up yet", http.StatusServiceUnavailable)
+}
+
+// clusterFixture is an in-process cluster reachable over real HTTP.
+type clusterFixture struct {
+	seeds []string
+	ids   []string
+	srvs  []*server.Server
+}
+
+func newClusterFixture(t *testing.T, n int, durable bool) *clusterFixture {
+	t.Helper()
+	f := &clusterFixture{}
+	swaps := make([]*clusterSwap, n)
+	peers := make([]wire.ClusterNode, n)
+	for i := range swaps {
+		swaps[i] = &clusterSwap{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		peers[i] = wire.ClusterNode{ID: fmt.Sprintf("n%d", i+1), Addr: ts.URL}
+		f.seeds = append(f.seeds, ts.URL)
+		f.ids = append(f.ids, peers[i].ID)
+	}
+	for i := range peers {
+		opts := server.Options{
+			WatchHeartbeat: 50 * time.Millisecond,
+			ClusterNode:    peers[i].ID,
+			ClusterPeers:   peers,
+		}
+		if durable {
+			opts.SegmentDir = t.TempDir()
+		}
+		srv, err := server.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.WaitReady(ctx); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+		swaps[i].h.Store(http.Handler(srv))
+		f.srvs = append(f.srvs, srv)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Close(ctx); err != nil {
+				t.Errorf("server close: %v", err)
+			}
+		})
+	}
+	return f
+}
+
+// ownerID resolves which node the cluster map assigns the stream to.
+func (f *clusterFixture) ownerID(t *testing.T, cl *client.Cluster, stream string) string {
+	t.Helper()
+	wm, err := cl.ClusterMap(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Self = ""
+	m, err := cluster.FromWire(wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Owner(stream).ID
+}
+
+// clusterTarget adapts a routing client over a 3-node cluster to the
+// contract-suite target: same interface, requests fan out to whichever
+// node owns each stream.
+func clusterTarget(t *testing.T) target {
+	t.Helper()
+	f := newClusterFixture(t, 3, false)
+	cl, err := client.NewCluster(f.seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return target{
+		w: cl,
+		create: func(t *testing.T, name string, n int64) {
+			if err := cl.CreateStream(context.Background(), name, n); err != nil {
+				t.Fatal(err)
+			}
+		},
+		append: func(t *testing.T, stream string, ups []streamcount.Update) int64 {
+			v, err := cl.Append(context.Background(), stream, ups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		},
+	}
+}
+
+// TestClusterQuerierContract runs the shared contract suite against the
+// 3-node cluster and requires its transcript — every result bit, every
+// watch event, every error mapping — to be identical to the single local
+// engine's.
+func TestClusterQuerierContract(t *testing.T) {
+	transcripts := map[string][]string{}
+	t.Run("local", func(t *testing.T) {
+		transcripts["local"] = runContractSuite(t, localTarget(t))
+	})
+	t.Run("cluster", func(t *testing.T) {
+		transcripts["cluster"] = runContractSuite(t, clusterTarget(t))
+	})
+	local, clu := transcripts["local"], transcripts["cluster"]
+	if len(local) == 0 || len(clu) == 0 {
+		t.Fatal("a suite produced no transcript")
+	}
+	if len(local) != len(clu) {
+		t.Fatalf("transcript lengths differ: local %d, cluster %d\nlocal: %v\ncluster: %v",
+			len(local), len(clu), local, clu)
+	}
+	for i := range local {
+		if local[i] != clu[i] {
+			t.Errorf("transcript line %d diverges:\n  local:   %s\n  cluster: %s", i, local[i], clu[i])
+		}
+	}
+}
+
+// TestClusterWatchAcrossTransfer moves a stream to another node while a
+// routed standing query is live on it. The server ends the watch with a
+// terminal transferring event; the SDK re-resolves the owner and resumes
+// with after_version, so the combined event transcript must equal — version
+// by version, bit by bit — that of an uninterrupted watch on a local
+// engine fed the same batches.
+func TestClusterWatchAcrossTransfer(t *testing.T) {
+	ctx := context.Background()
+	f := newClusterFixture(t, 3, true)
+	cl, err := client.NewCluster(f.seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const name = "mvw"
+	const n, m = 60, 300
+	if err := cl.CreateStream(ctx, name, n); err != nil {
+		t.Fatal(err)
+	}
+	ups := contractEdges(n, m)
+	cuts := []int{m / 5, 2 * m / 5, 3 * m / 5, 4 * m / 5, m}
+	const transferAfter = 2 // batches delivered before the stream moves
+
+	// The oracle: the same watch on a plain local engine, never interrupted.
+	def, err := streamcount.NewAppendableStream(16, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := streamcount.NewEngine(def)
+	defer eng.Close()
+	app, err := streamcount.NewAppendableStream(n, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterStream(name, app); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := streamcount.CountQuery(p, streamcount.WithTrials(400), streamcount.WithSeed(7))
+	refSub, err := streamcount.Watch(ctx, eng, name, q, streamcount.WatchEveryVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSub.Close()
+	sub, err := streamcount.Watch(ctx, cl, name, q, streamcount.WatchEveryVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	collect := func(s *streamcount.Subscription[*streamcount.CountResult], what string) streamcount.WatchEvent[*streamcount.CountResult] {
+		t.Helper()
+		select {
+		case ev := <-s.Events():
+			if ev.Err != nil {
+				t.Fatalf("%s watch failed: %v", what, ev.Err)
+			}
+			return ev
+		case <-time.After(30 * time.Second):
+			t.Fatalf("no %s watch event", what)
+		}
+		panic("unreachable")
+	}
+
+	prev := 0
+	for i, cut := range cuts {
+		if i == transferAfter {
+			// Move the stream out from under the live watch.
+			owner := f.ownerID(t, cl, name)
+			target := f.ids[0]
+			if target == owner {
+				target = f.ids[1]
+			}
+			tr, err := cl.Transfer(ctx, name, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.StreamVersion != int64(prev) {
+				t.Fatalf("transfer sealed version %d, want %d", tr.StreamVersion, prev)
+			}
+			if after := f.ownerID(t, cl, name); after != target {
+				t.Fatalf("stream owned by %s after transfer to %s", after, target)
+			}
+		}
+		if _, err := eng.Append(name, ups[prev:cut]); err != nil {
+			t.Fatal(err)
+		}
+		v, err := cl.Append(ctx, name, ups[prev:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(cut) {
+			t.Fatalf("batch %d acknowledged at version %d, want %d (gap or duplicate)", i, v, cut)
+		}
+		prev = cut
+
+		ref := collect(refSub, "reference")
+		got := collect(sub, "routed")
+		if got.StreamVersion != ref.StreamVersion {
+			t.Fatalf("batch %d: routed event at version %d, reference at %d", i, got.StreamVersion, ref.StreamVersion)
+		}
+		if gf, rf := fpCount(got.Result), fpCount(ref.Result); gf != rf {
+			t.Errorf("batch %d (version %d): routed %s != reference %s", i, got.StreamVersion, gf, rf)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"streamcount/internal/wire"
 )
 
 // RetryPolicy controls the client's self-healing behavior: how many times a
@@ -78,12 +80,15 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	return d
 }
 
-// apiStatusError decorates an API error with the HTTP status and the
-// server's Retry-After hint, so the retry loop can honor both without
-// string matching. Unwrap preserves the typed sentinel chain.
+// apiStatusError decorates an API error with the HTTP status, the
+// server's Retry-After hint, and the decoded wire error body, so the retry
+// loop can honor the first two without string matching and the routing
+// layer can read a wrong_node redirect's Owner/OwnerAddr/ClusterVersion
+// from the third. Unwrap preserves the typed sentinel chain.
 type apiStatusError struct {
 	status     int
 	retryAfter time.Duration
+	api        wire.Error
 	err        error
 }
 

@@ -1,0 +1,174 @@
+package client
+
+// Internal routing tests: these reach the unexported routed/appendKeyed
+// plumbing to pin down the exactly-once guarantee — one idempotency key per
+// logical append, replayed verbatim across wrong_node redirects, so a
+// retry that lands on the stream's new owner after a transfer dedups
+// against the shipped receipt journal instead of double-publishing.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamcount"
+	"streamcount/internal/cluster"
+	"streamcount/internal/server"
+	"streamcount/internal/wire"
+)
+
+type routingSwap struct{ h atomic.Value }
+
+func (rs *routingSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, _ := rs.h.Load().(http.Handler); h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "node not up yet", http.StatusServiceUnavailable)
+}
+
+// newRoutingCluster starts n durable cluster nodes and returns their seed
+// URLs and member IDs.
+func newRoutingCluster(t *testing.T, n int) (seeds, ids []string) {
+	t.Helper()
+	swaps := make([]*routingSwap, n)
+	peers := make([]wire.ClusterNode, n)
+	for i := range swaps {
+		swaps[i] = &routingSwap{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		peers[i] = wire.ClusterNode{ID: fmt.Sprintf("n%d", i+1), Addr: ts.URL}
+		seeds = append(seeds, ts.URL)
+		ids = append(ids, peers[i].ID)
+	}
+	for i := range peers {
+		srv, err := server.New(server.Options{
+			SegmentDir:   t.TempDir(),
+			ClusterNode:  peers[i].ID,
+			ClusterPeers: peers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.WaitReady(ctx); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+		swaps[i].h.Store(http.Handler(srv))
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Close(ctx); err != nil {
+				t.Errorf("server close: %v", err)
+			}
+		})
+	}
+	return seeds, ids
+}
+
+// TestClusterKeyedAppendExactlyOnce replays a keyed append through a client
+// whose cached map is stale after a transfer: the request hits the old
+// owner, follows the typed wrong_node redirect to the new one, and the
+// shipped receipt journal recognizes the key — the replay acks the original
+// version and the stream does not grow.
+func TestClusterKeyedAppendExactlyOnce(t *testing.T) {
+	ctx := context.Background()
+	seeds, ids := newRoutingCluster(t, 3)
+
+	admin, err := NewCluster(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stale holds a map cached before the transfer and never refreshed by
+	// anything but its own routing.
+	stale, err := NewCluster(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const name = "exactly-once"
+	if err := admin.CreateStream(ctx, name, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.StreamVersion(ctx, name); err != nil { // primes stale's map cache
+		t.Fatal(err)
+	}
+
+	ups := []streamcount.Update{
+		{Edge: streamcount.Edge{U: 1, V: 2}, Op: streamcount.Insert},
+		{Edge: streamcount.Edge{U: 2, V: 3}, Op: streamcount.Insert},
+	}
+	key := newIdempotencyKey()
+	keyedAppend := func(cl *Cluster) (int64, error) {
+		var v int64
+		err := cl.routed(ctx, name, func(c *Client) error {
+			var e error
+			v, e = c.appendKeyed(ctx, name, key, ups)
+			return e
+		})
+		return v, err
+	}
+
+	v1, err := keyedAppend(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != int64(len(ups)) {
+		t.Fatalf("first keyed append at version %d, want %d", v1, len(ups))
+	}
+
+	// Move the stream off its owner; only admin learns the new map.
+	wm, err := admin.ClusterMap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Self = ""
+	m, err := cluster.FromWire(wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := m.Owner(name).ID
+	target := ids[0]
+	if target == owner {
+		target = ids[1]
+	}
+	if _, err := admin.Transfer(ctx, name, target); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replay through the stale client must route old owner -> 421 ->
+	// new owner and dedup, not double-publish.
+	v2, err := keyedAppend(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1 {
+		t.Errorf("replayed keyed append acked version %d, want original %d", v2, v1)
+	}
+	if v, err := admin.StreamVersion(ctx, name); err != nil || v != v1 {
+		t.Errorf("stream at version %d (err %v) after replay, want %d", v, err, v1)
+	}
+
+	// Routing through the redirect refreshed the stale client's map.
+	stale.mu.Lock()
+	cached := stale.m
+	stale.mu.Unlock()
+	if cached == nil || cached.Version < 2 {
+		t.Errorf("stale client did not adopt the redirecting node's map (have %v)", cached)
+	}
+
+	// A fresh keyed append still lands exactly once on the new owner.
+	v3, err := stale.Append(ctx, name, []streamcount.Update{{Edge: streamcount.Edge{U: 4, V: 5}, Op: streamcount.Insert}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 != v1+1 {
+		t.Errorf("fresh append at version %d, want %d", v3, v1+1)
+	}
+}

@@ -43,7 +43,7 @@ import (
 // coreSet selects the substrate, pass-engine and session benchmarks; the
 // Exp* experiment benchmarks regenerate whole report tables and are too
 // slow for a default run.
-const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkSession|BenchmarkEngine|BenchmarkServer|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
+const coreSet = "BenchmarkStreamPass|BenchmarkFGP|BenchmarkSession|BenchmarkEngine|BenchmarkServer|BenchmarkCluster|BenchmarkL0|BenchmarkReservoir|BenchmarkExact|BenchmarkDegeneracy|BenchmarkDecompose"
 
 // Measurement is one benchmark result.
 type Measurement struct {

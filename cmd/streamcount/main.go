@@ -53,6 +53,8 @@ import (
 	"time"
 
 	"streamcount"
+	"streamcount/client"
+	"streamcount/internal/cluster"
 	"streamcount/internal/graph"
 	"streamcount/internal/stream"
 )
@@ -74,6 +76,9 @@ type options struct {
 	watch      bool
 	watchEvery bool
 	watchBatch int
+	cluster    string
+	stream     string
+	list       bool
 }
 
 func main() {
@@ -95,8 +100,11 @@ func main() {
 	flag.BoolVar(&o.watch, "watch", false, "follow the input as a live stream: standing queries print one row per watch event ('-input -' reads update lines from stdin)")
 	flag.BoolVar(&o.watchEvery, "watch-every", false, "with -watch: evaluate every published version in order instead of coalescing to the newest")
 	flag.IntVar(&o.watchBatch, "watch-batch", 1024, "with -watch on a file input: updates appended per batch (each batch publishes one version)")
+	flag.StringVar(&o.cluster, "cluster", "", "comma-separated streamcountd node addresses: query a sharded deployment instead of a local file (any node works as a seed; requests are routed to each stream's owner, following wrong_node redirects)")
+	flag.StringVar(&o.stream, "stream", "", "with -cluster: the stream to query")
+	flag.BoolVar(&o.list, "list", false, "with -cluster: print the cluster map and every stream across the cluster, then exit")
 	flag.Parse()
-	if o.input == "" {
+	if o.input == "" && o.cluster == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -119,6 +127,14 @@ func run(o options) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
+	}
+
+	if o.cluster != "" {
+		if o.watch || o.cliques >= 3 || o.exactF {
+			log.Print("-cluster supports pattern-count queries and -list only")
+			return 2
+		}
+		return runCluster(ctx, o)
 	}
 
 	if o.watch {
@@ -149,6 +165,122 @@ func run(o options) int {
 	}
 	if !runPatterns(ctx, st, names, o.trials, o.eps, o.lower, o.seed, o.paral, o.exactF) {
 		return 1
+	}
+	return 0
+}
+
+// runCluster queries a sharded streamcountd deployment through the routing
+// client: any listed node works as a seed, and every request is sent to the
+// queried stream's owning node, following wrong_node redirects across
+// transfers. -list prints the cluster map and the union of every node's
+// streams instead of querying.
+func runCluster(ctx context.Context, o options) int {
+	cl, err := client.NewCluster(splitPatterns(o.cluster))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if o.list {
+		return listCluster(ctx, cl)
+	}
+	if o.stream == "" {
+		log.Print("-cluster needs -stream (or -list)")
+		return 2
+	}
+	names := splitPatterns(o.pat)
+	if len(names) == 0 {
+		log.Print("no pattern given")
+		return 1
+	}
+
+	version, err := cl.StreamVersion(ctx, o.stream)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	rows := make([]row, len(names))
+	done := make(chan int, len(names))
+	for i, name := range names {
+		rows[i].name = name
+		p, err := streamcount.PatternByName(name)
+		if err != nil {
+			rows[i].err = err
+			done <- i
+			continue
+		}
+		rows[i].p = p
+		go func(i int, p *streamcount.Pattern) {
+			opts := []streamcount.QueryOption{
+				streamcount.WithTrials(o.trials),
+				streamcount.WithEpsilon(o.eps),
+				streamcount.WithLowerBound(o.lower),
+				streamcount.WithSeed(o.seed + int64(i)),
+				streamcount.WithParallelism(o.paral),
+			}
+			rows[i].est, rows[i].err = streamcount.DoOn(ctx, cl, o.stream, streamcount.CountQuery(p, opts...))
+			done <- i
+		}(i, p)
+	}
+	for range names {
+		<-done
+	}
+
+	fmt.Printf("stream     %s@v%d\n\n", o.stream, version)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "pattern\trho\testimate\tpasses\ttrials\tspace(words)\terror")
+	ok := true
+	for _, r := range rows {
+		if r.err != nil {
+			ok = false
+			rho := "-"
+			if r.p != nil {
+				rho = fmt.Sprintf("%.1f", r.p.Rho())
+			}
+			fmt.Fprintf(w, "%s\t%s\t-\t-\t-\t-\t%s\n", r.name, rho, errLabel(r.err))
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%d\t%d\t%d\t\n",
+			r.name, r.p.Rho(), r.est.Value, r.est.Passes, r.est.Trials, r.est.SpaceWords)
+	}
+	w.Flush()
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// listCluster prints the adopted cluster map and the union of every node's
+// stream listing.
+func listCluster(ctx context.Context, cl *client.Cluster) int {
+	m, err := cl.ClusterMap(ctx)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Printf("cluster map v%d (%d nodes, %d vnodes)\n", m.Version, len(m.Nodes), m.VNodes)
+	for _, n := range m.Nodes {
+		fmt.Printf("  %s\t%s\n", n.ID, n.Addr)
+	}
+	streams, err := cl.Streams(ctx)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	// Re-deriving placement client-side matches the servers exactly: same
+	// map, same hash, same owner.
+	ring, err := cluster.FromWire(m)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fmt.Printf("streams (%d):\n", len(streams))
+	for _, s := range streams {
+		owner := ring.Owner(s).ID
+		if _, ok := m.Overrides[s]; ok {
+			owner += " (override)"
+		}
+		fmt.Printf("  %s\t%s\n", s, owner)
 	}
 	return 0
 }

@@ -18,6 +18,9 @@
 //	GET  /v1/watches                   list active watches
 //	GET  /v1/streams/{name}/stats      version, passes, metadata
 //	GET  /healthz                      liveness + registry stats (503 draining)
+//	GET  /v1/cluster                   versioned cluster map (cluster mode)
+//	POST /v1/cluster/transfer          {"stream":"web","target":"n2"}: move a
+//	                                   stream to another node (cluster mode)
 //
 // A watch (POST /v1/watches) holds a Server-Sent-Events response open and
 // streams one "result" event per evaluation as ingestion advances — each
@@ -36,26 +39,38 @@
 // endpoints answer 503 with Retry-After and /healthz reports "recovering".
 // -sync additionally fsyncs sealed writes for durability against power loss.
 //
+// With -cluster-node and -cluster-peers, a static set of daemons shards
+// streams by consistent hashing (DESIGN.md §11): stream-scoped requests on
+// a non-owner answer a typed 421 wrong_node redirect naming the owner, the
+// client package's Cluster routes around them, and POST /v1/cluster/transfer
+// rebalances a sealed stream's checksummed segment directory onto another
+// node with no version gap and bit-identical results.
+//
 // Examples:
 //
 //	streamcountd -addr :8470 -window 25ms
 //	streamcountd -segment-dir /var/lib/streamcount -parallel 8
 //	streamcountd -segment-dir /var/lib/streamcount -sync
+//	streamcountd -addr :8471 -segment-dir /tmp/sc1 -cluster-node n1 \
+//	    -cluster-peers n1=localhost:8471,n2=localhost:8472,n3=localhost:8473
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"streamcount/internal/server"
+	"streamcount/internal/wire"
 )
 
 func main() {
@@ -73,8 +88,15 @@ func main() {
 		heartbeat    = flag.Duration("watch-heartbeat", server.DefaultWatchHeartbeat, "SSE heartbeat interval for standing queries")
 		writeTimeout = flag.Duration("watch-write-timeout", server.DefaultWatchWriteTimeout, "per-event SSE write deadline; a watch that cannot accept an event within this ends with a slow_consumer terminal event (<=0: no deadline)")
 		checkpointMB = flag.Int("watch-checkpoint-mb", server.DefaultWatchCheckpointMB, "watch checkpoint cache bound in MiB: resident per-stream indexes serving standing queries incrementally (negative or absurd values are rejected at startup)")
+		maxWatches   = flag.Int("max-watches", 0, "maximum concurrently active standing queries (0: library default; negative or absurd values are rejected at startup)")
+		clusterNode  = flag.String("cluster-node", "", "this node's cluster member ID; enables cluster mode (requires -cluster-peers)")
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated cluster members as id=addr pairs (bare addr doubles as the ID); must be identical on every node and include this node")
 	)
 	flag.Parse()
+	peers, err := parsePeers(*clusterPeers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := server.Options{
 		Window:            *window,
 		Parallelism:       *parallel,
@@ -84,10 +106,39 @@ func main() {
 		WatchHeartbeat:    *heartbeat,
 		WatchWriteTimeout: *writeTimeout,
 		WatchCheckpointMB: *checkpointMB,
+		MaxWatches:        *maxWatches,
+		ClusterNode:       *clusterNode,
+		ClusterPeers:      peers,
 	}
 	if err := run(*addr, *readTimeout, *drainTimeout, opts); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parsePeers parses the -cluster-peers member list: comma-separated
+// "id=addr" pairs, with a bare "addr" doubling as its own ID. Validation
+// beyond shape (duplicate IDs, membership of -cluster-node) happens in
+// server.New, which owns cluster construction.
+func parsePeers(s string) ([]wire.ClusterNode, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var nodes []wire.ClusterNode
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, found := strings.Cut(part, "=")
+		if !found {
+			id, addr = part, part
+		}
+		if id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -cluster-peers entry %q (want id=addr or addr)", part)
+		}
+		nodes = append(nodes, wire.ClusterNode{ID: id, Addr: addr})
+	}
+	return nodes, nil
 }
 
 // run owns every resource with a cleanup path, so an error return unwinds
@@ -110,6 +161,9 @@ func run(addr string, readTimeout, drainTimeout time.Duration, opts server.Optio
 		return err
 	}
 	log.Printf("listening on %s (admission window %s)", ln.Addr(), opts.Window)
+	if opts.ClusterNode != "" {
+		log.Printf("cluster node %q (%d members)", opts.ClusterNode, len(opts.ClusterPeers))
+	}
 
 	// Recovery from -segment-dir runs in the background; until it finishes
 	// the server answers mutations with 503 + Retry-After and /healthz says

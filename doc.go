@@ -91,7 +91,13 @@
 // Do, DoOn and Watch accept the Querier/Watcher interfaces, implemented by
 // both *Engine and the client package's Client (the Go SDK for
 // streamcountd), so the same code — one-shot or watch-loop — runs
-// unchanged in-process or against a remote daemon (DESIGN.md §8).
+// unchanged in-process or against a remote daemon (DESIGN.md §8). When
+// streams shard across several daemons (cluster mode, DESIGN.md §11),
+// client.NewCluster returns a routing implementation of the same
+// interfaces: it caches the cluster's consistent-hash map, sends every
+// call to the stream's owning node, follows typed wrong_node redirects,
+// and keeps watches gap-free across live stream transfers — responses
+// stay bit-identical to a single local engine.
 //
 // # Parallelism and determinism
 //

@@ -69,6 +69,12 @@ type WatchCheckpointStats struct {
 	Misses int64
 	// Evictions counts resident indexes dropped by the capacity bound.
 	Evictions int64
+	// Spills counts evicted (or deliberately flushed) indexes persisted to
+	// their stream's WATCHIDX file next to the segments, for warm rebuilds.
+	Spills int64
+	// SpillLoads counts misses warmed from a spilled index instead of a full
+	// replay.
+	SpillLoads int64
 	// ResidentBytes is the accounted size of all resident indexes.
 	ResidentBytes int64
 	// CapacityBytes is the configured bound; 0 when the cache is disabled.
@@ -82,9 +88,21 @@ func (e *Engine) WatchCheckpointStats() WatchCheckpointStats {
 		Hits:          s.Hits,
 		Misses:        s.Misses,
 		Evictions:     s.Evictions,
+		Spills:        s.Spills,
+		SpillLoads:    s.SpillLoads,
 		ResidentBytes: s.ResidentBytes,
 		CapacityBytes: s.CapacityBytes,
 	}
+}
+
+// SpillWatchCheckpoint flushes the named stream's resident watch-checkpoint
+// index to the WATCHIDX file in its segment directory without evicting it.
+// A cluster transfer calls this just before sealing the stream so the
+// shipped directory carries the warm index — the first watch event on the
+// new owner extends it by Δ instead of replaying the whole prefix. Streams
+// with no resident index or no durable directory are a successful no-op.
+func (e *Engine) SpillWatchCheckpoint(name string) error {
+	return e.eng.SpillWatchCheckpoint(name)
 }
 
 // NewEngine creates an engine over st and starts serving immediately.
@@ -102,6 +120,17 @@ func NewEngine(st Stream, opts ...EngineOption) *Engine {
 // and are queried with SubmitOn / DoOn.
 func (e *Engine) RegisterStream(name string, st Stream) error {
 	return e.eng.Register(name, st)
+}
+
+// UnregisterStream removes a named stream from the engine: queued and new
+// submissions, appends and watches on the name fail with ErrUnknownStream,
+// and the stream's checkpoint index is dropped. It blocks until the
+// in-flight generation (if any) finishes, so on return the engine holds no
+// replay over the stream and the caller may retire its backing state — the
+// cluster transfer path hands a segment directory to another node exactly
+// then. The default stream cannot be unregistered.
+func (e *Engine) UnregisterStream(name string) error {
+	return e.eng.Unregister(name)
 }
 
 // Streams returns the registered stream names in sorted order. The default

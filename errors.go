@@ -52,4 +52,9 @@ var (
 	// log is unchanged — so retrying the same key and batch is safe once the
 	// disk recovers.
 	ErrReceiptFailed = stream.ErrReceiptFailed
+	// ErrSealed reports an append against a sealed appendable stream —
+	// frozen for shipping while a cluster transfer is in flight. Nothing was
+	// published; the identical batch is safe to retry once the seal lifts or
+	// against the stream's new owner.
+	ErrSealed = stream.ErrSealed
 )

@@ -1,0 +1,315 @@
+// Package cluster is the sharding layer of a multi-node streamcountd
+// deployment: a versioned cluster map (membership plus stream placement)
+// and the consistent-hash ring that turns a stream name into its owning
+// node.
+//
+// Placement is a pure function of the map. The ring hashes every member
+// onto VNodes virtual positions; a stream is owned by the member at the
+// first position clockwise of the stream name's hash. Transfers that
+// contradict ring placement are recorded as explicit overrides (stream ->
+// node ID) and bump the map version. Any two parties holding the same map
+// therefore agree on every stream's owner with no coordination, and
+// because membership is static (configured by flags, identical on every
+// node), maps can only diverge by overrides — so "adopt the highest
+// version seen" converges without consensus.
+//
+// The wire form of the map (wire.ClusterMap, served at GET /v1/cluster) is
+// the single source of truth; this package's Map is its resolved,
+// ring-indexed view.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"streamcount/internal/wire"
+)
+
+// DefaultVNodes is the default number of virtual nodes per member: enough
+// for an even spread across a handful of nodes without making the ring
+// expensive to build.
+const DefaultVNodes = 64
+
+// maxVNodes rejects absurd virtual-node counts at startup.
+const maxVNodes = 1 << 16
+
+// Map is one immutable version of the cluster map: membership, placement
+// overrides, and the derived hash ring. Build with New or FromWire; derive
+// successors with WithOverride. A Map is never mutated after construction,
+// so it is safe to share across goroutines.
+type Map struct {
+	Version   int64
+	Nodes     []wire.ClusterNode // sorted by ID
+	VNodes    int
+	Overrides map[string]string // stream name -> owning node ID
+
+	ring  []ringPoint
+	byID  map[string]int // node ID -> Nodes index
+	vnode int
+}
+
+// ringPoint is one virtual node position. node indexes Map.Nodes.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// hashString is the ring's hash: FNV-1a 64 through a splitmix64-style
+// finalizer. FNV alone is stable but clusters on similar short strings
+// (consecutive vnode labels hash to adjacent ring positions, which defeats
+// the spread virtual nodes exist for); the avalanche pass decorrelates
+// them. Both stages are fixed, process- and architecture-independent
+// arithmetic, which the determinism contract requires — every node and
+// every client must place streams identically.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New builds a version-1 map over the given members. Every node configured
+// with the same member list builds the identical map, so a static cluster
+// agrees on placement from birth without exchanging a single message.
+func New(nodes []wire.ClusterNode, vnodes int) (*Map, error) {
+	if vnodes == 0 {
+		vnodes = DefaultVNodes
+	}
+	return build(wire.ClusterMap{Version: 1, Nodes: nodes, VNodes: vnodes})
+}
+
+// FromWire resolves a wire map into its ring-indexed form, validating it.
+func FromWire(m wire.ClusterMap) (*Map, error) {
+	return build(m)
+}
+
+func build(m wire.ClusterMap) (*Map, error) {
+	if len(m.Nodes) == 0 {
+		return nil, errors.New("cluster: map has no nodes")
+	}
+	if m.VNodes <= 0 || m.VNodes > maxVNodes {
+		return nil, fmt.Errorf("cluster: vnodes %d out of range [1,%d]", m.VNodes, maxVNodes)
+	}
+	if m.Version <= 0 {
+		return nil, fmt.Errorf("cluster: map version %d must be positive", m.Version)
+	}
+	nodes := make([]wire.ClusterNode, len(m.Nodes))
+	copy(nodes, m.Nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	byID := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		if n.ID == "" {
+			return nil, errors.New("cluster: node with empty ID")
+		}
+		if n.Addr == "" {
+			return nil, fmt.Errorf("cluster: node %q has no address", n.ID)
+		}
+		if _, dup := byID[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		byID[n.ID] = i
+	}
+	overrides := make(map[string]string, len(m.Overrides))
+	for stream, id := range m.Overrides {
+		if _, ok := byID[id]; !ok {
+			return nil, fmt.Errorf("cluster: override for stream %q names unknown node %q", stream, id)
+		}
+		overrides[stream] = id
+	}
+	ring := make([]ringPoint, 0, len(nodes)*m.VNodes)
+	for i, n := range nodes {
+		for v := 0; v < m.VNodes; v++ {
+			ring = append(ring, ringPoint{hash: hashString(n.ID + "#" + strconv.Itoa(v)), node: i})
+		}
+	}
+	// Ties (hash collisions between virtual nodes) break by node index so
+	// the ring order is deterministic regardless of build order.
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].node < ring[j].node
+	})
+	return &Map{
+		Version:   m.Version,
+		Nodes:     nodes,
+		VNodes:    m.VNodes,
+		Overrides: overrides,
+		ring:      ring,
+		byID:      byID,
+	}, nil
+}
+
+// Owner returns the node that owns the named stream under this map.
+func (m *Map) Owner(stream string) wire.ClusterNode {
+	if id, ok := m.Overrides[stream]; ok {
+		return m.Nodes[m.byID[id]]
+	}
+	h := hashString(stream)
+	// First ring point clockwise of h, wrapping to the start.
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0
+	}
+	return m.Nodes[m.ring[i].node]
+}
+
+// Node returns the member with the given ID.
+func (m *Map) Node(id string) (wire.ClusterNode, bool) {
+	i, ok := m.byID[id]
+	if !ok {
+		return wire.ClusterNode{}, false
+	}
+	return m.Nodes[i], true
+}
+
+// WithOverride derives the successor map that pins stream to the target
+// node and bumps the version: the map a completed transfer publishes.
+func (m *Map) WithOverride(stream, target string) (*Map, error) {
+	if _, ok := m.byID[target]; !ok {
+		return nil, fmt.Errorf("cluster: unknown target node %q", target)
+	}
+	w := m.ToWire()
+	w.Version++
+	if w.Overrides == nil {
+		w.Overrides = make(map[string]string)
+	}
+	w.Overrides[stream] = target
+	// An override that matches ring placement is still recorded: dropping
+	// it would make "same version, different bytes" maps possible.
+	return build(w)
+}
+
+// ToWire renders the map in its wire form.
+func (m *Map) ToWire() wire.ClusterMap {
+	w := wire.ClusterMap{
+		Version: m.Version,
+		Nodes:   append([]wire.ClusterNode(nil), m.Nodes...),
+		VNodes:  m.VNodes,
+	}
+	if len(m.Overrides) > 0 {
+		w.Overrides = make(map[string]string, len(m.Overrides))
+		for k, v := range m.Overrides {
+			w.Overrides[k] = v
+		}
+	}
+	return w
+}
+
+// State is one node's live view of the cluster: its own identity plus the
+// newest map it has adopted. Adoption is monotone (max version wins), so
+// concurrent refreshes and pushes cannot roll the view back.
+type State struct {
+	self string
+
+	mu  sync.RWMutex
+	cur *Map
+}
+
+// NewState builds a node's cluster view. self must be a member of m.
+func NewState(self string, m *Map) (*State, error) {
+	if _, ok := m.Node(self); !ok {
+		return nil, fmt.Errorf("cluster: this node %q is not in the member list", self)
+	}
+	return &State{self: self, cur: m}, nil
+}
+
+// SelfID returns this node's member ID.
+func (s *State) SelfID() string { return s.self }
+
+// Current returns the newest adopted map.
+func (s *State) Current() *Map {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur
+}
+
+// Version returns the newest adopted map's version.
+func (s *State) Version() int64 { return s.Current().Version }
+
+// Owner returns the named stream's owner under the current map.
+func (s *State) Owner(stream string) wire.ClusterNode { return s.Current().Owner(stream) }
+
+// IsLocal reports whether this node owns the named stream. The default
+// stream ("" and server-reserved names starting with '_') is node-local
+// and never routed.
+func (s *State) IsLocal(stream string) bool {
+	if stream == "" || stream[0] == '_' {
+		return true
+	}
+	return s.Owner(stream).ID == s.self
+}
+
+// Adopt installs m if it is newer than the current map, reporting whether
+// it was installed.
+func (s *State) Adopt(m *Map) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Version <= s.cur.Version {
+		return false
+	}
+	s.cur = m
+	return true
+}
+
+// Save atomically persists the map's wire form to path (temp file +
+// rename), so an adopted ownership change survives a restart: without it a
+// restarted old owner would rebuild its flag-derived version-1 map and
+// believe it still owns every stream it ever shipped away.
+func Save(path string, m *Map) error {
+	data, err := json.MarshalIndent(m.ToWire(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("cluster: encode map: %w", err)
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cluster: save map: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".cluster-map-*")
+	if err != nil {
+		return fmt.Errorf("cluster: save map: %w", err)
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("cluster: save map: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("cluster: save map: %w", err)
+	}
+	return nil
+}
+
+// Load reads a map persisted by Save. A missing file returns (nil, nil):
+// the node starts from its flag-derived map.
+func Load(path string) (*Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("cluster: load map: %w", err)
+	}
+	var w wire.ClusterMap
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("cluster: load map %s: %w", path, err)
+	}
+	m, err := FromWire(w)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: load map %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"streamcount/internal/wire"
+)
+
+func threeNodes() []wire.ClusterNode {
+	return []wire.ClusterNode{
+		{ID: "n1", Addr: "http://a:1"},
+		{ID: "n2", Addr: "http://b:2"},
+		{ID: "n3", Addr: "http://c:3"},
+	}
+}
+
+// Two maps built from the same member list — in any order — must place
+// every stream identically: that is the whole coordination-free contract.
+func TestPlacementDeterministic(t *testing.T) {
+	a, err := New(threeNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []wire.ClusterNode{
+		{ID: "n3", Addr: "http://c:3"},
+		{ID: "n1", Addr: "http://a:1"},
+		{ID: "n2", Addr: "http://b:2"},
+	}
+	b, err := New(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stream := range []string{"alpha", "beta", "gamma", "delta", "s-0", "s-1", "s-99"} {
+		if ao, bo := a.Owner(stream), b.Owner(stream); ao != bo {
+			t.Fatalf("stream %q: owner %v vs %v across identical maps", stream, ao, bo)
+		}
+	}
+}
+
+// The ring must actually spread streams: with 3 nodes and default vnodes,
+// a few hundred streams should touch every node.
+func TestPlacementSpreads(t *testing.T) {
+	m, err := New(threeNodes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[m.Owner("stream-"+string(rune('a'+i%26))+string(rune('a'+i/26))).ID]++
+	}
+	for _, n := range m.Nodes {
+		if counts[n.ID] == 0 {
+			t.Fatalf("node %s owns no streams out of 300: %v", n.ID, counts)
+		}
+	}
+}
+
+func TestOverrideAndVersionBump(t *testing.T) {
+	m, err := New(threeNodes(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 {
+		t.Fatalf("fresh map version = %d, want 1", m.Version)
+	}
+	owner := m.Owner("pinned")
+	var target string
+	for _, n := range m.Nodes {
+		if n.ID != owner.ID {
+			target = n.ID
+			break
+		}
+	}
+	m2, err := m.WithOverride("pinned", target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version != 2 {
+		t.Fatalf("override map version = %d, want 2", m2.Version)
+	}
+	if got := m2.Owner("pinned").ID; got != target {
+		t.Fatalf("override owner = %s, want %s", got, target)
+	}
+	// The original map is immutable.
+	if got := m.Owner("pinned").ID; got != owner.ID {
+		t.Fatalf("original map mutated: owner = %s, want %s", got, owner.ID)
+	}
+	if _, err := m.WithOverride("pinned", "nope"); err == nil {
+		t.Fatal("WithOverride accepted an unknown target")
+	}
+}
+
+func TestStateAdoptIsMonotone(t *testing.T) {
+	m, err := New(threeNodes(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState("n2", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m.WithOverride("s", "n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Adopt(m2) {
+		t.Fatal("newer map not adopted")
+	}
+	if st.Adopt(m) {
+		t.Fatal("older map adopted")
+	}
+	if st.Version() != 2 {
+		t.Fatalf("version = %d, want 2", st.Version())
+	}
+	if st.IsLocal("s") {
+		t.Fatal("n2 believes it owns a stream overridden to n3")
+	}
+	// Reserved names are always node-local.
+	if !st.IsLocal("") || !st.IsLocal("_default") {
+		t.Fatal("default/reserved streams must be node-local")
+	}
+	if _, err := NewState("stranger", m); err == nil {
+		t.Fatal("NewState accepted a non-member self")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := New(threeNodes(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m.WithOverride("moved", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "map.json")
+	if got, err := Load(path); err != nil || got != nil {
+		t.Fatalf("Load(missing) = %v, %v; want nil, nil", got, err)
+	}
+	if err := Save(path, m2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.ToWire(), m2.ToWire()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.ToWire(), m2.ToWire())
+	}
+	if got.Owner("moved").ID != "n1" {
+		t.Fatalf("loaded map lost the override")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []wire.ClusterMap{
+		{Version: 1, VNodes: 4},                                               // no nodes
+		{Version: 0, VNodes: 4, Nodes: threeNodes()},                          // bad version
+		{Version: 1, VNodes: 0, Nodes: threeNodes()},                          // bad vnodes
+		{Version: 1, VNodes: 4, Nodes: []wire.ClusterNode{{ID: "a"}}},         // no addr
+		{Version: 1, VNodes: 4, Nodes: []wire.ClusterNode{{Addr: "x"}}},       // no id
+		{Version: 1, VNodes: 4, Nodes: append(threeNodes(), threeNodes()[0])}, // dup
+		{Version: 1, VNodes: 4, Nodes: threeNodes(), Overrides: map[string]string{"s": "ghost"}},
+	}
+	for i, w := range cases {
+		if _, err := FromWire(w); err == nil {
+			t.Errorf("case %d: FromWire accepted invalid map %+v", i, w)
+		}
+	}
+}

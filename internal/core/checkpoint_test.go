@@ -207,7 +207,7 @@ func TestWatchCheckpointEviction(t *testing.T) {
 	// Front-load the bulk of the stream so both indexes are near full size
 	// from the first event on; the small follow-up appends then force the
 	// two entries to evict each other in turn.
-	cuts := []int{4 * len(ups) / 5, 17*len(ups)/20, 9 * len(ups) / 10, 19*len(ups)/20, len(ups)}
+	cuts := []int{4 * len(ups) / 5, 17 * len(ups) / 20, 9 * len(ups) / 10, 19 * len(ups) / 20, len(ups)}
 	prev := 0
 	for _, cut := range cuts {
 		for _, name := range lanes {

@@ -59,9 +59,18 @@ type lane struct {
 	st   stream.Stream
 	app  *stream.Appendable // non-nil when st supports live ingestion
 
-	mu    sync.Mutex
-	queue []*engineJob
-	wake  chan struct{} // buffered(1): "queue became non-empty"
+	mu      sync.Mutex
+	queue   []*engineJob
+	wake    chan struct{} // buffered(1): "queue became non-empty"
+	stopped bool          // Unregister called: reject new enqueues
+
+	// stop closes when the lane is unregistered (Engine.Unregister): the
+	// serve loop drains and exits, and the lane's watches end. exited closes
+	// when the serve goroutine has returned, so Unregister can wait for the
+	// in-flight generation to finish before the caller tears down the
+	// stream's backing state.
+	stop   chan struct{}
+	exited chan struct{}
 
 	wmu      sync.Mutex
 	watchers map[*laneWatcher]struct{} // standing queries following this lane
@@ -227,10 +236,45 @@ func (e *Engine) Register(name string, st stream.Stream) error {
 	}
 	app, _ := st.(*stream.Appendable)
 	l := &lane{name: name, st: st, app: app, wake: make(chan struct{}, 1),
+		stop: make(chan struct{}), exited: make(chan struct{}),
 		watchers: make(map[*laneWatcher]struct{})}
 	e.lanes[name] = l
 	e.wg.Add(1)
 	go e.serve(l)
+	return nil
+}
+
+// Unregister removes a named stream from the engine: new submissions,
+// appends and watches on the name fail with ErrUnknownStream, queued jobs
+// are failed the same way, the lane's standing queries end, and the
+// stream's checkpoint index is dropped from the cache. Unregister blocks
+// until the in-flight generation (if any) has finished, so when it returns
+// the engine holds no replay over the stream and the caller may retire its
+// backing state — the transfer path hands the segment directory to another
+// node exactly then. The default stream cannot be unregistered.
+func (e *Engine) Unregister(name string) error {
+	if name == DefaultStream {
+		return fmt.Errorf("core: Unregister: the default stream cannot be unregistered: %w", ErrBadConfig)
+	}
+	e.mu.Lock()
+	l, ok := e.lanes[name]
+	if ok {
+		delete(e.lanes, name)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: Unregister(%q): %w", name, ErrUnknownStream)
+	}
+	l.mu.Lock()
+	if !l.stopped {
+		l.stopped = true
+		close(l.stop)
+	}
+	l.mu.Unlock()
+	<-l.exited
+	// Drop the cached checkpoint index: a later re-registration under the
+	// same name (a transferred-back stream) must not see stale state.
+	e.ckpt.dropLane(l.name)
 	return nil
 }
 
@@ -361,6 +405,9 @@ func (e *Engine) AppendKeyed(name, key string, ups []stream.Update) (int64, erro
 		case errors.Is(err, stream.ErrReceiptFailed):
 			// Nothing was published — the receipt journal rejected the batch
 			// before publication. A server fault, and safe to retry as-is.
+		case errors.Is(err, stream.ErrSealed):
+			// Nothing was published — the stream is frozen mid-transfer. A
+			// retryable condition, not an input error.
 		default:
 			// Everything else is input validation and must read as a bad
 			// request, not a server fault.
@@ -446,6 +493,9 @@ func (l *lane) enqueue(root context.Context, ej *engineJob) error {
 	if root.Err() != nil {
 		return fmt.Errorf("core: Submit on %q: %w", l.name, ErrEngineClosed)
 	}
+	if l.stopped {
+		return fmt.Errorf("core: Submit on %q: stream unregistered: %w", l.name, ErrUnknownStream)
+	}
 	l.queue = append(l.queue, ej)
 	select {
 	case l.wake <- struct{}{}:
@@ -472,6 +522,7 @@ func (l *lane) take() []*engineJob {
 // idle-time latency.
 func (e *Engine) serve(l *lane) {
 	defer e.wg.Done()
+	defer close(l.exited)
 	for {
 		select {
 		case <-l.wake:
@@ -483,6 +534,9 @@ func (e *Engine) serve(l *lane) {
 			}
 		case <-e.root.Done():
 			e.drain(l)
+			return
+		case <-l.stop:
+			e.failUnregistered(l.take())
 			return
 		}
 		batch := l.take()
@@ -500,6 +554,11 @@ func (e *Engine) serve(l *lane) {
 				t.Stop()
 				e.fail(batch)
 				e.drain(l)
+				return
+			case <-l.stop:
+				t.Stop()
+				e.failUnregistered(batch)
+				e.failUnregistered(l.take())
 				return
 			}
 			batch = append(batch, l.take()...)
@@ -556,6 +615,15 @@ func (e *Engine) drain(l *lane) {
 func (e *Engine) fail(batch []*engineJob) {
 	for _, ej := range batch {
 		ej.err = fmt.Errorf("core: engine closed before job ran: %w", ErrEngineClosed)
+		close(ej.done)
+	}
+}
+
+// failUnregistered rejects jobs that will never run because their lane was
+// unregistered out from under them.
+func (e *Engine) failUnregistered(batch []*engineJob) {
+	for _, ej := range batch {
+		ej.err = fmt.Errorf("core: stream unregistered before job ran: %w", ErrUnknownStream)
 		close(ej.done)
 	}
 }

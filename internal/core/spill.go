@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"streamcount/internal/stream"
+	"streamcount/internal/transform"
+)
+
+// WatchIndexFile is the checkpoint spill file's name inside a stream's
+// segment directory. When the checkpoint cache evicts a durable lane's
+// index (or the transfer path flushes one deliberately), the index's key
+// log is written here so the lane's next watch event warms from disk
+// instead of replaying the whole prefix — and so a shipped segment
+// directory carries the warm index to the stream's next owner.
+const WatchIndexFile = "WATCHIDX"
+
+// spillTarget is where (and through which filesystem) a lane's evicted
+// checkpoint index is persisted. The zero value means the lane cannot
+// spill — memory-only streams have no directory to spill next to.
+type spillTarget struct {
+	fs   stream.FS
+	path string
+}
+
+func (t spillTarget) valid() bool { return t.fs != nil && t.path != "" }
+
+// spillTarget derives the lane's spill location from its durable log. All
+// spill IO goes through the log's own FS so fault-injection harnesses see
+// (and can fail) it exactly like segment IO.
+func (l *lane) spillTarget() spillTarget {
+	if l.app == nil {
+		return spillTarget{}
+	}
+	dir := l.app.Dir()
+	if dir == "" {
+		return spillTarget{}
+	}
+	return spillTarget{fs: l.app.Filesystem(), path: filepath.Join(dir, WatchIndexFile)}
+}
+
+// write persists the index atomically (temp file, sync, rename): a crash
+// mid-spill leaves either the old spill or none, never a torn one — and
+// the codec's checksum catches torn bytes anyway.
+func (t spillTarget) write(ix *transform.PrefixIndex) error {
+	data := ix.EncodeSpill()
+	tmp := t.path + ".tmp"
+	f, err := t.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		t.fs.Remove(tmp)
+		return err
+	}
+	if err := t.fs.Rename(tmp, t.path); err != nil {
+		t.fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// read loads and decodes the spill. A missing file returns (nil, nil); a
+// corrupt one returns an error — both mean "rebuild cold".
+func (t spillTarget) read() (*transform.PrefixIndex, error) {
+	size, err := t.fs.Size(t.path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	f, err := t.fs.OpenFile(t.path, os.O_RDONLY)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return transform.DecodeSpill(data)
+}
+
+func (t spillTarget) remove() { _ = t.fs.Remove(t.path) }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamcount/internal/stream"
+)
+
+// TestWatchCheckpointSpillRoundTrip is the durable variant of the eviction
+// test: the cache is bounded below two lanes' combined index size, but both
+// lanes live in segment directories, so LRU eviction spills each index to
+// its WATCHIDX file instead of discarding it — and the next evaluation
+// warms from disk rather than replaying the stream. Every event must still
+// be bit-identical to its standalone reference, and no evaluation may ever
+// fall back to a cold replay.
+func TestWatchCheckpointSpillRoundTrip(t *testing.T) {
+	ups := watchWorkload(t)
+	full := indexBytesFor(t, 200, ups)
+	def, err := stream.NewAppendable(200, stream.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full lane index fits; two cannot coexist.
+	e := NewEngine(def, EngineOptions{WatchCheckpointBytes: full + full/2})
+	defer e.Close()
+
+	base := t.TempDir()
+	lanes := []string{"a", "b"}
+	apps := make(map[string]*stream.Appendable, len(lanes))
+	watches := make(map[string]*Watch, len(lanes))
+	for _, name := range lanes {
+		app, err := stream.NewAppendable(200, stream.AppendableOptions{Dir: filepath.Join(base, name)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Register(name, app); err != nil {
+			t.Fatal(err)
+		}
+		apps[name] = app
+		w, err := e.Watch(context.Background(), name, watchRefJob(), WatchOptions{EveryVersion: true, Buffer: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		watches[name] = w
+	}
+
+	// Same shape as the eviction test: front-load the stream so both
+	// indexes are near full size from the first event, then alternate small
+	// appends so the two entries evict — and now spill — each other in turn.
+	cuts := []int{4 * len(ups) / 5, 17 * len(ups) / 20, 9 * len(ups) / 10, 19 * len(ups) / 20, len(ups)}
+	prev := 0
+	for _, cut := range cuts {
+		for _, name := range lanes {
+			v, err := e.Append(name, ups[prev:cut])
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := collectEvent(t, watches[name])
+			if ev.Version != v {
+				t.Fatalf("lane %s event at version %d, want %d", name, ev.Version, v)
+			}
+			assertEventMatchesStandalone(t, apps[name], watchRefJob(), ev)
+		}
+		prev = cut
+	}
+
+	es := e.WatchCheckpointStats()
+	if es.Evictions == 0 {
+		t.Fatalf("no evictions with capacity %d < 2 indexes of %d bytes", full+full/2, full)
+	}
+	if es.Spills == 0 {
+		t.Errorf("durable lanes evicted %d times but never spilled", es.Evictions)
+	}
+	if es.SpillLoads == 0 {
+		t.Error("no evaluation warmed from a spilled index")
+	}
+	for _, name := range lanes {
+		st := watches[name].CheckpointStats()
+		if st.ColdReplays != 0 {
+			t.Errorf("lane %s ran %d cold replays; spills must warm every rebuild", name, st.ColdReplays)
+		}
+	}
+	for _, name := range lanes {
+		if _, err := os.Stat(filepath.Join(base, name, WatchIndexFile)); err != nil {
+			// At least the most-recently-evicted lane must have a spill on
+			// disk; a resident lane may or may not, so only report a missing
+			// file when the engine claims it spilled this lane's index.
+			t.Logf("lane %s has no spill file: %v", name, err)
+		}
+	}
+
+	// The deliberate-flush API (the transfer path's hook) persists a
+	// resident index without evicting it.
+	if err := e.SpillWatchCheckpoint(lanes[len(lanes)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(base, lanes[len(lanes)-1], WatchIndexFile)); err != nil {
+		t.Errorf("SpillWatchCheckpoint left no %s: %v", WatchIndexFile, err)
+	}
+}
+
+// TestWatchCheckpointSpillStaleDiscard pins the validation on load: a spill
+// whose extent exceeds the stream's durable version (here: written against
+// a longer prefix, then the directory reused for a shorter log) must be
+// discarded, not trusted.
+func TestWatchCheckpointSpillStaleDiscard(t *testing.T) {
+	ups := watchWorkload(t)
+	dir := t.TempDir()
+	app, err := stream.NewAppendable(200, stream.AppendableOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Append(ups[:50]); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEngine(app, EngineOptions{})
+	defer e.Close()
+
+	// Build the oversized spill for real: a second engine over the full
+	// stream evaluates one event (so its index covers every update), then
+	// deliberately flushes it.
+	app2, err := stream.NewAppendable(200, stream.AppendableOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app2.Append(ups[:len(ups)-1]); err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(app2, EngineOptions{})
+	defer e2.Close()
+	w2, err := e2.Watch(context.Background(), DefaultStream, watchRefJob(), WatchOptions{EveryVersion: true, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if _, err := e2.Append(DefaultStream, ups[len(ups)-1:]); err != nil {
+		t.Fatal(err)
+	}
+	collectEvent(t, w2)
+	if err := e2.SpillWatchCheckpoint(DefaultStream); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(app2.Dir(), WatchIndexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, WatchIndexFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A watch over the 50-update log must reject the full-stream spill and
+	// still produce correct events — first the initial evaluation at the
+	// recovered version, then one for a fresh append.
+	w, err := e.Watch(context.Background(), DefaultStream, watchRefJob(), WatchOptions{EveryVersion: true, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ev := collectEvent(t, w)
+	if ev.Version != 50 {
+		t.Fatalf("initial event at version %d, want 50", ev.Version)
+	}
+	assertEventMatchesStandalone(t, app, watchRefJob(), ev)
+	v, err := e.Append(DefaultStream, ups[50:60])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev = collectEvent(t, w)
+	if ev.Version != v {
+		t.Fatalf("event at version %d, want %d", ev.Version, v)
+	}
+	assertEventMatchesStandalone(t, app, watchRefJob(), ev)
+	if st := e.WatchCheckpointStats(); st.SpillLoads != 0 {
+		t.Errorf("stale spill was loaded (%d loads); it must be discarded", st.SpillLoads)
+	}
+	// The stale file is cleaned up on rejection.
+	if _, err := os.Stat(filepath.Join(dir, WatchIndexFile)); !os.IsNotExist(err) {
+		t.Errorf("stale spill still on disk (stat err %v)", err)
+	}
+}

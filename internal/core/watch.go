@@ -287,6 +287,11 @@ func (e *Engine) Watch(ctx context.Context, name string, j Job, o WatchOptions) 
 // deliver, repeat. It returns the watch's terminal error.
 func (e *Engine) watchLoop(wctx, callerCtx context.Context, l *lane, j Job, lw *laneWatcher, w *Watch, after int64) error {
 	terminal := func() error {
+		select {
+		case <-l.stop:
+			return fmt.Errorf("core: watch on %q: stream unregistered: %w", l.name, ErrUnknownStream)
+		default:
+		}
 		switch {
 		case callerCtx.Err() != nil:
 			return fmt.Errorf("core: watch on %q: %w", l.name, canceled(context.Cause(callerCtx)))
@@ -305,6 +310,8 @@ func (e *Engine) watchLoop(wctx, callerCtx context.Context, l *lane, j Job, lw *
 			case <-lw.notify:
 				continue
 			case <-wctx.Done():
+				return terminal()
+			case <-l.stop:
 				return terminal()
 			}
 		}
@@ -329,6 +336,8 @@ func (e *Engine) watchLoop(wctx, callerCtx context.Context, l *lane, j Job, lw *
 		select {
 		case w.events <- WatchEvent{Handle: h, Version: v, Seq: seq}:
 		case <-wctx.Done():
+			return terminal()
+		case <-l.stop:
 			return terminal()
 		}
 		last, seq = v, seq+1

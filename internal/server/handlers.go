@@ -48,6 +48,10 @@ func errorCode(err error) string {
 		return wire.CodeCanceled
 	case errors.Is(err, streamcount.ErrReceiptFailed):
 		return wire.CodeReceiptFailed
+	case errors.Is(err, streamcount.ErrSealed):
+		// A sealed stream is one mid-transfer: the condition is transient
+		// and the identical request is safe to retry.
+		return wire.CodeTransferring
 	default:
 		return ""
 	}
@@ -71,8 +75,9 @@ func (s *Server) registryStats() (wire.QueryStats, wire.WatchStats) {
 		Active:     s.pendingQueries,
 		Registered: len(s.queries),
 		Evicted:    s.evictedQueries,
+		Capacity:   s.maxAsync,
 	}
-	ws := wire.WatchStats{Active: len(s.watches)}
+	ws := wire.WatchStats{Active: len(s.watches), Capacity: s.maxWatches}
 	s.mu.Unlock()
 	ws.Rejected = s.rejectedWatches.Load()
 	cs := s.eng.WatchCheckpointStats()
@@ -80,6 +85,8 @@ func (s *Server) registryStats() (wire.QueryStats, wire.WatchStats) {
 		Hits:          cs.Hits,
 		Misses:        cs.Misses,
 		Evictions:     cs.Evictions,
+		Spills:        cs.Spills,
+		SpillLoads:    cs.SpillLoads,
 		ResidentBytes: cs.ResidentBytes,
 		CapacityBytes: cs.CapacityBytes,
 	}
@@ -135,6 +142,9 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("vertex count n=%d must be positive", req.N))
 		return
 	}
+	if s.rejectWrongNode(w, req.Name) {
+		return // streams are created on their owner
+	}
 	// createMu serializes the lookup-create-register sequence: without it,
 	// two concurrent creates of the same name could both pass the Lookup
 	// check and race NewAppendableStream on the same segment directory —
@@ -157,6 +167,7 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		SegmentSize: size,
 		Dir:         segmentDir(s.opts.SegmentDir, req.Name),
 		Sync:        s.opts.Sync,
+		FS:          s.opts.FS,
 	})
 	if err != nil {
 		// A segment directory that already holds a stream is a conflict with
@@ -184,11 +195,17 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
 	q, ws := s.registryStats()
-	writeJSON(w, http.StatusOK, wire.StreamsList{
+	list := wire.StreamsList{
 		Streams: s.eng.Streams(),
 		Queries: q,
 		Watches: ws,
-	})
+	}
+	// A clustered node lists only its own streams; the map version lets a
+	// CLI aggregate per-node listings and detect a stale view.
+	if s.cluster != nil {
+		list.ClusterVersion = s.cluster.Version()
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -198,6 +215,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if s.rejectWrongNode(w, name) {
+		return
+	}
 	st, ok := s.eng.Lookup(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("stream %q: %w", name, streamcount.ErrUnknownStream))
@@ -296,6 +316,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if s.rejectWrongNode(w, name) || s.rejectTransferring(w, name) {
+		return
+	}
 	var req wire.AppendRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -116,6 +116,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Queries route to the stream's owner. A transferring stream still
+	// answers reads here — the sealed log replays fine — until the
+	// ownership flip moves them with everything else.
+	if s.rejectWrongNode(w, req.Stream) {
+		return
+	}
 	q, err := buildQuery(req, s.opts.Parallelism)
 	if err != nil {
 		writeError(w, statusFor(err), err)

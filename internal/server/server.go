@@ -35,6 +35,8 @@ import (
 	"time"
 
 	"streamcount"
+	"streamcount/internal/cluster"
+	"streamcount/internal/stream"
 	"streamcount/internal/wire"
 )
 
@@ -52,6 +54,10 @@ const maxAsyncQueries = 4096
 // so the bound rejects new watches with 503 instead; rejections are
 // counted in the same stats.
 const maxActiveWatches = 1024
+
+// maxMaxWatches rejects absurd watch-registry bounds at startup, mirroring
+// the checkpoint-cache validation: a mistyped flag fails loudly.
+const maxMaxWatches = 1 << 20
 
 // DefaultWatchHeartbeat is the default SSE heartbeat interval: a comment
 // line keeps idle watch connections alive through proxies and lets clients
@@ -121,6 +127,25 @@ type Options struct {
 	// append, hardening acknowledged appends against machine crashes (not
 	// just process kills) at a large throughput cost.
 	Sync bool
+	// MaxWatches bounds the standing-query registry (0: the default 1024).
+	// New rejects negative or absurdly large values instead of clamping.
+	MaxWatches int
+	// ClusterNode, when set, runs the server as a member of a static
+	// cluster under this node ID. ClusterPeers must then list every member
+	// (including this node) with its client-reachable address; stream
+	// ownership is a pure function of the resulting cluster map
+	// (DESIGN.md §11), and requests for streams owned elsewhere are
+	// rejected with a typed wrong_node redirect.
+	ClusterNode string
+	// ClusterPeers is the full static member list (ID + address per node).
+	ClusterPeers []wire.ClusterNode
+	// ClusterVNodes overrides the virtual nodes per member on the hash
+	// ring (0: the cluster package default).
+	ClusterVNodes int
+	// FS, when non-nil, is the filesystem every durable stream this server
+	// creates, recovers, ships or accepts goes through — the seam
+	// fault-injection tests use. nil selects the real filesystem.
+	FS stream.FS
 }
 
 // Server is the HTTP handler for one engine. Create with New, serve with
@@ -145,6 +170,13 @@ type Server struct {
 	maxWatches     int
 
 	rejectedWatches atomic.Int64
+
+	// cluster is this node's live cluster view; nil in single-node mode.
+	cluster *cluster.State
+	// transferring marks streams this node is mid-way through shipping to
+	// another node (guarded by mu): their mutating requests 503 with a
+	// retryable "transferring" code until the ownership flip (or abort).
+	transferring map[string]bool
 
 	// createMu serializes stream creation (lookup, disk init, register), so
 	// two concurrent creates of one name cannot both touch its segment
@@ -198,6 +230,19 @@ func New(opts Options) (*Server, error) {
 	case ckptMB == 0:
 		ckptMB = DefaultWatchCheckpointMB
 	}
+	maxW := opts.MaxWatches
+	switch {
+	case maxW < 0:
+		return nil, fmt.Errorf("server: MaxWatches %d is negative; the watch registry bound must be positive (0 selects the default %d)", maxW, maxActiveWatches)
+	case maxW > maxMaxWatches:
+		return nil, fmt.Errorf("server: MaxWatches %d exceeds the %d sanity bound", maxW, maxMaxWatches)
+	case maxW == 0:
+		maxW = maxActiveWatches
+	}
+	clusterState, err := newCluster(opts)
+	if err != nil {
+		return nil, err
+	}
 	eng := opts.Engine
 	own := false
 	if eng == nil {
@@ -213,21 +258,23 @@ func New(opts Options) (*Server, error) {
 	jobCtx, jobStop := context.WithCancel(context.Background())
 	watchCtx, watchStop := context.WithCancel(context.Background())
 	s := &Server{
-		opts:       opts,
-		eng:        eng,
-		ownEngine:  own,
-		mux:        http.NewServeMux(),
-		queries:    make(map[string]*asyncQuery),
-		watches:    make(map[string]*serverWatch),
-		appends:    make(map[string]*appendDedup),
-		maxAsync:   maxAsyncQueries,
-		maxWatches: maxActiveWatches,
-		maxDedup:   maxAppendDedup,
-		ready:      make(chan struct{}),
-		jobCtx:     jobCtx,
-		jobStop:    jobStop,
-		watchCtx:   watchCtx,
-		watchStop:  watchStop,
+		opts:         opts,
+		eng:          eng,
+		ownEngine:    own,
+		mux:          http.NewServeMux(),
+		queries:      make(map[string]*asyncQuery),
+		watches:      make(map[string]*serverWatch),
+		appends:      make(map[string]*appendDedup),
+		cluster:      clusterState,
+		transferring: make(map[string]bool),
+		maxAsync:     maxAsyncQueries,
+		maxWatches:   maxW,
+		maxDedup:     maxAppendDedup,
+		ready:        make(chan struct{}),
+		jobCtx:       jobCtx,
+		jobStop:      jobStop,
+		watchCtx:     watchCtx,
+		watchStop:    watchStop,
 	}
 	if opts.SegmentDir != "" {
 		s.recovering.Store(true)
@@ -244,6 +291,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/queries/{id}", s.handleQueryStatus)
 	s.mux.HandleFunc("POST /v1/watches", s.handleWatch)
 	s.mux.HandleFunc("GET /v1/watches", s.handleListWatches)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("POST /v1/cluster/map", s.handleClusterMapPush)
+	s.mux.HandleFunc("POST /v1/cluster/transfer", s.handleTransfer)
+	s.mux.HandleFunc("POST /v1/cluster/accept", s.handleTransferAccept)
 	return s, nil
 }
 
@@ -264,7 +315,7 @@ func segmentDir(base, name string) string {
 func openOrCreateStream(opts Options, name string, n int64, size int) (*streamcount.AppendableStream, error) {
 	dir := segmentDir(opts.SegmentDir, name)
 	if dir != "" {
-		st, err := streamcount.OpenAppendableStream(dir, streamcount.AppendableOptions{Sync: opts.Sync})
+		st, err := streamcount.OpenAppendableStream(dir, streamcount.AppendableOptions{Sync: opts.Sync, FS: opts.FS})
 		if err == nil {
 			return st, nil
 		}
@@ -276,6 +327,7 @@ func openOrCreateStream(opts Options, name string, n int64, size int) (*streamco
 		SegmentSize: size,
 		Dir:         dir,
 		Sync:        opts.Sync,
+		FS:          opts.FS,
 	})
 }
 
@@ -308,7 +360,7 @@ func (s *Server) recoverStreams() {
 		if !ent.IsDir() || !validStreamName(name) || registered[name] {
 			continue
 		}
-		st, err := streamcount.OpenAppendableStream(segmentDir(s.opts.SegmentDir, name), streamcount.AppendableOptions{Sync: s.opts.Sync})
+		st, err := streamcount.OpenAppendableStream(segmentDir(s.opts.SegmentDir, name), streamcount.AppendableOptions{Sync: s.opts.Sync, FS: s.opts.FS})
 		if err != nil {
 			errs = append(errs, fmt.Errorf("server: recovering stream %q: %w", name, err))
 			continue
@@ -426,7 +478,8 @@ func statusFor(err error) int {
 	case errors.Is(err, streamcount.ErrBadPattern), errors.Is(err, streamcount.ErrBadConfig):
 		return http.StatusBadRequest
 	case errors.Is(err, streamcount.ErrEngineClosed), errors.Is(err, streamcount.ErrCanceled),
-		errors.Is(err, streamcount.ErrWatchClosed), errors.Is(err, streamcount.ErrReceiptFailed):
+		errors.Is(err, streamcount.ErrWatchClosed), errors.Is(err, streamcount.ErrReceiptFailed),
+		errors.Is(err, streamcount.ErrSealed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

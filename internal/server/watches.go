@@ -21,6 +21,13 @@ type serverWatch struct {
 	// sub reads the live checkpoint counters for GET /v1/watches; the
 	// counters are atomics, so reading them outside Server.mu is safe.
 	sub *streamcount.Subscription[streamcount.Outcome]
+	// cancel ends this watch's context; the transfer path uses it to end
+	// one stream's watches without touching the rest.
+	cancel context.CancelFunc
+	// terminal, when set (under Server.mu), overrides the terminal "end"
+	// event's code — e.g. wire.CodeTransferring for a watch ended because
+	// its stream is shipping to another node.
+	terminal string
 }
 
 // registerWatch admits a watch into the bounded registry, or reports that
@@ -29,7 +36,7 @@ type serverWatch struct {
 // rejection is a capacity condition ("retry later"), not any facade
 // sentinel: the handler sends it as 503 with wire.CodeWatchLimit so
 // clients cannot mistake it for a cleanly closed subscription.
-func (s *Server) registerWatch(req wire.WatchRequest, policy string, sub *streamcount.Subscription[streamcount.Outcome]) (*serverWatch, error) {
+func (s *Server) registerWatch(req wire.WatchRequest, policy string, sub *streamcount.Subscription[streamcount.Outcome], cancel context.CancelFunc) (*serverWatch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.watches) >= s.maxWatches {
@@ -37,7 +44,7 @@ func (s *Server) registerWatch(req wire.WatchRequest, policy string, sub *stream
 		return nil, fmt.Errorf("watch registry full (%d active); retry later", len(s.watches))
 	}
 	s.nextWatchID++
-	sw := &serverWatch{sub: sub, info: wire.WatchInfo{
+	sw := &serverWatch{sub: sub, cancel: cancel, info: wire.WatchInfo{
 		ID:      fmt.Sprintf("w%06d", s.nextWatchID),
 		Stream:  req.Stream,
 		Kind:    req.Kind,
@@ -57,6 +64,26 @@ func (s *Server) unregisterWatch(id string) {
 	s.mu.Lock()
 	delete(s.watches, id)
 	s.mu.Unlock()
+}
+
+// endStreamWatches ends every active watch on one stream with the given
+// terminal code — the transfer path's "draining, but for one stream":
+// clients get exactly one terminal "end" event with a retryable code and
+// resume with after_version against whichever node owns the stream when
+// they reconnect.
+func (s *Server) endStreamWatches(stream, code string) {
+	var cancels []context.CancelFunc
+	s.mu.Lock()
+	for _, sw := range s.watches {
+		if sw.info.Stream == stream && sw.cancel != nil {
+			sw.terminal = code
+			cancels = append(cancels, sw.cancel)
+		}
+	}
+	s.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
 }
 
 // recordWatchEvent updates an active watch's registry stats.
@@ -157,6 +184,12 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Watches route to the stream's owner, and a transferring stream
+	// rejects new watches outright — they could never receive an event
+	// (the log is sealed) and would only be ended again moments later.
+	if s.rejectWrongNode(w, req.Stream) || s.rejectTransferring(w, req.Stream) {
+		return
+	}
 	q, err := buildQuery(req.Query, s.opts.Parallelism)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -200,7 +233,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sub.Close()
 
-	sw, err := s.registerWatch(req, policy, sub)
+	sw, err := s.registerWatch(req, policy, sub, cancel)
 	if err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, wire.Error{Error: err.Error(), Code: wire.CodeWatchLimit})
 		return
@@ -223,11 +256,11 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		select {
 		case ev, ok := <-sub.Events():
 			if !ok {
-				_ = sse.event("end", s.watchEnd(sub.Err()))
+				_ = sse.event("end", s.watchEnd(sw, sub.Err()))
 				return
 			}
 			if ev.Err != nil {
-				_ = sse.event("end", s.watchEnd(ev.Err))
+				_ = sse.event("end", s.watchEnd(sw, ev.Err))
 				return
 			}
 			s.recordWatchEvent(sw, ev.StreamVersion)
@@ -254,11 +287,22 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // watchEnd renders a watch's terminal error for the "end" event. A drain
-// shows up as the drain, not as the context cancellation it is implemented
-// with.
-func (s *Server) watchEnd(err error) wire.WatchEnd {
+// shows up as the drain, and a transfer as the transfer, not as the
+// context cancellations they are implemented with.
+func (s *Server) watchEnd(sw *serverWatch, err error) wire.WatchEnd {
 	if s.watchCtx.Err() != nil {
 		return wire.WatchEnd{Error: "server is draining", Code: wire.CodeDraining}
+	}
+	if sw != nil {
+		s.mu.Lock()
+		terminal := sw.terminal
+		s.mu.Unlock()
+		if terminal != "" {
+			return wire.WatchEnd{
+				Error: "stream is transferring to another node; resume with after_version",
+				Code:  terminal,
+			}
+		}
 	}
 	if err == nil { // defensive: watches always end for a reason
 		err = streamcount.ErrWatchClosed

@@ -123,6 +123,10 @@ type Appendable struct {
 	receiptOff  int64
 	recovered   []Receipt
 
+	// sealed (owned by wmu) freezes the log for shipping: appends are
+	// rejected with ErrSealed until Unseal. See Seal.
+	sealed bool
+
 	// evictFailures counts failed seal / tail-write / manifest operations:
 	// each one left data RAM-pinned or non-durable until a later retry.
 	evictFailures atomic.Int64
@@ -500,6 +504,9 @@ func (a *Appendable) AppendKeyed(key string, ups []Update) (int64, error) {
 	}
 	a.wmu.Lock()
 	defer a.wmu.Unlock()
+	if a.sealed {
+		return 0, fmt.Errorf("stream: append: %w", ErrSealed)
+	}
 	if a.opts.Dir != "" && key != "" && len(ups) > 0 {
 		// The receipt must hit the disk before any of the batch's records:
 		// recovery decides "replay or re-apply" from receipt-then-data order.

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSealed rejects an append against a sealed log: the stream is frozen —
+// typically mid-transfer to another node — and nothing was published. The
+// seal either lifts (Unseal, after an aborted transfer) or the stream's
+// ownership moves; either way the identical batch is safe to retry.
+var ErrSealed = errors.New("stream: appendable is sealed")
+
+// Dir returns the stream's segment directory ("" for a memory-only log).
+func (a *Appendable) Dir() string { return a.opts.Dir }
+
+// Filesystem returns the FS the log performs its IO through — the injected
+// AppendableOptions.FS or the real filesystem. Transfer code reads the
+// segment directory through it so fault-injection harnesses see (and can
+// fail) shipping reads exactly like the log's own IO.
+func (a *Appendable) Filesystem() FS { return a.fs }
+
+// Seal freezes the log for shipping: it completes pending segment seals,
+// commits the manifest, writes the open tail's remaining records, fsyncs
+// the tail and receipt files regardless of the Sync option, and then
+// rejects every subsequent append with ErrSealed. After a nil return the
+// segment directory is a complete, self-contained byte image of the log —
+// OpenAppendable on a copy reproduces exactly Version() updates and the
+// same receipts. Views remain valid and replays keep working; Seal is
+// idempotent. Unseal reverses it.
+func (a *Appendable) Seal() error {
+	if a.opts.Dir == "" {
+		return errors.New("stream: Seal requires a segment directory")
+	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if a.sealed {
+		return nil
+	}
+	if err := a.persist(nil); err != nil {
+		return fmt.Errorf("stream: Seal: %w", err)
+	}
+	// persist fsyncs sealed segments, but the open tail and the receipt log
+	// are only fsynced under opts.Sync. The shipped image must not trail the
+	// acknowledged log, so force both down before freezing.
+	if a.tailFile != nil {
+		if err := a.tailFile.Sync(); err != nil {
+			return fmt.Errorf("stream: Seal: tail sync: %w", err)
+		}
+	}
+	if a.receiptFile != nil {
+		if err := a.receiptFile.Sync(); err != nil {
+			return fmt.Errorf("stream: Seal: receipt sync: %w", err)
+		}
+	}
+	a.sealed = true
+	return nil
+}
+
+// Unseal lifts a Seal so appends flow again: the abort path of a failed
+// transfer. Safe because sealing changed nothing about the write state —
+// the tail file handle stays open and positioned, so the next append
+// resumes exactly where the seal froze it.
+func (a *Appendable) Unseal() {
+	a.wmu.Lock()
+	a.sealed = false
+	a.wmu.Unlock()
+}
+
+// Sealed reports whether the log currently rejects appends.
+func (a *Appendable) Sealed() bool {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return a.sealed
+}

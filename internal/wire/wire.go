@@ -13,6 +13,14 @@ package wire
 type Error struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	// Owner, OwnerAddr and ClusterVersion accompany CodeWrongNode (HTTP
+	// 421): the responding node does not own the requested stream, and
+	// redirects the caller to the owner under the responding node's current
+	// cluster map version. A routing client re-routes to OwnerAddr and
+	// refreshes its cached map when ClusterVersion is newer than its own.
+	Owner          string `json:"owner,omitempty"`
+	OwnerAddr      string `json:"owner_addr,omitempty"`
+	ClusterVersion int64  `json:"cluster_version,omitempty"`
 }
 
 // Error codes: the wire names of the facade's typed sentinels.
@@ -44,6 +52,18 @@ const (
 	// Reconnect with after_version to resume the transcript.
 	CodeSlowConsumer = "slow_consumer"
 	CodeInternal     = "internal"
+	// CodeWrongNode rejects a stream-scoped request on a cluster node that
+	// does not own the stream (HTTP 421 Misdirected Request). The Error's
+	// Owner/OwnerAddr/ClusterVersion fields point at the owning node; routing
+	// clients retry there after refreshing their cached cluster map. The
+	// request was not processed, so the identical request (same
+	// Idempotency-Key included) is safe to replay against the owner.
+	CodeWrongNode = "wrong_node"
+	// CodeTransferring rejects a mutating request on a stream that is being
+	// shipped to another node. Sent with 503 + Retry-After: the transfer
+	// either completes (the retry is answered with wrong_node and re-routed)
+	// or aborts (the retry succeeds here).
+	CodeTransferring = "transferring"
 )
 
 // Update is one stream element.
@@ -109,6 +129,10 @@ type QueryStats struct {
 	// policy over the server's lifetime: a nonzero, growing value means
 	// clients are losing poll results to retention pressure.
 	Evicted int64 `json:"evicted"`
+	// Capacity is the registry bound: how many async entries this node
+	// retains before evicting completed ones. Cluster dashboards read it
+	// together with Registered for per-node headroom.
+	Capacity int `json:"capacity,omitempty"`
 }
 
 // WatchStats is the standing-query registry's health snapshot.
@@ -118,6 +142,10 @@ type WatchStats struct {
 	// Rejected counts watch requests refused because the registry was at
 	// capacity.
 	Rejected int64 `json:"rejected"`
+	// Capacity is the registry bound: how many concurrent watches this node
+	// admits before rejecting with watch_limit. Active/Capacity is the
+	// node's standing-query headroom.
+	Capacity int `json:"capacity,omitempty"`
 	// Checkpoints is the engine-wide checkpoint cache behind the watches'
 	// O(Δ) incremental evaluation.
 	Checkpoints CheckpointStats `json:"checkpoints"`
@@ -138,6 +166,12 @@ type CheckpointStats struct {
 	ResidentBytes int64 `json:"resident_bytes"`
 	// CapacityBytes is the configured cache bound; 0 means disabled.
 	CapacityBytes int64 `json:"capacity_bytes"`
+	// Spills counts evicted indexes persisted to their stream's segment
+	// directory instead of being discarded outright.
+	Spills int64 `json:"spills,omitempty"`
+	// SpillLoads counts evaluations warmed from a spilled index file where a
+	// full replay would otherwise have rebuilt the index from scratch.
+	SpillLoads int64 `json:"spill_loads,omitempty"`
 }
 
 // StreamsList is the body of GET /v1/streams.
@@ -145,6 +179,10 @@ type StreamsList struct {
 	Streams []string   `json:"streams"`
 	Queries QueryStats `json:"queries"`
 	Watches WatchStats `json:"watches"`
+	// ClusterVersion is the responding node's cluster map version, so a CLI
+	// merging per-node listings can detect and report skew. 0 when the node
+	// is not in cluster mode.
+	ClusterVersion int64 `json:"cluster_version,omitempty"`
 }
 
 // Health is the body of GET /healthz. Status is "ready" (200),
@@ -302,4 +340,86 @@ type WatchInfo struct {
 type WatchList struct {
 	Watches []WatchInfo `json:"watches"`
 	Active  int         `json:"active"`
+}
+
+// --- cluster mode ---
+
+// ClusterNode is one member of the cluster map.
+type ClusterNode struct {
+	// ID is the operator-assigned node identity (-cluster-node).
+	ID string `json:"id"`
+	// Addr is the node's client-reachable base URL.
+	Addr string `json:"addr"`
+}
+
+// ClusterMap is the body of GET /v1/cluster: the cluster's membership and
+// stream-placement state. Placement is a pure function of the map — a
+// consistent-hash ring over Nodes with VNodes virtual nodes each, patched
+// by Overrides — so any two parties holding the same map agree on every
+// stream's owner without coordination. Version orders maps: every
+// ownership change bumps it, and all parties adopt the highest version
+// they have seen (static membership means maps only ever diverge by
+// overrides, so max-version-wins converges).
+type ClusterMap struct {
+	Version int64 `json:"version"`
+	// Self is the responding node's ID (informational; not part of the
+	// map's identity).
+	Self  string        `json:"self,omitempty"`
+	Nodes []ClusterNode `json:"nodes"`
+	// VNodes is the number of virtual nodes per member on the hash ring.
+	VNodes int `json:"vnodes"`
+	// Overrides pins streams to explicit owners (stream name -> node ID),
+	// recording transfers that contradict pure ring placement.
+	Overrides map[string]string `json:"overrides,omitempty"`
+}
+
+// TransferRequest is the body of POST /v1/cluster/transfer: ship the
+// stream's segment directory to the target node and flip ownership.
+type TransferRequest struct {
+	Stream string `json:"stream"`
+	// Target is the receiving node's ID.
+	Target string `json:"target"`
+}
+
+// TransferResponse acknowledges a completed transfer.
+type TransferResponse struct {
+	Stream string `json:"stream"`
+	Target string `json:"target"`
+	// StreamVersion is the sealed version that was shipped: the new owner
+	// serves exactly this prefix before accepting new appends.
+	StreamVersion int64 `json:"stream_version"`
+	// ClusterVersion is the map version that records the new ownership.
+	ClusterVersion int64 `json:"cluster_version"`
+}
+
+// TransferFile is one shipped file of a stream's segment directory. Data
+// is base64 in JSON; CRC is a CRC32C over the raw bytes, verified by the
+// receiver before anything touches disk (the manifest, segments and
+// receipt log carry their own internal checksums on top).
+type TransferFile struct {
+	Name string `json:"name"`
+	Data []byte `json:"data"`
+	CRC  uint32 `json:"crc32c"`
+}
+
+// TransferPayload is the body of POST /v1/cluster/accept — the internal
+// node-to-node leg of a transfer: the sealed stream's complete segment
+// directory plus the map the source proposes (version+1, ownership
+// override to the receiver). The receiver validates the files by opening
+// the directory as a durable stream before committing anything.
+type TransferPayload struct {
+	Stream string         `json:"stream"`
+	Map    ClusterMap     `json:"map"`
+	Files  []TransferFile `json:"files"`
+}
+
+// TransferAccepted is the accept response: the receiver has durably
+// committed the stream, registered it, and adopted the proposed map.
+type TransferAccepted struct {
+	Stream string `json:"stream"`
+	// StreamVersion is the version the receiver recovered from the shipped
+	// directory; the source verifies it matches what was sealed.
+	StreamVersion int64 `json:"stream_version"`
+	// Map is the receiver's (adopted) cluster map.
+	Map ClusterMap `json:"map"`
 }
