@@ -12,6 +12,16 @@
 // but missing from the run fail the gate (a silently deleted benchmark is a
 // regression too); new benchmarks are reported and ignored.
 //
+// With -in RESULTS.json it skips measuring entirely and gates a previous
+// run's output: CI measures once, then re-gates the same numbers at a
+// tighter tolerance on the hot-path benchmarks without paying for a second
+// run (and without the two gates disagreeing about what was measured).
+//
+// With -cpuprofile DIR or -memprofile DIR each selected top-level benchmark
+// runs in its own `go test` invocation so the profiles don't smear
+// together: DIR/<Benchmark>.cpu.pprof, DIR/<Benchmark>.mem.pprof, plus the
+// test binary DIR/<Benchmark>.test for pprof symbolization.
+//
 // It shells out to `go test -bench`, so it needs the Go toolchain — the
 // same environment that builds the repository.
 //
@@ -23,6 +33,10 @@
 //	bench -benchtime 5s -out perf.json
 //	bench -short -out /tmp/smoke.json  # CI smoke: one fast iteration each
 //	bench -compare BENCH_core.json -tolerance 0.25   # CI regression gate
+//	bench -in /tmp/BENCH_ci.json -compare BENCH_core.json -tolerance 0.05 \
+//	      -filter 'ContinuousAdmission'  # re-gate a prior run, no re-run
+//	bench -bench BenchmarkEngineContinuousAdmission -cpuprofile /tmp/prof \
+//	      -memprofile /tmp/prof          # per-benchmark pprof output
 package main
 
 import (
@@ -34,6 +48,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -68,6 +83,9 @@ func main() {
 		nsTolerance = flag.Float64("ns-tolerance", 0, "allowed relative ns/op regression (0: same as -tolerance); set looser when the baseline was measured on different hardware")
 		noiseFloor  = flag.Float64("noise-floor", 1e6, "baseline ns/op below which timing is not gated (with -compare)")
 		filterRe    = flag.String("filter", "", "regexp restricting the run to matching benchmark names; with -compare, only baseline entries matching it are required to be present")
+		inFile      = flag.String("in", "", "read measurements from a previous -out JSON instead of running benchmarks; use to re-gate one run at a different tolerance")
+		cpuProfile  = flag.String("cpuprofile", "", "directory for per-benchmark CPU profiles; each top-level benchmark runs in its own go test invocation")
+		memProfile  = flag.String("memprofile", "", "directory for per-benchmark memory profiles; may be combined with -cpuprofile")
 	)
 	flag.Parse()
 	var filter *regexp.Regexp
@@ -89,31 +107,56 @@ func main() {
 		*benchtime = "1x"
 	}
 
-	args := []string{"test", "-run", "^$", "-bench", *benchRe,
-		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg}
-	cmd := exec.Command("go", args...)
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = os.Stderr
-	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(args, " "))
-	if err := cmd.Run(); err != nil {
-		log.Fatalf("go test -bench failed: %v", err)
-	}
-
-	results, err := parseBench(&buf)
-	if err != nil {
-		log.Fatal(err)
+	var results map[string]Measurement
+	switch {
+	case *inFile != "":
+		// Re-gate a previous run's measurements without re-running. The
+		// numbers being gated are exactly the numbers that were measured —
+		// a second measuring run could disagree with the first for reasons
+		// that have nothing to do with the code under test.
+		if *cpuProfile != "" || *memProfile != "" {
+			log.Fatal("-in does not run benchmarks; profiling flags need a measuring run")
+		}
+		data, err := os.ReadFile(*inFile)
+		if err != nil {
+			log.Fatalf("read -in results: %v", err)
+		}
+		if err := json.Unmarshal(data, &results); err != nil {
+			log.Fatalf("parse -in results %s: %v", *inFile, err)
+		}
+		if len(results) == 0 {
+			log.Fatalf("no measurements in %s", *inFile)
+		}
+		fmt.Printf("bench: loaded %d results from %s\n", len(results), *inFile)
+	case *cpuProfile != "" || *memProfile != "":
+		var err error
+		results, err = runProfiled(*benchRe, *benchtime, *count, *pkg, *cpuProfile, *memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		buf, err := runGoBench([]string{"-bench", *benchRe, "-benchmem",
+			"-benchtime", *benchtime, "-count", strconv.Itoa(*count), *pkg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err = parseBench(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if len(results) == 0 {
 		log.Fatalf("no benchmark results matched %q", *benchRe)
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+	if *inFile == "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 	names := make([]string, 0, len(results))
 	for name := range results {
@@ -124,7 +167,9 @@ func main() {
 		fmt.Printf("%-44s %14.1f ns/op %10.0f allocs/op\n",
 			name, results[name].NsPerOp, results[name].AllocsPerOp)
 	}
-	fmt.Printf("bench: wrote %d results to %s\n", len(results), *out)
+	if *inFile == "" {
+		fmt.Printf("bench: wrote %d results to %s\n", len(results), *out)
+	}
 
 	if *compare != "" {
 		if *short {
@@ -141,6 +186,95 @@ func main() {
 		fmt.Printf("bench: no regressions vs %s (allocs tol %.0f%%, ns tol %.0f%% above %.0fms)\n",
 			*compare, *tolerance*100, *nsTolerance*100, *noiseFloor/1e6)
 	}
+}
+
+// runGoBench shells out to `go test -run ^$ <args...>` and returns its
+// stdout for parsing.
+func runGoBench(args []string) (*bytes.Buffer, error) {
+	full := append([]string{"test", "-run", "^$"}, args...)
+	cmd := exec.Command("go", full...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "bench: go %s\n", strings.Join(full, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench failed: %v", err)
+	}
+	return &buf, nil
+}
+
+// listBenchmarks returns the top-level benchmark functions matching re in
+// pkg, in the order `go test -list` reports them. Sub-benchmarks
+// (b.Run cases) are not listed; they run, and are profiled, under their
+// parent.
+func listBenchmarks(re, pkg string) ([]string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-list", re, pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -list failed: %v", err)
+	}
+	var names []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if name := strings.TrimSpace(sc.Text()); strings.HasPrefix(name, "Benchmark") {
+			names = append(names, name)
+		}
+	}
+	return names, sc.Err()
+}
+
+// runProfiled measures each matching top-level benchmark in its own
+// `go test` invocation so each gets its own CPU/memory profile — a single
+// shared invocation would fold every benchmark into one indistinguishable
+// profile. Results are merged into the same Measurement map a plain run
+// produces, so -out and -compare behave identically.
+func runProfiled(benchRe, benchtime string, count int, pkg, cpuDir, memDir string) (map[string]Measurement, error) {
+	for _, dir := range []string{cpuDir, memDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+		}
+	}
+	binDir := cpuDir
+	if binDir == "" {
+		binDir = memDir
+	}
+	names, err := listBenchmarks(benchRe, pkg)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no benchmarks matched %q in %s", benchRe, pkg)
+	}
+	results := make(map[string]Measurement)
+	for _, name := range names {
+		args := []string{"-bench", "^" + name + "$", "-benchmem",
+			"-benchtime", benchtime, "-count", strconv.Itoa(count),
+			"-o", filepath.Join(binDir, name+".test")}
+		if cpuDir != "" {
+			args = append(args, "-cpuprofile", filepath.Join(cpuDir, name+".cpu.pprof"))
+		}
+		if memDir != "" {
+			args = append(args, "-memprofile", filepath.Join(memDir, name+".mem.pprof"))
+		}
+		args = append(args, pkg)
+		buf, err := runGoBench(args)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		part, err := parseBench(buf)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range part {
+			results[k] = v
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bench: profiles for %d benchmark(s) under %s\n", len(names), binDir)
+	return results, nil
 }
 
 // compareBaseline gates results against a baseline file and returns the

@@ -586,11 +586,14 @@ func (e *Engine) serve(l *lane) {
 func (e *Engine) serveBatch(l *lane, batch []*engineJob) {
 	var barrier []*engineJob
 	var pins []int64
-	byPin := make(map[int64][]*engineJob)
+	var byPin map[int64][]*engineJob // lazily built: barrier-only batches skip it
 	for _, ej := range batch {
 		if ej.pin < 0 {
 			barrier = append(barrier, ej)
 			continue
+		}
+		if byPin == nil {
+			byPin = make(map[int64][]*engineJob)
 		}
 		if _, ok := byPin[ej.pin]; !ok {
 			pins = append(pins, ej.pin)

@@ -29,6 +29,16 @@ type executor struct {
 	newRunner func(h *JobHandle, rng *rand.Rand, parallelism int) (oracle.Runner, error)
 }
 
+// releaseRunner returns a pooled runner's scratch to its pool. It is called
+// only on success paths: a runner abandoned by an error may still be
+// mid-round or referenced by in-flight machinery, and an unreleased runner
+// is merely collected — correctness never depends on the release.
+func releaseRunner(r oracle.Runner) {
+	if rel, ok := r.(interface{ Release() }); ok {
+		rel.Release()
+	}
+}
+
 // execute runs one job to completion. All randomness is drawn from the
 // job's private RNG, so results do not depend on any co-scheduled work.
 func (x *executor) execute(h *JobHandle) JobResult {
@@ -83,14 +93,16 @@ func (x *executor) runEstimate(h *JobHandle, cfg Config) (*CountResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CountResult{
+	out := &CountResult{
 		Value:      res.Estimate,
 		M:          res.M,
 		Passes:     h.rounds, // cumulative: Auto guesses reuse the handle
 		Queries:    r.Queries(),
 		SpaceWords: r.SpaceWords(),
 		Trials:     trials,
-	}, nil
+	}
+	releaseRunner(r)
+	return out, nil
 }
 
 // runSample is the 3-pass uniform sampler job (Lemma 16/18).
@@ -112,8 +124,12 @@ func (x *executor) runSample(h *JobHandle, cfg Config) (SampledCopy, bool, error
 		return SampledCopy{}, false, err
 	}
 	sr, ok, err := fgp.SampleParallel(r, pl, trials, rng, cfg.Parallelism)
-	if err != nil || !ok {
+	if err != nil {
 		return SampledCopy{}, false, err
+	}
+	releaseRunner(r)
+	if !ok {
+		return SampledCopy{}, false, nil
 	}
 	return SampledCopy{Edges: sr.Edges, Vertices: sr.Vertices}, true, nil
 }
@@ -140,13 +156,15 @@ func (x *executor) runCliques(h *JobHandle, cfg CliqueConfig) (*CountResult, err
 	if h.rounds > int64(5*cfg.R) {
 		return nil, fmt.Errorf("core: internal error: %d passes exceeds Theorem 2's 5r = %d", h.rounds, 5*cfg.R)
 	}
-	return &CountResult{
+	out := &CountResult{
 		Value:      res.Estimate,
 		M:          res.M,
 		Passes:     h.rounds,
 		Queries:    r.Queries(),
 		SpaceWords: r.SpaceWords(),
-	}, nil
+	}
+	releaseRunner(r)
+	return out, nil
 }
 
 // runAuto is the geometric search over lower-bound guesses (cf. Lemma 21):

@@ -295,6 +295,11 @@ func (s *Session) RunContext(ctx context.Context) error {
 	return nil
 }
 
+// roundAborter is the optional cleanup hook of a pass runner: AbortRound
+// discards an in-flight round (worker group, scratch references) after a
+// failed pass. Both transform runners implement it.
+type roundAborter interface{ AbortRound() }
+
 // servePass answers one coalesced round: BeginRound on every pending runner,
 // one broadcast replay of the stream feeding every runner each batch, then
 // EndRound per runner. Each runner only ever sees its own state, so the
@@ -302,6 +307,12 @@ func (s *Session) RunContext(ctx context.Context) error {
 func (s *Session) servePass(reqs []*roundReq) {
 	fail := func(err error) {
 		for _, req := range reqs {
+			// A failed pass leaves runners mid-round (some may not even
+			// have begun); abort them so round-scoped resources — worker
+			// groups especially — are released on every path.
+			if ab, ok := req.runner.(roundAborter); ok {
+				ab.AbortRound()
+			}
 			req.reply <- roundReply{err: err}
 		}
 	}
@@ -379,6 +390,14 @@ func (p *sessionRunner) Round(qs []oracle.Query) ([]oracle.Answer, error) {
 	return rep.answers, rep.err
 }
 
+// Release forwards the executor's success-path release to the pooled
+// transform runner backing this proxy.
+func (p *sessionRunner) Release() {
+	if rel, ok := p.inner.(interface{ Release() }); ok {
+		rel.Release()
+	}
+}
+
 func (p *sessionRunner) Model() oracle.Model { return p.inner.Model() }
 func (p *sessionRunner) Rounds() int64       { return p.inner.Rounds() }
 func (p *sessionRunner) Queries() int64      { return p.inner.Queries() }
@@ -388,18 +407,21 @@ func (p *sessionRunner) NumVertices() int64  { return p.inner.NumVertices() }
 // newRunner builds the job's pass runner for the session's stream model and
 // wraps it in the barrier proxy. The runner is constructed over the bare
 // stream — it only uses it for n and the insert-only check; all replays go
-// through the session's broadcaster.
+// through the session's broadcaster. Runners come from the transform
+// package's process-wide pools, so a generation's jobs reuse the grown
+// scratch (reservoir banks, sampler cells, shard maps) of the jobs the
+// previous generations released instead of rebuilding it per wave.
 func (s *Session) newRunner(h *JobHandle, rng *rand.Rand, parallelism int) (oracle.Runner, error) {
 	var inner oracle.PassRunner
 	if s.st.InsertOnly() {
-		r, err := transform.NewInsertionRunner(s.st, rng)
+		r, err := transform.AcquireInsertionRunner(s.st, rng)
 		if err != nil {
 			return nil, err
 		}
 		r.SetParallelism(parallelism)
 		inner = r
 	} else {
-		r := transform.NewTurnstileRunner(s.st, rng)
+		r := transform.AcquireTurnstileRunner(s.st, rng)
 		r.SetParallelism(parallelism)
 		inner = r
 	}

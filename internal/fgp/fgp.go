@@ -99,6 +99,8 @@ type directedEdge struct {
 // Every trial owns a private RNG derived from the run seed and the trial
 // index (splitmix64), so its coin flips are identical no matter which worker
 // executes it or in what order — the determinism contract of DESIGN.md §2.
+// All slices are regions of the run's pooled trialArena (arena.go), carved
+// by prepare; trials never allocate during the run.
 type trial struct {
 	rng        *rand.Rand
 	cyclePath  [][]directedEdge // per cycle: k path edges
@@ -108,6 +110,13 @@ type trial struct {
 	dead       bool
 	relaxed    bool    // running in the relaxed (turnstile) model
 	verts      []int64 // all distinct vertices needing degrees/adjacency
+
+	// Postprocessing scratch (arena regions).
+	view       trialView
+	used       []int64
+	seq        []int64 // cycle-sequence scratch, max cycle length
+	tupleEdges [][2]int64
+	tupleLocal [][2]int
 }
 
 // Result carries the counting estimate and diagnostics.
@@ -152,7 +161,9 @@ func CountParallel(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, parall
 		return nil, fmt.Errorf("fgp: trials must be positive, got %d", trials)
 	}
 	res := &Result{Trials: trials}
-	ts, err := runTrials(r, pl, trials, rng, res, parallelism)
+	arena := trialArenaPool.Get()
+	defer trialArenaPool.Put(arena)
+	ts, err := runTrials(r, pl, trials, rng, res, parallelism, arena)
 	if err != nil {
 		return nil, err
 	}
@@ -195,10 +206,14 @@ type trialOutcome struct {
 // coins, prechecks, vertex collection, postprocessing — fans out over
 // parallelism workers. Trials touch only their own state and their own RNG,
 // so the outcome vector is independent of the worker count.
-func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Result, parallelism int) ([]trialOutcome, error) {
+//
+// All trial and outcome state lives in arena; the returned slice aliases it
+// and is valid until the caller releases the arena.
+func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Result, parallelism int, arena *trialArena) ([]trialOutcome, error) {
 	// One sequential draw seeds the whole per-trial RNG family.
 	seedBase := rng.Uint64()
 	relaxed := r.Model() == oracle.Relaxed
+	arena.prepare(pl, trials, relaxed)
 
 	// ---- Round 1: count edges and sample all raw edges (f1). ----
 	edgesPerTrial := 0
@@ -208,13 +223,13 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 	for _, s := range pl.stars {
 		edgesPerTrial += s
 	}
-	round1 := make([]oracle.Query, 0, 1+trials*edgesPerTrial)
-	round1 = append(round1, oracle.Query{Type: oracle.CountEdges})
+	round1 := append(arena.q[:0], oracle.Query{Type: oracle.CountEdges})
 	for t := 0; t < trials; t++ {
 		for i := 0; i < edgesPerTrial; i++ {
 			round1 = append(round1, oracle.Query{Type: oracle.RandomEdge})
 		}
 	}
+	arena.q = round1
 	a1, err := r.Round(round1)
 	if err != nil {
 		return nil, err
@@ -228,34 +243,23 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 	s := int64(math.Ceil(math.Sqrt(float64(2 * m))))
 	res.PerTupleProb = pl.trialWeight(m, s)
 
-	// ---- Trial construction and precheck (parallel over trials). ----
-	ts := make([]*trial, trials)
+	// ---- Trial construction and precheck (parallel over trials). The
+	// arena slot's generator is reseeded exactly as a fresh splitmix64
+	// source would be, so the coin-flip sequence matches a cold run's. ----
+	ts := arena.trials
 	par.For(parallelism, trials, func(t int) {
-		tr := &trial{
-			relaxed: relaxed,
-			rng:     rand.New(sketch.NewSplitMix64(sketch.Hash64(seedBase, uint64(t)))),
-		}
-		orient := func(a oracle.Answer) directedEdge {
-			if !a.OK {
-				return directedEdge{}
-			}
-			e := a.Edge
-			if tr.rng.Intn(2) == 0 {
-				return directedEdge{tail: e.U, head: e.V, ok: true}
-			}
-			return directedEdge{tail: e.V, head: e.U, ok: true}
-		}
+		tr := &ts[t]
+		arena.srcs[t].Reseed(sketch.Hash64(seedBase, uint64(t)))
 		pos := 1 + t*edgesPerTrial
-		for _, k := range pl.ks {
-			spare := orient(a1[pos])
+		for ci, k := range pl.ks {
+			spare := orient(tr.rng, a1[pos])
 			pos++
-			path := make([]directedEdge, k)
+			path := tr.cyclePath[ci]
 			for j := 0; j < k; j++ {
-				path[j] = orient(a1[pos])
+				path[j] = orient(tr.rng, a1[pos])
 				pos++
 			}
-			tr.cycleSpare = append(tr.cycleSpare, spare)
-			tr.cyclePath = append(tr.cyclePath, path)
+			tr.cycleSpare[ci] = spare
 			if !spare.ok {
 				tr.dead = true
 			}
@@ -265,32 +269,30 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 				}
 			}
 		}
-		for _, sp := range pl.stars {
-			se := make([]directedEdge, sp)
+		for si, sp := range pl.stars {
+			se := tr.starEdges[si]
 			for j := 0; j < sp; j++ {
-				se[j] = orient(a1[pos])
+				se[j] = orient(tr.rng, a1[pos])
 				pos++
 				if !se[j].ok {
 					tr.dead = true
 				}
 			}
-			tr.starEdges = append(tr.starEdges, se)
 		}
 		// Cheap structural pre-checks that need no further queries: star
 		// edges must share a tail, and all part vertices must be distinct.
 		if !tr.dead {
 			precheck(tr, pl)
 		}
-		ts[t] = tr
 	})
 
 	// ---- Round 2: one neighbor sample per cycle per live trial (f3).
 	// Query assembly is sequential so the batch order is deterministic; the
 	// neighbor-index draw comes from the trial's own RNG. ----
-	var round2 []oracle.Query
-	type nref struct{ t, c int }
-	var nrefs []nref
-	for ti, tr := range ts {
+	round2 := arena.q[:0]
+	nrefs := arena.nrefs[:0]
+	for ti := range ts {
+		tr := &ts[ti]
 		if tr.dead {
 			continue
 		}
@@ -312,6 +314,7 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 			nrefs = append(nrefs, nref{ti, ci})
 		}
 	}
+	arena.q, arena.nrefs = round2, nrefs
 	if len(round2) > 0 {
 		a2, err := r.Round(round2)
 		if err != nil {
@@ -319,7 +322,7 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 		}
 		res.Rounds = 2
 		for i, a := range a2 {
-			tr := ts[nrefs[i].t]
+			tr := &ts[nrefs[i].t]
 			for len(tr.neighbor) <= nrefs[i].c {
 				tr.neighbor = append(tr.neighbor, oracle.Answer{})
 			}
@@ -330,14 +333,14 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 	// ---- Round 3: degrees and all pairwise adjacencies per live trial
 	// (f2, f4). Vertex collection is parallel; query assembly sequential. ----
 	par.For(parallelism, trials, func(ti int) {
-		if tr := ts[ti]; !tr.dead {
-			tr.verts = collectVertices(tr, pl)
+		if tr := &ts[ti]; !tr.dead {
+			collectVertices(tr, pl)
 		}
 	})
-	var round3 []oracle.Query
-	type qspan struct{ start, end int }
-	spans := make([]qspan, trials)
-	for ti, tr := range ts {
+	round3 := arena.q[:0]
+	spans := arena.spans
+	for ti := range ts {
+		tr := &ts[ti]
 		if tr.dead {
 			continue
 		}
@@ -352,6 +355,7 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 		}
 		spans[ti] = qspan{start, len(round3)}
 	}
+	arena.q = round3
 	var a3 []oracle.Answer
 	if len(round3) > 0 {
 		a3, err = r.Round(round3)
@@ -362,9 +366,9 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 	}
 
 	// ---- Postprocessing (offline, parallel over trials). ----
-	out := make([]trialOutcome, trials)
+	out := arena.outs
 	par.For(parallelism, trials, func(ti int) {
-		tr := ts[ti]
+		tr := &ts[ti]
 		if tr.dead {
 			return
 		}
@@ -375,8 +379,23 @@ func runTrials(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, res *Resul
 	return out, nil
 }
 
+// orient gives a sampled edge a fair-coin orientation from the trial's RNG.
+func orient(rng *rand.Rand, a oracle.Answer) directedEdge {
+	if !a.OK {
+		return directedEdge{}
+	}
+	e := a.Edge
+	if rng.Intn(2) == 0 {
+		return directedEdge{tail: e.U, head: e.V, ok: true}
+	}
+	return directedEdge{tail: e.V, head: e.U, ok: true}
+}
+
 // precheck marks a trial dead if its star edges have mismatched centers or
 // its parts share vertices — failures detectable before rounds 2 and 3.
+// The duplicate scan borrows the trial's verts region as scratch (vertex
+// sets are pattern-sized, so a linear scan beats a map); collectVertices
+// rebuilds the region from empty afterwards.
 func precheck(tr *trial, pl *Plan) {
 	for _, se := range tr.starEdges {
 		for _, e := range se[1:] {
@@ -386,38 +405,53 @@ func precheck(tr *trial, pl *Plan) {
 			}
 		}
 	}
-	seen := make(map[int64]bool)
-	add := func(v int64) {
-		if seen[v] {
-			tr.dead = true
+	seen := tr.verts[:0]
+	add := func(v int64) bool {
+		for _, s := range seen {
+			if s == v {
+				return false
+			}
 		}
-		seen[v] = true
+		seen = append(seen, v)
+		return true
 	}
 	for _, path := range tr.cyclePath {
 		for _, e := range path {
-			add(e.tail)
-			add(e.head)
+			if !add(e.tail) || !add(e.head) {
+				tr.dead = true
+				return
+			}
 		}
 	}
 	for _, se := range tr.starEdges {
-		add(se[0].tail)
+		if !add(se[0].tail) {
+			tr.dead = true
+			return
+		}
 		for _, e := range se {
-			add(e.head)
+			if !add(e.head) {
+				tr.dead = true
+				return
+			}
 		}
 	}
 }
 
 // collectVertices gathers every vertex the trial must know degrees and
-// adjacencies for: path endpoints, spare-edge endpoints, star vertices and
-// the round-2 neighbor.
-func collectVertices(tr *trial, pl *Plan) []int64 {
-	seen := make(map[int64]bool)
-	var verts []int64
+// adjacencies for — path endpoints, spare-edge endpoints, star vertices and
+// the round-2 neighbor — into the trial's arena-backed verts region, in
+// first-occurrence order (the order defines the round-3 query sequence, so
+// it must match a map-free cold run exactly — which it does, both being
+// insertion-ordered dedup).
+func collectVertices(tr *trial, pl *Plan) {
+	verts := tr.verts[:0]
 	add := func(v int64) {
-		if !seen[v] {
-			seen[v] = true
-			verts = append(verts, v)
+		for _, s := range verts {
+			if s == v {
+				return
+			}
 		}
+		verts = append(verts, v)
 	}
 	for ci, path := range tr.cyclePath {
 		for _, e := range path {
@@ -436,18 +470,47 @@ func collectVertices(tr *trial, pl *Plan) []int64 {
 			add(e.head)
 		}
 	}
-	return verts
+	tr.verts = verts
 }
 
 // trialView adapts the round-3 answers to the pattern package's Order and
-// Adjacency interfaces (Definition 12's ≺_G and the queried E').
+// Adjacency interfaces (Definition 12's ≺_G and the queried E'). It is a
+// dense matrix over the trial's vertex list — vertex sets are pattern-sized
+// (≤ ~a dozen), so the identity scan is cheaper than any map and the view
+// lives entirely in the trial's arena regions.
 type trialView struct {
-	deg map[int64]int64
-	adj map[[2]int64]bool
+	verts []int64
+	deg   []int64 // parallel to verts
+	adj   []bool  // len(verts)² symmetric matrix, diagonal false
+}
+
+// idx returns a's position in verts, or -1.
+func (v *trialView) idx(a int64) int {
+	for i, x := range v.verts {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// degOf returns a's queried degree, or 0 if a was never collected —
+// matching the old map form's zero value for absent keys.
+func (v *trialView) degOf(a int64) int64 {
+	if i := v.idx(a); i >= 0 {
+		return v.deg[i]
+	}
+	return 0
 }
 
 func (v *trialView) Less(a, b int64) bool {
-	da, db := v.deg[a], v.deg[b]
+	var da, db int64
+	if i := v.idx(a); i >= 0 {
+		da = v.deg[i]
+	}
+	if i := v.idx(b); i >= 0 {
+		db = v.deg[i]
+	}
 	if da != db {
 		return da < db
 	}
@@ -455,52 +518,59 @@ func (v *trialView) Less(a, b int64) bool {
 }
 
 func (v *trialView) HasEdge(a, b int64) bool {
-	if a > b {
-		a, b = b, a
+	ia, ib := v.idx(a), v.idx(b)
+	if ia < 0 || ib < 0 {
+		return false
 	}
-	return v.adj[[2]int64{a, b}]
+	return v.adj[ia*len(v.verts)+ib]
 }
 
 // postprocess performs the offline checks of Algorithm 1/5 lines 18–33:
 // branch selection and acceptance coins, canonicality of every cycle and
 // star, disjointness, and the copy extraction with multiplicity correction.
 func postprocess(tr *trial, pl *Plan, answers []oracle.Answer, m, s int64, rng *rand.Rand) trialOutcome {
-	view := &trialView{deg: make(map[int64]int64), adj: make(map[[2]int64]bool)}
+	nv := len(tr.verts)
+	view := &tr.view
+	view.verts = tr.verts
+	view.deg = view.deg[:0]
+	adj := view.adj[:nv*nv]
+	for i := range adj {
+		adj[i] = false
+	}
+	view.adj = adj
 	pos := 0
-	for _, v := range tr.verts {
-		view.deg[v] = answers[pos].Count
+	for range tr.verts {
+		view.deg = append(view.deg, answers[pos].Count)
 		pos++
 	}
-	for i := 0; i < len(tr.verts); i++ {
-		for j := i + 1; j < len(tr.verts); j++ {
-			a, b := tr.verts[i], tr.verts[j]
-			if a > b {
-				a, b = b, a
-			}
-			view.adj[[2]int64{a, b}] = answers[pos].Yes
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			adj[i*nv+j] = answers[pos].Yes
+			adj[j*nv+i] = answers[pos].Yes
 			pos++
 		}
 	}
 
-	var used []int64
-	usedSet := make(map[int64]bool)
+	used := tr.used[:0]
 	addUsed := func(v int64) bool {
-		if usedSet[v] {
-			return false
+		for _, u := range used {
+			if u == v {
+				return false
+			}
 		}
-		usedSet[v] = true
 		used = append(used, v)
 		return true
 	}
-	var tupleEdges [][2]int64
+	tupleEdges := tr.tupleEdges[:0]
 
 	// Cycles: select w per the degree branch, flip the acceptance coin,
 	// check canonicality.
-	for ci, k := range pl.ks {
+	for ci := range pl.ks {
 		path := tr.cyclePath[ci]
 		u1 := path[0].tail
+		du1 := view.degOf(u1)
 		var w int64
-		if view.deg[u1] <= s {
+		if du1 <= s {
 			// Low-degree branch: w is the sampled neighbor of u1.
 			if ci >= len(tr.neighbor) || !tr.neighbor[ci].OK {
 				return trialOutcome{}
@@ -511,7 +581,7 @@ func postprocess(tr *trial, pl *Plan, answers []oracle.Answer, m, s int64, rng *
 			// exactly. (The augmented Neighbor query already realized the
 			// 1/S by failing when the random index exceeded the degree.)
 			if tr.relaxed {
-				if rng.Int63n(s) >= view.deg[u1] {
+				if rng.Int63n(s) >= du1 {
 					return trialOutcome{}
 				}
 			}
@@ -527,13 +597,13 @@ func postprocess(tr *trial, pl *Plan, answers []oracle.Answer, m, s int64, rng *
 			} else {
 				w = spare.head
 			}
-			den := s * view.deg[w]
+			den := s * view.degOf(w)
 			if den > 2*m && rng.Int63n(den) >= 2*m {
 				return trialOutcome{}
 			}
 		}
 		// Cycle sequence u1, v1, u2, v2, ..., uk, vk, w.
-		seq := make([]int64, 0, 2*k+1)
+		seq := tr.seq[:0]
 		for _, e := range path {
 			seq = append(seq, e.tail, e.head)
 		}
@@ -555,9 +625,9 @@ func postprocess(tr *trial, pl *Plan, answers []oracle.Answer, m, s int64, rng *
 	// order under ≺_G.
 	for _, se := range tr.starEdges {
 		center := se[0].tail
-		petals := make([]int64, len(se))
-		for i, e := range se {
-			petals[i] = e.head
+		petals := tr.seq[:0] // cycle processing is done; reuse its scratch
+		for _, e := range se {
+			petals = append(petals, e.head)
 		}
 		if !pattern.IsCanonicalStar(center, petals, view, view) {
 			return trialOutcome{}
@@ -580,19 +650,26 @@ func postprocess(tr *trial, pl *Plan, answers []oracle.Answer, m, s int64, rng *
 	}
 
 	// Map V'' to local indices and extract the witnessed copies D(t).
-	local := make(map[int64]int, len(used))
-	for i, v := range used {
-		local[v] = i
+	// used is pattern-sized, so the index lookup is a linear scan.
+	local := func(v int64) int {
+		for i, u := range used {
+			if u == v {
+				return i
+			}
+		}
+		return -1
 	}
 	adjLocal := func(a, b int) bool { return view.HasEdge(used[a], used[b]) }
-	tupleLocal := make([][2]int, len(tupleEdges))
-	for i, e := range tupleEdges {
-		tupleLocal[i] = [2]int{local[e[0]], local[e[1]]}
+	tupleLocal := tr.tupleLocal[:0]
+	for _, e := range tupleEdges {
+		tupleLocal = append(tupleLocal, [2]int{local(e[0]), local(e[1])})
 	}
 	copies := pattern.DecomposedCopies(pl.p, adjLocal, tupleLocal)
 	if len(copies) == 0 {
 		return trialOutcome{}
 	}
+	// A witnessed copy is rare; its outcome escapes the arena, so it gets
+	// fresh storage here.
 	found := make([][][2]int64, len(copies))
 	for i, cp := range copies {
 		ge := make([][2]int64, len(cp))
@@ -601,7 +678,7 @@ func postprocess(tr *trial, pl *Plan, answers []oracle.Answer, m, s int64, rng *
 		}
 		found[i] = ge
 	}
-	return trialOutcome{copies: int64(len(copies)), found: found, verts: used}
+	return trialOutcome{copies: int64(len(copies)), found: found, verts: append([]int64(nil), used...)}
 }
 
 // SampleResult is a uniformly sampled copy of H.
@@ -630,7 +707,9 @@ func SampleParallel(r oracle.Runner, pl *Plan, trials int, rng *rand.Rand, paral
 		pl.cMax = pattern.MaxCopiesPerTuple(pl.p, pl.dec)
 	}
 	res := &Result{Trials: trials}
-	ts, err := runTrials(r, pl, trials, rng, res, parallelism)
+	arena := trialArenaPool.Get()
+	defer trialArenaPool.Put(arena)
+	ts, err := runTrials(r, pl, trials, rng, res, parallelism, arena)
 	if err != nil {
 		return SampleResult{}, false, err
 	}

@@ -1,0 +1,63 @@
+package pool
+
+import "testing"
+
+type scratch struct {
+	buf []int64
+	n   int
+}
+
+func newScratchPool() *Pool[scratch] {
+	return New(
+		func() *scratch { return &scratch{buf: make([]int64, 0, 8)} },
+		func(s *scratch) { s.buf = s.buf[:0]; s.n = 0 },
+		func(s *scratch) { DirtyInt64(s.buf); s.n = -1 },
+	)
+}
+
+func TestPoolResetRuns(t *testing.T) {
+	p := newScratchPool()
+	s := p.Get()
+	s.buf = append(s.buf, 1, 2, 3)
+	s.n = 3
+	p.Put(s)
+	got := p.Get()
+	if len(got.buf) != 0 || got.n != 0 {
+		t.Fatalf("recycled value not reset: %+v", got)
+	}
+}
+
+func TestPoolDebugModes(t *testing.T) {
+	p := newScratchPool()
+
+	prev := SetDebug(DebugDisable)
+	defer SetDebug(prev)
+	s := p.Get()
+	s.n = 9
+	p.Put(s) // dropped: disabled pools never recycle
+	if got := p.Get(); got == s {
+		t.Fatal("DebugDisable returned a recycled value")
+	}
+
+	SetDebug(DebugDirty)
+	d := p.Get()
+	d.buf = append(d.buf, 42)
+	p.Put(d)
+	got := p.Get()
+	if len(got.buf) != 0 || got.n != 0 {
+		t.Fatalf("dirty+reset value not clean: %+v", got)
+	}
+	// The sentinel must have landed in the spare capacity reset left behind.
+	tail := got.buf[:cap(got.buf)]
+	if got == d && tail[0] != -0x5a5a5a5a5a5a5a5a {
+		t.Fatalf("dirty hook did not smear capacity: %#x", tail[0])
+	}
+}
+
+func TestPoolNilPut(t *testing.T) {
+	p := newScratchPool()
+	p.Put(nil)
+	if p.Get() == nil {
+		t.Fatal("Get returned nil after Put(nil)")
+	}
+}

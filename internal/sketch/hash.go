@@ -43,6 +43,14 @@ func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
 // Seed implements rand.Source.
 func (s *SplitMix64) Seed(seed int64) { s.state = uint64(seed) }
 
+// Reseed restarts the source from seed, exactly as if freshly constructed
+// with NewSplitMix64(seed). It is the substrate of the pool discipline
+// (DESIGN.md §12): a recycled sampler reseeds its source in place, and a
+// *rand.Rand wrapping it replays the identical draw sequence a fresh
+// source would (math/rand keeps no generator state of its own outside
+// Read, which the engine never uses).
+func (s *SplitMix64) Reseed(seed uint64) { s.state = seed }
+
 // Clone returns an independent source that continues from the same state:
 // both copies produce the identical remaining sequence.
 func (s *SplitMix64) Clone() *SplitMix64 { c := *s; return &c }

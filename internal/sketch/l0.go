@@ -109,8 +109,44 @@ func (s *L0Sampler) Clone() *L0Sampler {
 	return &c
 }
 
+// Reseed re-arms the sampler in place under a new seed and fingerprint
+// base, reusing its cell array: the result is bit-identical in every
+// observable way to NewL0SamplerWithBase(seed, z, cfg) with the sampler's
+// own configuration. It is the pool-reuse path of the pass engine
+// (DESIGN.md §12): a round's samplers are recycled, not reallocated.
+func (s *L0Sampler) Reseed(seed, z uint64) {
+	s.seed = seed
+	s.z = z
+	clear(s.cells)
+}
+
+// CopyStateFrom overwrites s with src's complete sketch state (seed, base
+// and cells). Both samplers must share a geometry (levels, buckets, reps);
+// it reports whether they did. It is the checkpoint-restore path's way of
+// loading a snapshot clone into pooled storage.
+func (s *L0Sampler) CopyStateFrom(src *L0Sampler) bool {
+	if s.levels != src.levels || s.buckets != src.buckets || s.reps != src.reps {
+		return false
+	}
+	s.seed = src.seed
+	s.z = src.z
+	copy(s.cells, src.cells)
+	return true
+}
+
 // CellBytes approximates the sampler's resident cell-array size in bytes.
 func (s *L0Sampler) CellBytes() int64 { return int64(len(s.cells)) * 24 }
+
+// Dirty smears the sampler's state with loud sentinels. It is a pool-debug
+// hook (pool.DebugDirty) for sampler freelists: a reuse path that skipped
+// Reseed then produces obviously corrupt samples instead of stale ones.
+func (s *L0Sampler) Dirty() {
+	s.seed = 0xdeaddeaddeaddead
+	s.z = 0xdeaddeaddeaddead
+	for i := range s.cells {
+		s.cells[i] = l0cell{count: -0x5a5a5a, keySum: -0x5a5a5a, fp: 0xdeaddead}
+	}
+}
 
 // RandomFieldBase draws a fingerprint evaluation point from the hash of the
 // given seed, suitable for NewL0SamplerWithBase.

@@ -48,6 +48,30 @@ func (r *Reservoir) Clone() (*Reservoir, bool) {
 	return &Reservoir{rng: rand.New(src), src: src, item: r.item, count: r.count, next: r.next}, true
 }
 
+// newReservoirState builds a cloneable reservoir from raw state — the bank
+// snapshot path's constructor.
+func newReservoirState(rngState, item uint64, count, next int64) *Reservoir {
+	src := NewSplitMix64(rngState)
+	return &Reservoir{rng: rand.New(src), src: src, item: item, count: count, next: next}
+}
+
+// Reset re-arms the reservoir over a private splitmix64 source seeded with
+// seed, reusing its allocations: the result is bit-identical in every
+// observable way to a fresh NewReservoirSeeded(seed). Reservoirs built with
+// an external *rand.Rand (NewReservoir) allocate their source on first
+// Reset and are cloneable thereafter.
+func (r *Reservoir) Reset(seed uint64) {
+	if r.src == nil {
+		r.src = NewSplitMix64(seed)
+		r.rng = rand.New(r.src)
+	} else {
+		r.src.Reseed(seed)
+	}
+	r.item = 0
+	r.count = 0
+	r.next = 1
+}
+
 // Offer presents the next stream item to the reservoir.
 func (r *Reservoir) Offer(item uint64) {
 	r.count++

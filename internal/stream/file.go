@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"streamcount/internal/graph"
 )
@@ -80,14 +78,22 @@ func (f *File) scan(fn func([]Update) error) error {
 	line := 0
 	gotHeader := false
 	for sc.Scan() {
+		// Lines are parsed straight from the scanner's byte buffer: a replay
+		// touches every line of the file once per pass, and materializing each
+		// as a string dominated the pass engine's allocation profile. Only the
+		// error paths convert to strings.
 		line++
-		txt := strings.TrimSpace(sc.Text())
-		if txt == "" || txt[0] == '#' {
+		txt := trimBytes(sc.Bytes())
+		if len(txt) == 0 || txt[0] == '#' {
 			continue
 		}
 		if !gotHeader {
-			n, err := strconv.ParseInt(strings.Fields(txt)[0], 10, 64)
-			if err != nil || n <= 0 {
+			field := txt
+			if sp := indexSpace(field); sp >= 0 {
+				field = field[:sp]
+			}
+			n, ok := parseInt(field)
+			if !ok || n <= 0 {
 				return fmt.Errorf("stream: %s line %d: bad header %q", f.path, line, txt)
 			}
 			f.n = n
@@ -102,17 +108,14 @@ func (f *File) scan(fn func([]Update) error) error {
 		default:
 			return fmt.Errorf("stream: %s line %d: bad op %q", f.path, line, txt[:1])
 		}
-		rest := strings.TrimSpace(txt[1:])
-		sp := strings.IndexByte(rest, ' ')
-		if sp < 0 {
-			sp = strings.IndexByte(rest, '\t')
-		}
+		rest := trimBytes(txt[1:])
+		sp := indexSpace(rest)
 		if sp < 0 {
 			return fmt.Errorf("stream: %s line %d: bad update %q", f.path, line, txt)
 		}
-		u, err1 := strconv.ParseInt(rest[:sp], 10, 64)
-		v, err2 := strconv.ParseInt(strings.TrimSpace(rest[sp+1:]), 10, 64)
-		if err1 != nil || err2 != nil {
+		u, ok1 := parseInt(rest[:sp])
+		v, ok2 := parseInt(trimBytes(rest[sp+1:]))
+		if !ok1 || !ok2 {
 			return fmt.Errorf("stream: %s line %d: bad update %q", f.path, line, txt)
 		}
 		if u == v || u < 0 || v < 0 || u >= f.n || v >= f.n {
@@ -138,6 +141,60 @@ func (f *File) scan(fn func([]Update) error) error {
 		}
 	}
 	return nil
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f'
+}
+
+// trimBytes trims ASCII whitespace in place (no allocation).
+func trimBytes(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// indexSpace returns the index of the first ASCII whitespace byte, or -1.
+func indexSpace(b []byte) int {
+	for i, c := range b {
+		if isSpace(c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseInt parses a decimal int64 from bytes without allocating, with the
+// same accept set strconv.ParseInt(s, 10, 64) has on this format's inputs
+// (optional sign, digits, overflow rejected).
+func parseInt(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := int64(c - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
 }
 
 // WriteFile writes a stream in the File format.

@@ -2,9 +2,10 @@ package transform
 
 import (
 	"fmt"
-	"sync"
 
 	"streamcount/internal/oracle"
+	"streamcount/internal/par"
+	"streamcount/internal/pool"
 	"streamcount/internal/sketch"
 )
 
@@ -29,44 +30,41 @@ import (
 // feedScratchPool recycles the scratch feed buffers SnapshotRound uses to
 // flush buffered sampler feeds into snapshot clones without touching the
 // live round's entries.
-var feedScratchPool = sync.Pool{
-	New: func() any {
-		s := make([]feedEntry, 0, 4096)
-		return &s
-	},
-}
+var feedScratchPool = pool.New(
+	func() *[]feedEntry { s := make([]feedEntry, 0, 4096); return &s },
+	func(s *[]feedEntry) { *s = (*s)[:0] },
+	func(s *[]feedEntry) { smearFeed(*s) },
+)
 
 // ---- InsertionRunner ----
 
-// insCheckpoint is InsertionRunner's RoundCheckpoint: the sharded
-// reservoir/counter/watch state at stream position m.
+// insCheckpoint is InsertionRunner's RoundCheckpoint: the round's reservoir
+// slots (as independent heap reservoirs, in slot order), watch arena and
+// sharded counter state at stream position m.
 type insCheckpoint struct {
-	queries []oracle.Query
-	p       int
-	m       int64
-	shards  []*insShard
-	bytes   int64
+	queries  []oracle.Query
+	p        int
+	m        int64
+	res      []*sketch.Reservoir
+	resQuery []int
+	watches  []neighborWatch
+	shards   []*insShard
+	bytes    int64
 }
 
 func (c *insCheckpoint) CheckpointVersion() int64 { return c.m }
 func (c *insCheckpoint) CheckpointBytes() int64   { return c.bytes }
 
-// copyInsShard deep-copies src's round state into dst (whose maps must
-// exist; they are cleared first), returning an estimate of the copied
-// bytes. Reservoirs are cloned with their RNG position, neighbor watches by
-// value, so the copy's future evolution is bit-identical to the source's.
-func copyInsShard(dst, src *insShard) (int64, error) {
+// copyInsShard deep-copies src's counter and watch-index state into dst
+// (whose maps must exist; they are cleared first), returning an estimate of
+// the copied bytes. Reservoir slots and watch values live at the runner
+// level and are copied there; the shard copy carries no bank or arena
+// references — a resume target rebinds them to its own runner.
+func copyInsShard(dst, src *insShard) int64 {
 	bytes := int64(0)
-	dst.res = dst.res[:0]
-	for _, rs := range src.res {
-		c, ok := rs.Clone()
-		if !ok {
-			return 0, fmt.Errorf("transform: SnapshotRound: reservoir has an external RNG and cannot be cloned")
-		}
-		dst.res = append(dst.res, c)
-		bytes += 64
-	}
-	dst.resIdx = append(dst.resIdx[:0], src.resIdx...)
+	dst.bank = nil
+	dst.resLo, dst.resHi = 0, 0
+	dst.watches = nil
 	clear(dst.deg)
 	for k, v := range src.deg {
 		dst.deg[k] = v
@@ -79,15 +77,10 @@ func copyInsShard(dst, src *insShard) (int64, error) {
 	}
 	clear(dst.nbr)
 	for u, ws := range src.nbr {
-		nws := make([]*neighborWatch, len(ws))
-		for i, w := range ws {
-			cw := *w
-			nws[i] = &cw
-		}
-		dst.nbr[u] = nws
-		bytes += 48 + int64(len(ws))*56
+		dst.nbr[u] = append([]int32(nil), ws...)
+		bytes += 48 + int64(len(ws))*4
 	}
-	return bytes, nil
+	return bytes
 }
 
 // SnapshotRound implements oracle.PassRunner.
@@ -96,32 +89,36 @@ func (r *InsertionRunner) SnapshotRound() (oracle.RoundCheckpoint, error) {
 		return nil, fmt.Errorf("transform: SnapshotRound outside a round")
 	}
 	cp := &insCheckpoint{
-		queries: append([]oracle.Query(nil), r.curQueries...),
-		p:       r.curP,
-		m:       r.curM,
-		shards:  make([]*insShard, len(r.shards)),
+		queries:  append([]oracle.Query(nil), r.curQueries...),
+		p:        r.curP,
+		m:        r.curM,
+		res:      make([]*sketch.Reservoir, r.bank.Len()),
+		resQuery: append([]int(nil), r.resQuery...),
+		watches:  append([]neighborWatch(nil), r.watches...),
+		shards:   make([]*insShard, len(r.shards)),
 	}
-	cp.bytes = int64(len(cp.queries)) * 32
+	cp.bytes = int64(len(cp.queries))*32 + int64(len(cp.watches))*32
+	for i := range cp.res {
+		cp.res[i] = r.bank.Snapshot(i)
+		cp.bytes += 64
+	}
 	for i, sh := range r.shards {
 		ns := &insShard{
 			deg: make(map[int64]int64, len(sh.deg)),
-			nbr: make(map[int64][]*neighborWatch, len(sh.nbr)),
+			nbr: make(map[int64][]int32, len(sh.nbr)),
 			adj: make(map[uint64]bool, len(sh.adj)),
 		}
-		b, err := copyInsShard(ns, sh)
-		if err != nil {
-			return nil, err
-		}
+		cp.bytes += copyInsShard(ns, sh)
 		cp.shards[i] = ns
-		cp.bytes += b
 	}
 	return cp, nil
 }
 
 // ResumeRound implements oracle.PassRunner: it restores cp as this runner's
 // in-flight round, positioned to consume the stream suffix from fromVersion
-// on. The runner's scratch shards are reused as the restore target, so a
-// hot resume loop allocates only the per-watch copies.
+// on. The runner's scratch — bank slots, watch arena, shard maps — is
+// reused as the restore target, so a hot resume loop allocates only the
+// per-vertex watch-index copies.
 func (r *InsertionRunner) ResumeRound(cp oracle.RoundCheckpoint, fromVersion int64) error {
 	c, ok := cp.(*insCheckpoint)
 	if !ok {
@@ -130,6 +127,7 @@ func (r *InsertionRunner) ResumeRound(cp oracle.RoundCheckpoint, fromVersion int
 	if fromVersion != c.m {
 		return fmt.Errorf("transform: ResumeRound: fromVersion %d != checkpoint position %d", fromVersion, c.m)
 	}
+	r.AbortRound()
 	r.rounds++
 	r.queries += int64(len(c.queries))
 	// Mirror BeginRound's space accounting and RNG draws (one reservoir
@@ -151,11 +149,19 @@ func (r *InsertionRunner) ResumeRound(cp oracle.RoundCheckpoint, fromVersion int
 	r.curM = c.m
 	r.curP = c.p
 	r.ensureShards(c.p)
-	for i, src := range c.shards {
-		if _, err := copyInsShard(r.shards[i], src); err != nil {
-			return err
+	r.bank.Reset(len(c.res))
+	for i, rs := range c.res {
+		if !r.bank.Restore(i, rs) {
+			return fmt.Errorf("transform: ResumeRound: checkpoint reservoir %d has an external RNG and cannot be restored", i)
 		}
 	}
+	r.resQuery = append(r.resQuery[:0], c.resQuery...)
+	r.watches = append(r.watches[:0], c.watches...)
+	for i, src := range c.shards {
+		copyInsShard(r.shards[i], src)
+	}
+	r.bindShards(len(c.res), c.p)
+	r.startGroup(c.p)
 	return nil
 }
 
@@ -194,6 +200,20 @@ func flushInto(s *sketch.L0Sampler, feed []feedEntry) *sketch.L0Sampler {
 	return c
 }
 
+// restoreSampler loads a checkpoint sampler's state into a freelist entry
+// when geometries agree, falling back to a fresh clone: a hot resume loop
+// then reuses its sampler cells instead of reallocating them.
+func (r *TurnstileRunner) restoreSampler(src *sketch.L0Sampler) *sketch.L0Sampler {
+	if n := len(r.freeSamplers); n > 0 {
+		cand := r.freeSamplers[n-1]
+		if cand.CopyStateFrom(src) {
+			r.freeSamplers = r.freeSamplers[:n-1]
+			return cand
+		}
+	}
+	return src.Clone()
+}
+
 // SnapshotRound implements oracle.PassRunner.
 func (r *TurnstileRunner) SnapshotRound() (oracle.RoundCheckpoint, error) {
 	if !r.inRound {
@@ -213,7 +233,7 @@ func (r *TurnstileRunner) SnapshotRound() (oracle.RoundCheckpoint, error) {
 		adj:      make(map[uint64]int64),
 	}
 	cp.bytes = int64(len(cp.queries)) * 32
-	scratch := feedScratchPool.Get().(*[]feedEntry)
+	scratch := feedScratchPool.Get()
 	feed := *scratch
 	// Edge-matrix samplers: flush the buffered pass feed into the clones
 	// through a pooled scratch copy (terms are filled on the copy so the
@@ -238,7 +258,7 @@ func (r *TurnstileRunner) SnapshotRound() (oracle.RoundCheckpoint, error) {
 		}
 		cp.nbrIdx[v] = append([]int(nil), r.nbrSampIdx[v]...)
 	}
-	*scratch = feed[:0]
+	*scratch = feed
 	feedScratchPool.Put(scratch)
 	// Counters: shards own disjoint keys, so a flat merge loses nothing.
 	for _, sh := range r.shards {
@@ -266,6 +286,7 @@ func (r *TurnstileRunner) ResumeRound(cp oracle.RoundCheckpoint, fromVersion int
 	if fromVersion != c.consumed {
 		return fmt.Errorf("transform: ResumeRound: fromVersion %d != checkpoint position %d", fromVersion, c.consumed)
 	}
+	r.AbortRound()
 	r.rounds++
 	r.queries += int64(len(c.queries))
 	// Mirror BeginRound's RNG draws (fingerprint base, then one seed per
@@ -290,17 +311,22 @@ func (r *TurnstileRunner) ResumeRound(cp oracle.RoundCheckpoint, fromVersion int
 	r.edgeFeed = r.edgeFeed[:0]
 	r.edgeSamplers = r.edgeSamplers[:0]
 	for _, s := range c.edge {
-		cl := s.Clone()
+		cl := r.restoreSampler(s)
 		r.edgeSamplers = append(r.edgeSamplers, cl)
 		r.space += cl.SpaceWords()
 	}
 	r.edgeSampIdx = append(r.edgeSampIdx[:0], c.edgeIdx...)
-	r.nbrSamplers = make(map[int64][]*sketch.L0Sampler, len(c.nbr))
-	r.nbrSampIdx = make(map[int64][]int, len(c.nbrIdx))
-	r.nbrVerts = append([]int64(nil), c.nbrVerts...)
+	if r.nbrSamplers == nil {
+		r.nbrSamplers = make(map[int64][]*sketch.L0Sampler, len(c.nbr))
+		r.nbrSampIdx = make(map[int64][]int, len(c.nbrIdx))
+	} else {
+		clear(r.nbrSamplers)
+		clear(r.nbrSampIdx)
+	}
+	r.nbrVerts = append(r.nbrVerts[:0], c.nbrVerts...)
 	for _, v := range r.nbrVerts {
 		for _, s := range c.nbr[v] {
-			cl := s.Clone()
+			cl := r.restoreSampler(s)
 			r.nbrSamplers[v] = append(r.nbrSamplers[v], cl)
 			r.space += cl.SpaceWords()
 		}
@@ -315,6 +341,13 @@ func (r *TurnstileRunner) ResumeRound(cp oracle.RoundCheckpoint, fromVersion int
 	}
 	for k, v := range c.adj {
 		r.shards[shardOfKey(k, c.p)].adj[k] = v
+	}
+	if r.grp != nil {
+		r.grp.Close()
+		r.grp = nil
+	}
+	if c.p > 1 {
+		r.grp = par.NewGroup(c.p)
 	}
 	return nil
 }

@@ -108,6 +108,7 @@ type IndexedRunner struct {
 	rounds  int64
 	queries int64
 	space   int64
+	scratch *sketch.Reservoir // reused across RandomEdge answers, re-armed by Reset
 }
 
 // IndexedRunner answers rounds directly; it has no pass lifecycle.
@@ -153,7 +154,16 @@ func (r *IndexedRunner) Round(queries []oracle.Query) ([]oracle.Answer, error) {
 			answers[i] = oracle.Answer{OK: true, Count: v}
 			r.space++
 		case oracle.RandomEdge:
-			rs := sketch.NewReservoirSeeded(r.rng.Uint64())
+			// One scratch reservoir serves every RandomEdge answer: Reset
+			// re-arms it bit-identically to NewReservoirSeeded with the
+			// same draw, so a hot watch loop stops allocating reservoirs.
+			seed := r.rng.Uint64()
+			if r.scratch == nil {
+				r.scratch = sketch.NewReservoirSeeded(seed)
+			} else {
+				r.scratch.Reset(seed)
+			}
+			rs := r.scratch
 			rs.OfferKeys(r.ix.keys[:v])
 			if key, ok := rs.Sample(); ok {
 				answers[i] = oracle.Answer{OK: true, Edge: keyEdge(key, r.ix.n)}

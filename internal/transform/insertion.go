@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"streamcount/internal/graph"
 	"streamcount/internal/oracle"
 	"streamcount/internal/par"
+	"streamcount/internal/pool"
 	"streamcount/internal/sketch"
 	"streamcount/internal/stream"
 )
@@ -27,10 +27,16 @@ import (
 // The pass itself is parallel: per-query state is sharded across P workers
 // (P = SetParallelism, default GOMAXPROCS) — vertex-keyed state by
 // hash(vertex) mod P, adjacency watches by hash(packed edge key) mod P,
-// reservoirs round-robin — and each update batch from the stream fans out to
-// the workers, which touch only their own shard's maps. Every reservoir owns
-// a private splitmix64 RNG seeded sequentially at setup, so answers are
-// bit-identical at any P.
+// reservoirs in contiguous slot blocks — and each update batch from the
+// stream fans out to a persistent worker group, whose workers touch only
+// their own shard's state. Every reservoir is a slot of one flat
+// ReservoirBank with a private splitmix64 RNG seeded sequentially at setup,
+// so answers are bit-identical at any P.
+//
+// All round scratch — the bank, the watch arena, the shard maps, the batch
+// buffers — is owned by the runner and reused across rounds; runners
+// themselves recycle across engine generations through
+// AcquireInsertionRunner / Release.
 type InsertionRunner struct {
 	st      stream.Stream
 	rng     *rand.Rand
@@ -45,8 +51,13 @@ type InsertionRunner struct {
 	curP       int
 	curM       int64
 
-	// Scratch reused across rounds.
+	// Scratch reused across rounds (and, via the runner pool, across
+	// engine generations).
+	bank       sketch.ReservoirBank
+	resQuery   []int           // bank slot -> query index, in query order
+	watches    []neighborWatch // flat watch arena; shards hold indices into it
 	shards     []*insShard
+	grp        *par.Group // round-scoped worker group when curP > 1
 	batchEdges []graph.Edge
 	batchKeys  []uint64
 }
@@ -55,6 +66,8 @@ type InsertionRunner struct {
 var _ oracle.PassRunner = (*InsertionRunner)(nil)
 
 // neighborWatch is the countdown state of one f3 (i-th neighbor) query.
+// Watches live by value in the runner's flat arena; shards reference them
+// by index, so registering a round's watches allocates no per-watch nodes.
 type neighborWatch struct {
 	idx       int
 	remaining int64
@@ -64,18 +77,23 @@ type neighborWatch struct {
 
 // insShard is the per-worker slice of a round's query state. Maps are
 // pre-populated at setup with exactly the keys the shard owns, so shard
-// membership during the pass is just map membership.
+// membership during the pass is just map membership. Reservoir slots are
+// assigned as one contiguous bank block per shard — which shard sweeps a
+// slot never affects its answer, and the block keeps each worker's sweep on
+// adjacent bank entries.
 type insShard struct {
-	res    []*sketch.Reservoir
-	resIdx []int
-	deg    map[int64]int64
-	nbr    map[int64][]*neighborWatch
-	adj    map[uint64]bool
+	bank         *sketch.ReservoirBank
+	resLo, resHi int             // this shard's slot block, [resLo, resHi)
+	watches      []neighborWatch // aliases the runner's watch arena
+	deg          map[int64]int64
+	nbr          map[int64][]int32 // vertex -> watch indices
+	adj          map[uint64]bool
 }
 
 func (s *insShard) reset() {
-	s.res = s.res[:0]
-	s.resIdx = s.resIdx[:0]
+	s.bank = nil
+	s.resLo, s.resHi = 0, 0
+	s.watches = nil
 	clear(s.deg)
 	clear(s.nbr)
 	clear(s.adj)
@@ -84,8 +102,8 @@ func (s *insShard) reset() {
 // process consumes one update batch: edges[i] is the canonical edge of the
 // i-th update and keys[i] its packed key.
 func (s *insShard) process(edges []graph.Edge, keys []uint64) {
-	for _, rs := range s.res {
-		rs.OfferKeys(keys)
+	for slot := s.resLo; slot < s.resHi; slot++ {
+		s.bank.OfferKeys(slot, keys)
 	}
 	if len(s.deg) == 0 && len(s.nbr) == 0 && len(s.adj) == 0 {
 		return
@@ -98,10 +116,10 @@ func (s *insShard) process(edges []graph.Edge, keys []uint64) {
 			s.deg[e.V]++
 		}
 		if ws := s.nbr[e.U]; len(ws) > 0 {
-			advanceWatches(ws, e.V)
+			advanceWatches(s.watches, ws, e.V)
 		}
 		if ws := s.nbr[e.V]; len(ws) > 0 {
-			advanceWatches(ws, e.U)
+			advanceWatches(s.watches, ws, e.U)
 		}
 		if seen, ok := s.adj[keys[i]]; ok && !seen {
 			s.adj[keys[i]] = true
@@ -109,8 +127,9 @@ func (s *insShard) process(edges []graph.Edge, keys []uint64) {
 	}
 }
 
-func advanceWatches(ws []*neighborWatch, other int64) {
-	for _, w := range ws {
+func advanceWatches(arena []neighborWatch, ws []int32, other int64) {
+	for _, wi := range ws {
+		w := &arena[wi]
 		if !w.found {
 			w.remaining--
 			if w.remaining == 0 {
@@ -120,12 +139,69 @@ func advanceWatches(ws []*neighborWatch, other int64) {
 	}
 }
 
+// insRunnerPool recycles released runners — and with them the bank arrays,
+// watch arena, shard maps and batch buffers — across engine generations.
+// BeginRound fully re-initializes every piece of scratch a round reads, so
+// a recycled runner is observably identical to a fresh one (the pool
+// hygiene suite dirties this scratch between rounds and requires
+// bit-identical estimates; DESIGN.md §12).
+var insRunnerPool = pool.New(
+	func() *InsertionRunner { return &InsertionRunner{} },
+	func(r *InsertionRunner) {},
+	dirtyInsRunner,
+)
+
+func dirtyInsRunner(r *InsertionRunner) {
+	r.bank.Dirty()
+	ws := r.watches[:cap(r.watches)]
+	for i := range ws {
+		ws[i] = neighborWatch{idx: -0x5a5a5a, remaining: -0x5a5a5a, result: -0x5a5a5a}
+	}
+	rq := r.resQuery[:cap(r.resQuery)]
+	for i := range rq {
+		rq[i] = -0x5a5a5a
+	}
+	be := r.batchEdges[:cap(r.batchEdges)]
+	for i := range be {
+		be[i] = graph.Edge{U: -0x5a5a5a, V: -0x5a5a5a}
+	}
+	pool.DirtyUint64(r.batchKeys)
+}
+
 // NewInsertionRunner wraps the stream. The stream must be insertion-only.
 func NewInsertionRunner(st stream.Stream, rng *rand.Rand) (*InsertionRunner, error) {
 	if !st.InsertOnly() {
 		return nil, fmt.Errorf("transform: InsertionRunner requires an insertion-only stream")
 	}
 	return &InsertionRunner{st: st, rng: rng}, nil
+}
+
+// AcquireInsertionRunner is NewInsertionRunner over a process-wide runner
+// pool: the returned runner is rebound to st and rng with fresh accounting,
+// but keeps a released predecessor's grown scratch, so steady-state
+// admission stops paying per-generation setup. Callers release with
+// Release; an unreleased runner is simply collected.
+func AcquireInsertionRunner(st stream.Stream, rng *rand.Rand) (*InsertionRunner, error) {
+	if !st.InsertOnly() {
+		return nil, fmt.Errorf("transform: InsertionRunner requires an insertion-only stream")
+	}
+	r := insRunnerPool.Get()
+	r.st, r.rng = st, rng
+	r.paral = 0
+	r.rounds, r.queries, r.space = 0, 0, 0
+	r.inRound = false
+	r.curQueries = nil
+	r.curP, r.curM = 0, 0
+	return r, nil
+}
+
+// Release aborts any in-flight round and returns the runner to the pool.
+// The runner must not be used afterwards. Checkpoints taken from it remain
+// valid: SnapshotRound deep-copies every piece of state it captures.
+func (r *InsertionRunner) Release() {
+	r.AbortRound()
+	r.st, r.rng = nil, nil
+	insRunnerPool.Put(r)
 }
 
 // SetParallelism bounds the number of pass workers. p <= 0 selects
@@ -158,7 +234,7 @@ func (r *InsertionRunner) ensureShards(p int) {
 		for i := range r.shards {
 			r.shards[i] = &insShard{
 				deg: make(map[int64]int64),
-				nbr: make(map[int64][]*neighborWatch),
+				nbr: make(map[int64][]int32),
 				adj: make(map[uint64]bool),
 			}
 		}
@@ -182,6 +258,7 @@ func (r *InsertionRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 // answers — a round that completes is bit-identical to an uncancellable one.
 func (r *InsertionRunner) RoundContext(ctx context.Context, queries []oracle.Query) ([]oracle.Answer, error) {
 	if err := r.BeginRound(queries); err != nil {
+		r.AbortRound()
 		return nil, err
 	}
 	err := r.st.ForEachBatch(func(batch []stream.Update) error {
@@ -191,6 +268,7 @@ func (r *InsertionRunner) RoundContext(ctx context.Context, queries []oracle.Que
 		return r.ConsumeBatch(batch)
 	})
 	if err != nil {
+		r.AbortRound()
 		return nil, err
 	}
 	return r.EndRound()
@@ -210,22 +288,31 @@ func (r *InsertionRunner) BeginRound(queries []oracle.Query) error {
 	r.curP = p
 	r.ensureShards(p)
 
+	// Pre-count the round's reservoirs so the bank can be laid out and
+	// shard slot blocks assigned up front.
 	nres := 0
+	for _, q := range queries {
+		if q.Type == oracle.RandomEdge {
+			nres++
+		}
+	}
+	r.bank.Reset(nres)
+	r.resQuery = r.resQuery[:0]
+	r.watches = r.watches[:0]
+
 	for i, q := range queries {
 		switch q.Type {
 		case oracle.CountEdges:
 			r.space++
 		case oracle.RandomEdge:
-			// Each reservoir owns a private deterministic RNG: seeds are
-			// drawn sequentially here, so the accept sequence is independent
-			// of which worker replays it. The seeded constructor draws the
-			// identical accept sequence and keeps the reservoir cloneable
-			// for SnapshotRound.
-			rs := sketch.NewReservoirSeeded(r.rng.Uint64())
-			sh := r.shards[nres%p]
-			sh.res = append(sh.res, rs)
-			sh.resIdx = append(sh.resIdx, i)
-			nres++
+			// Each slot owns a private deterministic RNG: seeds are drawn
+			// sequentially here, in query order, so the accept sequence is
+			// independent of which worker sweeps the slot. A banked slot
+			// draws the identical accept sequence as NewReservoirSeeded,
+			// and SnapshotRound captures it as an ordinary cloneable
+			// reservoir.
+			r.bank.Seed(len(r.resQuery), r.rng.Uint64())
+			r.resQuery = append(r.resQuery, i)
 			r.space += 2
 		case oracle.Degree:
 			sh := r.shards[shardOfVertex(q.U, p)]
@@ -238,7 +325,8 @@ func (r *InsertionRunner) BeginRound(queries []oracle.Query) error {
 				return fmt.Errorf("transform: Neighbor index %d < 1", q.I)
 			}
 			sh := r.shards[shardOfVertex(q.U, p)]
-			sh.nbr[q.U] = append(sh.nbr[q.U], &neighborWatch{idx: i, remaining: q.I})
+			sh.nbr[q.U] = append(sh.nbr[q.U], int32(len(r.watches)))
+			r.watches = append(r.watches, neighborWatch{idx: i, remaining: q.I})
 			r.space += 2
 		case oracle.RandomNeighbor:
 			return fmt.Errorf("transform: RandomNeighbor is a relaxed-model query; the insertion-only runner emulates the augmented model (use Neighbor)")
@@ -253,11 +341,50 @@ func (r *InsertionRunner) BeginRound(queries []oracle.Query) error {
 			return fmt.Errorf("transform: unknown query type %d", q.Type)
 		}
 	}
+	r.bindShards(nres, p)
+	r.startGroup(p)
 	return nil
 }
 
+// bindShards hands each shard its view of the round's shared state: the
+// bank, its contiguous slot block, and the (now fully grown, hence stable)
+// watch arena.
+func (r *InsertionRunner) bindShards(nres, p int) {
+	for j, sh := range r.shards {
+		sh.bank = &r.bank
+		sh.resLo = j * nres / p
+		sh.resHi = (j + 1) * nres / p
+		sh.watches = r.watches
+	}
+}
+
+// startGroup arms the round's persistent worker group: one goroutine per
+// shard for the whole round, instead of one per shard per batch.
+func (r *InsertionRunner) startGroup(p int) {
+	if r.grp != nil {
+		r.grp.Close()
+		r.grp = nil
+	}
+	if p > 1 {
+		r.grp = par.NewGroup(p)
+	}
+}
+
+// AbortRound discards an in-flight round after a mid-pass failure,
+// releasing the round's worker group. It is a no-op outside a round.
+// Accounting (Rounds, Queries, SpaceWords) keeps the aborted round's
+// charges — the failed pass was still paid for.
+func (r *InsertionRunner) AbortRound() {
+	if r.grp != nil {
+		r.grp.Close()
+		r.grp = nil
+	}
+	r.curQueries = nil
+	r.inRound = false
+}
+
 // ConsumeBatch implements oracle.PassRunner: each batch is canonicalized
-// once, then fanned out to the shard workers.
+// once, then fanned out to the round's worker group.
 func (r *InsertionRunner) ConsumeBatch(batch []stream.Update) error {
 	n := r.st.N()
 	edges := r.batchEdges[:0]
@@ -272,19 +399,12 @@ func (r *InsertionRunner) ConsumeBatch(batch []stream.Update) error {
 	}
 	r.batchEdges, r.batchKeys = edges, keys
 	r.curM += int64(len(batch))
-	if r.curP <= 1 {
+	if r.grp == nil {
 		r.shards[0].process(edges, keys)
 		return nil
 	}
-	var wg sync.WaitGroup
-	for _, sh := range r.shards {
-		wg.Add(1)
-		go func(sh *insShard) {
-			defer wg.Done()
-			sh.process(edges, keys)
-		}(sh)
-	}
-	wg.Wait()
+	shards := r.shards
+	r.grp.Run(func(i int) { shards[i].process(edges, keys) })
 	return nil
 }
 
@@ -309,19 +429,20 @@ func (r *InsertionRunner) EndRound() ([]oracle.Answer, error) {
 			answers[i] = oracle.Answer{OK: true, Yes: sh.adj[key]}
 		}
 	}
-	for _, sh := range r.shards {
-		for j, rs := range sh.res {
-			if key, ok := rs.Sample(); ok {
-				answers[sh.resIdx[j]] = oracle.Answer{OK: true, Edge: keyEdge(key, n)}
-			} else {
-				answers[sh.resIdx[j]] = oracle.Answer{OK: false}
-			}
+	for slot, qi := range r.resQuery {
+		if key, ok := r.bank.Sample(slot); ok {
+			answers[qi] = oracle.Answer{OK: true, Edge: keyEdge(key, n)}
+		} else {
+			answers[qi] = oracle.Answer{OK: false}
 		}
-		for _, ws := range sh.nbr {
-			for _, w := range ws {
-				answers[w.idx] = oracle.Answer{OK: w.found, Count: w.result}
-			}
-		}
+	}
+	for i := range r.watches {
+		w := &r.watches[i]
+		answers[w.idx] = oracle.Answer{OK: w.found, Count: w.result}
+	}
+	if r.grp != nil {
+		r.grp.Close()
+		r.grp = nil
 	}
 	r.curQueries = nil
 	r.inRound = false

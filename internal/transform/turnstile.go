@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"streamcount/internal/graph"
 	"streamcount/internal/oracle"
 	"streamcount/internal/par"
+	"streamcount/internal/pool"
 	"streamcount/internal/sketch"
 	"streamcount/internal/stream"
 )
@@ -29,11 +29,16 @@ import (
 //
 // The pass is a three-stage parallel pipeline: (1) counters are sharded by
 // hash(vertex) / hash(packed edge key) mod P and each update batch fans out
-// to the owning workers, while sampler feeds are buffered; (2) the feeds'
-// fingerprint terms (the expensive field exponentiations) are computed by a
-// parallel sweep; (3) every sampler consumes its feed sequentially, samplers
-// in parallel. Sampler seeds are drawn sequentially at setup, so answers are
-// bit-identical at any parallelism.
+// to a persistent per-round worker group, while sampler feeds are buffered;
+// (2) the feeds' fingerprint terms (the expensive field exponentiations) are
+// computed by a parallel sweep; (3) every sampler consumes its feed
+// sequentially, samplers in parallel. Sampler seeds are drawn sequentially
+// at setup, so answers are bit-identical at any parallelism.
+//
+// A round's samplers are drawn from the runner's freelist and re-armed with
+// Reseed — bit-identical to fresh construction — so steady-state rounds
+// allocate no sampler cells; runners themselves recycle across engine
+// generations through AcquireTurnstileRunner / Release.
 type TurnstileRunner struct {
 	st      stream.Stream
 	rng     *rand.Rand
@@ -56,12 +61,16 @@ type TurnstileRunner struct {
 	nbrSampIdx   map[int64][]int
 	nbrVerts     []int64 // deterministic iteration order over nbrSamplers
 
-	// Scratch reused across rounds.
-	shards     []*turnShard
-	batchEdges []graph.Edge
-	batchKeys  []uint64
-	batchDelta []int64
-	edgeFeed   []feedEntry
+	// Scratch reused across rounds (and, via the runner pool, across
+	// engine generations).
+	freeSamplers []*sketch.L0Sampler // retired samplers awaiting Reseed
+	shards       []*turnShard
+	grp          *par.Group // round-scoped worker group when curP > 1
+	batchEdges   []graph.Edge
+	batchKeys    []uint64
+	batchDelta   []int64
+	edgeFeed     []feedEntry
+	tasks        []samplerTask
 }
 
 // TurnstileRunner implements the session engine's round lifecycle.
@@ -73,6 +82,13 @@ type feedEntry struct {
 	key   uint64
 	delta int64
 	term  uint64
+}
+
+// samplerTask pairs a sampler with the feed it consumes in EndRound's
+// stage 3.
+type samplerTask struct {
+	s    *sketch.L0Sampler
+	feed []feedEntry
 }
 
 // turnShard is the per-worker slice of a round's counter state and neighbor
@@ -113,12 +129,45 @@ func (s *turnShard) process(edges []graph.Edge, keys []uint64, deltas []int64) {
 	}
 }
 
+// turnRunnerPool recycles released runners — the sampler freelist, shard
+// maps, feed and batch buffers — across engine generations, under the same
+// reset ≡ fresh obligation as the insertion pool (DESIGN.md §12).
+var turnRunnerPool = pool.New(
+	func() *TurnstileRunner { return &TurnstileRunner{} },
+	func(r *TurnstileRunner) {},
+	dirtyTurnRunner,
+)
+
+func dirtyTurnRunner(r *TurnstileRunner) {
+	for _, s := range r.freeSamplers {
+		s.Dirty()
+	}
+	smearFeed(r.edgeFeed)
+	be := r.batchEdges[:cap(r.batchEdges)]
+	for i := range be {
+		be[i] = graph.Edge{U: -0x5a5a5a, V: -0x5a5a5a}
+	}
+	pool.DirtyUint64(r.batchKeys)
+	pool.DirtyInt64(r.batchDelta)
+}
+
+func smearFeed(feed []feedEntry) {
+	feed = feed[:cap(feed)]
+	for i := range feed {
+		feed[i] = feedEntry{key: 0xdeaddead, delta: -0x5a5a5a, term: 0xdeaddead}
+	}
+}
+
+// defaultL0Config sizes the samplers to the universe: supports are at most
+// n^2 keys, so ~2·log2(n) + slack levels suffice.
+func defaultL0Config(n int64) sketch.L0Config {
+	levels := int(2*math.Ceil(math.Log2(float64(n+2)))) + 8
+	return sketch.L0Config{Levels: levels, Buckets: 8, Reps: 2}
+}
+
 // NewTurnstileRunner wraps the stream (insertions and deletions allowed).
 func NewTurnstileRunner(st stream.Stream, rng *rand.Rand) *TurnstileRunner {
-	// Size the samplers to the universe: supports are at most n^2 keys, so
-	// ~2·log2(n) + slack levels suffice.
-	levels := int(2*math.Ceil(math.Log2(float64(st.N()+2)))) + 8
-	return NewTurnstileRunnerConfig(st, rng, sketch.L0Config{Levels: levels, Buckets: 8, Reps: 2})
+	return NewTurnstileRunnerConfig(st, rng, defaultL0Config(st.N()))
 }
 
 // NewTurnstileRunnerConfig is NewTurnstileRunner with an explicit
@@ -127,6 +176,35 @@ func NewTurnstileRunner(st stream.Stream, rng *rand.Rand) *TurnstileRunner {
 // trials contribute zero); the E12 ablation quantifies the trade-off.
 func NewTurnstileRunnerConfig(st stream.Stream, rng *rand.Rand, cfg sketch.L0Config) *TurnstileRunner {
 	return &TurnstileRunner{st: st, rng: rng, l0cfg: cfg}
+}
+
+// AcquireTurnstileRunner is NewTurnstileRunner over a process-wide runner
+// pool: the returned runner is rebound to st and rng with fresh accounting
+// but keeps a released predecessor's grown scratch. A freelist sampler only
+// survives the rebind if the sampler geometry is unchanged; otherwise the
+// freelist is dropped and rounds rebuild it at the new shape.
+func AcquireTurnstileRunner(st stream.Stream, rng *rand.Rand) *TurnstileRunner {
+	cfg := defaultL0Config(st.N())
+	r := turnRunnerPool.Get()
+	if r.l0cfg != cfg {
+		r.freeSamplers = nil
+	}
+	r.st, r.rng, r.l0cfg = st, rng, cfg
+	r.paral = 0
+	r.rounds, r.queries, r.space = 0, 0, 0
+	r.inRound = false
+	r.curQueries = nil
+	r.curP, r.curM, r.curConsumed, r.curBase = 0, 0, 0, 0
+	return r
+}
+
+// Release aborts any in-flight round and returns the runner to the pool.
+// The runner must not be used afterwards. Checkpoints taken from it remain
+// valid: SnapshotRound deep-copies every piece of state it captures.
+func (r *TurnstileRunner) Release() {
+	r.AbortRound()
+	r.st, r.rng = nil, nil
+	turnRunnerPool.Put(r)
 }
 
 // SetParallelism bounds the number of pass workers. p <= 0 selects
@@ -165,6 +243,20 @@ func (r *TurnstileRunner) ensureShards(p int) {
 	}
 }
 
+// newSampler returns a sampler armed like NewL0SamplerWithBase(seed, base,
+// r.l0cfg), reusing a freelist entry when one is available. Freelist
+// entries always share the runner's geometry, and Reseed is bit-identical
+// to fresh construction, so pooled and fresh rounds answer identically.
+func (r *TurnstileRunner) newSampler(seed, base uint64) *sketch.L0Sampler {
+	if n := len(r.freeSamplers); n > 0 {
+		s := r.freeSamplers[n-1]
+		r.freeSamplers = r.freeSamplers[:n-1]
+		s.Reseed(seed, base)
+		return s
+	}
+	return sketch.NewL0SamplerWithBase(seed, base, r.l0cfg)
+}
+
 // fillTerms computes the fingerprint terms of a feed in a parallel sweep.
 func fillTerms(p int, base uint64, feed []feedEntry) {
 	const chunk = 2048
@@ -194,6 +286,7 @@ func (r *TurnstileRunner) Round(queries []oracle.Query) ([]oracle.Answer, error)
 // answers — a round that completes is bit-identical to an uncancellable one.
 func (r *TurnstileRunner) RoundContext(ctx context.Context, queries []oracle.Query) ([]oracle.Answer, error) {
 	if err := r.BeginRound(queries); err != nil {
+		r.AbortRound()
 		return nil, err
 	}
 	err := r.st.ForEachBatch(func(batch []stream.Update) error {
@@ -203,6 +296,7 @@ func (r *TurnstileRunner) RoundContext(ctx context.Context, queries []oracle.Que
 		return r.ConsumeBatch(batch)
 	})
 	if err != nil {
+		r.AbortRound()
 		return nil, err
 	}
 	return r.EndRound()
@@ -228,15 +322,21 @@ func (r *TurnstileRunner) BeginRound(queries []oracle.Query) error {
 
 	edgeSamplers := r.edgeSamplers[:0]
 	edgeSampIdx := r.edgeSampIdx[:0]
-	nbrSamplers := make(map[int64][]*sketch.L0Sampler) // vertex -> samplers
-	nbrSampIdx := make(map[int64][]int)
-	var nbrVerts []int64 // deterministic iteration order over nbrSamplers
+	if r.nbrSamplers == nil {
+		r.nbrSamplers = make(map[int64][]*sketch.L0Sampler)
+		r.nbrSampIdx = make(map[int64][]int)
+	} else {
+		clear(r.nbrSamplers)
+		clear(r.nbrSampIdx)
+	}
+	nbrSamplers, nbrSampIdx := r.nbrSamplers, r.nbrSampIdx
+	nbrVerts := r.nbrVerts[:0] // deterministic iteration order over nbrSamplers
 	for i, q := range queries {
 		switch q.Type {
 		case oracle.CountEdges:
 			r.space++
 		case oracle.RandomEdge:
-			s := sketch.NewL0SamplerWithBase(r.rng.Uint64(), base, r.l0cfg)
+			s := r.newSampler(r.rng.Uint64(), base)
 			edgeSamplers = append(edgeSamplers, s)
 			edgeSampIdx = append(edgeSampIdx, i)
 			r.space += s.SpaceWords()
@@ -247,7 +347,7 @@ func (r *TurnstileRunner) BeginRound(queries []oracle.Query) error {
 			}
 			r.space++
 		case oracle.RandomNeighbor:
-			s := sketch.NewL0SamplerWithBase(r.rng.Uint64(), base, r.l0cfg)
+			s := r.newSampler(r.rng.Uint64(), base)
 			if _, ok := nbrSamplers[q.U]; !ok {
 				nbrVerts = append(nbrVerts, q.U)
 				sh := r.shards[shardOfVertex(q.U, p)]
@@ -272,18 +372,55 @@ func (r *TurnstileRunner) BeginRound(queries []oracle.Query) error {
 		}
 	}
 	r.edgeSamplers, r.edgeSampIdx = edgeSamplers, edgeSampIdx
-	r.nbrSamplers, r.nbrSampIdx, r.nbrVerts = nbrSamplers, nbrSampIdx, nbrVerts
+	r.nbrVerts = nbrVerts
+	if r.grp != nil {
+		r.grp.Close()
+		r.grp = nil
+	}
+	if p > 1 {
+		r.grp = par.NewGroup(p)
+	}
 	return nil
 }
 
+// AbortRound discards an in-flight round after a mid-pass failure,
+// releasing the worker group and recycling the round's samplers (their
+// poisoned state is irrelevant — reuse starts with Reseed). It is a no-op
+// outside a round. Accounting keeps the aborted round's charges.
+func (r *TurnstileRunner) AbortRound() {
+	if r.grp != nil {
+		r.grp.Close()
+		r.grp = nil
+	}
+	if !r.inRound {
+		return
+	}
+	r.recycleSamplers()
+	r.curQueries = nil
+	r.inRound = false
+}
+
+// recycleSamplers moves the round's samplers to the freelist and empties
+// the round's sampler registry.
+func (r *TurnstileRunner) recycleSamplers() {
+	r.freeSamplers = append(r.freeSamplers, r.edgeSamplers...)
+	for _, v := range r.nbrVerts {
+		r.freeSamplers = append(r.freeSamplers, r.nbrSamplers[v]...)
+	}
+	r.edgeSamplers = r.edgeSamplers[:0]
+	r.edgeSampIdx = r.edgeSampIdx[:0]
+	clear(r.nbrSamplers)
+	clear(r.nbrSampIdx)
+	r.nbrVerts = r.nbrVerts[:0]
+}
+
 // ConsumeBatch implements oracle.PassRunner (the round's stage 1): counters
-// are updated by the shard workers; sampler feeds are buffered so each
-// sampler can consume the whole pass sequentially in EndRound, keeping its
-// cells cache-resident (processing thousands of samplers per incoming
+// are updated by the round's worker group; sampler feeds are buffered so
+// each sampler can consume the whole pass sequentially in EndRound, keeping
+// its cells cache-resident (processing thousands of samplers per incoming
 // update would thrash the cache).
 func (r *TurnstileRunner) ConsumeBatch(batch []stream.Update) error {
 	n := r.st.N()
-	p := r.curP
 	edges := r.batchEdges[:0]
 	keys := r.batchKeys[:0]
 	deltas := r.batchDelta[:0]
@@ -300,27 +437,18 @@ func (r *TurnstileRunner) ConsumeBatch(batch []stream.Update) error {
 	}
 	r.batchEdges, r.batchKeys, r.batchDelta = edges, keys, deltas
 	r.curConsumed += int64(len(batch))
-	var wg sync.WaitGroup
-	if p > 1 {
-		for _, sh := range r.shards {
-			wg.Add(1)
-			go func(sh *turnShard) {
-				defer wg.Done()
-				sh.process(edges, keys, deltas)
-			}(sh)
-		}
+	if r.grp == nil {
+		r.shards[0].process(edges, keys, deltas)
+	} else {
+		shards := r.shards
+		r.grp.Run(func(i int) { shards[i].process(edges, keys, deltas) })
 	}
-	// The coordinator buffers the edge-matrix feed while the shard
-	// workers run; no worker touches edgeFeed.
+	// The coordinator buffers the edge-matrix feed after the fan-out
+	// returns; no worker touches edgeFeed.
 	if len(r.edgeSamplers) > 0 {
 		for i, key := range keys {
 			r.edgeFeed = append(r.edgeFeed, feedEntry{key: key, delta: deltas[i]})
 		}
-	}
-	if p <= 1 {
-		r.shards[0].process(edges, keys, deltas)
-	} else {
-		wg.Wait()
 	}
 	return nil
 }
@@ -353,11 +481,7 @@ func (r *TurnstileRunner) EndRound() ([]oracle.Answer, error) {
 
 	// ---- Stage 3: every sampler consumes its feed; samplers in parallel.
 	// Sampler state is private, so assignment cannot affect answers. ----
-	type samplerTask struct {
-		s    *sketch.L0Sampler
-		feed []feedEntry
-	}
-	tasks := make([]samplerTask, 0, len(edgeSamplers)+len(nbrVerts))
+	tasks := r.tasks[:0]
 	for _, s := range edgeSamplers {
 		tasks = append(tasks, samplerTask{s, edgeFeed})
 	}
@@ -367,6 +491,7 @@ func (r *TurnstileRunner) EndRound() ([]oracle.Answer, error) {
 			tasks = append(tasks, samplerTask{s, sh.nbrFeed[v]})
 		}
 	}
+	r.tasks = tasks
 	par.For(p, len(tasks), func(i int) {
 		t := tasks[i]
 		for _, b := range t.feed {
@@ -405,8 +530,12 @@ func (r *TurnstileRunner) EndRound() ([]oracle.Answer, error) {
 			}
 		}
 	}
+	r.recycleSamplers()
+	if r.grp != nil {
+		r.grp.Close()
+		r.grp = nil
+	}
 	r.curQueries = nil
-	r.nbrSamplers, r.nbrSampIdx, r.nbrVerts = nil, nil, nil
 	r.inRound = false
 	return answers, nil
 }
