@@ -446,6 +446,85 @@ func BenchmarkServerIngestAndQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkServerCachedQuery measures the memoized query path end to end:
+// a cache-enabled server answers the same version-pinned query over HTTP on
+// every iteration. After the untimed cold run, each request is a result
+// cache hit — JSON codec and routing still run, but no generation is
+// admitted and no pass replays — so this number against the cold path in
+// BenchmarkServerIngestAndQuery is the cache's whole-service win.
+func BenchmarkServerCachedQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := gen.ErdosRenyiGNM(rng, 200, 3000)
+	var updates []byte
+	{
+		type updateJSON struct {
+			U int64 `json:"u"`
+			V int64 `json:"v"`
+		}
+		var ups []updateJSON
+		stream.FromGraph(g).ForEach(func(u stream.Update) error {
+			ups = append(ups, updateJSON{U: u.Edge.U, V: u.Edge.V})
+			return nil
+		})
+		var err error
+		if updates, err = json.Marshal(map[string]any{"updates": ups}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	srv, err := server.New(server.Options{Window: time.Millisecond, ResultCacheMB: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+	client := ts.Client()
+	post := func(path string, body []byte) ([]byte, error) {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode >= 300 {
+			err = fmt.Errorf("%s: %s", resp.Status, data)
+		}
+		return data, err
+	}
+
+	// Untimed: stream, ingestion, and the one cold run that populates the
+	// cache entry every timed iteration hits.
+	if _, err := post("/v1/streams", []byte(`{"name":"cached","n":200}`)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := post("/v1/streams/cached/edges", updates); err != nil {
+		b.Fatal(err)
+	}
+	query := []byte(`{"stream":"cached","pattern":"triangle","trials":2000,"seed":7}`)
+	cold, err := post("/v1/queries", query)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm, err := post("/v1/queries", query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(warm, cold) {
+			b.Fatalf("cached response diverged from the cold run:\n  cold: %s\n  warm: %s", cold, warm)
+		}
+	}
+}
+
 // BenchmarkStreamPassThroughput measures the pass engine's replay hot path:
 // the batched API the runners consume the stream through.
 func BenchmarkStreamPassThroughput(b *testing.B) {

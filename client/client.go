@@ -54,9 +54,10 @@ import (
 // resume from the last delivered stream version, keeping the event
 // transcript gap-free. Configure or disable with WithRetry.
 type Client struct {
-	base  string
-	http  *http.Client
-	retry RetryPolicy
+	base   string
+	http   *http.Client
+	retry  RetryPolicy
+	tenant string
 }
 
 // Option configures New.
@@ -67,6 +68,17 @@ type Option func(*Client)
 // kill long-lived watch connections; prefer per-request contexts.
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithTenant stamps every request (watch connections included) with the
+// given tenant identity via the X-Tenant header, so the daemon's per-tenant
+// admission control — token-bucket quotas and priority lanes — attributes
+// the client's work to that tenant. Empty (the default) is the daemon's
+// default tenant. A quota rejection surfaces as a 429 with
+// streamcount.ErrQuotaExhausted, which the retry policy waits out under the
+// server's Retry-After.
+func WithTenant(name string) Option {
+	return func(c *Client) { c.tenant = name }
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -160,6 +172,8 @@ func codeSentinel(code string) error {
 		return streamcount.ErrWatchClosed
 	case wire.CodeReceiptFailed:
 		return streamcount.ErrReceiptFailed
+	case wire.CodeQuotaExhausted:
+		return streamcount.ErrQuotaExhausted
 	default:
 		return nil
 	}
@@ -219,6 +233,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Heade
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
 	}
 	for k, vs := range hdr {
 		req.Header[k] = vs
@@ -425,6 +442,9 @@ func (c *Client) dialWatch(ctx context.Context, body []byte) (*watchConn, error)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Accept", "text/event-stream")
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		cancel()

@@ -144,6 +144,18 @@ func (cl *Cluster) ensureMap(ctx context.Context) (*cluster.Map, error) {
 	return nil, fmt.Errorf("client: no seed served a cluster map: %w", lastErr)
 }
 
+// clearMap drops the cached cluster map, forcing the next resolution to
+// refetch from the seeds. Routing uses it after a second consecutive
+// wrong_node rejection for the same stream: a redirect loop means the maps
+// the rejecting nodes advertise are themselves stale, and adopting them
+// (max-version-wins keeps the newest the client has SEEN, not the newest
+// that EXISTS) can never escape the loop — only a fresh seed fetch can.
+func (cl *Cluster) clearMap() {
+	cl.mu.Lock()
+	cl.m = nil
+	cl.mu.Unlock()
+}
+
 // ClusterMap returns the current cluster map in its wire form, fetching it
 // on first use. The map is the one routing decisions use, not necessarily
 // the newest any node holds.
@@ -188,6 +200,7 @@ func wrongNode(err error) (redirect wire.Error, ok bool) {
 func (cl *Cluster) routed(ctx context.Context, stream string, f func(*Client) error) error {
 	var nextAddr string
 	var err error
+	rejections := 0
 	for hop := 0; hop < maxRouteHops; hop++ {
 		var c *Client
 		if nextAddr != "" {
@@ -204,6 +217,20 @@ func (cl *Cluster) routed(ctx context.Context, stream string, f func(*Client) er
 		redirect, isWrongNode := wrongNode(err)
 		if !isWrongNode {
 			return err
+		}
+		rejections++
+		if rejections >= 2 {
+			// Two consecutive wrong_node rejections for one stream: the
+			// redirects (and the rejecting nodes' maps) are leading in a
+			// circle. Drop the cached map and re-resolve from the seeds,
+			// which may hold a genuinely newer map than any node visited.
+			cl.clearMap()
+			m, merr := cl.ensureMap(ctx)
+			if merr != nil {
+				return err
+			}
+			nextAddr = m.Owner(stream).Addr
+			continue
 		}
 		nextAddr = redirect.OwnerAddr
 		if m, rerr := cl.refreshFrom(ctx, c); rerr == nil && nextAddr == "" {
@@ -309,6 +336,7 @@ func (cl *Cluster) SubmitOn(ctx context.Context, stream string, q streamcount.Qu
 func (cl *Cluster) openRoutedWatch(ctx context.Context, stream string, req wire.WatchRequest) (*Client, *watchConn, error) {
 	var nextAddr string
 	var err error
+	rejections := 0
 	for hop := 0; hop < maxRouteHops; hop++ {
 		var c *Client
 		if nextAddr != "" {
@@ -326,6 +354,19 @@ func (cl *Cluster) openRoutedWatch(ctx context.Context, stream string, req wire.
 		redirect, isWrongNode := wrongNode(err)
 		if !isWrongNode {
 			return nil, nil, err
+		}
+		rejections++
+		if rejections >= 2 {
+			// See routed: a second consecutive wrong_node means the cached
+			// map and the rejecting nodes' maps are all stale. Refetch from
+			// the seeds instead of chasing the circle.
+			cl.clearMap()
+			m, merr := cl.ensureMap(ctx)
+			if merr != nil {
+				return nil, nil, err
+			}
+			nextAddr = m.Owner(stream).Addr
+			continue
 		}
 		nextAddr = redirect.OwnerAddr
 		if m, rerr := cl.refreshFrom(ctx, c); rerr == nil && nextAddr == "" {

@@ -1,0 +1,130 @@
+package client
+
+// Regression test for the stale-map redirect loop: a Cluster whose cached
+// map and every node it visits all predate a routing flip used to chase
+// wrong_node redirects in a circle until maxRouteHops ran out, because
+// adopting the rejecting node's map (max-version-wins keeps the newest map
+// the client has SEEN, not the newest that EXISTS) can never escape the
+// loop. A second consecutive 421 for the same stream now drops the cached
+// map and re-resolves from the seeds, which may hold a genuinely newer map.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"streamcount/internal/wire"
+)
+
+// fakeJSON writes v as a JSON response with the given status.
+func fakeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// singleNodeMap is a cluster map whose only member owns every stream.
+func singleNodeMap(version int64, id, addr string) wire.ClusterMap {
+	return wire.ClusterMap{
+		Version: version,
+		Nodes:   []wire.ClusterNode{{ID: id, Addr: addr}},
+		VNodes:  64,
+	}
+}
+
+func TestClusterStaleMapLoopRefetchesFromSeed(t *testing.T) {
+	const stream = "looped"
+
+	// Node B: the stream's real owner after the flip. Answers stats.
+	var bHits atomic.Int64
+	nodeB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/streams/"+stream+"/stats" {
+			bHits.Add(1)
+			fakeJSON(w, http.StatusOK, wire.StreamInfo{Name: stream, N: 16, Version: 7, Appendable: true})
+			return
+		}
+		fakeJSON(w, http.StatusNotFound, wire.Error{Error: "unexpected path " + r.URL.Path})
+	}))
+	defer nodeB.Close()
+
+	// Node A: stuck on a pre-flip map that names itself the owner, so its
+	// 421 redirects point back at A — the loop.
+	var aURL atomic.Value // string; set after the server exists
+	var aRejections atomic.Int64
+	nodeA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		self, _ := aURL.Load().(string)
+		if r.URL.Path == "/v1/cluster" {
+			fakeJSON(w, http.StatusOK, singleNodeMap(1, "a", self))
+			return
+		}
+		aRejections.Add(1)
+		fakeJSON(w, http.StatusMisdirectedRequest, wire.Error{
+			Error: "not the owner", Code: wire.CodeWrongNode,
+			Owner: "a", OwnerAddr: self, ClusterVersion: 1,
+		})
+	}))
+	defer nodeA.Close()
+	aURL.Store(nodeA.URL)
+
+	// Seed: serves the pre-flip map (stream -> A) on the first fetch and
+	// the post-flip map (stream -> B) afterwards, the way a healthy member
+	// that observed the flip would.
+	var seedFetches atomic.Int64
+	seed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster" {
+			fakeJSON(w, http.StatusNotFound, wire.Error{Error: "seed only serves maps"})
+			return
+		}
+		if seedFetches.Add(1) == 1 {
+			fakeJSON(w, http.StatusOK, singleNodeMap(1, "a", nodeA.URL))
+			return
+		}
+		fakeJSON(w, http.StatusOK, singleNodeMap(2, "b", nodeB.URL))
+	}))
+	defer seed.Close()
+
+	cl, err := NewCluster([]string{seed.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One routed call: map v1 sends it to A, A redirects to itself, and the
+	// second consecutive 421 must trigger the seed refetch that lands on B.
+	v, err := cl.StreamVersion(context.Background(), stream)
+	if err != nil {
+		t.Fatalf("routing never escaped the stale-map loop: %v", err)
+	}
+	if v != 7 {
+		t.Errorf("stream version %d, want 7 (served by node B)", v)
+	}
+	if got := aRejections.Load(); got != 2 {
+		t.Errorf("node A rejected %d requests, want exactly 2 before the seed refetch", got)
+	}
+	if got := bHits.Load(); got != 1 {
+		t.Errorf("node B served %d requests, want 1", got)
+	}
+	if got := seedFetches.Load(); got != 2 {
+		t.Errorf("seed served %d map fetches, want 2 (initial + post-loop refetch)", got)
+	}
+
+	// The refetched map is now the cached one: the next call goes straight
+	// to B with no further rejections.
+	if _, err := cl.StreamVersion(context.Background(), stream); err != nil {
+		t.Fatal(err)
+	}
+	if got := aRejections.Load(); got != 2 {
+		t.Errorf("follow-up call revisited node A (%d rejections)", got)
+	}
+	if got := bHits.Load(); got != 2 {
+		t.Errorf("follow-up call missed node B (%d hits)", got)
+	}
+	cl.mu.Lock()
+	cached := cl.m
+	cl.mu.Unlock()
+	if cached == nil || cached.Version != 2 {
+		t.Errorf("cached map after recovery: %+v, want version 2", cached)
+	}
+}

@@ -1,0 +1,204 @@
+package client_test
+
+// Result-cache determinism over the wire: the contract-suite leg runs twice
+// against ONE cache-enabled server. The second pass must be bit-identical
+// AND replay-free — every query is served memoized, so the stream's pass
+// counter does not move and the cache's miss counter is flat. This is the
+// end-to-end face of the DESIGN.md §13 contract: a hit is indistinguishable
+// from a recomputation, except that the stream is never touched.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"streamcount"
+	"streamcount/client"
+	"streamcount/internal/server"
+	"streamcount/internal/wire"
+)
+
+// streamPasses reads one stream's replay-pass counter off the raw stats
+// endpoint (the Go client deliberately exposes only the version).
+func streamPasses(t *testing.T, base, stream string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/streams/" + stream + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info wire.StreamInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info.Passes
+}
+
+// cacheStats reads the server's result-cache snapshot off /healthz.
+func cacheStats(t *testing.T, base string) wire.ResultCacheStats {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h wire.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h.ResultCache
+}
+
+// runCachedLeg runs the read-only contract queries plus an every-version
+// watch against c and returns the transcript. Both legs see identical
+// stream state — all ingestion happened before the first leg — so their
+// transcripts must match line for line.
+func runCachedLeg(t *testing.T, c *client.Client, ups []streamcount.Update) []string {
+	t.Helper()
+	ctx := context.Background()
+	var log []string
+	record := func(format string, args ...any) { log = append(log, fmt.Sprintf(format, args...)) }
+
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est, err := streamcount.DoOn(ctx, c, "s", streamcount.CountQuery(p,
+		streamcount.WithTrials(600), streamcount.WithSeed(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("count: %s", fpCount(est))
+
+	est2, err := streamcount.DoOn(ctx, c, "s", streamcount.CountQuery(p,
+		streamcount.WithEpsilon(0.8), streamcount.WithLowerBound(100), streamcount.WithSeed(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("derived: %s", fpCount(est2))
+
+	out, err := c.SubmitOn(ctx, "s", streamcount.DistinguishQuery(p, 50,
+		streamcount.WithTrials(400), streamcount.WithSeed(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("distinguish: kind=%s version=%d above=%v estimate{%s}",
+		out.Kind, out.StreamVersion, out.Decision.Above, fpCount(out.Decision.Estimate))
+
+	smp, err := streamcount.DoOn(ctx, c, "s", streamcount.SampleQuery(p,
+		streamcount.WithTrials(2000), streamcount.WithSeed(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	record("sample: found=%v vertices=%v edges=%v", smp.Found, smp.Copy.Vertices, smp.Copy.Edges)
+
+	// Every-version watch from zero: both "w" batches predate the watch, so
+	// the receipt-ring backfill republishes them and each leg observes the
+	// same two versioned evaluations at the same derived seeds.
+	sub, err := streamcount.Watch(ctx, c, "w", streamcount.CountQuery(p,
+		streamcount.WithTrials(500), streamcount.WithSeed(11)), streamcount.WatchEveryVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := int64(len(ups) / 2)
+	for i, wantV := range []int64{half, int64(len(ups))} {
+		select {
+		case ev := <-sub.Events():
+			if ev.Err != nil {
+				t.Fatalf("watch event %d failed: %v", i, ev.Err)
+			}
+			if ev.StreamVersion != wantV {
+				t.Errorf("watch event %d at version %d, want %d", i, ev.StreamVersion, wantV)
+			}
+			record("watch[%d]: version=%d %s", i, ev.StreamVersion, fpCount(ev.Result))
+		case <-time.After(30 * time.Second):
+			t.Fatalf("no watch event %d", i)
+		}
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestResultCacheContractLegTwiceReplayFree(t *testing.T) {
+	srv, err := server.New(server.Options{
+		WatchHeartbeat: 50 * time.Millisecond,
+		ResultCacheMB:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// All ingestion happens before either leg: "s" gets the full edge set,
+	// "w" the same set in two batches (two watchable versions).
+	const n, m = 60, 300
+	ups := contractEdges(n, m)
+	for _, name := range []string{"s", "w"} {
+		if err := c.CreateStream(ctx, name, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Append(ctx, "s", ups); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, "w", ups[:m/2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, "w", ups[m/2:]); err != nil {
+		t.Fatal(err)
+	}
+
+	first := runCachedLeg(t, c, ups)
+	passesAfterFirst := streamPasses(t, ts.URL, "s")
+	statsAfterFirst := cacheStats(t, ts.URL)
+	if passesAfterFirst == 0 {
+		t.Fatal("first leg replayed nothing; the suite is not exercising the stream")
+	}
+
+	second := runCachedLeg(t, c, ups)
+
+	if len(first) != len(second) {
+		t.Fatalf("leg transcripts differ in length: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("transcript line %d diverges between legs:\n  first:  %s\n  second: %s", i, first[i], second[i])
+		}
+	}
+
+	// Replay-free: the second leg moved no pass counter and missed nothing.
+	if p := streamPasses(t, ts.URL, "s"); p != passesAfterFirst {
+		t.Errorf("second leg replayed the stream: passes %d -> %d", passesAfterFirst, p)
+	}
+	stats := cacheStats(t, ts.URL)
+	if stats.Misses != statsAfterFirst.Misses {
+		t.Errorf("second leg missed the cache: misses %d -> %d", statsAfterFirst.Misses, stats.Misses)
+	}
+	// Four queries plus two watch evaluations served memoized.
+	if gained := stats.Hits - statsAfterFirst.Hits; gained < 6 {
+		t.Errorf("second leg hit the cache %d times, want >= 6", gained)
+	}
+	if stats.ResidentBytes <= 0 || stats.Entries <= 0 {
+		t.Errorf("cache reports no residency after two legs: %+v", stats)
+	}
+}

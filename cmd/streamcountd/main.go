@@ -39,6 +39,16 @@
 // endpoints answer 503 with Retry-After and /healthz reports "recovering".
 // -sync additionally fsyncs sealed writes for durability against power loss.
 //
+// With -result-cache-mb, the engine memoizes completed query results keyed
+// by (stream, version, query fingerprint, seed): resubmitting a query a
+// pinned generation already answered returns the identical bytes with zero
+// stream passes. Appends never invalidate anything — entries are
+// version-pinned — so the cache is purely size/TTL-bounded (LRU).
+// With -tenant-config, requests are attributed to the tenant named by their
+// X-Tenant header and admitted through per-tenant token buckets; a tenant
+// at quota gets a typed 429 quota_exhausted with Retry-After, and tenant
+// priorities order admission inside a shared generation window.
+//
 // With -cluster-node and -cluster-peers, a static set of daemons shards
 // streams by consistent hashing (DESIGN.md §11): stream-scoped requests on
 // a non-owner answer a typed 421 wrong_node redirect naming the owner, the
@@ -70,6 +80,7 @@ import (
 	"time"
 
 	"streamcount/internal/server"
+	"streamcount/internal/tenant"
 	"streamcount/internal/wire"
 )
 
@@ -91,11 +102,20 @@ func main() {
 		maxWatches   = flag.Int("max-watches", 0, "maximum concurrently active standing queries (0: library default; negative or absurd values are rejected at startup)")
 		clusterNode  = flag.String("cluster-node", "", "this node's cluster member ID; enables cluster mode (requires -cluster-peers)")
 		clusterPeers = flag.String("cluster-peers", "", "comma-separated cluster members as id=addr pairs (bare addr doubles as the ID); must be identical on every node and include this node")
+		rcacheMB     = flag.Int("result-cache-mb", 0, "cross-generation result cache bound in MiB: repeated version-pinned queries are served memoized with zero stream passes (0: disabled)")
+		rcacheTTL    = flag.Duration("result-cache-ttl", 0, "TTL on memoized results (0: no TTL, entries live until evicted by the size bound)")
+		tenantConfig = flag.String("tenant-config", "", "JSON file of per-tenant quotas and priorities (see internal/tenant); empty admits everything")
 	)
 	flag.Parse()
 	peers, err := parsePeers(*clusterPeers)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var tenants tenant.Config
+	if *tenantConfig != "" {
+		if tenants, err = tenant.LoadConfig(*tenantConfig); err != nil {
+			log.Fatal(err)
+		}
 	}
 	opts := server.Options{
 		Window:            *window,
@@ -109,6 +129,9 @@ func main() {
 		MaxWatches:        *maxWatches,
 		ClusterNode:       *clusterNode,
 		ClusterPeers:      peers,
+		ResultCacheMB:     *rcacheMB,
+		ResultCacheTTL:    *rcacheTTL,
+		Tenants:           tenants,
 	}
 	if err := run(*addr, *readTimeout, *drainTimeout, opts); err != nil {
 		log.Fatal(err)

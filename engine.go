@@ -58,6 +58,77 @@ func WithWatchCheckpointMB(mb int) EngineOption {
 	}
 }
 
+// WithResultCacheMB bounds the engine's cross-generation result cache
+// (DESIGN.md §13) to mb mebibytes. 0 or negative (the default) disables
+// it: every submission admits a generation, exactly as before the cache
+// existed. With the cache on, a query repeated at an unchanged stream
+// version — same canonical query, same seed — is served from the memo
+// with zero stream passes, and is byte-identical to the cold result by
+// the determinism contract. Entries are pinned to the stream version they
+// were computed at, so appends never invalidate anything; eviction is
+// purely size-LRU plus the TTL.
+func WithResultCacheMB(mb int) EngineOption {
+	return func(o *core.EngineOptions) {
+		if mb <= 0 {
+			o.ResultCacheBytes = 0
+		} else {
+			o.ResultCacheBytes = int64(mb) << 20
+		}
+	}
+}
+
+// WithResultCacheTTL sets the per-entry lifetime of memoized results (0,
+// the default: entries never expire; the capacity bound still evicts).
+func WithResultCacheTTL(d time.Duration) EngineOption {
+	return func(o *core.EngineOptions) { o.ResultCacheTTL = d }
+}
+
+// ResultCacheStats is the engine-wide health of the cross-generation
+// result cache (DESIGN.md §13).
+type ResultCacheStats struct {
+	// Hits counts submissions served from a memoized result — no
+	// generation, no stream pass.
+	Hits int64
+	// Misses counts cache-consulting submissions that ran for real (and
+	// populated the cache on success).
+	Misses int64
+	// Evictions counts entries dropped by the capacity bound.
+	Evictions int64
+	// Expirations counts entries dropped by the TTL.
+	Expirations int64
+	// ResidentBytes is the accounted size of all memoized results.
+	ResidentBytes int64
+	// CapacityBytes is the configured bound; 0 when the cache is disabled.
+	CapacityBytes int64
+	// Entries is the number of resident memoized results.
+	Entries int
+}
+
+// ResultCacheStats reports the result cache's aggregate counters (all
+// zeros when the cache is disabled).
+func (e *Engine) ResultCacheStats() ResultCacheStats {
+	s := e.eng.ResultCacheStats()
+	return ResultCacheStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Evictions:     s.Evictions,
+		Expirations:   s.Expirations,
+		ResidentBytes: s.ResidentBytes,
+		CapacityBytes: s.CapacityBytes,
+		Entries:       s.Entries,
+	}
+}
+
+// ContextWithPriority tags ctx with an admission priority lane: within one
+// admission window, higher-priority queries are served in an earlier
+// shared-replay generation than lower-priority ones (the multi-tenant
+// weighted admission order, DESIGN.md §13). 0 is the default lane.
+// Priority affects scheduling order only — results are bit-identical at
+// the same (seed, stream_version) regardless.
+func ContextWithPriority(ctx context.Context, p int) context.Context {
+	return core.WithPriority(ctx, p)
+}
+
 // WatchCheckpointStats is the engine-wide health of the watch checkpoint
 // cache (DESIGN.md §10).
 type WatchCheckpointStats struct {
@@ -172,6 +243,12 @@ func (e *Engine) submit(ctx context.Context, name string, q Query) (*core.JobHan
 	j, err := q.job(core.EdgeBoundStreamLen)
 	if err != nil {
 		return nil, err
+	}
+	// The fingerprint is only computed when a cache exists to use it, so
+	// the default (cache-off) submit path allocates exactly what it did
+	// before the cache was added.
+	if e.eng.ResultCacheEnabled() {
+		j.Fingerprint = fingerprintOf(q)
 	}
 	return e.eng.SubmitTo(ctx, name, j)
 }

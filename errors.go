@@ -1,6 +1,8 @@
 package streamcount
 
 import (
+	"errors"
+
 	"streamcount/internal/core"
 	"streamcount/internal/stream"
 )
@@ -57,4 +59,10 @@ var (
 	// published; the identical batch is safe to retry once the seal lifts or
 	// against the stream's new owner.
 	ErrSealed = stream.ErrSealed
+	// ErrQuotaExhausted reports a request rejected by per-tenant admission
+	// control: the tenant's token bucket for that surface (queries, appends,
+	// or watch registration) is empty. The request was not admitted; retrying
+	// after the server-suggested delay (Retry-After) is safe and is what the
+	// client's default retry policy does.
+	ErrQuotaExhausted = errors.New("streamcount: tenant quota exhausted")
 )

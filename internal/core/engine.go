@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamcount/internal/rcache"
 	"streamcount/internal/stream"
 )
 
@@ -30,6 +31,13 @@ type EngineOptions struct {
 	// DefaultWatchCheckpointBytes; a negative value disables the cache, so
 	// every watch evaluation cold-replays its pinned prefix.
 	WatchCheckpointBytes int64
+	// ResultCacheBytes bounds the cross-generation result cache
+	// (DESIGN.md §13). 0 — the default — disables it: submissions always
+	// admit generations, exactly as before the cache existed.
+	ResultCacheBytes int64
+	// ResultCacheTTL is the per-entry lifetime of cached results (0: cache
+	// entries never expire; capacity LRU still bounds them).
+	ResultCacheTTL time.Duration
 }
 
 // engineJob is one queued unit of work: the job, the submitter's context,
@@ -39,12 +47,13 @@ type EngineOptions struct {
 // generation pins at its barrier". Watch evaluations submit pinned jobs so
 // an event's version is decided before its seed is derived.
 type engineJob struct {
-	ctx  context.Context
-	job  Job
-	pin  int64
-	h    *JobHandle // set when the generation ran
-	err  error      // submit-level failure (engine closed before the job ran)
-	done chan struct{}
+	ctx      context.Context
+	job      Job
+	pin      int64
+	priority int        // admission priority lane (WithPriority); higher runs earlier
+	h        *JobHandle // set when the generation ran
+	err      error      // submit-level failure (engine closed before the job ran)
+	done     chan struct{}
 }
 
 // pinBarrier is the engineJob.pin sentinel for barrier-pinned jobs.
@@ -203,6 +212,9 @@ type Engine struct {
 	lanes map[string]*lane
 
 	ckpt *watchCheckpoints
+	// rc is the cross-generation result cache; nil (the default) disables
+	// it and keeps the submit path byte-for-byte as it was without one.
+	rc *rcache.Cache
 }
 
 // NewEngine creates an engine over st and starts serving immediately.
@@ -212,7 +224,9 @@ func NewEngine(st stream.Stream, opts EngineOptions) *Engine {
 	if capacity == 0 {
 		capacity = DefaultWatchCheckpointBytes
 	}
-	e := &Engine{opts: opts, root: root, cancel: cancel, lanes: make(map[string]*lane), ckpt: newWatchCheckpoints(capacity)}
+	e := &Engine{opts: opts, root: root, cancel: cancel, lanes: make(map[string]*lane),
+		ckpt: newWatchCheckpoints(capacity),
+		rc:   rcache.New(opts.ResultCacheBytes, opts.ResultCacheTTL)}
 	if err := e.Register(DefaultStream, st); err != nil {
 		panic(err) // unreachable: the engine is empty and open
 	}
@@ -272,9 +286,12 @@ func (e *Engine) Unregister(name string) error {
 	}
 	l.mu.Unlock()
 	<-l.exited
-	// Drop the cached checkpoint index: a later re-registration under the
-	// same name (a transferred-back stream) must not see stale state.
+	// Drop the cached checkpoint index and memoized results: a later
+	// re-registration under the same name (a transferred-back stream) must
+	// not see stale state — its version v may be a different prefix than
+	// the dead stream's version v.
 	e.ckpt.dropLane(l.name)
+	e.rc.DropStream(l.name)
 	return nil
 }
 
@@ -319,7 +336,8 @@ func (e *Engine) SubmitTo(ctx context.Context, name string, j Job) (*JobHandle, 
 // submitPinned is SubmitTo with an explicit pinned stream version (or
 // pinBarrier for the normal barrier-pinned case). Pinned jobs are grouped by
 // version into their own shared-replay generations, so concurrent standing
-// queries evaluating the same version still share passes.
+// queries evaluating the same version still share passes. Fingerprinted jobs
+// on a cache-enabled engine take the memoizing path first.
 func (e *Engine) submitPinned(ctx context.Context, name string, j Job, pin int64) (*JobHandle, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -330,7 +348,16 @@ func (e *Engine) submitPinned(ctx context.Context, name string, j Job, pin int64
 	if !ok {
 		return nil, fmt.Errorf("core: SubmitTo(%q): %w", name, ErrUnknownStream)
 	}
-	ej := &engineJob{ctx: ctx, job: j, pin: pin, done: make(chan struct{})}
+	if e.rc != nil && j.Fingerprint != 0 {
+		return e.submitCached(ctx, l, j, pin)
+	}
+	return e.submitCold(ctx, l, j, pin)
+}
+
+// submitCold queues j on its lane and blocks until a generation served it —
+// the pre-cache submit path, byte-for-byte.
+func (e *Engine) submitCold(ctx context.Context, l *lane, j Job, pin int64) (*JobHandle, error) {
+	ej := &engineJob{ctx: ctx, job: j, pin: pin, priority: PriorityFromContext(ctx), done: make(chan struct{})}
 	if err := l.enqueue(e.root, ej); err != nil {
 		return nil, err
 	}
@@ -604,8 +631,34 @@ func (e *Engine) serveBatch(l *lane, batch []*engineJob) {
 	for _, v := range pins {
 		e.runGeneration(l, byPin[v], v)
 	}
-	if len(barrier) > 0 {
+	if len(barrier) == 0 {
+		return
+	}
+	// Priority lanes (DESIGN.md §13): barrier jobs of equal priority share
+	// one generation; mixed priorities split into successive generations,
+	// highest first, so a high-priority tenant's query never waits on a
+	// bulk tenant's replay that was admitted in the same window. The common
+	// all-default batch is detected without sorting and runs exactly as it
+	// always has: one generation.
+	uniform := true
+	for _, ej := range barrier[1:] {
+		if ej.priority != barrier[0].priority {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
 		e.runGeneration(l, barrier, pinBarrier)
+		return
+	}
+	sort.SliceStable(barrier, func(i, j int) bool { return barrier[i].priority > barrier[j].priority })
+	for start := 0; start < len(barrier); {
+		end := start + 1
+		for end < len(barrier) && barrier[end].priority == barrier[start].priority {
+			end++
+		}
+		e.runGeneration(l, barrier[start:end], pinBarrier)
+		start = end
 	}
 }
 

@@ -92,6 +92,12 @@ type Job struct {
 	Config    Config
 	Clique    CliqueConfig
 	Threshold float64
+	// Fingerprint is the canonical query fingerprint for the cross-generation
+	// result cache (rcache.Fingerprint over the job's wire form). The zero
+	// value marks the job uncacheable; the facade only computes fingerprints
+	// when the engine's cache is enabled, so the default path never pays for
+	// them.
+	Fingerprint uint64
 }
 
 // JobResult is the outcome of one job. Which fields are set depends on the

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"streamcount"
 	"streamcount/internal/stream"
+	"streamcount/internal/tenant"
 	"streamcount/internal/wire"
 )
 
@@ -48,6 +51,8 @@ func errorCode(err error) string {
 		return wire.CodeCanceled
 	case errors.Is(err, streamcount.ErrReceiptFailed):
 		return wire.CodeReceiptFailed
+	case errors.Is(err, streamcount.ErrQuotaExhausted):
+		return wire.CodeQuotaExhausted
 	case errors.Is(err, streamcount.ErrSealed):
 		// A sealed stream is one mid-transfer: the condition is transient
 		// and the identical request is safe to retry.
@@ -93,6 +98,56 @@ func (s *Server) registryStats() (wire.QueryStats, wire.WatchStats) {
 	return q, ws
 }
 
+// resultCacheStats snapshots the engine's cross-generation result cache for
+// the observability surfaces. All zeros when the cache is disabled.
+func (s *Server) resultCacheStats() wire.ResultCacheStats {
+	rc := s.eng.ResultCacheStats()
+	return wire.ResultCacheStats{
+		Hits:          rc.Hits,
+		Misses:        rc.Misses,
+		Evictions:     rc.Evictions,
+		Expirations:   rc.Expirations,
+		ResidentBytes: rc.ResidentBytes,
+		CapacityBytes: rc.CapacityBytes,
+		Entries:       rc.Entries,
+	}
+}
+
+// tenantStats snapshots the per-tenant admission counters, sorted by tenant
+// name. Empty until a request has resolved a tenant.
+func (s *Server) tenantStats() []wire.TenantStats {
+	ts := s.tenants.Stats()
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]wire.TenantStats, len(ts))
+	for i, t := range ts {
+		out[i] = wire.TenantStats{Tenant: t.Tenant, Admitted: t.Admitted, Rejected: t.Rejected, Priority: t.Priority}
+	}
+	return out
+}
+
+// tenantOf resolves the requesting tenant from the X-Tenant header; absent
+// means the default tenant.
+func (s *Server) tenantOf(r *http.Request) string {
+	return tenant.Resolve(r.Header.Get("X-Tenant"))
+}
+
+// rejectQuota answers a quota-rejected request: 429 with the typed
+// quota_exhausted code and a Retry-After the client retry policy honors
+// (whole seconds, rounded up so the bucket has refilled by the retry).
+func rejectQuota(w http.ResponseWriter, who string, d tenant.Decision) {
+	retry := int64((d.RetryAfter + time.Second - 1) / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+	writeJSON(w, http.StatusTooManyRequests, wire.Error{
+		Error: fmt.Sprintf("tenant %q: %s", who, streamcount.ErrQuotaExhausted.Error()),
+		Code:  wire.CodeQuotaExhausted,
+	})
+}
+
 // evictFailures sums the durability-failure counters of every appendable
 // stream the engine serves.
 func (s *Server) evictFailures() int64 {
@@ -109,7 +164,12 @@ func (s *Server) evictFailures() int64 {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	q, ws := s.registryStats()
-	h := wire.Health{Status: "ready", Queries: q, Watches: ws, EvictFailures: s.evictFailures()}
+	h := wire.Health{
+		Status: "ready", Queries: q, Watches: ws,
+		ResultCache:   s.resultCacheStats(),
+		Tenants:       s.tenantStats(),
+		EvictFailures: s.evictFailures(),
+	}
 	code := http.StatusOK
 	switch {
 	case s.draining.Load():
@@ -196,9 +256,11 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleListStreams(w http.ResponseWriter, r *http.Request) {
 	q, ws := s.registryStats()
 	list := wire.StreamsList{
-		Streams: s.eng.Streams(),
-		Queries: q,
-		Watches: ws,
+		Streams:     s.eng.Streams(),
+		Queries:     q,
+		Watches:     ws,
+		ResultCache: s.resultCacheStats(),
+		Tenants:     s.tenantStats(),
 	}
 	// A clustered node lists only its own streams; the map version lets a
 	// CLI aggregate per-node listings and detect a stale view.
@@ -322,6 +384,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var req wire.AppendRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Admission control: spend the tenant's append token before any dedup or
+	// engine work, so a saturating tenant cannot consume ingest capacity.
+	who := s.tenantOf(r)
+	if d := s.tenants.AdmitAppend(who); !d.OK {
+		rejectQuota(w, who, d)
 		return
 	}
 	// Idempotency: a retried request carrying the same Idempotency-Key as an

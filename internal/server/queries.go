@@ -127,15 +127,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	// Admission control: spend the tenant's query token before the engine
+	// sees the job; the tenant's priority lane rides the submit context into
+	// the engine's generation scheduler.
+	who := s.tenantOf(r)
+	if d := s.tenants.AdmitQuery(who); !d.OK {
+		rejectQuota(w, who, d)
+		return
+	}
+	prio := s.tenants.Priority(who)
 
 	if r.URL.Query().Get("wait") == "false" {
-		s.submitAsync(w, req, q)
+		s.submitAsync(w, req, q, prio)
 		return
 	}
 
 	// Sync: the submitter's context is the request's, so a dropped client
 	// abandons the query at its next round boundary.
-	out, err := s.eng.SubmitOn(r.Context(), req.Stream, q)
+	out, err := s.eng.SubmitOn(streamcount.ContextWithPriority(r.Context(), prio), req.Stream, q)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -146,7 +155,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // submitAsync runs the query on a server-owned context and returns its poll
 // handle immediately. Async queries survive the submitting connection; they
 // are only canceled when Close's deadline expires.
-func (s *Server) submitAsync(w http.ResponseWriter, req wire.Query, q streamcount.Query) {
+func (s *Server) submitAsync(w http.ResponseWriter, req wire.Query, q streamcount.Query, prio int) {
 	s.mu.Lock()
 	s.nextID++
 	aq := &asyncQuery{wire.AsyncQuery{ID: fmt.Sprintf("q%06d", s.nextID), Status: "pending"}}
@@ -159,7 +168,7 @@ func (s *Server) submitAsync(w http.ResponseWriter, req wire.Query, q streamcoun
 	s.jobs.Add(1)
 	go func() {
 		defer s.jobs.Done()
-		out, err := s.eng.SubmitOn(s.jobCtx, req.Stream, q)
+		out, err := s.eng.SubmitOn(streamcount.ContextWithPriority(s.jobCtx, prio), req.Stream, q)
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.pendingQueries--

@@ -37,6 +37,7 @@ import (
 	"streamcount"
 	"streamcount/internal/cluster"
 	"streamcount/internal/stream"
+	"streamcount/internal/tenant"
 	"streamcount/internal/wire"
 )
 
@@ -86,6 +87,10 @@ const DefaultWatchCheckpointMB = 64
 // budget.
 const maxWatchCheckpointMB = 1 << 20
 
+// maxResultCacheMB rejects absurd result-cache bounds at startup (1 TiB),
+// mirroring the checkpoint-cache validation: a mistyped flag fails loudly.
+const maxResultCacheMB = 1 << 20
+
 // DefaultStreamN is the vertex-range of the default stream the server
 // creates when no engine is supplied. Clients normally create their own
 // named streams with an exact vertex count; the default stream exists so
@@ -123,6 +128,20 @@ type Options struct {
 	// streamcount.WithWatchCheckpointMB instead). New rejects negative or
 	// absurdly large values instead of clamping them.
 	WatchCheckpointMB int
+	// ResultCacheMB bounds the engine's cross-generation result cache in
+	// MiB. 0 leaves the cache disabled (every query replays); applied to the
+	// engine New creates, ignored when Engine is supplied (configure that
+	// engine with streamcount.WithResultCacheMB instead). New rejects
+	// negative or absurdly large values instead of clamping them.
+	ResultCacheMB int
+	// ResultCacheTTL bounds how long a memoized result stays servable
+	// (0: no TTL — entries live until evicted by the size bound). Ignored
+	// when Engine is supplied or the cache is disabled.
+	ResultCacheTTL time.Duration
+	// Tenants configures per-tenant admission control: token-bucket quotas
+	// and priority lanes keyed by the X-Tenant request header. The zero
+	// Config admits everything (counters are still kept per tenant).
+	Tenants tenant.Config
 	// Sync makes durable streams fsync the tail segment file on every
 	// append, hardening acknowledged appends against machine crashes (not
 	// just process kills) at a large throughput cost.
@@ -170,6 +189,11 @@ type Server struct {
 	maxWatches     int
 
 	rejectedWatches atomic.Int64
+
+	// tenants is the per-tenant admission-control registry (token buckets,
+	// priority lanes, counters). Always non-nil; unconfigured tenants are
+	// admit-all but still counted.
+	tenants *tenant.Registry
 
 	// cluster is this node's live cluster view; nil in single-node mode.
 	cluster *cluster.State
@@ -239,6 +263,15 @@ func New(opts Options) (*Server, error) {
 	case maxW == 0:
 		maxW = maxActiveWatches
 	}
+	switch {
+	case opts.ResultCacheMB < 0:
+		return nil, fmt.Errorf("server: ResultCacheMB %d is negative; the result cache bound must be positive (0 disables the cache)", opts.ResultCacheMB)
+	case opts.ResultCacheMB > maxResultCacheMB:
+		return nil, fmt.Errorf("server: ResultCacheMB %d exceeds the %d MiB (1 TiB) sanity bound", opts.ResultCacheMB, maxResultCacheMB)
+	}
+	if opts.ResultCacheTTL < 0 {
+		return nil, fmt.Errorf("server: ResultCacheTTL %v is negative (0 means no TTL)", opts.ResultCacheTTL)
+	}
 	clusterState, err := newCluster(opts)
 	if err != nil {
 		return nil, err
@@ -252,7 +285,9 @@ func New(opts Options) (*Server, error) {
 		}
 		eng = streamcount.NewEngine(def,
 			streamcount.WithAdmissionWindow(opts.Window),
-			streamcount.WithWatchCheckpointMB(ckptMB))
+			streamcount.WithWatchCheckpointMB(ckptMB),
+			streamcount.WithResultCacheMB(opts.ResultCacheMB),
+			streamcount.WithResultCacheTTL(opts.ResultCacheTTL))
 		own = true
 	}
 	jobCtx, jobStop := context.WithCancel(context.Background())
@@ -266,6 +301,7 @@ func New(opts Options) (*Server, error) {
 		watches:      make(map[string]*serverWatch),
 		appends:      make(map[string]*appendDedup),
 		cluster:      clusterState,
+		tenants:      tenant.NewRegistry(opts.Tenants),
 		transferring: make(map[string]bool),
 		maxAsync:     maxAsyncQueries,
 		maxWatches:   maxW,
@@ -477,6 +513,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, streamcount.ErrBadPattern), errors.Is(err, streamcount.ErrBadConfig):
 		return http.StatusBadRequest
+	case errors.Is(err, streamcount.ErrQuotaExhausted):
+		return http.StatusTooManyRequests
 	case errors.Is(err, streamcount.ErrEngineClosed), errors.Is(err, streamcount.ErrCanceled),
 		errors.Is(err, streamcount.ErrWatchClosed), errors.Is(err, streamcount.ErrReceiptFailed),
 		errors.Is(err, streamcount.ErrSealed):

@@ -1,0 +1,191 @@
+package server
+
+// Multi-tenant admission tests: per-tenant token buckets on the three
+// admission surfaces, typed 429 quota_exhausted with Retry-After, tenant
+// isolation (one tenant at quota never throttles another), and the
+// per-tenant counters on the observability surfaces (DESIGN.md §13).
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamcount/internal/tenant"
+	"streamcount/internal/wire"
+)
+
+// doAs is do with a tenant identity, returning the response recorder so
+// callers can read headers.
+func doAs(t *testing.T, s *Server, who, method, target, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, target, nil)
+	} else {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	if who != "" {
+		r.Header.Set("X-Tenant", who)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s as %q: undecodable response %q: %v", method, target, who, w.Body.String(), err)
+		}
+	}
+	return w
+}
+
+func TestTenantQuotaExhaustedIsolated(t *testing.T) {
+	s := newTestServer(t, Options{
+		Tenants: tenant.Config{Tenants: map[string]tenant.Limits{
+			// One immediate query, then a glacial refill: the second query
+			// in the same test run is deterministically rejected.
+			"metered": {QueryRate: 0.001, QueryBurst: 1},
+		}},
+	})
+	seedStream(t, s, "iso", 40, 120)
+
+	const q = `{"stream":"iso","pattern":"triangle","trials":200,"seed":7}`
+
+	// The metered tenant's burst admits exactly one query.
+	var first wire.QueryResult
+	if w := doAs(t, s, "metered", "POST", "/v1/queries", q, &first); w.Code != http.StatusOK {
+		t.Fatalf("metered tenant's first query: status %d", w.Code)
+	}
+	if first.Count == nil {
+		t.Fatal("admitted query returned no count")
+	}
+
+	// The second is a typed 429 with a positive Retry-After.
+	var rej wire.Error
+	w := doAs(t, s, "metered", "POST", "/v1/queries", q, &rej)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("metered tenant's second query: status %d, want 429", w.Code)
+	}
+	if rej.Code != wire.CodeQuotaExhausted {
+		t.Errorf("rejection code %q, want %q", rej.Code, wire.CodeQuotaExhausted)
+	}
+	if !strings.Contains(rej.Error, "metered") {
+		t.Errorf("rejection %q does not name the tenant", rej.Error)
+	}
+	retry, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Errorf("Retry-After %q, want an integer >= 1", w.Header().Get("Retry-After"))
+	}
+
+	// Other tenants — named and default — are untouched by the exhaustion,
+	// and tenancy never changes the answer: same (seed, version), same bits.
+	var out wire.QueryResult
+	if w := doAs(t, s, "free", "POST", "/v1/queries", q, &out); w.Code != http.StatusOK {
+		t.Errorf("unlimited tenant throttled alongside the metered one: status %d", w.Code)
+	}
+	if w := doAs(t, s, "", "POST", "/v1/queries", q, &out); w.Code != http.StatusOK {
+		t.Errorf("default tenant throttled alongside the metered one: status %d", w.Code)
+	}
+	if out.Count == nil || first.Count == nil || out.Count.Value != first.Count.Value {
+		t.Errorf("tenancy changed the answer: %+v != %+v", out.Count, first.Count)
+	}
+
+	// Per-tenant accounting surfaces on /healthz.
+	var h wire.Health
+	if w := doAs(t, s, "", "GET", "/healthz", "", &h); w.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", w.Code)
+	}
+	byName := make(map[string]wire.TenantStats, len(h.Tenants))
+	for _, ts := range h.Tenants {
+		byName[ts.Tenant] = ts
+	}
+	if ts := byName["metered"]; ts.Admitted != 1 || ts.Rejected != 1 {
+		t.Errorf("metered counters admitted=%d rejected=%d, want 1/1", ts.Admitted, ts.Rejected)
+	}
+	if ts := byName["free"]; ts.Admitted != 1 || ts.Rejected != 0 {
+		t.Errorf("free counters admitted=%d rejected=%d, want 1/0", ts.Admitted, ts.Rejected)
+	}
+	if ts := byName[tenant.DefaultTenant]; ts.Rejected != 0 {
+		t.Errorf("default tenant rejected=%d, want 0", ts.Rejected)
+	}
+
+	// The same counters ride GET /v1/streams for dashboards.
+	var sl wire.StreamsList
+	if w := doAs(t, s, "", "GET", "/v1/streams", "", &sl); w.Code != http.StatusOK {
+		t.Fatalf("streams list: status %d", w.Code)
+	}
+	if len(sl.Tenants) != len(h.Tenants) {
+		t.Errorf("streams list carries %d tenants, healthz %d", len(sl.Tenants), len(h.Tenants))
+	}
+}
+
+func TestTenantAppendAndWatchQuotas(t *testing.T) {
+	s := newTestServer(t, Options{
+		Tenants: tenant.Config{Tenants: map[string]tenant.Limits{
+			"writer":  {AppendRate: 0.001, AppendBurst: 1},
+			"watcher": {WatchRate: 0.001, WatchBurst: 1},
+		}},
+	})
+	seedStream(t, s, "quotas", 20, 30)
+
+	// Appends: one admitted, the second rejected, other tenants unaffected.
+	if w := doAs(t, s, "writer", "POST", "/v1/streams/quotas/edges", `{"updates":[{"u":1,"v":2}]}`, nil); w.Code != http.StatusOK {
+		t.Fatalf("writer's first append: status %d", w.Code)
+	}
+	var rej wire.Error
+	if w := doAs(t, s, "writer", "POST", "/v1/streams/quotas/edges", `{"updates":[{"u":2,"v":3}]}`, &rej); w.Code != http.StatusTooManyRequests || rej.Code != wire.CodeQuotaExhausted {
+		t.Fatalf("writer's second append: status %d code %q, want 429 %q", w.Code, rej.Code, wire.CodeQuotaExhausted)
+	}
+	if w := doAs(t, s, "", "POST", "/v1/streams/quotas/edges", `{"updates":[{"u":2,"v":3}]}`, nil); w.Code != http.StatusOK {
+		t.Errorf("default tenant's append throttled: status %d", w.Code)
+	}
+
+	// Watch registrations are charged at registration time, before the SSE
+	// stream is established, so a rejected watch is a plain typed 429.
+	// Watches hold their connection open; drive them over real HTTP.
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	const watch = `{"stream":"quotas","pattern":"triangle","trials":100,"seed":3,"policy":"latest"}`
+	openWatch := func(who string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/watches", strings.NewReader(watch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", who)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := openWatch("watcher")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watcher's first watch: status %d", resp.StatusCode)
+	}
+	defer resp.Body.Close()
+
+	second := openWatch("watcher")
+	body, _ := io.ReadAll(second.Body)
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("watcher's second watch: status %d body %s, want 429", second.StatusCode, body)
+	}
+	rej = wire.Error{}
+	if err := json.Unmarshal(body, &rej); err != nil || rej.Code != wire.CodeQuotaExhausted {
+		t.Errorf("watch rejection body %s (err %v), want code %q", body, err, wire.CodeQuotaExhausted)
+	}
+	if ra := second.Header.Get("Retry-After"); ra == "" {
+		t.Error("watch rejection carries no Retry-After")
+	}
+
+	// An unmetered tenant still registers freely.
+	third := openWatch("other")
+	if third.StatusCode != http.StatusOK {
+		t.Errorf("unmetered tenant's watch throttled: status %d", third.StatusCode)
+	}
+	third.Body.Close()
+}

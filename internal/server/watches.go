@@ -195,6 +195,14 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	// Admission control: watch registration spends a tenant token — a
+	// standing query holds engine resources for its lifetime, so the quota
+	// guards the front door, not each evaluation.
+	who := s.tenantOf(r)
+	if d := s.tenants.AdmitWatch(who); !d.OK {
+		rejectQuota(w, who, d)
+		return
+	}
 	var opts []streamcount.WatchOption
 	policy := req.Policy
 	switch policy {

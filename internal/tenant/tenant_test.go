@@ -1,0 +1,185 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fixedClock installs a controllable clock on r and returns the advance
+// function.
+func fixedClock(r *Registry) func(time.Duration) {
+	now := time.Unix(1000, 0)
+	r.now = func() time.Time { return now }
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve("") != DefaultTenant {
+		t.Fatalf("Resolve(\"\") = %q, want %q", Resolve(""), DefaultTenant)
+	}
+	if Resolve("acme") != "acme" {
+		t.Fatalf("Resolve(acme) = %q", Resolve("acme"))
+	}
+}
+
+func TestTokenBucketRefillAndRetryAfter(t *testing.T) {
+	r := NewRegistry(Config{Tenants: map[string]Limits{
+		"acme": {QueryRate: 2, QueryBurst: 2},
+	}})
+	advance := fixedClock(r)
+
+	for i := 0; i < 2; i++ {
+		if d := r.AdmitQuery("acme"); !d.OK {
+			t.Fatalf("burst admission %d rejected", i)
+		}
+	}
+	d := r.AdmitQuery("acme")
+	if d.OK {
+		t.Fatal("empty bucket admitted")
+	}
+	// Rate 2/sec, one token short: the exact wait is 500ms.
+	if d.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 500ms", d.RetryAfter)
+	}
+	advance(500 * time.Millisecond)
+	if d := r.AdmitQuery("acme"); !d.OK {
+		t.Fatal("refilled bucket rejected")
+	}
+}
+
+func TestSurfacesAreIndependent(t *testing.T) {
+	r := NewRegistry(Config{Tenants: map[string]Limits{
+		"acme": {QueryRate: 1, QueryBurst: 1},
+	}})
+	fixedClock(r)
+	if d := r.AdmitQuery("acme"); !d.OK {
+		t.Fatal("first query rejected")
+	}
+	if d := r.AdmitQuery("acme"); d.OK {
+		t.Fatal("second query admitted past the quota")
+	}
+	// Appends and watches have no configured rate: unlimited.
+	for i := 0; i < 100; i++ {
+		if d := r.AdmitAppend("acme"); !d.OK {
+			t.Fatal("unlimited append rejected")
+		}
+		if d := r.AdmitWatch("acme"); !d.OK {
+			t.Fatal("unlimited watch rejected")
+		}
+	}
+}
+
+func TestTenantsAreIsolated(t *testing.T) {
+	r := NewRegistry(Config{Tenants: map[string]Limits{
+		"noisy": {QueryRate: 1, QueryBurst: 1},
+	}})
+	fixedClock(r)
+	r.AdmitQuery("noisy")
+	if d := r.AdmitQuery("noisy"); d.OK {
+		t.Fatal("saturated tenant admitted")
+	}
+	// Other tenants — configured or not — are untouched.
+	for i := 0; i < 50; i++ {
+		if d := r.AdmitQuery("quiet"); !d.OK {
+			t.Fatal("unrelated tenant rejected")
+		}
+		if d := r.AdmitQuery(DefaultTenant); !d.OK {
+			t.Fatal("default tenant rejected")
+		}
+	}
+}
+
+func TestDefaultLimitsApplyToUnknownTenants(t *testing.T) {
+	r := NewRegistry(Config{
+		Tenants: map[string]Limits{"vip": {}},
+		Default: &Limits{QueryRate: 1, QueryBurst: 1},
+	})
+	fixedClock(r)
+	r.AdmitQuery("stranger")
+	if d := r.AdmitQuery("stranger"); d.OK {
+		t.Fatal("unknown tenant escaped the default limits")
+	}
+	// A listed tenant with empty limits is unlimited, not defaulted.
+	for i := 0; i < 10; i++ {
+		if d := r.AdmitQuery("vip"); !d.OK {
+			t.Fatal("listed unlimited tenant rejected")
+		}
+	}
+}
+
+func TestBurstDefaultsToAtLeastOne(t *testing.T) {
+	r := NewRegistry(Config{Tenants: map[string]Limits{
+		"slow": {QueryRate: 0.1}, // burst unset; must still admit one
+	}})
+	fixedClock(r)
+	if d := r.AdmitQuery("slow"); !d.OK {
+		t.Fatal("rate<1 tenant could never admit anything")
+	}
+	if d := r.AdmitQuery("slow"); d.OK {
+		t.Fatal("second request admitted with an empty sub-1 bucket")
+	}
+}
+
+func TestPriorityAndStats(t *testing.T) {
+	r := NewRegistry(Config{Tenants: map[string]Limits{
+		"vip":  {Priority: 5},
+		"bulk": {QueryRate: 1, QueryBurst: 1, Priority: -1},
+	}})
+	fixedClock(r)
+	if p := r.Priority("vip"); p != 5 {
+		t.Fatalf("Priority(vip) = %d, want 5", p)
+	}
+	if p := r.Priority("unknown"); p != 0 {
+		t.Fatalf("Priority(unknown) = %d, want 0", p)
+	}
+	r.AdmitQuery("bulk")
+	r.AdmitQuery("bulk")
+	r.AdmitQuery("vip")
+	stats := r.Stats()
+	byName := map[string]Stats{}
+	for _, s := range stats {
+		byName[s.Tenant] = s
+	}
+	if s := byName["bulk"]; s.Admitted != 1 || s.Rejected != 1 || s.Priority != -1 {
+		t.Fatalf("bulk stats = %+v", s)
+	}
+	if s := byName["vip"]; s.Admitted != 1 || s.Rejected != 0 || s.Priority != 5 {
+		t.Fatalf("vip stats = %+v", s)
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i-1].Tenant >= stats[i].Tenant {
+			t.Fatal("stats not sorted by tenant")
+		}
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	body := `{
+  "tenants": {"acme": {"query_rate": 10, "priority": 2}},
+  "default": {"query_rate": 1}
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tenants["acme"].QueryRate != 10 || cfg.Tenants["acme"].Priority != 2 {
+		t.Fatalf("parsed config = %+v", cfg)
+	}
+	if cfg.Default == nil || cfg.Default.QueryRate != 1 {
+		t.Fatalf("default limits = %+v", cfg.Default)
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing config file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := LoadConfig(bad); err == nil {
+		t.Fatal("malformed config file must error")
+	}
+}

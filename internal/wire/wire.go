@@ -64,6 +64,11 @@ const (
 	// either completes (the retry is answered with wrong_node and re-routed)
 	// or aborts (the retry succeeds here).
 	CodeTransferring = "transferring"
+	// CodeQuotaExhausted rejects a request because the tenant's token bucket
+	// for that surface (queries, appends, watch registration) is empty. Sent
+	// with 429 + Retry-After; the request was not admitted, so retrying the
+	// identical request after the suggested delay is safe.
+	CodeQuotaExhausted = "quota_exhausted"
 )
 
 // Update is one stream element.
@@ -174,11 +179,49 @@ type CheckpointStats struct {
 	SpillLoads int64 `json:"spill_loads,omitempty"`
 }
 
+// ResultCacheStats is the cross-generation result cache's health snapshot:
+// how repeated pinned-version queries were served and how much memoized
+// state is resident. All zeros (CapacityBytes 0) means the cache is
+// disabled.
+type ResultCacheStats struct {
+	// Hits counts queries served from a memoized result with no stream pass.
+	Hits int64 `json:"hits"`
+	// Misses counts cacheable queries that ran cold and populated the cache.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped by the size bound (LRU order).
+	Evictions int64 `json:"evictions"`
+	// Expirations counts entries dropped because they outlived the TTL.
+	Expirations int64 `json:"expirations,omitempty"`
+	// ResidentBytes is the accounted size of all memoized results.
+	ResidentBytes int64 `json:"resident_bytes"`
+	// CapacityBytes is the configured cache bound; 0 means disabled.
+	CapacityBytes int64 `json:"capacity_bytes"`
+	// Entries counts resident memoized results.
+	Entries int `json:"entries"`
+}
+
+// TenantStats is one tenant's admission-control counters.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	// Admitted counts requests that passed the tenant's token buckets.
+	Admitted int64 `json:"admitted"`
+	// Rejected counts requests refused with quota_exhausted.
+	Rejected int64 `json:"rejected"`
+	// Priority is the tenant's admission lane; higher runs first inside a
+	// shared generation window.
+	Priority int `json:"priority,omitempty"`
+}
+
 // StreamsList is the body of GET /v1/streams.
 type StreamsList struct {
 	Streams []string   `json:"streams"`
 	Queries QueryStats `json:"queries"`
 	Watches WatchStats `json:"watches"`
+	// ResultCache is the node's cross-generation result cache snapshot.
+	ResultCache ResultCacheStats `json:"result_cache"`
+	// Tenants lists per-tenant admission counters, sorted by tenant name.
+	// Empty until a request has named a tenant (or hit the default tenant).
+	Tenants []TenantStats `json:"tenants,omitempty"`
 	// ClusterVersion is the responding node's cluster map version, so a CLI
 	// merging per-node listings can detect and report skew. 0 when the node
 	// is not in cluster mode.
@@ -192,6 +235,10 @@ type Health struct {
 	Status  string     `json:"status"`
 	Queries QueryStats `json:"queries"`
 	Watches WatchStats `json:"watches"`
+	// ResultCache is the node's cross-generation result cache snapshot.
+	ResultCache ResultCacheStats `json:"result_cache"`
+	// Tenants lists per-tenant admission counters, sorted by tenant name.
+	Tenants []TenantStats `json:"tenants,omitempty"`
 	// EvictFailures sums the per-stream durability failure counters; see
 	// StreamInfo.EvictFailures.
 	EvictFailures int64 `json:"evict_failures,omitempty"`

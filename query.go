@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"streamcount/internal/core"
+	"streamcount/internal/rcache"
 	"streamcount/internal/wire"
 )
 
@@ -398,8 +399,21 @@ func (q distinguishQuery) MarshalJSON() ([]byte, error) {
 // wire names patterns, it does not carry edge lists — and the legacy
 // deprecated wrappers are not (their defaulting predates the wire's).
 func marshalWireQuery(kind string, p *Pattern, r int, threshold float64, o queryOpts) ([]byte, error) {
+	w, err := wireQueryForm(kind, p, r, threshold, o)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// wireQueryForm builds the canonical wire.Query a query lowers to — the
+// shared shape behind both its JSON encoding (marshalWireQuery) and its
+// result-cache fingerprint (fingerprintOf). One canonicalization means a
+// query fingerprints identically whether it was submitted in-process or
+// decoded off the wire.
+func wireQueryForm(kind string, p *Pattern, r int, threshold float64, o queryOpts) (wire.Query, error) {
 	if o.legacy {
-		return nil, fmt.Errorf("streamcount: legacy %s query is not wire-encodable: %w", kind, ErrBadConfig)
+		return wire.Query{}, fmt.Errorf("streamcount: legacy %s query is not wire-encodable: %w", kind, ErrBadConfig)
 	}
 	w := wire.Query{
 		Kind:        kind,
@@ -419,11 +433,43 @@ func marshalWireQuery(kind string, p *Pattern, r int, threshold float64, o query
 	if p != nil {
 		cat, err := PatternByName(p.Name())
 		if err != nil || !samePattern(cat, p) {
-			return nil, fmt.Errorf("streamcount: pattern %q is not a catalog pattern and cannot be sent over the wire (the wire names patterns; use PatternByName): %w", p.Name(), ErrBadPattern)
+			return wire.Query{}, fmt.Errorf("streamcount: pattern %q is not a catalog pattern and cannot be sent over the wire (the wire names patterns; use PatternByName): %w", p.Name(), ErrBadPattern)
 		}
 		w.Pattern = p.Name()
 	}
-	return json.Marshal(w)
+	return w, nil
+}
+
+// fingerprintOf computes q's canonical result-cache fingerprint:
+// rcache.Fingerprint over the query's wire form (which excludes seed,
+// stream and parallelism — they are separate key components or
+// contract-irrelevant). Queries with no canonical wire form — legacy
+// wrappers, custom non-catalog patterns — return 0, the uncacheable
+// sentinel: they still execute, they just never memoize.
+func fingerprintOf(q Query) uint64 {
+	var w wire.Query
+	var err error
+	switch t := q.(type) {
+	case countQuery:
+		w, err = wireQueryForm(t.Kind(), t.p, 0, 0, t.o)
+	case sampleQuery:
+		w, err = wireQueryForm(t.Kind(), t.p, 0, 0, t.o)
+	case autoQuery:
+		w, err = wireQueryForm(t.Kind(), t.p, 0, 0, t.o)
+	case distinguishQuery:
+		w, err = wireQueryForm(t.Kind(), t.p, 0, t.l, t.o)
+	case cliqueQuery:
+		if t.legacyCfg != nil {
+			return 0
+		}
+		w, err = wireQueryForm(t.Kind(), nil, t.r, 0, t.o)
+	default:
+		return 0
+	}
+	if err != nil {
+		return 0
+	}
+	return rcache.Fingerprint(w)
 }
 
 // samePattern reports whether two patterns are structurally identical —

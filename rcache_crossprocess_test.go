@@ -1,0 +1,188 @@
+package streamcount_test
+
+// The result-cache half of the cross-process determinism suite
+// (DESIGN.md §13): a query served memoized from the cross-generation
+// result cache must be bit-identical to a standalone run performed by a
+// pristine process at the same (query, seed, stream version). The parent
+// proves each warm submission really was a hit (zero new generations),
+// then hands nothing but the pinned versions to a child process that
+// recomputes from scratch.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamcount"
+)
+
+const (
+	rcacheXSeed   = 13
+	rcacheXTrials = 800
+	rcacheXNodes  = 500
+	rcacheXEdges  = 2500
+)
+
+// rcacheUpdates is the deterministic insertion sequence both processes
+// rebuild independently.
+func rcacheUpdates(t testing.TB) []streamcount.Update {
+	t.Helper()
+	rng := rand.New(rand.NewSource(51))
+	g := streamcount.ErdosRenyi(rng, rcacheXNodes, rcacheXEdges)
+	var ups []streamcount.Update
+	for _, e := range g.Edges() {
+		ups = append(ups, streamcount.Update{Edge: e, Op: streamcount.Insert})
+	}
+	return ups
+}
+
+func rcacheQuery(t testing.TB) streamcount.TypedQuery[*streamcount.CountResult] {
+	t.Helper()
+	p, err := streamcount.PatternByName("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return streamcount.CountQuery(p, streamcount.WithTrials(rcacheXTrials), streamcount.WithSeed(rcacheXSeed))
+}
+
+// TestResultCacheDeterminismChild replays the log to each requested version
+// and runs the reference query standalone, printing one fingerprint per
+// version. No engine or cache machinery runs in this process.
+func TestResultCacheDeterminismChild(t *testing.T) {
+	spec := os.Getenv("STREAMCOUNT_RCACHE_CHILD")
+	if spec == "" {
+		t.Skip("child mode only (driven by TestResultCacheDeterminismCrossProcess)")
+	}
+	app, err := streamcount.NewAppendableStream(rcacheXNodes, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Append(rcacheUpdates(t)); err != nil {
+		t.Fatal(err)
+	}
+	q := rcacheQuery(t)
+	for _, vStr := range strings.Split(spec, ",") {
+		v, err := strconv.ParseInt(vStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bad version %q: %v", vStr, err)
+		}
+		view, err := app.At(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := streamcount.Run(context.Background(), view, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("RCACHECHILD %d %s\n", v, watchFingerprint(ref))
+	}
+}
+
+// TestResultCacheDeterminismCrossProcess submits the same query cold and
+// warm at two pinned versions, proves the warm submissions were served
+// memoized (no new generations), and checks every served result — cold and
+// cached alike — against a pristine process's standalone recomputation.
+func TestResultCacheDeterminismCrossProcess(t *testing.T) {
+	if os.Getenv("STREAMCOUNT_RCACHE_CHILD") != "" {
+		t.Skip("already in child mode")
+	}
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short")
+	}
+
+	app, err := streamcount.NewAppendableStream(rcacheXNodes, streamcount.AppendableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := streamcount.NewEngine(app, streamcount.WithResultCacheMB(8))
+	defer e.Close()
+
+	ups := rcacheUpdates(t)
+	q := rcacheQuery(t)
+	ctx := context.Background()
+
+	// Two pinned versions; at each, a cold submission then a warm one that
+	// must be a pure cache hit: same bits, no new generation.
+	type pinned struct {
+		v  int64
+		fp string
+	}
+	var pins []pinned
+	for _, cut := range []int{len(ups) / 2, len(ups)} {
+		var start int
+		if len(pins) > 0 {
+			start = len(ups) / 2
+		}
+		v, err := e.Append("", ups[start:cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := streamcount.DoOn(ctx, e, "", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens := e.Generations()
+		warm, err := streamcount.DoOn(ctx, e, "", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := e.Generations(); g != gens {
+			t.Fatalf("warm submission at v%d admitted a generation (%d -> %d)", v, gens, g)
+		}
+		if watchFingerprint(warm) != watchFingerprint(cold) {
+			t.Fatalf("warm result diverged at v%d:\n  cold: %s\n  warm: %s",
+				v, watchFingerprint(cold), watchFingerprint(warm))
+		}
+		pins = append(pins, pinned{v, watchFingerprint(warm)})
+	}
+	st := e.ResultCacheStats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("cache stats hits=%d misses=%d, want 2/2 (a new version is a new key, never an invalidation)", st.Hits, st.Misses)
+	}
+
+	// A pristine process reproduces both cache-served results from nothing
+	// but the pinned versions.
+	spec := make([]string, len(pins))
+	for i, p := range pins {
+		spec[i] = strconv.FormatInt(p.v, 10)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestResultCacheDeterminismChild$", "-test.v")
+	cmd.Env = append(os.Environ(), "STREAMCOUNT_RCACHE_CHILD="+strings.Join(spec, ","))
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+	theirs := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		rest, ok := strings.CutPrefix(sc.Text(), "RCACHECHILD ")
+		if !ok {
+			continue
+		}
+		v, fp, ok := strings.Cut(rest, " ")
+		if !ok {
+			t.Fatalf("malformed child line %q", sc.Text())
+		}
+		theirs[v] = fp
+	}
+	if len(theirs) != len(pins) {
+		t.Fatalf("child reproduced %d entries, want %d:\n%s", len(theirs), len(pins), out)
+	}
+	for _, p := range pins {
+		key := strconv.FormatInt(p.v, 10)
+		if theirs[key] != p.fp {
+			t.Errorf("cross-process mismatch at version %d:\n  cache-served:  %s\n  child process: %s", p.v, p.fp, theirs[key])
+		}
+	}
+	t.Logf("verified %d cache-served results against a pristine process", len(pins))
+}

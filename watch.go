@@ -258,6 +258,12 @@ func (e *Engine) WatchQuery(ctx context.Context, stream string, q Query, opts ..
 	if err != nil {
 		return nil, err
 	}
+	// Fingerprinted watch evaluations share the result cache with pinned
+	// queries: an evaluation at (version, query, derived seed) some other
+	// watch or query already computed is served memoized.
+	if e.eng.ResultCacheEnabled() {
+		j.Fingerprint = fingerprintOf(q)
+	}
 	cw, err := e.eng.Watch(ctx, stream, j, core.WatchOptions{
 		EveryVersion: cfg.EveryVersion,
 		Buffer:       cfg.Buffer,
